@@ -1,0 +1,12 @@
+//! **Figure 1** — normalized CPI vs invocation inter-arrival time for an
+//! authentication function (Python) and AES (NodeJS) on a high-occupancy
+//! host. Paper: CPI climbs with IAT and saturates around 250–270% past
+//! one-second IATs.
+
+use lukewarm_sim::experiments::fig01;
+
+fn main() {
+    luke_bench::harness("Figure 1: CPI vs IAT", |params| {
+        fig01::run_experiment(params).to_string()
+    });
+}

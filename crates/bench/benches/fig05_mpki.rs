@@ -1,0 +1,12 @@
+//! **Figure 5** — L2/LLC MPKI breakdowns (instruction vs data) on the
+//! Broadwell-like characterization platform. Paper: L2 ≈54/72 MPKI
+//! (ref/interleaved); LLC instruction misses ≈0 in reference, >10 when
+//! interleaved, mostly instructions.
+
+use lukewarm_sim::experiments::fig05;
+
+fn main() {
+    luke_bench::harness("Figure 5: cache-miss characterization", |params| {
+        fig05::run_experiment(params).to_string()
+    });
+}

@@ -1,0 +1,11 @@
+//! **Figure 8** — Jukebox metadata size vs code-region size (128B–8KB,
+//! 16-entry CRRB). Paper: minimum near 1KB regions, 9.6–29.5KB across the
+//! suite, Go functions at the small end.
+
+use lukewarm_sim::experiments::fig08;
+
+fn main() {
+    luke_bench::harness("Figure 8: metadata vs region size", |params| {
+        fig08::run_experiment(params).to_string()
+    });
+}

@@ -1,0 +1,12 @@
+//! **Figure 9** — Jukebox speedup vs metadata-storage budget (8/12/16/32KB)
+//! for Email-P, Pay-N, ProdL-G and the suite geomean. Paper: little gain
+//! beyond 16KB on average; large-working-set functions are the most
+//! sensitive.
+
+use lukewarm_sim::experiments::fig09;
+
+fn main() {
+    luke_bench::harness("Figure 9: speedup vs metadata budget", |params| {
+        fig09::run_experiment(params).to_string()
+    });
+}

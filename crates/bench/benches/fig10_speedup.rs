@@ -1,0 +1,11 @@
+//! **Figure 10** — the headline result: Jukebox and Perfect-I-cache
+//! speedups over the interleaved baseline on the Skylake-like platform,
+//! all 20 functions. Paper: Jukebox ≈18.7% geomean, Perfect ≈31%.
+
+use lukewarm_sim::experiments::fig10;
+
+fn main() {
+    luke_bench::harness("Figure 10: Jukebox speedup", |params| {
+        fig10::run_experiment(params).to_string()
+    });
+}

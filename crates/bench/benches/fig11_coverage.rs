@@ -1,0 +1,11 @@
+//! **Figure 11** — L2 instruction-miss coverage / uncovered / overpredicted,
+//! normalized to baseline misses. Paper: Go 75–90% coverage,
+//! Python/NodeJS 48–74% (metadata overflow), ≈10% overprediction.
+
+use lukewarm_sim::experiments::fig11;
+
+fn main() {
+    luke_bench::harness("Figure 11: miss coverage", |params| {
+        fig11::run_experiment(params).to_string()
+    });
+}

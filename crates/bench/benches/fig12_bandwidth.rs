@@ -1,0 +1,11 @@
+//! **Figure 12** — Jukebox memory-bandwidth overhead split into
+//! overpredicted prefetches and metadata record/replay traffic.
+//! Paper: ≈14% average, ≤23% worst case.
+
+use lukewarm_sim::experiments::fig12;
+
+fn main() {
+    luke_bench::harness("Figure 12: bandwidth overhead", |params| {
+        fig12::run_experiment(params).to_string()
+    });
+}

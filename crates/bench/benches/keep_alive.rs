@@ -1,0 +1,11 @@
+//! **Keep-alive economics (§2.1)** — warm-hit rate and warm-pool size vs
+//! the provider keep-alive window, over a heavy-tailed function
+//! population. The supply side of the lukewarm phenomenon.
+
+use lukewarm_sim::experiments::keep_alive;
+
+fn main() {
+    luke_bench::harness("Keep-alive economics", |params| {
+        keep_alive::run_experiment(params).to_string()
+    });
+}

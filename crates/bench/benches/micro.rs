@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks of the simulator's hot data structures:
+//! cache accesses, CRRB recording, branch prediction, metadata
+//! encode/decode, trace generation and a full invocation step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jukebox::{Crrb, JukeboxConfig};
+use luke_common::addr::{LineAddr, VirtAddr};
+use sim_cpu::branch::BranchUnit;
+use sim_cpu::instr::BranchKind;
+use sim_cpu::{Core, CoreConfig};
+use sim_mem::cache::{AccessClass, Cache, Replacement};
+use sim_mem::config::HierarchyConfig;
+use sim_mem::hierarchy::MemoryHierarchy;
+use sim_mem::page_table::PageTable;
+use sim_mem::prefetch::NoPrefetcher;
+use workloads::{FunctionProfile, SyntheticFunction};
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = HierarchyConfig::skylake_like();
+    c.bench_function("cache/l2_access_hit", |b| {
+        let mut cache = Cache::new(cfg.l2, Replacement::Lru);
+        for line in 0..1024u64 {
+            cache.fill(line, 0, AccessClass::Instr, false);
+        }
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 1024;
+            std::hint::black_box(cache.access(line, 0, AccessClass::Instr))
+        });
+    });
+    c.bench_function("cache/l2_fill_evict", |b| {
+        let mut cache = Cache::new(cfg.l2, Replacement::Lru);
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            std::hint::black_box(cache.fill(line, 0, AccessClass::Instr, false))
+        });
+    });
+}
+
+fn bench_crrb(c: &mut Criterion) {
+    c.bench_function("jukebox/crrb_record", |b| {
+        let mut crrb = Crrb::new(JukeboxConfig::paper_default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            std::hint::black_box(crrb.record(VirtAddr::new(addr).line()))
+        });
+    });
+}
+
+fn bench_metadata_codec(c: &mut Criterion) {
+    use jukebox::metadata::{decode, encode, MetadataEntry};
+    let config = JukeboxConfig::paper_default();
+    let entries: Vec<MetadataEntry> = (0..2000u64)
+        .map(|i| MetadataEntry::with_line(VirtAddr::new(i * 1024), (i % 16) as usize))
+        .collect();
+    c.bench_function("jukebox/metadata_encode_2k", |b| {
+        b.iter(|| std::hint::black_box(encode(&entries, &config)));
+    });
+    let bytes = encode(&entries, &config);
+    c.bench_function("jukebox/metadata_decode_2k", |b| {
+        b.iter(|| std::hint::black_box(decode(&bytes, entries.len(), &config)));
+    });
+}
+
+fn bench_branch_predictor(c: &mut Criterion) {
+    c.bench_function("cpu/branch_predict", |b| {
+        let mut bu = BranchUnit::new(&CoreConfig::skylake_like());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(bu.predict_and_update(
+                VirtAddr::new(0x1000 + (i % 64) * 8),
+                BranchKind::Conditional,
+                i.is_multiple_of(3),
+                VirtAddr::new(0x2000),
+                VirtAddr::new(0x1002),
+            ))
+        });
+    });
+}
+
+fn bench_hierarchy_fetch(c: &mut Criterion) {
+    c.bench_function("mem/fetch_instr_warm", |b| {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        // Warm a small window.
+        for i in 0..64u64 {
+            let line = LineAddr::from_index(1000 + i);
+            let pline = pt.translate_line(line);
+            mem.fetch_instr(line, pline, 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            let line = LineAddr::from_index(1000 + i);
+            let pline = pt.translate_line(line);
+            std::hint::black_box(mem.fetch_instr(line, pline, 0))
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let profile = FunctionProfile::named("Auth-G").unwrap().scaled(0.1);
+    let function = SyntheticFunction::build(&profile);
+    c.bench_function("workloads/trace_generation", |b| {
+        let mut inv = 0u64;
+        b.iter(|| {
+            inv += 1;
+            std::hint::black_box(function.invocation_trace(inv).len())
+        });
+    });
+}
+
+fn bench_invocation(c: &mut Criterion) {
+    let profile = FunctionProfile::named("Fib-G").unwrap().scaled(0.05);
+    let function = SyntheticFunction::build(&profile);
+    let trace = function.invocation_trace(0);
+    c.bench_function("sim/run_invocation_lukewarm", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Core::new(CoreConfig::skylake_like()),
+                    MemoryHierarchy::new(HierarchyConfig::skylake_like()),
+                    PageTable::new(0),
+                )
+            },
+            |(mut core, mut mem, mut pt)| {
+                std::hint::black_box(core.run_invocation(
+                    trace.iter().copied(),
+                    &mut mem,
+                    &mut pt,
+                    &mut NoPrefetcher,
+                ))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_cache,
+    bench_crrb,
+    bench_metadata_codec,
+    bench_branch_predictor,
+    bench_hierarchy_fetch,
+    bench_trace_generation,
+    bench_invocation
+);
+criterion_main!(micro);

@@ -1,0 +1,11 @@
+//! **Related work (§6)** — Jukebox vs indiscriminate cache restoration
+//! (Daly & Cain / RECAP) vs BTB-directed prefetching (FDIP/Boomerang):
+//! speedup, metadata traffic and bandwidth on the same harness.
+
+use lukewarm_sim::experiments::related_work;
+
+fn main() {
+    luke_bench::harness("Related work: prior-art families", |params| {
+        related_work::run_experiment(params).to_string()
+    });
+}

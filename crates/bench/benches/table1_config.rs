@@ -1,0 +1,11 @@
+//! **Table 1** — parameters of the simulated processor, both platforms.
+
+fn main() {
+    luke_bench::harness("Table 1: simulated platforms", |_params| {
+        let mut out = String::new();
+        out.push_str(&lukewarm_sim::SystemConfig::skylake().describe());
+        out.push('\n');
+        out.push_str(&lukewarm_sim::SystemConfig::broadwell().describe());
+        out
+    });
+}

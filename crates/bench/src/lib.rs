@@ -1,0 +1,64 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every `[[bench]]` target in this crate regenerates one table or figure
+//! of the paper at paper scale and prints the same rows/series the paper
+//! reports. Run them all with `cargo bench`, or one with e.g.
+//! `cargo bench --bench fig10_speedup`.
+//!
+//! The harness honours two environment variables:
+//!
+//! * `LUKEWARM_SCALE` — workload scale factor (default 1.0 = paper scale);
+//! * `LUKEWARM_INVOCATIONS` — measured invocations per configuration
+//!   (default 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lukewarm_sim::ExperimentParams;
+use std::time::Instant;
+
+/// Experiment parameters from the environment (paper scale by default).
+pub fn params_from_env() -> ExperimentParams {
+    let scale = std::env::var("LUKEWARM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let invocations = std::env::var("LUKEWARM_INVOCATIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    ExperimentParams {
+        scale,
+        invocations,
+        warmup: 2,
+    }
+}
+
+/// Runs one experiment closure with banner and wall-clock reporting.
+pub fn harness<F: FnOnce(&ExperimentParams) -> String>(name: &str, body: F) {
+    let params = params_from_env();
+    println!(
+        "=== {name} (scale {}, {} invocations/config) ===\n",
+        params.scale, params.invocations
+    );
+    let start = Instant::now();
+    let output = body(&params);
+    println!("{output}");
+    println!("[{name} completed in {:.1?}]", start.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_paper_scale() {
+        // Only meaningful when the env vars are unset, as in CI.
+        if std::env::var("LUKEWARM_SCALE").is_err() {
+            assert_eq!(params_from_env().scale, 1.0);
+        }
+        if std::env::var("LUKEWARM_INVOCATIONS").is_err() {
+            assert_eq!(params_from_env().invocations, 8);
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! Command-line interface for the lukewarm simulator.
+//!
+//! ```text
+//! lukewarm list                         # suite functions and workflows
+//! lukewarm describe [PLATFORM]          # Table 1 parameters
+//! lukewarm run FUNCTION [OPTIONS]       # one configuration, full metrics
+//! lukewarm compare FUNCTION [OPTIONS]   # baseline vs jukebox vs perfect
+//! lukewarm figure NAME [OPTIONS]        # regenerate a paper figure/table
+//!
+//! OPTIONS:
+//!   --scale S           workload scale (default 0.25; 1.0 = paper)
+//!   --invocations N     measured invocations (default 4)
+//!   --platform P        skylake | broadwell (default skylake)
+//!   --prefetcher K      none | jukebox | next-line | pif | pif-ideal |
+//!                       jukebox+pif-ideal | footprint-restore |
+//!                       fetch-directed | perfect (run only; default jukebox)
+//!   --state ST          lukewarm | reference (run only; default lukewarm)
+//! ```
+//!
+//! The parsing layer is exposed as a library so it can be unit-tested; the
+//! `lukewarm` binary is a thin `main` around [`run_cli`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lukewarm_sim::experiments as exp;
+use lukewarm_sim::runner::{run, RunSpec};
+use lukewarm_sim::{ExperimentParams, PrefetcherKind, SystemConfig};
+use workloads::workflow::Workflow;
+use workloads::{paper_suite, FunctionProfile};
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `lukewarm list`
+    List,
+    /// `lukewarm describe [platform]`
+    Describe {
+        /// Platform name.
+        platform: Platform,
+    },
+    /// `lukewarm run FUNCTION ...`
+    Run {
+        /// Function abbreviation.
+        function: String,
+        /// Common options.
+        options: Options,
+        /// Prefetcher to attach.
+        prefetcher: String,
+        /// Cache-state protocol.
+        state: String,
+    },
+    /// `lukewarm compare FUNCTION ...`
+    Compare {
+        /// Function abbreviation.
+        function: String,
+        /// Common options.
+        options: Options,
+    },
+    /// `lukewarm figure NAME ...`
+    Figure {
+        /// Figure/table name (e.g. `fig10`).
+        name: String,
+        /// Common options.
+        options: Options,
+    },
+    /// `lukewarm workflow NAME ...`
+    Workflow {
+        /// Workflow name (`hotel-reservation` or `online-boutique`).
+        name: String,
+        /// Common options.
+        options: Options,
+    },
+    /// `lukewarm help` or empty invocation.
+    Help,
+}
+
+/// Platform selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Platform {
+    /// Table 1 Skylake-like.
+    Skylake,
+    /// §4.1/§5.6 Broadwell-like.
+    Broadwell,
+}
+
+impl Platform {
+    fn config(self) -> SystemConfig {
+        match self {
+            Platform::Skylake => SystemConfig::skylake(),
+            Platform::Broadwell => SystemConfig::broadwell(),
+        }
+    }
+}
+
+/// Common numeric options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Options {
+    /// Workload scale.
+    pub scale: f64,
+    /// Measured invocations.
+    pub invocations: u64,
+    /// Platform.
+    pub platform: Platform,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 0.25,
+            invocations: 4,
+            platform: Platform::Skylake,
+        }
+    }
+}
+
+impl Options {
+    fn params(&self) -> ExperimentParams {
+        ExperimentParams {
+            scale: self.scale,
+            invocations: self.invocations,
+            warmup: 2,
+        }
+    }
+}
+
+/// A CLI error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message for unknown commands,
+/// options or malformed values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let command = match it.next() {
+        None => return Ok(Command::Help),
+        Some(c) => c.as_str(),
+    };
+    let rest: Vec<&String> = it.collect();
+    match command {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "describe" => {
+            let platform = match rest.first().map(|s| s.as_str()) {
+                None => Platform::Skylake,
+                Some(p) => parse_platform(p)?,
+            };
+            Ok(Command::Describe { platform })
+        }
+        "run" => {
+            let (function, opts, extras) = parse_function_and_options(&rest)?;
+            let mut prefetcher = "jukebox".to_string();
+            let mut state = "lukewarm".to_string();
+            let mut i = 0;
+            while i < extras.len() {
+                match extras[i].0.as_str() {
+                    "--prefetcher" => prefetcher = extras[i].1.clone(),
+                    "--state" => state = extras[i].1.clone(),
+                    other => {
+                        return Err(CliError(format!("unknown option {other}")));
+                    }
+                }
+                i += 1;
+            }
+            // Validate eagerly so errors surface before any simulation.
+            parse_prefetcher(&prefetcher, Platform::Skylake)?;
+            parse_state(&state)?;
+            Ok(Command::Run {
+                function,
+                options: opts,
+                prefetcher,
+                state,
+            })
+        }
+        "compare" => {
+            let (function, opts, extras) = parse_function_and_options(&rest)?;
+            if let Some((k, _)) = extras.first() {
+                return Err(CliError(format!("unknown option {k}")));
+            }
+            Ok(Command::Compare {
+                function,
+                options: opts,
+            })
+        }
+        "figure" => {
+            let (name, opts, extras) = parse_function_and_options(&rest)?;
+            if let Some((k, _)) = extras.first() {
+                return Err(CliError(format!("unknown option {k}")));
+            }
+            Ok(Command::Figure {
+                name,
+                options: opts,
+            })
+        }
+        "workflow" => {
+            let (name, opts, extras) = parse_function_and_options(&rest)?;
+            if let Some((k, _)) = extras.first() {
+                return Err(CliError(format!("unknown option {k}")));
+            }
+            Ok(Command::Workflow {
+                name,
+                options: opts,
+            })
+        }
+        other => Err(CliError(format!(
+            "unknown command {other:?}; try `lukewarm help`"
+        ))),
+    }
+}
+
+/// Splits `NAME [--opt value]...` into the name, recognized common options
+/// and leftover option pairs.
+#[allow(clippy::type_complexity)]
+fn parse_function_and_options(
+    rest: &[&String],
+) -> Result<(String, Options, Vec<(String, String)>), CliError> {
+    let mut it = rest.iter();
+    let name = it
+        .next()
+        .ok_or_else(|| CliError("missing argument".into()))?
+        .to_string();
+    let mut opts = Options::default();
+    let mut extras = Vec::new();
+    while let Some(key) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| CliError(format!("option {key} needs a value")))?;
+        match key.as_str() {
+            "--scale" => {
+                opts.scale = value
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --scale {value:?}")))?;
+                if opts.scale <= 0.0 {
+                    return Err(CliError("--scale must be positive".into()));
+                }
+            }
+            "--invocations" => {
+                opts.invocations = value
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --invocations {value:?}")))?;
+                if opts.invocations == 0 {
+                    return Err(CliError("--invocations must be positive".into()));
+                }
+            }
+            "--platform" => opts.platform = parse_platform(value)?,
+            _ => extras.push((key.to_string(), value.to_string())),
+        }
+    }
+    Ok((name, opts, extras))
+}
+
+fn parse_platform(s: &str) -> Result<Platform, CliError> {
+    match s {
+        "skylake" => Ok(Platform::Skylake),
+        "broadwell" => Ok(Platform::Broadwell),
+        other => Err(CliError(format!(
+            "unknown platform {other:?} (skylake | broadwell)"
+        ))),
+    }
+}
+
+fn parse_prefetcher(s: &str, platform: Platform) -> Result<PrefetcherKind, CliError> {
+    let jukebox = platform.config().jukebox;
+    match s {
+        "none" | "baseline" => Ok(PrefetcherKind::None),
+        "jukebox" => Ok(PrefetcherKind::Jukebox(jukebox)),
+        "next-line" => Ok(PrefetcherKind::NextLine),
+        "pif" => Ok(PrefetcherKind::Pif),
+        "pif-ideal" => Ok(PrefetcherKind::PifIdeal),
+        "jukebox+pif-ideal" => Ok(PrefetcherKind::JukeboxPlusPifIdeal(jukebox)),
+        "footprint-restore" => Ok(PrefetcherKind::FootprintRestore),
+        "fetch-directed" => Ok(PrefetcherKind::FetchDirected),
+        "perfect" | "perfect-icache" => Ok(PrefetcherKind::PerfectICache),
+        other => Err(CliError(format!("unknown prefetcher {other:?}"))),
+    }
+}
+
+fn parse_state(s: &str) -> Result<RunSpec, CliError> {
+    match s {
+        "lukewarm" | "interleaved" => Ok(RunSpec::lukewarm()),
+        "reference" | "warm" => Ok(RunSpec::reference()),
+        other => Err(CliError(format!(
+            "unknown state {other:?} (lukewarm | reference)"
+        ))),
+    }
+}
+
+fn lookup_function(name: &str) -> Result<FunctionProfile, CliError> {
+    FunctionProfile::named(name).ok_or_else(|| {
+        let names: Vec<String> = paper_suite().into_iter().map(|p| p.name).collect();
+        CliError(format!(
+            "unknown function {name:?}; available: {}",
+            names.join(", ")
+        ))
+    })
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown functions, figures or option values.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(help_text()),
+        Command::List => {
+            let mut out = String::from("Functions (Table 2):\n");
+            for p in paper_suite() {
+                out.push_str(&format!(
+                    "  {:<8} {:<7} footprint {}, {} instructions/invocation\n",
+                    p.name, p.language, p.code_footprint, p.instructions
+                ));
+            }
+            out.push_str("\nWorkflows:\n");
+            for w in Workflow::paper_workflows() {
+                let stages: Vec<&str> = w.stages.iter().map(|s| s.name.as_str()).collect();
+                out.push_str(&format!("  {:<18} {}\n", w.name, stages.join(" -> ")));
+            }
+            Ok(out)
+        }
+        Command::Describe { platform } => Ok(platform.config().describe()),
+        Command::Run {
+            function,
+            options,
+            prefetcher,
+            state,
+        } => {
+            let profile = lookup_function(function)?.scaled(options.scale);
+            let config = options.platform.config();
+            let kind = parse_prefetcher(prefetcher, options.platform)?;
+            let spec = parse_state(state)?;
+            let s = run(&config, &profile, kind, spec, &options.params());
+            let td = s.cpi_stack();
+            Ok(format!(
+                "{} on {} ({} x{} invocations, {state})\n\
+                 CPI {:.3} ({} cycles / {} instructions)\n\
+                 top-down: retiring {:.2} | fetch-lat {:.2} | fetch-bw {:.2} | bad-spec {:.2} | backend {:.2}\n\
+                 L2 MPKI: instr {:.1}, data {:.1};  LLC MPKI: instr {:.1}, data {:.1}\n\
+                 prefetches issued {} (redundant {}), covered L2 misses {}\n\
+                 DRAM bytes: demand {}, prefetch {}, metadata {}",
+                profile.name,
+                config.name,
+                kind.label(),
+                s.invocations,
+                s.cpi(),
+                s.cycles,
+                s.instructions,
+                td.retiring,
+                td.fetch_latency,
+                td.fetch_bandwidth,
+                td.bad_speculation,
+                td.backend,
+                s.l2_instr_mpki(),
+                s.l2_data_mpki(),
+                s.llc_instr_mpki(),
+                s.llc_data_mpki(),
+                s.prefetch.issued,
+                s.prefetch.redundant,
+                s.mem.l2.prefetch_first_hits,
+                s.mem.traffic.demand(),
+                s.mem.traffic.prefetch,
+                s.mem.traffic.metadata_record + s.mem.traffic.metadata_replay,
+            ))
+        }
+        Command::Compare { function, options } => {
+            let profile = lookup_function(function)?.scaled(options.scale);
+            let config = options.platform.config();
+            let params = options.params();
+            let reference = run(
+                &config,
+                &profile,
+                PrefetcherKind::None,
+                RunSpec::reference(),
+                &params,
+            );
+            let baseline = run(
+                &config,
+                &profile,
+                PrefetcherKind::None,
+                RunSpec::lukewarm(),
+                &params,
+            );
+            let jukebox = run(
+                &config,
+                &profile,
+                PrefetcherKind::Jukebox(config.jukebox),
+                RunSpec::lukewarm(),
+                &params,
+            );
+            let perfect = run(
+                &config,
+                &profile,
+                PrefetcherKind::PerfectICache,
+                RunSpec::lukewarm(),
+                &params,
+            );
+            let mut t =
+                luke_common::table::TextTable::new(&["configuration", "CPI", "vs reference"]);
+            for (label, s) in [
+                ("reference (warm)", &reference),
+                ("lukewarm baseline", &baseline),
+                ("lukewarm + jukebox", &jukebox),
+                ("perfect I-cache", &perfect),
+            ] {
+                t.row(&[
+                    label.to_string(),
+                    format!("{:.2}", s.cpi()),
+                    format!("{:+.1}%", (s.cpi() / reference.cpi() - 1.0) * 100.0),
+                ]);
+            }
+            Ok(format!(
+                "{t}\njukebox speedup over lukewarm: {:+.1}% (perfect-I$ opportunity {:+.1}%)",
+                (jukebox.speedup_over(&baseline) - 1.0) * 100.0,
+                (perfect.speedup_over(&baseline) - 1.0) * 100.0,
+            ))
+        }
+        Command::Figure { name, options } => {
+            let params = options.params();
+            let rendered = match name.as_str() {
+                "table1" => format!(
+                    "{}\n{}",
+                    SystemConfig::skylake().describe(),
+                    SystemConfig::broadwell().describe()
+                ),
+                "fig01" => exp::fig01::run_experiment(&params).to_string(),
+                "fig02" | "fig03" | "fig04" => exp::fig02::run_experiment(&params).to_string(),
+                "fig05" => exp::fig05::run_experiment(&params).to_string(),
+                "fig06" => exp::fig06::run_experiment(&params).to_string(),
+                "fig08" => exp::fig08::run_experiment(&params).to_string(),
+                "fig09" => exp::fig09::run_experiment(&params).to_string(),
+                "fig10" => exp::fig10::run_experiment(&params).to_string(),
+                "fig11" => exp::fig11::run_experiment(&params).to_string(),
+                "fig12" => exp::fig12::run_experiment(&params).to_string(),
+                "fig13" => exp::fig13::run_experiment(&params).to_string(),
+                "table3" => exp::table3::run_experiment(&params).to_string(),
+                "ablations" => exp::ablations::run_experiment(&params).to_string(),
+                "related-work" => exp::related_work::run_experiment(&params).to_string(),
+                "workflows" => exp::workflow_slo::run_experiment(&params).to_string(),
+                "host" => exp::host_interleaving::run_experiment(&params).to_string(),
+                "keep-alive" => exp::keep_alive::run_experiment(&params).to_string(),
+                other => {
+                    return Err(CliError(format!(
+                        "unknown figure {other:?}; one of: table1 fig01 fig02 fig05 fig06 \
+                         fig08 fig09 fig10 fig11 fig12 fig13 table3 ablations related-work \
+                         workflows host keep-alive"
+                    )))
+                }
+            };
+            Ok(rendered)
+        }
+        Command::Workflow { name, options } => {
+            let workflow = Workflow::paper_workflows()
+                .into_iter()
+                .find(|w| w.name == *name)
+                .ok_or_else(|| {
+                    let names: Vec<String> = Workflow::paper_workflows()
+                        .into_iter()
+                        .map(|w| w.name)
+                        .collect();
+                    CliError(format!(
+                        "unknown workflow {name:?}; available: {}",
+                        names.join(", ")
+                    ))
+                })?;
+            let result =
+                exp::workflow_slo::run_workflow(&workflow, &options.params());
+            let data = exp::workflow_slo::Data {
+                workflows: vec![result],
+            };
+            Ok(data.to_string())
+        }
+    }
+}
+
+/// Parses and executes in one step (the binary's body).
+///
+/// # Errors
+///
+/// Propagates parse and execution errors.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    execute(&parse(args)?)
+}
+
+fn help_text() -> String {
+    "lukewarm — the Jukebox instruction prefetcher and its serverless evaluation stack\n\
+     (reproduction of Schall et al., 'Lukewarm Serverless Functions', ISCA 2022)\n\n\
+     USAGE:\n\
+     \x20 lukewarm list\n\
+     \x20 lukewarm describe [skylake|broadwell]\n\
+     \x20 lukewarm run FUNCTION [--scale S] [--invocations N] [--platform P]\n\
+     \x20                       [--prefetcher K] [--state lukewarm|reference]\n\
+     \x20 lukewarm compare FUNCTION [--scale S] [--invocations N] [--platform P]\n\
+     \x20 lukewarm figure NAME [--scale S] [--invocations N]\n\
+     \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\n\
+     Run `cargo bench` in the repository for the full paper reproduction.\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help_parse_to_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn list_and_describe_parse() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+        assert_eq!(
+            parse(&argv("describe broadwell")).unwrap(),
+            Command::Describe {
+                platform: Platform::Broadwell
+            }
+        );
+        assert!(parse(&argv("describe haswell")).is_err());
+    }
+
+    #[test]
+    fn run_parses_options() {
+        let cmd = parse(&argv(
+            "run Auth-G --scale 0.5 --invocations 7 --platform broadwell --prefetcher pif --state reference",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                function,
+                options,
+                prefetcher,
+                state,
+            } => {
+                assert_eq!(function, "Auth-G");
+                assert_eq!(options.scale, 0.5);
+                assert_eq!(options.invocations, 7);
+                assert_eq!(options.platform, Platform::Broadwell);
+                assert_eq!(prefetcher, "pif");
+                assert_eq!(state, "reference");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse(&argv("run Auth-G --scale zero")).is_err());
+        assert!(parse(&argv("run Auth-G --scale -1")).is_err());
+        assert!(parse(&argv("run Auth-G --invocations 0")).is_err());
+        assert!(parse(&argv("run Auth-G --prefetcher warp-drive")).is_err());
+        assert!(parse(&argv("run Auth-G --state tepid")).is_err());
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("compare Auth-G --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn list_executes() {
+        let out = execute(&Command::List).unwrap();
+        assert!(out.contains("Auth-G"));
+        assert!(out.contains("hotel-reservation"));
+    }
+
+    #[test]
+    fn describe_executes() {
+        let out = execute(&Command::Describe {
+            platform: Platform::Skylake,
+        })
+        .unwrap();
+        assert!(out.contains("1MB"));
+    }
+
+    #[test]
+    fn unknown_function_reports_choices() {
+        let err = run_cli(&argv("compare Bogus-X")).unwrap_err();
+        assert!(err.0.contains("available"));
+    }
+
+    #[test]
+    fn run_executes_at_tiny_scale() {
+        let out = run_cli(&argv(
+            "run Fib-G --scale 0.02 --invocations 1 --prefetcher jukebox",
+        ))
+        .unwrap();
+        assert!(out.contains("CPI"));
+        assert!(out.contains("top-down"));
+    }
+
+    #[test]
+    fn compare_executes_at_tiny_scale() {
+        let out = run_cli(&argv("compare Fib-G --scale 0.02 --invocations 1")).unwrap();
+        assert!(out.contains("jukebox speedup over lukewarm"));
+    }
+
+    #[test]
+    fn unknown_figure_lists_options() {
+        let err = run_cli(&argv("figure fig99")).unwrap_err();
+        assert!(err.0.contains("fig10"));
+    }
+
+    #[test]
+    fn help_mentions_all_commands() {
+        let h = help_text();
+        for cmd in ["list", "describe", "run", "compare", "figure", "workflow"] {
+            assert!(h.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn figure_table1_executes_instantly() {
+        let out = run_cli(&argv("figure table1")).unwrap();
+        assert!(out.contains("skylake") && out.contains("broadwell"));
+    }
+
+    #[test]
+    fn workflow_executes_at_tiny_scale() {
+        let out = run_cli(&argv(
+            "workflow hotel-reservation --scale 0.02 --invocations 1",
+        ))
+        .unwrap();
+        assert!(out.contains("END-TO-END"));
+        let err = run_cli(&argv("workflow nope")).unwrap_err();
+        assert!(err.0.contains("online-boutique"));
+    }
+}

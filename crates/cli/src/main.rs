@@ -1,0 +1,12 @@
+//! The `lukewarm` binary: see [`lukewarm_cli`] for commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lukewarm_cli::run_cli(&args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

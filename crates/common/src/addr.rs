@@ -1,0 +1,314 @@
+//! Strongly-typed addresses and address arithmetic.
+//!
+//! The simulator manipulates three address spaces:
+//!
+//! * **virtual addresses** ([`VirtAddr`]) — what the core, the TLBs and the
+//!   Jukebox recorder operate on (the paper records *virtual* addresses so
+//!   metadata survives page migration, §3.2);
+//! * **physical addresses** ([`PhysAddr`]) — what the caches below the L1 and
+//!   DRAM operate on;
+//! * **cache-line addresses** ([`LineAddr`]) — 64-byte-aligned virtual
+//!   addresses, the granularity at which instruction footprints are measured
+//!   (§2.5) and prefetches are issued.
+//!
+//! Newtypes keep the three from being mixed up at compile time
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+/// Bytes per cache line, matching the simulated hardware (Table 1).
+pub const LINE_BYTES: usize = 64;
+
+/// Bytes per virtual-memory page (x86-64 base pages).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Cache lines per page.
+pub const LINES_PER_PAGE: usize = PAGE_BYTES / LINE_BYTES;
+
+/// Number of meaningful virtual-address bits (x86-64 canonical, §3.2).
+pub const VA_BITS: u32 = 48;
+
+/// A virtual address.
+///
+/// # Examples
+///
+/// ```
+/// use luke_common::addr::VirtAddr;
+///
+/// let a = VirtAddr::new(0x1040);
+/// assert_eq!(a.line_offset(), 0x00);
+/// assert_eq!(a.page_base(), VirtAddr::new(0x1000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical address produced by address translation.
+///
+/// # Examples
+///
+/// ```
+/// use luke_common::addr::PhysAddr;
+///
+/// let p = PhysAddr::new(0x8000_0040);
+/// assert_eq!(p.line_base(), PhysAddr::new(0x8000_0040));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A 64-byte-aligned virtual cache-line address.
+///
+/// Stored as the line *index* (address divided by [`LINE_BYTES`]) so that
+/// consecutive lines differ by one, which makes next-line arithmetic and
+/// dense set indexing trivial.
+///
+/// # Examples
+///
+/// ```
+/// use luke_common::addr::{LineAddr, VirtAddr};
+///
+/// let line = VirtAddr::new(0x1234).line();
+/// assert_eq!(line.base(), VirtAddr::new(0x1200));
+/// assert_eq!(line.next().base(), VirtAddr::new(0x1240));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the containing cache line.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES as u64)
+    }
+
+    /// Byte offset within the containing cache line.
+    pub const fn line_offset(self) -> usize {
+        (self.0 % LINE_BYTES as u64) as usize
+    }
+
+    /// Base address of the containing page.
+    pub const fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_BYTES as u64 - 1))
+    }
+
+    /// Virtual page number (address divided by the page size).
+    pub const fn page_number(self) -> u64 {
+        self.0 / PAGE_BYTES as u64
+    }
+
+    /// Base address of the containing code region of `region_bytes` bytes.
+    ///
+    /// `region_bytes` must be a power of two; this mirrors how the Jukebox
+    /// CRRB derives a region pointer by dropping low-order bits (§3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `region_bytes` is not a power of two.
+    pub fn region_base(self, region_bytes: usize) -> VirtAddr {
+        debug_assert!(region_bytes.is_power_of_two());
+        VirtAddr(self.0 & !(region_bytes as u64 - 1))
+    }
+
+    /// Adds a byte offset.
+    pub const fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl PhysAddr {
+    /// Creates a physical address from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// 64-byte-aligned base of the containing cache line.
+    pub const fn line_base(self) -> PhysAddr {
+        PhysAddr(self.0 & !(LINE_BYTES as u64 - 1))
+    }
+
+    /// Physical line number (address divided by the line size).
+    pub const fn line_number(self) -> u64 {
+        self.0 / LINE_BYTES as u64
+    }
+
+    /// Physical frame number (address divided by the page size).
+    pub const fn frame_number(self) -> u64 {
+        self.0 / PAGE_BYTES as u64
+    }
+
+    /// Adds a byte offset.
+    pub const fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl LineAddr {
+    /// Creates a line address from a line *index* (address / 64).
+    pub const fn from_index(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The line index (base address divided by [`LINE_BYTES`]).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The 64-byte-aligned base virtual address of this line.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 * LINE_BYTES as u64)
+    }
+
+    /// The immediately following line.
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0 + 1)
+    }
+
+    /// Offset of this line within its code region of `region_bytes` bytes.
+    ///
+    /// Returns a value in `0..region_bytes / LINE_BYTES`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `region_bytes` is not a power of two.
+    pub fn region_slot(self, region_bytes: usize) -> usize {
+        debug_assert!(region_bytes.is_power_of_two());
+        (self.0 % (region_bytes / LINE_BYTES) as u64) as usize
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(a: VirtAddr) -> u64 {
+        a.0
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(a: PhysAddr) -> u64 {
+        a.0
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.base().as_u64())
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.base().as_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_aligned_address_is_identity() {
+        let a = VirtAddr::new(0x40);
+        assert_eq!(a.line().base(), a);
+    }
+
+    #[test]
+    fn line_offset_covers_full_line() {
+        for off in 0..LINE_BYTES as u64 {
+            assert_eq!(VirtAddr::new(0x1000 + off).line_offset(), off as usize);
+            assert_eq!(
+                VirtAddr::new(0x1000 + off).line(),
+                VirtAddr::new(0x1000).line()
+            );
+        }
+    }
+
+    #[test]
+    fn page_base_masks_low_bits() {
+        assert_eq!(VirtAddr::new(0x12345).page_base(), VirtAddr::new(0x12000));
+        assert_eq!(VirtAddr::new(0x12345).page_number(), 0x12);
+    }
+
+    #[test]
+    fn region_base_matches_power_of_two_mask() {
+        let a = VirtAddr::new(0x1_2345);
+        assert_eq!(a.region_base(1024), VirtAddr::new(0x1_2000));
+        assert_eq!(a.region_base(4096), VirtAddr::new(0x1_2000));
+        assert_eq!(a.region_base(512), VirtAddr::new(0x1_2200));
+    }
+
+    #[test]
+    fn region_slot_is_line_position_within_region() {
+        // 1KB region = 16 lines; address 0x1240 is line 9 of region 0x1000.
+        let line = VirtAddr::new(0x1240).line();
+        assert_eq!(line.region_slot(1024), 9);
+        // And the first line of the next region has slot 0.
+        let line = VirtAddr::new(0x1400).line();
+        assert_eq!(line.region_slot(1024), 0);
+    }
+
+    #[test]
+    fn next_line_advances_by_line_bytes() {
+        let line = VirtAddr::new(0x2000).line();
+        assert_eq!(line.next().base(), VirtAddr::new(0x2040));
+        assert_eq!(line.next().index(), line.index() + 1);
+    }
+
+    #[test]
+    fn phys_line_and_frame_numbers() {
+        let p = PhysAddr::new(2 * PAGE_BYTES as u64 + 3 * LINE_BYTES as u64);
+        assert_eq!(p.frame_number(), 2);
+        assert_eq!(p.line_number(), 2 * LINES_PER_PAGE as u64 + 3);
+        assert_eq!(p.line_base(), p);
+        assert_eq!(p.offset(1).line_base(), p);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", VirtAddr::new(0xff)), "0xff");
+        assert_eq!(format!("{}", PhysAddr::new(0x10)), "0x10");
+        assert_eq!(format!("{}", VirtAddr::new(0x1234).line()), "0x1200");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", VirtAddr::default()).is_empty());
+        assert!(!format!("{:?}", PhysAddr::default()).is_empty());
+        assert!(!format!("{:?}", LineAddr::default()).is_empty());
+    }
+}

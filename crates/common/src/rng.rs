@@ -1,0 +1,252 @@
+//! Deterministic, splittable random-number generation.
+//!
+//! Every stochastic choice in the workspace — workload synthesis, invocation
+//! inter-arrival times, per-invocation control-flow variation — flows from a
+//! [`DetRng`], so a single top-level seed reproduces an entire experiment
+//! bit-for-bit. `DetRng` wraps a fast non-cryptographic generator and adds
+//! *splitting*: deriving an independent child stream from a label, so
+//! subsystems cannot perturb each other's randomness by consuming different
+//! amounts of it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator with labelled sub-streams.
+///
+/// # Examples
+///
+/// ```
+/// use luke_common::rng::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Child streams with different labels are independent of each other
+/// // and of the parent.
+/// let mut fx = DetRng::new(42).split(7);
+/// let mut fy = DetRng::new(42).split(8);
+/// assert_ne!(fx.next_u64(), fy.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            inner: SmallRng::seed_from_u64(mix(seed)),
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator from a label.
+    ///
+    /// Splitting does not consume state from `self`, so the order in which
+    /// children are created never matters.
+    pub fn split(&self, label: u64) -> DetRng {
+        DetRng::new(mix(
+            self.seed ^ mix(label.wrapping_add(0x9e37_79b9_7f4a_7c15))
+        ))
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Sample from an exponential distribution with the given mean.
+    ///
+    /// Used for invocation inter-arrival times (the Azure study the paper
+    /// cites reports second-to-minute-scale IATs, §2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        let u = 1.0 - self.unit(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Sample from a normal distribution via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Chooses an index according to the relative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation used to
+/// decorrelate seeds derived from nearby labels.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_order_independent() {
+        let parent = DetRng::new(7);
+        let mut c1 = parent.split(3);
+        let first = c1.next_u64();
+        // Splitting other children first must not change child 3's stream.
+        let parent2 = DetRng::new(7);
+        let _ = parent2.split(1);
+        let _ = parent2.split(2);
+        let mut c1_again = parent2.split(3);
+        assert_eq!(c1_again.next_u64(), first);
+    }
+
+    #[test]
+    fn split_children_differ_from_parent() {
+        let parent = DetRng::new(9);
+        let mut p = parent.clone();
+        let mut c = parent.split(0);
+        assert_ne!(p.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = DetRng::new(11);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut r = DetRng::new(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut r = DetRng::new(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std was {}", var.sqrt());
+    }
+
+    #[test]
+    fn weighted_index_follows_weights() {
+        let mut r = DetRng::new(19);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted_index(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.05, "frac was {frac2}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(23);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped, not panicked on.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        DetRng::new(0).below(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Byte-size values with human-readable formatting.
+//!
+//! Cache capacities, metadata budgets and instruction footprints appear all
+//! over the evaluation in `KB`/`MB` units; [`ByteSize`] keeps them typed and
+//! prints them the way the paper's tables do ("32KB", "1MB", "9.6KB").
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A size in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use luke_common::size::ByteSize;
+///
+/// assert_eq!(ByteSize::kib(32).bytes(), 32 * 1024);
+/// assert_eq!(format!("{}", ByteSize::kib(32)), "32KB");
+/// assert_eq!(format!("{}", ByteSize::new(9830)), "9.6KB");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Creates a size from raw bytes.
+    pub const fn new(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size from binary kilobytes (1 KB = 1024 B).
+    pub const fn kib(kib: u64) -> Self {
+        ByteSize(kib * 1024)
+    }
+
+    /// Creates a size from binary megabytes (1 MB = 1024 KB).
+    pub const fn mib(mib: u64) -> Self {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// This size expressed in (possibly fractional) binary kilobytes.
+    pub fn as_kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Number of 64-byte cache lines this size covers (rounded down).
+    pub const fn lines(self) -> u64 {
+        self.0 / crate::addr::LINE_BYTES as u64
+    }
+
+    /// Whether the size is a power of two (required for cache/region
+    /// geometry parameters).
+    pub const fn is_power_of_two(self) -> bool {
+        self.0.is_power_of_two()
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+}
+
+impl From<ByteSize> for u64 {
+    fn from(s: ByteSize) -> u64 {
+        s.0
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        let (value, unit) = if self.0 >= GIB {
+            (self.0 as f64 / GIB as f64, "GB")
+        } else if self.0 >= MIB {
+            (self.0 as f64 / MIB as f64, "MB")
+        } else if self.0 >= KIB {
+            (self.0 as f64 / KIB as f64, "KB")
+        } else {
+            return write!(f, "{}B", self.0);
+        };
+        if (value - value.round()).abs() < 0.05 {
+            write!(f, "{}{}", value.round() as u64, unit)
+        } else {
+            write!(f, "{:.1}{}", value, unit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(ByteSize::kib(1), ByteSize::new(1024));
+        assert_eq!(ByteSize::mib(1), ByteSize::kib(1024));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", ByteSize::new(512)), "512B");
+        assert_eq!(format!("{}", ByteSize::kib(256)), "256KB");
+        assert_eq!(format!("{}", ByteSize::mib(8)), "8MB");
+        assert_eq!(format!("{}", ByteSize::mib(2048)), "2GB");
+    }
+
+    #[test]
+    fn display_fractional() {
+        assert_eq!(format!("{}", ByteSize::new(9830)), "9.6KB");
+        // Values within rounding tolerance print as integers.
+        assert_eq!(format!("{}", ByteSize::new(1025)), "1KB");
+    }
+
+    #[test]
+    fn lines_counts_64_byte_units() {
+        assert_eq!(ByteSize::kib(1).lines(), 16);
+        assert_eq!(ByteSize::new(63).lines(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut s = ByteSize::kib(16);
+        s += ByteSize::kib(16);
+        assert_eq!(s, ByteSize::kib(32));
+        assert_eq!(ByteSize::kib(1) + ByteSize::new(1), ByteSize::new(1025));
+    }
+
+    #[test]
+    fn power_of_two_checks() {
+        assert!(ByteSize::kib(1).is_power_of_two());
+        assert!(!ByteSize::new(1000).is_power_of_two());
+    }
+}

@@ -1,0 +1,366 @@
+//! Statistics used throughout the evaluation.
+//!
+//! The paper reports arithmetic means (MPKI, bandwidth), geometric means
+//! (speedups, Figures 9/10/13), ranges (Figure 6a error bars) and the
+//! Jaccard index of instruction footprints (Figure 6b). This module
+//! implements all of them over plain slices plus a small [`Summary`]
+//! accumulator.
+
+use std::collections::BTreeSet;
+
+/// Arithmetic mean of a slice. Returns 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(luke_common::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values. Returns 0 for an empty
+/// slice.
+///
+/// The paper reports speedups as geometric means ("GEOMEAN" in
+/// Figures 9/10/13).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// let g = luke_common::stats::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean requires positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Population standard deviation. Returns 0 for slices shorter than 2.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Percentile by nearest-rank (p in `[0, 100]`). Returns 0 for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or not finite.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Jaccard index of two sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Defined as 1 when both sets are empty (identical footprints). This is the
+/// commonality metric of Figure 6b, computed over sets of unique instruction
+/// cache-line addresses.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use luke_common::stats::jaccard;
+///
+/// let a: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
+/// let b: BTreeSet<u64> = [2, 3, 4].into_iter().collect();
+/// assert_eq!(jaccard(&a, &b), 0.5);
+/// ```
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(b).count();
+    let union = a.len() + b.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+/// Mean pairwise Jaccard index across a collection of sets, over all
+/// unordered pairs (the paper's 300 pair comparisons across 25 invocations,
+/// §2.5). Returns 1.0 for fewer than two sets.
+pub fn mean_pairwise_jaccard<T: Ord>(sets: &[BTreeSet<T>]) -> f64 {
+    if sets.len() < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            total += jaccard(&sets[i], &sets[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Minimum pairwise Jaccard index (the outliers visible in Figure 6b).
+/// Returns 1.0 for fewer than two sets.
+pub fn min_pairwise_jaccard<T: Ord>(sets: &[BTreeSet<T>]) -> f64 {
+    let mut min = 1.0f64;
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            min = min.min(jaccard(&sets[i], &sets[j]));
+        }
+    }
+    min
+}
+
+/// Running summary of a stream of observations.
+///
+/// # Examples
+///
+/// ```
+/// use luke_common::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.add(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (0 if fewer than 2 observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0).sqrt()
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_identical_values_is_that_value() {
+        let g = geomean(&[1.187; 20]);
+        assert!((g - 1.187).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_and_identical() {
+        let a: BTreeSet<u32> = [1, 2].into_iter().collect();
+        let b: BTreeSet<u32> = [3, 4].into_iter().collect();
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_both_empty_is_one() {
+        let e: BTreeSet<u32> = BTreeSet::new();
+        assert_eq!(jaccard(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn jaccard_one_empty_is_zero() {
+        let e: BTreeSet<u32> = BTreeSet::new();
+        let a: BTreeSet<u32> = [1].into_iter().collect();
+        assert_eq!(jaccard(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn mean_pairwise_jaccard_over_three_sets() {
+        let s1: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        let s2: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        let s3: BTreeSet<u32> = [4, 5, 6].into_iter().collect();
+        // pairs: (s1,s2)=1, (s1,s3)=0, (s2,s3)=0 -> mean 1/3
+        let m = mean_pairwise_jaccard(&[s1, s2, s3]);
+        assert!((m - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_pairwise_jaccard_finds_outlier() {
+        let s1: BTreeSet<u32> = [1, 2, 3, 4].into_iter().collect();
+        let s2: BTreeSet<u32> = [1, 2, 3, 4].into_iter().collect();
+        let s3: BTreeSet<u32> = [1, 2, 9, 10].into_iter().collect();
+        let m = min_pairwise_jaccard(&[s1, s2, s3]);
+        assert!((m - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let s: Summary = [2.0, 4.0, 6.0].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 6.0);
+        assert!((s.std_dev() - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_merge_equals_combined_stream() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let b: Summary = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        let c: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(a.count(), c.count());
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn summary_empty_defaults() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+}

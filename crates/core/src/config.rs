@@ -1,0 +1,183 @@
+//! Jukebox configuration and entry-encoding arithmetic.
+
+use luke_common::addr::{LINE_BYTES, VA_BITS};
+use luke_common::size::ByteSize;
+
+/// Configuration of a Jukebox prefetcher instance.
+///
+/// The paper's preferred configuration (§5.1): 1KB code regions, a
+/// 16-entry CRRB, and 16KB of metadata storage per direction (16KB being
+/// written by the recorder while 16KB from the previous invocation is
+/// replayed — 32KB total per function instance, Table 1). The Broadwell
+/// study (§5.6) doubles the per-direction storage to 32KB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JukeboxConfig {
+    /// Code-region size in bytes; must be a power of two multiple of the
+    /// line size. Figure 8 sweeps 128B–8KB and finds 1KB optimal.
+    pub region_bytes: usize,
+    /// CRRB entries (fully associative FIFO). §5.1 studies 8/16/32 and
+    /// finds modest sensitivity; 16 is the paper configuration.
+    pub crrb_entries: usize,
+    /// Metadata storage capacity per direction (record or replay buffer).
+    pub metadata_capacity: ByteSize,
+}
+
+impl JukeboxConfig {
+    /// The paper's preferred configuration for the Skylake-like platform.
+    pub fn paper_default() -> Self {
+        JukeboxConfig {
+            region_bytes: 1024,
+            crrb_entries: 16,
+            metadata_capacity: ByteSize::kib(16),
+        }
+    }
+
+    /// The §5.6 Broadwell configuration: the small 256KB L2 suffers more
+    /// conflict misses for instructions, necessitating 32KB of metadata.
+    pub fn broadwell() -> Self {
+        JukeboxConfig {
+            metadata_capacity: ByteSize::kib(32),
+            ..Self::paper_default()
+        }
+    }
+
+    /// Returns a copy with a different region size (Figure 8 sweep).
+    pub fn with_region_bytes(self, region_bytes: usize) -> Self {
+        let cfg = JukeboxConfig {
+            region_bytes,
+            ..self
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Returns a copy with a different metadata capacity (Figure 9 sweep).
+    pub fn with_metadata_capacity(self, capacity: ByteSize) -> Self {
+        JukeboxConfig {
+            metadata_capacity: capacity,
+            ..self
+        }
+    }
+
+    /// Returns a copy with a different CRRB size (§5.1 sensitivity).
+    pub fn with_crrb_entries(self, entries: usize) -> Self {
+        let cfg = JukeboxConfig {
+            crrb_entries: entries,
+            ..self
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Lines per code region (the access-vector width).
+    pub fn lines_per_region(&self) -> usize {
+        self.region_bytes / LINE_BYTES
+    }
+
+    /// Bits in the region pointer: the virtual-address bits above the
+    /// region offset (38 for 48-bit VAs and 1KB regions, §3.2).
+    pub fn region_pointer_bits(&self) -> u32 {
+        VA_BITS - self.region_bytes.trailing_zeros()
+    }
+
+    /// Packed size of one metadata entry in bits: region pointer +
+    /// access vector (54 for the paper configuration).
+    pub fn entry_bits(&self) -> u32 {
+        self.region_pointer_bits() + self.lines_per_region() as u32
+    }
+
+    /// Maximum entries that fit in the per-direction metadata capacity.
+    pub fn max_entries(&self) -> usize {
+        ((self.metadata_capacity.bytes() * 8) / self.entry_bits() as u64) as usize
+    }
+
+    /// Validates geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region size is not a power-of-two multiple of 64B in
+    /// `[128, 8192]`, or the CRRB is empty.
+    pub fn validate(&self) {
+        assert!(
+            self.region_bytes.is_power_of_two()
+                && self.region_bytes >= 2 * LINE_BYTES
+                && self.region_bytes <= 8192,
+            "region size must be a power of two in [128B, 8KB], got {}",
+            self.region_bytes
+        );
+        assert!(self.crrb_entries > 0, "CRRB needs at least one entry");
+    }
+}
+
+impl Default for JukeboxConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_3_2() {
+        let c = JukeboxConfig::paper_default();
+        assert_eq!(c.region_bytes, 1024);
+        assert_eq!(c.lines_per_region(), 16);
+        assert_eq!(c.region_pointer_bits(), 38);
+        assert_eq!(c.entry_bits(), 54);
+        assert_eq!(c.crrb_entries, 16);
+        c.validate();
+    }
+
+    #[test]
+    fn max_entries_for_16kb() {
+        let c = JukeboxConfig::paper_default();
+        // 16KB * 8 / 54 = 2427 entries.
+        assert_eq!(c.max_entries(), 16 * 1024 * 8 / 54);
+    }
+
+    #[test]
+    fn broadwell_doubles_capacity() {
+        assert_eq!(
+            JukeboxConfig::broadwell().metadata_capacity,
+            ByteSize::kib(32)
+        );
+    }
+
+    #[test]
+    fn entry_bits_across_region_sweep() {
+        // Figure 8 sweep: 128B..8KB.
+        let base = JukeboxConfig::paper_default();
+        for (region, bits) in [
+            (128, 43),
+            (256, 44),
+            (512, 47),
+            (1024, 54),
+            (2048, 69),
+            (4096, 100),
+            (8192, 163),
+        ] {
+            let c = base.with_region_bytes(region);
+            assert_eq!(c.entry_bits(), bits, "region {region}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "region size")]
+    fn oversized_region_rejected() {
+        JukeboxConfig::paper_default().with_region_bytes(16384);
+    }
+
+    #[test]
+    #[should_panic(expected = "region size")]
+    fn single_line_region_rejected() {
+        JukeboxConfig::paper_default().with_region_bytes(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "CRRB")]
+    fn empty_crrb_rejected() {
+        JukeboxConfig::paper_default().with_crrb_entries(0);
+    }
+}

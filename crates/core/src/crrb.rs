@@ -1,0 +1,185 @@
+//! The Code Region Reference Buffer (CRRB), §3.2.
+//!
+//! A small fully-associative FIFO keyed by code-region virtual address.
+//! An L2 instruction miss either sets a bit in the matching entry's access
+//! vector or — on a CRRB miss — evicts the **oldest** entry to the
+//! in-memory metadata buffer and allocates a fresh one. Evicted entries
+//! are immutable: a later miss to the same region allocates a *new* entry,
+//! so a region may appear several times in the recorded trace (the
+//! paper's deliberate simplification that trades metadata size for never
+//! having to read entries back from memory).
+
+use crate::config::JukeboxConfig;
+use crate::metadata::MetadataEntry;
+use luke_common::addr::LineAddr;
+use std::collections::VecDeque;
+
+/// The CRRB (see module docs).
+#[derive(Clone, Debug)]
+pub struct Crrb {
+    config: JukeboxConfig,
+    // Front = oldest (next to evict), back = newest.
+    entries: VecDeque<MetadataEntry>,
+    coalesced: u64,
+    evictions: u64,
+}
+
+impl Crrb {
+    /// Creates an empty CRRB.
+    pub fn new(config: JukeboxConfig) -> Self {
+        config.validate();
+        Crrb {
+            entries: VecDeque::with_capacity(config.crrb_entries),
+            config,
+            coalesced: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Records one missed instruction line. Returns the entry evicted to
+    /// make room, if any.
+    pub fn record(&mut self, line: LineAddr) -> Option<MetadataEntry> {
+        let region_base = line.base().region_base(self.config.region_bytes);
+        let slot = line.region_slot(self.config.region_bytes);
+
+        if let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.region_base == region_base)
+        {
+            entry.set_line(slot);
+            self.coalesced += 1;
+            return None;
+        }
+
+        let evicted = if self.entries.len() == self.config.crrb_entries {
+            self.evictions += 1;
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries
+            .push_back(MetadataEntry::with_line(region_base, slot));
+        evicted
+    }
+
+    /// Drains all resident entries in FIFO order (end of the record
+    /// phase).
+    pub fn drain(&mut self) -> Vec<MetadataEntry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the CRRB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Misses coalesced into an existing entry.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Entries evicted due to capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JukeboxConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luke_common::addr::VirtAddr;
+
+    fn crrb(entries: usize) -> Crrb {
+        Crrb::new(JukeboxConfig::paper_default().with_crrb_entries(entries))
+    }
+
+    fn line(addr: u64) -> LineAddr {
+        VirtAddr::new(addr).line()
+    }
+
+    #[test]
+    fn same_region_coalesces() {
+        let mut c = crrb(4);
+        assert!(c.record(line(0x1000)).is_none());
+        assert!(c.record(line(0x1040)).is_none());
+        assert!(c.record(line(0x13c0)).is_none());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.coalesced(), 2);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].line_count(), 3);
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut c = crrb(2);
+        c.record(line(0x1000)); // region 0x1000
+        c.record(line(0x2000)); // region 0x2000
+        let evicted = c.record(line(0x3000)).expect("oldest evicted");
+        assert_eq!(evicted.region_base, VirtAddr::new(0x1000));
+        let evicted = c.record(line(0x4000)).expect("next oldest");
+        assert_eq!(evicted.region_base, VirtAddr::new(0x2000));
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn coalescing_does_not_refresh_fifo_position() {
+        let mut c = crrb(2);
+        c.record(line(0x1000));
+        c.record(line(0x2000));
+        // Touch region 0x1000 again: coalesces but stays oldest (FIFO, not
+        // LRU).
+        c.record(line(0x1040));
+        let evicted = c.record(line(0x3000)).expect("evicts");
+        assert_eq!(evicted.region_base, VirtAddr::new(0x1000));
+        assert_eq!(evicted.line_count(), 2);
+    }
+
+    #[test]
+    fn evicted_region_reallocates_fresh_entry() {
+        let mut c = crrb(2);
+        c.record(line(0x1000));
+        c.record(line(0x2000));
+        c.record(line(0x3000)); // evicts region 0x1000
+                                // Region 0x1000 returns: a *new* entry is allocated (duplicate in
+                                // the final trace).
+        assert!(c.record(line(0x1080)).is_some()); // evicts 0x2000
+        let drained = c.drain();
+        assert!(drained
+            .iter()
+            .any(|e| e.region_base == VirtAddr::new(0x1000)));
+    }
+
+    #[test]
+    fn drain_preserves_order_and_empties() {
+        let mut c = crrb(4);
+        c.record(line(0x1000));
+        c.record(line(0x2000));
+        c.record(line(0x3000));
+        let drained = c.drain();
+        let bases: Vec<u64> = drained.iter().map(|e| e.region_base.as_u64()).collect();
+        assert_eq!(bases, vec![0x1000, 0x2000, 0x3000]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn region_slotting_respects_region_size() {
+        let cfg = JukeboxConfig::paper_default().with_region_bytes(512);
+        let mut c = Crrb::new(cfg);
+        // 512B region: 0x1000 and 0x1200 are different regions.
+        c.record(line(0x1000));
+        c.record(line(0x1200));
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! **Jukebox** — a record-and-replay instruction prefetcher for lukewarm
+//! serverless functions (Schall et al., ISCA '22, §3).
+//!
+//! Lukewarm invocations find their instruction working set evicted from the
+//! whole cache hierarchy. Jukebox exploits the high commonality of
+//! instruction footprints across invocations of the same function
+//! (Figure 6b): it **records** the stream of L2 instruction misses of one
+//! invocation as compact spatio-temporal metadata in main memory, and
+//! **replays** that metadata as bulk L2 prefetches the moment the next
+//! invocation is dispatched.
+//!
+//! The design, faithfully implemented here:
+//!
+//! * **CRRB** ([`crrb::Crrb`]) — a small fully-associative FIFO of code
+//!   regions; each entry holds a region pointer and a per-line access
+//!   vector, coalescing misses to the same region (§3.2);
+//! * **metadata** ([`metadata`]) — evicted CRRB entries packed at 54 bits
+//!   each (38-bit region pointer + 16-bit vector for 1KB regions) into a
+//!   bounded in-memory buffer; FIFO order preserves first-touch temporal
+//!   order, which is what makes replay timely (§3.2);
+//! * **record** ([`record::Recorder`]) — filters L2 hits, records L2
+//!   instruction misses by virtual address (§3.2);
+//! * **replay** ([`replay`]) — streams metadata sequentially, pushes region
+//!   bases through the I-TLB, and enqueues every encoded line into the L2
+//!   prefetch queue without ever synchronizing with the core (§3.3);
+//! * **OS integration** ([`os`]) — per-instance double-buffered metadata
+//!   bookkeeping, the `task_struct` analogue of §3.4.1: an invocation
+//!   replays what the previous invocation recorded;
+//! * **prefetcher** ([`prefetcher::JukeboxPrefetcher`]) — the pluggable
+//!   `sim_mem::InstructionPrefetcher` implementation tying it together.
+//!
+//! # Examples
+//!
+//! ```
+//! use jukebox::{JukeboxConfig, JukeboxPrefetcher};
+//!
+//! let config = JukeboxConfig::paper_default();
+//! assert_eq!(config.entry_bits(), 54);
+//! let prefetcher = JukeboxPrefetcher::new(config);
+//! assert_eq!(prefetcher.config().region_bytes, 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod crrb;
+pub mod metadata;
+pub mod os;
+pub mod prefetcher;
+pub mod record;
+pub mod replay;
+
+pub use config::JukeboxConfig;
+pub use crrb::Crrb;
+pub use metadata::{MetadataBuffer, MetadataEntry};
+pub use prefetcher::JukeboxPrefetcher;
+pub use record::Recorder;

@@ -1,0 +1,359 @@
+//! Jukebox metadata: packed region entries in a bounded in-memory buffer.
+//!
+//! Each entry encodes one code region: the high bits of its virtual base
+//! address plus a per-line access vector (§3.2). Entries are packed
+//! back-to-back at [`JukeboxConfig::entry_bits`] bits each — 54 bits for
+//! the paper configuration, which is how 16KB holds ~2400 regions — and
+//! the buffer preserves FIFO (first-touch temporal) order.
+
+use crate::config::JukeboxConfig;
+use luke_common::addr::{LineAddr, VirtAddr, LINE_BYTES};
+
+/// One recorded code region: base address and which of its lines missed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetadataEntry {
+    /// Region-aligned virtual base address.
+    pub region_base: VirtAddr,
+    /// Bit `n` set means line `n` of the region was recorded. `u128`
+    /// accommodates the Figure 8 sweep up to 8KB regions (128 lines).
+    pub access_vector: u128,
+}
+
+impl MetadataEntry {
+    /// Creates an entry with a single line set.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `slot` exceeds the vector width.
+    pub fn with_line(region_base: VirtAddr, slot: usize) -> Self {
+        debug_assert!(slot < 128);
+        MetadataEntry {
+            region_base,
+            access_vector: 1u128 << slot,
+        }
+    }
+
+    /// Sets the bit for line `slot`.
+    pub fn set_line(&mut self, slot: usize) {
+        debug_assert!(slot < 128);
+        self.access_vector |= 1u128 << slot;
+    }
+
+    /// Number of lines encoded.
+    pub fn line_count(&self) -> u32 {
+        self.access_vector.count_ones()
+    }
+
+    /// Iterates the encoded line addresses in ascending order.
+    pub fn lines(&self, config: &JukeboxConfig) -> impl Iterator<Item = LineAddr> + '_ {
+        let base_line = self.region_base.line().index();
+        let vector = self.access_vector;
+        (0..config.lines_per_region())
+            .filter(move |slot| vector & (1u128 << slot) != 0)
+            .map(move |slot| LineAddr::from_index(base_line + slot as u64))
+    }
+}
+
+/// A bounded, append-only metadata buffer (one direction of the
+/// double-buffered per-instance storage, §3.4.1).
+#[derive(Clone, Debug)]
+pub struct MetadataBuffer {
+    config: JukeboxConfig,
+    entries: Vec<MetadataEntry>,
+    dropped: u64,
+}
+
+impl MetadataBuffer {
+    /// Creates an empty buffer sized by `config.metadata_capacity`.
+    pub fn new(config: JukeboxConfig) -> Self {
+        MetadataBuffer {
+            config,
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates a buffer pre-filled with `entries` (truncated to capacity).
+    /// Used to restore metadata from a snapshot (§3.4.2) and by ablation
+    /// studies that permute replay order.
+    pub fn from_entries<I: IntoIterator<Item = MetadataEntry>>(
+        config: JukeboxConfig,
+        entries: I,
+    ) -> Self {
+        let mut buffer = MetadataBuffer::new(config);
+        for entry in entries {
+            buffer.push(entry);
+        }
+        buffer
+    }
+
+    /// Appends an entry if capacity allows; otherwise counts it as
+    /// dropped (the limit register stops recording, §3.2). Returns whether
+    /// the entry was stored.
+    pub fn push(&mut self, entry: MetadataEntry) -> bool {
+        if self.entries.len() >= self.config.max_entries() {
+            self.dropped += 1;
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Entries in FIFO (recorded) order.
+    pub fn entries(&self) -> &[MetadataEntry] {
+        &self.entries
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the capacity limit has been hit.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.config.max_entries()
+    }
+
+    /// Packed size of the stored metadata in bytes (what the limit
+    /// register measures and Figure 8 reports).
+    pub fn bytes_used(&self) -> u64 {
+        packed_bytes(self.entries.len(), &self.config)
+    }
+
+    /// Total lines encoded across all entries.
+    pub fn total_lines(&self) -> u64 {
+        self.entries.iter().map(|e| e.line_count() as u64).sum()
+    }
+
+    /// Clears the buffer for reuse (a new record phase).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JukeboxConfig {
+        &self.config
+    }
+}
+
+/// Packed size in bytes of `n` entries under `config`.
+pub fn packed_bytes(n: usize, config: &JukeboxConfig) -> u64 {
+    ((n as u64) * config.entry_bits() as u64).div_ceil(8)
+}
+
+/// Serializes entries to a packed little-endian bit stream — the exact
+/// in-memory representation whose size the buffer accounts. Used by tests
+/// to prove the encoding round-trips and by anyone persisting metadata.
+pub fn encode(entries: &[MetadataEntry], config: &JukeboxConfig) -> Vec<u8> {
+    let entry_bits = config.entry_bits() as usize;
+    let ptr_bits = config.region_pointer_bits() as usize;
+    let region_shift = config.region_bytes.trailing_zeros();
+    let mut bits = BitWriter::new(entries.len() * entry_bits);
+    for e in entries {
+        let pointer = e.region_base.as_u64() >> region_shift;
+        bits.write(pointer as u128, ptr_bits);
+        bits.write(e.access_vector, entry_bits - ptr_bits);
+    }
+    bits.into_bytes()
+}
+
+/// Deserializes a packed bit stream produced by [`encode`].
+pub fn decode(bytes: &[u8], n: usize, config: &JukeboxConfig) -> Vec<MetadataEntry> {
+    let entry_bits = config.entry_bits() as usize;
+    let ptr_bits = config.region_pointer_bits() as usize;
+    let region_shift = config.region_bytes.trailing_zeros();
+    let mut bits = BitReader::new(bytes);
+    (0..n)
+        .map(|_| {
+            let pointer = bits.read(ptr_bits) as u64;
+            let vector = bits.read(entry_bits - ptr_bits);
+            MetadataEntry {
+                region_base: VirtAddr::new(pointer << region_shift),
+                access_vector: vector,
+            }
+        })
+        .collect()
+}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: usize,
+}
+
+impl BitWriter {
+    fn new(capacity_bits: usize) -> Self {
+        BitWriter {
+            bytes: vec![0; capacity_bits.div_ceil(8)],
+            bit_pos: 0,
+        }
+    }
+
+    fn write(&mut self, value: u128, bits: usize) {
+        for i in 0..bits {
+            if value & (1u128 << i) != 0 {
+                let pos = self.bit_pos + i;
+                self.bytes[pos / 8] |= 1 << (pos % 8);
+            }
+        }
+        self.bit_pos += bits;
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, bit_pos: 0 }
+    }
+
+    fn read(&mut self, bits: usize) -> u128 {
+        let mut value = 0u128;
+        for i in 0..bits {
+            let pos = self.bit_pos + i;
+            if self.bytes[pos / 8] & (1 << (pos % 8)) != 0 {
+                value |= 1u128 << i;
+            }
+        }
+        self.bit_pos += bits;
+        value
+    }
+}
+
+/// Bytes of metadata the replay engine consumes per 64B chunk read — one
+/// cache-line read fetches the next batch of entries (§3.3).
+pub const REPLAY_CHUNK_BYTES: u64 = LINE_BYTES as u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> JukeboxConfig {
+        JukeboxConfig::paper_default()
+    }
+
+    #[test]
+    fn entry_line_iteration() {
+        let mut e = MetadataEntry::with_line(VirtAddr::new(0x1000), 0);
+        e.set_line(3);
+        e.set_line(15);
+        let lines: Vec<u64> = e.lines(&cfg()).map(|l| l.base().as_u64()).collect();
+        assert_eq!(lines, vec![0x1000, 0x10c0, 0x13c0]);
+        assert_eq!(e.line_count(), 3);
+    }
+
+    #[test]
+    fn buffer_respects_capacity() {
+        let small = cfg().with_metadata_capacity(luke_common::size::ByteSize::new(54));
+        // 54 bytes * 8 / 54 bits = 8 entries.
+        let mut buf = MetadataBuffer::new(small);
+        for i in 0..10u64 {
+            buf.push(MetadataEntry::with_line(VirtAddr::new(i * 1024), 0));
+        }
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.dropped(), 2);
+        assert!(buf.is_full());
+    }
+
+    #[test]
+    fn bytes_used_is_packed_size() {
+        let mut buf = MetadataBuffer::new(cfg());
+        for i in 0..100u64 {
+            buf.push(MetadataEntry::with_line(VirtAddr::new(i * 1024), 0));
+        }
+        // 100 * 54 bits = 5400 bits = 675 bytes.
+        assert_eq!(buf.bytes_used(), 675);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut buf = MetadataBuffer::new(cfg());
+        for i in 0..5u64 {
+            buf.push(MetadataEntry::with_line(VirtAddr::new(i * 1024), 0));
+        }
+        let bases: Vec<u64> = buf
+            .entries()
+            .iter()
+            .map(|e| e.region_base.as_u64())
+            .collect();
+        assert_eq!(bases, vec![0, 1024, 2048, 3072, 4096]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut buf = MetadataBuffer::new(cfg());
+        buf.push(MetadataEntry::with_line(VirtAddr::new(0), 0));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 0);
+        assert_eq!(buf.bytes_used(), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let config = cfg();
+        let entries: Vec<MetadataEntry> = (0..50u64)
+            .map(|i| {
+                let mut e =
+                    MetadataEntry::with_line(VirtAddr::new(i * 7 * 1024), (i % 16) as usize);
+                e.set_line(((i * 3) % 16) as usize);
+                e
+            })
+            .collect();
+        let bytes = encode(&entries, &config);
+        assert_eq!(bytes.len() as u64, packed_bytes(50, &config).max(1));
+        let decoded = decode(&bytes, entries.len(), &config);
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_large_regions() {
+        let config = cfg().with_region_bytes(8192);
+        let entries: Vec<MetadataEntry> = (0..10u64)
+            .map(|i| {
+                let mut e = MetadataEntry::with_line(VirtAddr::new(i * 8192), 127);
+                e.set_line((i % 128) as usize);
+                e
+            })
+            .collect();
+        let decoded = decode(&encode(&entries, &config), entries.len(), &config);
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn high_address_pointers_survive_encoding() {
+        let config = cfg();
+        // Near the top of the 48-bit canonical range.
+        let base = VirtAddr::new(0xffff_f000_0000 & !(1024 - 1));
+        let entries = vec![MetadataEntry::with_line(base, 5)];
+        let decoded = decode(&encode(&entries, &config), 1, &config);
+        assert_eq!(decoded[0].region_base, base);
+    }
+
+    #[test]
+    fn total_lines_counts_vector_bits() {
+        let mut buf = MetadataBuffer::new(cfg());
+        let mut e = MetadataEntry::with_line(VirtAddr::new(0), 0);
+        e.set_line(1);
+        buf.push(e);
+        buf.push(MetadataEntry::with_line(VirtAddr::new(1024), 9));
+        assert_eq!(buf.total_lines(), 3);
+    }
+}

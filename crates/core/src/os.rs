@@ -1,0 +1,228 @@
+//! OS-integration model: per-instance metadata bookkeeping (§3.4.1).
+//!
+//! On a real system, the OS allocates two physically-contiguous metadata
+//! regions per function-instance process, stores their addresses in the
+//! process's `task_struct`, and programs Jukebox's base/limit registers
+//! when the scheduler dispatches an invocation to a core. This module
+//! models that bookkeeping for a host running many warm instances: a
+//! registry of per-instance Jukebox state, dispatched by process id.
+
+use crate::config::JukeboxConfig;
+use crate::prefetcher::JukeboxPrefetcher;
+use std::collections::HashMap;
+
+/// The per-process bookkeeping the OS keeps (the `task_struct` fields of
+/// §3.4.1): whether Jukebox is enabled for the thread and its prefetcher
+/// state, which owns the two metadata buffers.
+#[derive(Clone, Debug)]
+pub struct TaskMetadata {
+    /// Process id of the function-instance process.
+    pub pid: u64,
+    /// Jukebox enabled for this thread (set at thread creation, §3.4.3).
+    pub enabled: bool,
+    /// The instance's Jukebox state (record/replay buffers).
+    pub jukebox: JukeboxPrefetcher,
+}
+
+/// The host-wide registry of Jukebox-enabled function instances.
+///
+/// # Examples
+///
+/// ```
+/// use jukebox::os::JukeboxRuntime;
+/// use jukebox::JukeboxConfig;
+///
+/// let mut rt = JukeboxRuntime::new(JukeboxConfig::paper_default());
+/// rt.register_instance(42);
+/// assert!(rt.task(42).is_some());
+/// assert_eq!(rt.metadata_bytes_total(), 0, "nothing recorded yet");
+/// ```
+#[derive(Clone, Debug)]
+pub struct JukeboxRuntime {
+    config: JukeboxConfig,
+    tasks: HashMap<u64, TaskMetadata>,
+}
+
+impl JukeboxRuntime {
+    /// Creates a registry that will configure new instances with `config`.
+    pub fn new(config: JukeboxConfig) -> Self {
+        JukeboxRuntime {
+            config,
+            tasks: HashMap::new(),
+        }
+    }
+
+    /// Registers a new function-instance process (first invocation
+    /// received by the host): allocates its metadata state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is already registered.
+    pub fn register_instance(&mut self, pid: u64) -> &mut TaskMetadata {
+        assert!(
+            !self.tasks.contains_key(&pid),
+            "pid {pid} already registered"
+        );
+        self.tasks.insert(
+            pid,
+            TaskMetadata {
+                pid,
+                enabled: true,
+                jukebox: JukeboxPrefetcher::new(self.config),
+            },
+        );
+        self.tasks.get_mut(&pid).expect("just inserted")
+    }
+
+    /// Tears down an instance (keep-alive expiry): frees its metadata.
+    /// Returns whether the pid was registered.
+    pub fn deregister_instance(&mut self, pid: u64) -> bool {
+        self.tasks.remove(&pid).is_some()
+    }
+
+    /// The task bookkeeping for a pid.
+    pub fn task(&self, pid: u64) -> Option<&TaskMetadata> {
+        self.tasks.get(&pid)
+    }
+
+    /// Dispatches an invocation: returns the instance's prefetcher so the
+    /// scheduler can hand it to the core (the base/limit register
+    /// programming of §3.3). Returns `None` for unregistered or disabled
+    /// instances.
+    pub fn dispatch(&mut self, pid: u64) -> Option<&mut JukeboxPrefetcher> {
+        self.tasks
+            .get_mut(&pid)
+            .filter(|t| t.enabled)
+            .map(|t| &mut t.jukebox)
+    }
+
+    /// Enables/disables Jukebox for a thread (the thread-attribute knob of
+    /// §3.4.3). Returns whether the pid was registered.
+    pub fn set_enabled(&mut self, pid: u64, enabled: bool) -> bool {
+        if let Some(t) = self.tasks.get_mut(&pid) {
+            t.enabled = enabled;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of registered instances.
+    pub fn instance_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total packed metadata bytes currently held for all instances — the
+    /// "32MB for a thousand functions" accounting of §1.
+    pub fn metadata_bytes_total(&self) -> u64 {
+        self.tasks
+            .values()
+            .map(|t| {
+                t.jukebox
+                    .replay_buffer()
+                    .map_or(0, |buffer| buffer.bytes_used())
+            })
+            .sum()
+    }
+
+    /// Worst-case provisioned metadata (capacity × 2 buffers × instances).
+    pub fn metadata_bytes_provisioned(&self) -> u64 {
+        self.tasks.len() as u64 * self.config.metadata_capacity.bytes() * 2
+    }
+
+    /// The configuration used for new instances.
+    pub fn config(&self) -> &JukeboxConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luke_common::addr::VirtAddr;
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::hierarchy::MemoryHierarchy;
+    use sim_mem::page_table::PageTable;
+    use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
+
+    #[test]
+    fn register_and_dispatch() {
+        let mut rt = JukeboxRuntime::new(JukeboxConfig::paper_default());
+        rt.register_instance(1);
+        assert!(rt.dispatch(1).is_some());
+        assert!(rt.dispatch(2).is_none());
+        assert_eq!(rt.instance_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn double_register_panics() {
+        let mut rt = JukeboxRuntime::new(JukeboxConfig::paper_default());
+        rt.register_instance(1);
+        rt.register_instance(1);
+    }
+
+    #[test]
+    fn disabled_instances_are_not_dispatched() {
+        let mut rt = JukeboxRuntime::new(JukeboxConfig::paper_default());
+        rt.register_instance(1);
+        assert!(rt.set_enabled(1, false));
+        assert!(rt.dispatch(1).is_none());
+        assert!(rt.set_enabled(1, true));
+        assert!(rt.dispatch(1).is_some());
+        assert!(!rt.set_enabled(99, true));
+    }
+
+    #[test]
+    fn deregister_frees_state() {
+        let mut rt = JukeboxRuntime::new(JukeboxConfig::paper_default());
+        rt.register_instance(7);
+        assert!(rt.deregister_instance(7));
+        assert!(!rt.deregister_instance(7));
+        assert_eq!(rt.instance_count(), 0);
+    }
+
+    #[test]
+    fn per_instance_metadata_is_isolated() {
+        let mut rt = JukeboxRuntime::new(JukeboxConfig::paper_default());
+        rt.register_instance(1);
+        rt.register_instance(2);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(1);
+
+        // Instance 1 records two regions.
+        {
+            let jb = rt.dispatch(1).unwrap();
+            let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+            jb.on_invocation_start(&mut issuer);
+            for addr in [0x1000u64, 0x2000] {
+                jb.on_fetch(
+                    &FetchObservation {
+                        vline: VirtAddr::new(addr).line(),
+                        l1_miss: true,
+                        l2_miss: true,
+                        l2_prefetch_first_use: false,
+                        now: 0,
+                    },
+                    &mut issuer,
+                );
+            }
+            jb.on_invocation_end(&mut issuer);
+        }
+        let t1 = rt.task(1).unwrap();
+        let t2 = rt.task(2).unwrap();
+        assert_eq!(t1.jukebox.replay_buffer().unwrap().len(), 2);
+        assert!(t2.jukebox.replay_buffer().is_none());
+        assert!(rt.metadata_bytes_total() > 0);
+    }
+
+    #[test]
+    fn thousand_instances_cost_32mb_provisioned() {
+        let mut rt = JukeboxRuntime::new(JukeboxConfig::paper_default());
+        for pid in 0..1000 {
+            rt.register_instance(pid);
+        }
+        // §1: 32KB per instance (16KB record + 16KB replay) -> 32MB total.
+        assert_eq!(rt.metadata_bytes_provisioned(), 1000 * 32 * 1024);
+    }
+}

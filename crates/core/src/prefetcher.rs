@@ -1,0 +1,249 @@
+//! The pluggable Jukebox prefetcher: double-buffered record + replay.
+//!
+//! Per §3.4.1, each function instance owns two metadata regions. While an
+//! invocation executes, Jukebox records into one buffer and replays from
+//! the other — the one written by the *previous* invocation. At
+//! invocation end the buffers swap roles.
+
+use crate::config::JukeboxConfig;
+use crate::metadata::MetadataBuffer;
+use crate::record::Recorder;
+use crate::replay::{replay, ReplayStats};
+use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
+
+/// Jukebox as an [`InstructionPrefetcher`] (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use jukebox::{JukeboxConfig, JukeboxPrefetcher};
+///
+/// let jb = JukeboxPrefetcher::new(JukeboxConfig::paper_default());
+/// assert!(jb.replay_buffer().is_none(), "nothing recorded yet");
+/// ```
+#[derive(Clone, Debug)]
+pub struct JukeboxPrefetcher {
+    config: JukeboxConfig,
+    recorder: Option<Recorder>,
+    replay_buffer: Option<MetadataBuffer>,
+    last_replay: ReplayStats,
+    record_enabled: bool,
+    replay_enabled: bool,
+}
+
+impl JukeboxPrefetcher {
+    /// Creates a Jukebox instance with empty metadata.
+    pub fn new(config: JukeboxConfig) -> Self {
+        config.validate();
+        JukeboxPrefetcher {
+            config,
+            recorder: None,
+            replay_buffer: None,
+            last_replay: ReplayStats::default(),
+            record_enabled: true,
+            replay_enabled: true,
+        }
+    }
+
+    /// Creates a Jukebox instance whose first invocation replays
+    /// pre-recorded metadata — the snapshot path of §3.4.2: if a function
+    /// snapshot is taken *after* the metadata was recorded, restoring the
+    /// snapshot restores the metadata with it, so even the instance's
+    /// first (cold-boot) invocation on this host is accelerated.
+    pub fn from_snapshot(config: JukeboxConfig, snapshot: MetadataBuffer) -> Self {
+        let mut jb = Self::new(config);
+        jb.replay_buffer = Some(snapshot);
+        jb
+    }
+
+    /// Extracts a snapshot of the current replay metadata (what a
+    /// snapshotting runtime would persist alongside the memory image).
+    pub fn snapshot(&self) -> Option<MetadataBuffer> {
+        self.replay_buffer.clone()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JukeboxConfig {
+        &self.config
+    }
+
+    /// The metadata buffer the next invocation will replay (written by the
+    /// previous one), if any.
+    pub fn replay_buffer(&self) -> Option<&MetadataBuffer> {
+        self.replay_buffer.as_ref()
+    }
+
+    /// Statistics of the most recent replay pass.
+    pub fn last_replay(&self) -> ReplayStats {
+        self.last_replay
+    }
+
+    /// Enables/disables recording (the OS can run replay-only, e.g. from
+    /// a snapshot, §3.4.2).
+    pub fn set_record_enabled(&mut self, enabled: bool) {
+        self.record_enabled = enabled;
+    }
+
+    /// Enables/disables replay (record-only warm-up, e.g. before taking a
+    /// snapshot).
+    pub fn set_replay_enabled(&mut self, enabled: bool) {
+        self.replay_enabled = enabled;
+    }
+
+    /// Bytes of metadata the in-progress record phase has required so far
+    /// (uncapped measure; Figure 8).
+    pub fn record_bytes_required(&self) -> u64 {
+        self.recorder.as_ref().map_or(0, |r| r.bytes_required())
+    }
+}
+
+impl InstructionPrefetcher for JukeboxPrefetcher {
+    fn name(&self) -> &str {
+        "jukebox"
+    }
+
+    fn on_invocation_start(&mut self, issuer: &mut PrefetchIssuer<'_>) {
+        // Replay what the previous invocation recorded.
+        if self.replay_enabled {
+            if let Some(buffer) = &self.replay_buffer {
+                self.last_replay = replay(buffer, &self.config, issuer);
+            }
+        }
+        // Open a fresh record buffer for this invocation.
+        if self.record_enabled {
+            self.recorder = Some(Recorder::new(self.config));
+        }
+    }
+
+    fn on_fetch(&mut self, observation: &FetchObservation, issuer: &mut PrefetchIssuer<'_>) {
+        // Record logic sits at the L1-I and filters L2 hits (§3.2) —
+        // except first-use hits on prefetched lines, which are covered
+        // misses and must re-enter the metadata (see
+        // `FetchObservation::l2_recordable`).
+        if !observation.l2_recordable() {
+            return;
+        }
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record_l2_miss(observation.vline, issuer);
+        }
+    }
+
+    fn on_invocation_end(&mut self, issuer: &mut PrefetchIssuer<'_>) {
+        // Seal and swap: the buffer just recorded becomes the next
+        // invocation's replay source.
+        if let Some(recorder) = self.recorder.take() {
+            self.replay_buffer = Some(recorder.seal(issuer));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luke_common::addr::{LineAddr, VirtAddr};
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::hierarchy::MemoryHierarchy;
+    use sim_mem::page_table::PageTable;
+
+    fn obs(addr: u64, l2_miss: bool) -> FetchObservation {
+        FetchObservation {
+            vline: VirtAddr::new(addr).line(),
+            l1_miss: true,
+            l2_miss,
+            l2_prefetch_first_use: false,
+            now: 0,
+        }
+    }
+
+    fn run_invocation(
+        jb: &mut JukeboxPrefetcher,
+        mem: &mut MemoryHierarchy,
+        pt: &mut PageTable,
+        lines: &[u64],
+    ) {
+        let mut issuer = PrefetchIssuer::new(mem, pt, 0);
+        jb.on_invocation_start(&mut issuer);
+        for &addr in lines {
+            jb.on_fetch(&obs(addr, true), &mut issuer);
+        }
+        jb.on_invocation_end(&mut issuer);
+    }
+
+    #[test]
+    fn first_invocation_records_second_replays() {
+        let mut jb = JukeboxPrefetcher::new(JukeboxConfig::paper_default());
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let lines: Vec<u64> = (0..32).map(|i| 0x40_0000 + i * 1024).collect();
+
+        run_invocation(&mut jb, &mut mem, &mut pt, &lines);
+        assert_eq!(jb.replay_buffer().expect("recorded").len(), 32);
+        assert_eq!(jb.last_replay(), crate::replay::ReplayStats::default());
+
+        // Second invocation: replay happens at start.
+        run_invocation(&mut jb, &mut mem, &mut pt, &lines);
+        assert_eq!(jb.last_replay().lines, 32);
+        // All 32 lines were prefetched into the L2.
+        assert!(mem.l2().stats().prefetch_fills >= 32);
+    }
+
+    #[test]
+    fn l2_hits_are_filtered_from_recording() {
+        let mut jb = JukeboxPrefetcher::new(JukeboxConfig::paper_default());
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        jb.on_invocation_start(&mut issuer);
+        jb.on_fetch(&obs(0x1000, false), &mut issuer); // L2 hit: filtered
+        jb.on_fetch(&obs(0x2000, true), &mut issuer); // L2 miss: recorded
+        jb.on_invocation_end(&mut issuer);
+        assert_eq!(jb.replay_buffer().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn disabled_record_keeps_old_replay_buffer() {
+        let mut jb = JukeboxPrefetcher::new(JukeboxConfig::paper_default());
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x1000, 0x2000]);
+        assert_eq!(jb.replay_buffer().unwrap().len(), 2);
+
+        jb.set_record_enabled(false);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x9000]);
+        // The old buffer survives because nothing new was sealed.
+        assert_eq!(jb.replay_buffer().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn disabled_replay_still_records() {
+        let mut jb = JukeboxPrefetcher::new(JukeboxConfig::paper_default());
+        jb.set_replay_enabled(false);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x1000]);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x1000]);
+        assert_eq!(jb.last_replay().lines, 0);
+        assert_eq!(jb.replay_buffer().unwrap().len(), 1);
+        assert_eq!(mem.l2().stats().prefetch_fills, 0);
+    }
+
+    #[test]
+    fn replayed_lines_land_in_l2_as_prefetched() {
+        let mut jb = JukeboxPrefetcher::new(JukeboxConfig::paper_default());
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x7000, 0x7040, 0x8000]);
+        mem.flush_all(); // lukewarm gap
+        run_invocation(&mut jb, &mut mem, &mut pt, &[]);
+        let pline = pt.translate_line(LineAddr::from_index(0x7000 / 64));
+        assert!(mem.l2().peek(pline), "replayed line resident in L2");
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(
+            JukeboxPrefetcher::new(JukeboxConfig::paper_default()).name(),
+            "jukebox"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! The Jukebox record path (§3.2).
+//!
+//! The recorder sits logically at the L1-I: it observes misses that also
+//! missed the L2 (L2 hits are filtered) and pushes their virtual line
+//! addresses through the CRRB. Entries evicted from the CRRB are appended
+//! to the in-memory metadata buffer; the DRAM write traffic is charged in
+//! whole 64-byte lines as packed bytes accumulate (metadata bypasses the
+//! cache hierarchy — no on-chip reuse is expected).
+
+use crate::config::JukeboxConfig;
+use crate::crrb::Crrb;
+use crate::metadata::{packed_bytes, MetadataBuffer, MetadataEntry};
+use luke_common::addr::{LineAddr, LINE_BYTES};
+use sim_mem::prefetch::PrefetchIssuer;
+
+/// The record-phase engine for one invocation.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    config: JukeboxConfig,
+    crrb: Crrb,
+    buffer: MetadataBuffer,
+    // Packed bytes appended to the buffer but not yet charged to DRAM.
+    uncharged_bytes: u64,
+    recorded_misses: u64,
+}
+
+impl Recorder {
+    /// Creates a recorder with a fresh metadata buffer.
+    pub fn new(config: JukeboxConfig) -> Self {
+        Recorder {
+            config,
+            crrb: Crrb::new(config),
+            buffer: MetadataBuffer::new(config),
+            uncharged_bytes: 0,
+            recorded_misses: 0,
+        }
+    }
+
+    /// Records one L2 instruction miss (callers must pre-filter L2 hits).
+    pub fn record_l2_miss(&mut self, line: LineAddr, issuer: &mut PrefetchIssuer<'_>) {
+        self.recorded_misses += 1;
+        if let Some(evicted) = self.crrb.record(line) {
+            self.push_entry(evicted, issuer);
+        }
+    }
+
+    /// Ends the record phase: drains the CRRB into the buffer and flushes
+    /// remaining metadata write traffic. Returns the sealed buffer.
+    pub fn seal(mut self, issuer: &mut PrefetchIssuer<'_>) -> MetadataBuffer {
+        for entry in self.crrb.drain() {
+            self.push_entry(entry, issuer);
+        }
+        // Flush the partially-filled final line.
+        if self.uncharged_bytes > 0 {
+            issuer.write_metadata(self.uncharged_bytes);
+            self.uncharged_bytes = 0;
+        }
+        self.buffer
+    }
+
+    fn push_entry(&mut self, entry: MetadataEntry, issuer: &mut PrefetchIssuer<'_>) {
+        if !self.buffer.push(entry) {
+            return; // capacity reached: recording stops silently
+        }
+        self.uncharged_bytes += packed_bytes(1, &self.config).max(1);
+        // Charge DRAM in whole lines as they fill.
+        while self.uncharged_bytes >= LINE_BYTES as u64 {
+            issuer.write_metadata(LINE_BYTES as u64);
+            self.uncharged_bytes -= LINE_BYTES as u64;
+        }
+    }
+
+    /// Number of L2 misses observed so far.
+    pub fn recorded_misses(&self) -> u64 {
+        self.recorded_misses
+    }
+
+    /// The in-progress buffer (for inspection).
+    pub fn buffer(&self) -> &MetadataBuffer {
+        &self.buffer
+    }
+
+    /// Bytes of metadata produced so far (CRRB residents included) — the
+    /// uncapped requirement Figure 8 measures.
+    pub fn bytes_required(&self) -> u64 {
+        packed_bytes(self.buffer.len() + self.crrb.len(), &self.config)
+            + self.buffer.dropped() * packed_bytes(1, &self.config)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JukeboxConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luke_common::addr::VirtAddr;
+    use luke_common::size::ByteSize;
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::hierarchy::MemoryHierarchy;
+    use sim_mem::page_table::PageTable;
+
+    fn with_issuer<R>(f: impl FnOnce(&mut PrefetchIssuer<'_>) -> R) -> (R, u64) {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        let r = f(&mut issuer);
+        let written = issuer.counters().metadata_written;
+        (r, written)
+    }
+
+    fn line(addr: u64) -> LineAddr {
+        VirtAddr::new(addr).line()
+    }
+
+    #[test]
+    fn misses_in_one_region_produce_one_entry() {
+        let ((), _) = with_issuer(|issuer| {
+            let mut r = Recorder::new(JukeboxConfig::paper_default());
+            for i in 0..16u64 {
+                r.record_l2_miss(line(0x1000 + i * 64), issuer);
+            }
+            assert_eq!(r.recorded_misses(), 16);
+            let buffer = r.seal(issuer);
+            assert_eq!(buffer.len(), 1);
+            assert_eq!(buffer.entries()[0].line_count(), 16);
+        });
+    }
+
+    #[test]
+    fn metadata_write_traffic_charged_in_lines() {
+        let ((), written) = with_issuer(|issuer| {
+            let mut r = Recorder::new(JukeboxConfig::paper_default());
+            // 100 distinct regions with a 16-entry CRRB: 84 evictions +
+            // 16 drained at seal = 100 entries = 675 packed bytes.
+            for i in 0..100u64 {
+                r.record_l2_miss(line(i * 1024), issuer);
+            }
+            let buffer = r.seal(issuer);
+            assert_eq!(buffer.len(), 100);
+        });
+        // 675 bytes charged: 10 full lines (640B) + final partial flush.
+        assert!(written >= 675, "wrote {written}");
+        assert!(written <= 675 + 64, "wrote {written}");
+    }
+
+    #[test]
+    fn capacity_stops_recording_but_keeps_counting() {
+        let tiny = JukeboxConfig::paper_default().with_metadata_capacity(ByteSize::new(108)); // 16 entries
+        let ((), _) = with_issuer(|issuer| {
+            let mut r = Recorder::new(tiny);
+            for i in 0..100u64 {
+                r.record_l2_miss(line(i * 1024), issuer);
+            }
+            let required = r.bytes_required();
+            let buffer = r.seal(issuer);
+            assert!(buffer.is_full());
+            assert_eq!(buffer.len(), 16);
+            assert!(buffer.dropped() > 0);
+            // Required size counts dropped entries too.
+            assert!(required > buffer.bytes_used());
+        });
+    }
+
+    #[test]
+    fn temporal_order_is_first_touch_order() {
+        let ((), _) = with_issuer(|issuer| {
+            let mut r = Recorder::new(JukeboxConfig::paper_default().with_crrb_entries(2));
+            r.record_l2_miss(line(0x3000), issuer);
+            r.record_l2_miss(line(0x1000), issuer);
+            r.record_l2_miss(line(0x2000), issuer); // evicts 0x3000
+            r.record_l2_miss(line(0x5000), issuer); // evicts 0x1000
+            let buffer = r.seal(issuer);
+            let bases: Vec<u64> = buffer
+                .entries()
+                .iter()
+                .map(|e| e.region_base.as_u64())
+                .collect();
+            assert_eq!(bases, vec![0x3000, 0x1000, 0x2000, 0x5000]);
+        });
+    }
+
+    #[test]
+    fn bytes_required_matches_packed_total() {
+        let ((), _) = with_issuer(|issuer| {
+            let mut r = Recorder::new(JukeboxConfig::paper_default());
+            for i in 0..40u64 {
+                r.record_l2_miss(line(i * 1024), issuer);
+            }
+            // 40 entries at 54 bits = 270 bytes.
+            assert_eq!(r.bytes_required(), 270);
+        });
+    }
+}

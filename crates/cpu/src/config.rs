@@ -1,0 +1,148 @@
+//! Core (pipeline) configuration.
+
+/// Parameters of the modelled out-of-order core (Table 1 plus the interval
+/// model's attribution constants).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreConfig {
+    /// Core frequency in GHz (Table 1: 2.6GHz). Only used to convert
+    /// cycles to wall-clock time in reports.
+    pub freq_ghz: f64,
+    /// Sustained issue/retire width in instructions per cycle.
+    pub issue_width: u32,
+    /// Fetch bandwidth in bytes per cycle (Table 1: 16).
+    pub fetch_bytes_per_cycle: u32,
+    /// Reorder-buffer capacity (Table 1: 224).
+    pub rob_entries: u32,
+    /// Pipeline-refill penalty of a branch misprediction, in cycles.
+    pub mispredict_penalty: u64,
+    /// Redirect bubble when a taken branch misses the BTB, in cycles
+    /// (front-end fetch-latency, not bad speculation).
+    pub btb_miss_bubble: u64,
+    /// Fetch-redirect bubble of a correctly-predicted taken branch, in
+    /// cycles (the pipeline still restarts fetch at the target).
+    pub redirect_bubble: f64,
+    /// Average fetch-bandwidth loss per taken branch, in cycles
+    /// (fragmentation of the 16-byte fetch block).
+    pub taken_branch_bubble: f64,
+    /// Data-miss latency the out-of-order window hides for an isolated
+    /// miss, in cycles (≈ ROB depth / issue width).
+    pub oo_hide_cycles: u64,
+    /// Back-end core-bound cycles charged per instruction (execution-port
+    /// contention and dependency chains not otherwise modelled).
+    pub core_bound_per_instr: f64,
+    /// Exposed cycles per line for *sequential* miss runs serviced by the
+    /// L2 (the decoupled front-end's fetch-ahead hides nearly all of an
+    /// L2 hit).
+    pub seq_pace_l2: u64,
+    /// Exposed cycles per line for sequential miss runs serviced by the
+    /// LLC.
+    pub seq_pace_llc: u64,
+    /// Exposed cycles per line for sequential miss runs streamed from
+    /// DRAM (bounded below by channel occupancy).
+    pub seq_pace_mem: u64,
+    /// Fetch-latency cycles a *non-sequential* (branch-target) miss can
+    /// hide behind the decoupled front-end's run-ahead distance.
+    pub resteer_hide: u64,
+    /// gshare global-history table size, log2 (Table 1: 16K ≈ 14 bits).
+    pub gshare_bits: u32,
+    /// Bimodal table size, log2 (Table 1: 4K ≈ 12 bits).
+    pub bimodal_bits: u32,
+    /// Chooser table size, log2.
+    pub chooser_bits: u32,
+    /// BTB entries, log2 (Table 1: 8K ≈ 13 bits).
+    pub btb_bits: u32,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+}
+
+impl CoreConfig {
+    /// The Skylake-like core of Table 1.
+    pub fn skylake_like() -> Self {
+        CoreConfig {
+            freq_ghz: 2.6,
+            issue_width: 4,
+            fetch_bytes_per_cycle: 16,
+            rob_entries: 224,
+            mispredict_penalty: 15,
+            btb_miss_bubble: 10,
+            redirect_bubble: 6.0,
+            taken_branch_bubble: 0.4,
+            oo_hide_cycles: 36,
+            core_bound_per_instr: 0.35,
+            seq_pace_l2: 1,
+            seq_pace_llc: 4,
+            seq_pace_mem: 6,
+            resteer_hide: 14,
+            gshare_bits: 14,
+            bimodal_bits: 12,
+            chooser_bits: 12,
+            btb_bits: 13,
+            ras_depth: 16,
+        }
+    }
+
+    /// The Broadwell-like core used for the characterization platform
+    /// (§4.1): same width, slightly shallower window.
+    pub fn broadwell_like() -> Self {
+        CoreConfig {
+            freq_ghz: 2.4,
+            rob_entries: 192,
+            oo_hide_cycles: 32,
+            ..Self::skylake_like()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width/size parameter is zero.
+    pub fn validate(&self) {
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(
+            self.fetch_bytes_per_cycle > 0,
+            "fetch bandwidth must be positive"
+        );
+        assert!(self.rob_entries > 0, "ROB must have entries");
+        assert!(self.ras_depth > 0, "RAS must have depth");
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_matches_table1() {
+        let c = CoreConfig::skylake_like();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.fetch_bytes_per_cycle, 16);
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(1usize << c.btb_bits, 8192);
+        c.validate();
+    }
+
+    #[test]
+    fn broadwell_is_slightly_smaller() {
+        let b = CoreConfig::broadwell_like();
+        assert!(b.rob_entries < CoreConfig::skylake_like().rob_entries);
+        assert_eq!(b.issue_width, 4);
+        b.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn zero_width_rejected() {
+        let cfg = CoreConfig {
+            issue_width: 0,
+            ..CoreConfig::skylake_like()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,596 @@
+//! The interval-model core: consumes an instruction trace against a memory
+//! hierarchy, attributes every cycle to a Top-Down category, and drives the
+//! attached instruction prefetcher.
+
+use crate::branch::BranchUnit;
+use crate::config::CoreConfig;
+use crate::instr::{Instr, InstrKind};
+use crate::topdown::TopDown;
+use luke_common::addr::LineAddr;
+use sim_mem::hierarchy::MemoryHierarchy;
+use sim_mem::page_table::PageTable;
+use sim_mem::prefetch::{
+    FetchObservation, InstructionPrefetcher, IssueCounters, IssuerState, PrefetchIssuer,
+};
+
+/// Event counts for one invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Dynamic branches.
+    pub branches: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Instruction-line fetches performed (L1-I accesses).
+    pub line_fetches: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+}
+
+/// Timing result of one invocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvocationResult {
+    /// Total cycles from dispatch to completion.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Attributed cycle breakdown.
+    pub topdown: TopDown,
+    /// Event counts.
+    pub stats: CoreStats,
+    /// Prefetcher activity during this invocation.
+    pub prefetch: IssueCounters,
+    /// Core cycle at which the invocation was dispatched.
+    pub start_cycle: u64,
+}
+
+impl InvocationResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The core timing engine (see crate docs for the model).
+#[derive(Clone, Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    bp: BranchUnit,
+    now: u64,
+    frac: f64,
+    cur_line: Option<LineAddr>,
+    data_shadow_end: u64,
+    lifetime_topdown: TopDown,
+    lifetime_instructions: u64,
+}
+
+impl Core {
+    /// Creates a cold core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`CoreConfig::validate`]).
+    pub fn new(cfg: CoreConfig) -> Self {
+        cfg.validate();
+        Core {
+            bp: BranchUnit::new(&cfg),
+            cfg,
+            now: 0,
+            frac: 0.0,
+            cur_line: None,
+            data_shadow_end: 0,
+            lifetime_topdown: TopDown::new(),
+            lifetime_instructions: 0,
+        }
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current core cycle (monotonic across invocations).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Lifetime Top-Down totals across all invocations run on this core.
+    pub fn lifetime_topdown(&self) -> &TopDown {
+        &self.lifetime_topdown
+    }
+
+    /// Lifetime retired-instruction count.
+    pub fn lifetime_instructions(&self) -> u64 {
+        self.lifetime_instructions
+    }
+
+    /// Flushes all core microarchitectural state (branch predictor, BTB,
+    /// RAS, fetch state) — the core half of the paper's interleaved
+    /// baseline; the memory half is
+    /// [`MemoryHierarchy::flush_all`](sim_mem::hierarchy::MemoryHierarchy::flush_all).
+    pub fn flush_microarch(&mut self) {
+        self.bp.flush();
+        self.cur_line = None;
+        self.data_shadow_end = 0;
+    }
+
+    /// Runs one invocation to completion.
+    ///
+    /// The prefetcher's `on_invocation_start` fires at dispatch (the OS
+    /// replay trigger, §3.3); `on_fetch` fires for every demand
+    /// instruction-line fetch; `on_invocation_end` fires at completion.
+    pub fn run_invocation<T>(
+        &mut self,
+        trace: T,
+        mem: &mut MemoryHierarchy,
+        page_table: &mut PageTable,
+        prefetcher: &mut dyn InstructionPrefetcher,
+    ) -> InvocationResult
+    where
+        T: IntoIterator<Item = Instr>,
+    {
+        let start = self.now;
+        let mut td = TopDown::new();
+        let mut stats = CoreStats::default();
+        let l1i_latency = mem.config().l1i.latency;
+        let l1d_latency = mem.config().l1d.latency;
+        let itlb_walk = mem.config().itlb.walk_latency;
+
+        // Replay trigger: the OS programs the replay registers as part of
+        // dispatching the invocation; the engine streams in the background,
+        // so the core clock does not advance here.
+        let mut pf_state = {
+            let mut issuer = PrefetchIssuer::new(mem, page_table, self.now);
+            prefetcher.on_invocation_start(&mut issuer);
+            issuer.into_state()
+        };
+
+        for instr in trace {
+            // --- Instruction delivery ---
+            let first_line = instr.pc.line();
+            let last_byte = instr.pc.offset(instr.size.saturating_sub(1) as u64);
+            let last_line = last_byte.line();
+            if self.cur_line != Some(first_line) {
+                pf_state = self.fetch_line(
+                    first_line,
+                    mem,
+                    page_table,
+                    prefetcher,
+                    pf_state,
+                    &mut td,
+                    &mut stats,
+                    l1i_latency,
+                    itlb_walk,
+                );
+                self.cur_line = Some(first_line);
+            }
+            if last_line != first_line {
+                pf_state = self.fetch_line(
+                    last_line,
+                    mem,
+                    page_table,
+                    prefetcher,
+                    pf_state,
+                    &mut td,
+                    &mut stats,
+                    l1i_latency,
+                    itlb_walk,
+                );
+                self.cur_line = Some(last_line);
+            }
+
+            // --- Execute / retire ---
+            stats.instructions += 1;
+            self.advance_frac(1.0 / self.cfg.issue_width as f64, &mut td.retiring);
+            self.advance_frac(self.cfg.core_bound_per_instr, &mut td.backend);
+
+            match instr.kind {
+                InstrKind::Alu => {}
+                InstrKind::Load(addr) => {
+                    stats.loads += 1;
+                    let pline = page_table.translate_line(addr.line());
+                    let out = mem.read_data(addr, pline, self.now);
+                    if out.latency > l1d_latency {
+                        self.charge_data_miss(out.latency, &mut td);
+                    }
+                }
+                InstrKind::Store(addr) => {
+                    stats.stores += 1;
+                    let pline = page_table.translate_line(addr.line());
+                    // Stores retire through the store buffer; latency is
+                    // not exposed, but the access updates cache state.
+                    let _ = mem.write_data(addr, pline, self.now);
+                }
+                InstrKind::Branch {
+                    kind,
+                    taken,
+                    target,
+                } => {
+                    stats.branches += 1;
+                    let prediction = self.bp.predict_and_update(
+                        instr.pc,
+                        kind,
+                        taken,
+                        target,
+                        instr.fallthrough(),
+                    );
+                    if prediction.mispredicted() {
+                        stats.mispredicts += 1;
+                        self.advance(self.cfg.mispredict_penalty, &mut td.bad_speculation);
+                    } else if taken && !prediction.target_known {
+                        // Correct direction but the front-end could not
+                        // produce the target: a redirect bubble.
+                        self.advance(self.cfg.btb_miss_bubble, &mut td.fetch_latency);
+                    } else if taken {
+                        // Even a perfectly-predicted taken branch restarts
+                        // fetch at the target.
+                        self.advance_frac(self.cfg.redirect_bubble, &mut td.fetch_latency);
+                    }
+                    if taken {
+                        stats.taken_branches += 1;
+                        self.advance_frac(self.cfg.taken_branch_bubble, &mut td.fetch_bandwidth);
+                        // Redirect: next instruction starts a new fetch.
+                        self.cur_line = None;
+                    }
+                }
+            }
+        }
+
+        // Seal recording.
+        {
+            let mut issuer = PrefetchIssuer::resume(mem, page_table, pf_state, self.now);
+            prefetcher.on_invocation_end(&mut issuer);
+            pf_state = issuer.into_state();
+        }
+
+        self.lifetime_topdown += td;
+        self.lifetime_instructions += stats.instructions;
+        InvocationResult {
+            cycles: self.now - start,
+            instructions: stats.instructions,
+            topdown: td,
+            stats,
+            prefetch: pf_state.counters,
+            start_cycle: start,
+        }
+    }
+
+    /// Fetches one instruction line, charging exposed latency to
+    /// fetch-latency and notifying the prefetcher.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_line(
+        &mut self,
+        line: LineAddr,
+        mem: &mut MemoryHierarchy,
+        page_table: &mut PageTable,
+        prefetcher: &mut dyn InstructionPrefetcher,
+        pf_state: IssuerState,
+        td: &mut TopDown,
+        stats: &mut CoreStats,
+        l1i_latency: u64,
+        itlb_walk: u64,
+    ) -> IssuerState {
+        stats.line_fetches += 1;
+        // Sequential if this line directly follows the previous fetch line
+        // (hardware fetch-ahead covers this case).
+        let sequential = self
+            .cur_line
+            .map(|prev| prev.next() == line)
+            .unwrap_or(false);
+
+        let pline = page_table.translate_line(line);
+        let out = mem.fetch_instr(line, pline, self.now);
+
+        let tlb_part = if out.tlb_miss { itlb_walk } else { 0 };
+        let cache_part = out.latency.saturating_sub(tlb_part);
+        let exposed_cache = if out.l1_miss {
+            let beyond_pipeline = cache_part.saturating_sub(l1i_latency);
+            if sequential {
+                // Sequential miss runs are paced by the fetch-ahead
+                // stream, not serialized at full latency; deeper levels
+                // stream slower.
+                let pace = match out.hit_level {
+                    sim_mem::hierarchy::Level::L1 => 0,
+                    sim_mem::hierarchy::Level::L2 => self.cfg.seq_pace_l2,
+                    sim_mem::hierarchy::Level::Llc => self.cfg.seq_pace_llc,
+                    sim_mem::hierarchy::Level::Memory => self.cfg.seq_pace_mem,
+                };
+                beyond_pipeline.min(pace)
+            } else {
+                // Branch-target miss: the decoupled front-end's run-ahead
+                // hides part of the latency; the rest is exposed.
+                beyond_pipeline.saturating_sub(self.cfg.resteer_hide)
+            }
+        } else {
+            0
+        };
+        self.advance(exposed_cache + tlb_part, &mut td.fetch_latency);
+
+        let observation = FetchObservation {
+            vline: line,
+            l1_miss: out.l1_miss,
+            l2_miss: out.l2_miss,
+            l2_prefetch_first_use: out.l2_prefetch_first_use,
+            now: self.now,
+        };
+        let mut issuer = PrefetchIssuer::resume(mem, page_table, pf_state, self.now);
+        prefetcher.on_fetch(&observation, &mut issuer);
+        issuer.into_state()
+    }
+
+    /// Charges an exposed data miss with MLP: misses overlapping an
+    /// outstanding miss shadow are free; an isolated miss pays its latency
+    /// minus what the out-of-order window hides.
+    fn charge_data_miss(&mut self, latency: u64, td: &mut TopDown) {
+        let completion = self.now + latency;
+        if self.now < self.data_shadow_end {
+            self.data_shadow_end = self.data_shadow_end.max(completion);
+            return;
+        }
+        let exposed = latency.saturating_sub(self.cfg.oo_hide_cycles);
+        self.advance(exposed, &mut td.backend);
+        self.data_shadow_end = completion;
+    }
+
+    fn advance(&mut self, cycles: u64, bucket: &mut f64) {
+        self.now += cycles;
+        *bucket += cycles as f64;
+    }
+
+    fn advance_frac(&mut self, cycles: f64, bucket: &mut f64) {
+        *bucket += cycles;
+        self.frac += cycles;
+        let whole = self.frac.floor();
+        self.now += whole as u64;
+        self.frac -= whole;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BranchKind;
+    use luke_common::addr::VirtAddr;
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::prefetch::NoPrefetcher;
+
+    fn setup() -> (Core, MemoryHierarchy, PageTable) {
+        (
+            Core::new(CoreConfig::skylake_like()),
+            MemoryHierarchy::new(HierarchyConfig::skylake_like()),
+            PageTable::new(0),
+        )
+    }
+
+    fn straightline(base: u64, n: u64) -> Vec<Instr> {
+        (0..n)
+            .map(|i| Instr::alu(VirtAddr::new(base + i * 4), 4))
+            .collect()
+    }
+
+    #[test]
+    fn retires_all_instructions() {
+        let (mut core, mut mem, mut pt) = setup();
+        let r = core.run_invocation(
+            straightline(0x1000, 64),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        assert_eq!(r.instructions, 64);
+        assert!(r.cycles >= 16, "at least instructions/width cycles");
+        assert!(r.topdown.retiring > 0.0);
+    }
+
+    #[test]
+    fn second_run_is_faster_warm() {
+        let (mut core, mut mem, mut pt) = setup();
+        let cold = core.run_invocation(
+            straightline(0x1000, 256),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        let warm = core.run_invocation(
+            straightline(0x1000, 256),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        assert!(warm.cycles < cold.cycles);
+        assert!(warm.topdown.fetch_latency < cold.topdown.fetch_latency);
+    }
+
+    #[test]
+    fn flush_restores_cold_behaviour() {
+        let (mut core, mut mem, mut pt) = setup();
+        let cold = core.run_invocation(
+            straightline(0x1000, 256),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        core.flush_microarch();
+        mem.flush_all();
+        let lukewarm = core.run_invocation(
+            straightline(0x1000, 256),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        // Within noise, a flushed run costs as much as the cold run.
+        let ratio = lukewarm.cycles as f64 / cold.cycles as f64;
+        assert!(ratio > 0.8, "flushed run should be cold-ish, ratio {ratio}");
+    }
+
+    #[test]
+    fn mispredicts_charge_bad_speculation() {
+        let (mut core, mut mem, mut pt) = setup();
+        // A data-dependent, alternating branch pattern the cold bimodal
+        // tables will mispredict at least sometimes on first sight.
+        let mut trace = Vec::new();
+        for i in 0..64u64 {
+            let pc = VirtAddr::new(0x1000 + i * 64); // distinct PCs
+            trace.push(Instr::branch(
+                pc,
+                2,
+                BranchKind::Conditional,
+                i % 2 == 0,
+                VirtAddr::new(0x1000 + i * 64 + 32),
+            ));
+        }
+        let r = core.run_invocation(trace, &mut mem, &mut pt, &mut NoPrefetcher);
+        assert!(r.stats.mispredicts > 0);
+        assert!(r.topdown.bad_speculation > 0.0);
+    }
+
+    #[test]
+    fn taken_branches_charge_fetch_bandwidth() {
+        let (mut core, mut mem, mut pt) = setup();
+        let mut trace = Vec::new();
+        for i in 0..32u64 {
+            let pc = VirtAddr::new(0x1000 + i * 128);
+            let target = VirtAddr::new(0x1000 + (i + 1) * 128);
+            trace.push(Instr::branch(
+                pc,
+                2,
+                BranchKind::Unconditional,
+                true,
+                target,
+            ));
+        }
+        let r = core.run_invocation(trace, &mut mem, &mut pt, &mut NoPrefetcher);
+        assert_eq!(r.stats.taken_branches, 32);
+        assert!(r.topdown.fetch_bandwidth > 0.0);
+    }
+
+    #[test]
+    fn loads_can_charge_backend() {
+        let (mut core, mut mem, mut pt) = setup();
+        let mut trace = Vec::new();
+        for i in 0..32u64 {
+            // Strided far apart so every load misses; spaced in PC so the
+            // fetches stay cheap after warm-up.
+            trace.push(Instr::load(
+                VirtAddr::new(0x1000 + i * 4),
+                4,
+                VirtAddr::new(0x10_0000 + i * 65536),
+            ));
+            // Spacer ALU work so loads do not all overlap.
+            for j in 0..16u64 {
+                trace.push(Instr::alu(VirtAddr::new(0x2000 + (i * 16 + j) * 4), 4));
+            }
+        }
+        let r = core.run_invocation(trace, &mut mem, &mut pt, &mut NoPrefetcher);
+        assert!(r.stats.loads == 32);
+        assert!(r.topdown.backend > 0.0);
+    }
+
+    #[test]
+    fn mlp_overlap_hides_clustered_misses() {
+        let (mut core_a, mut mem_a, mut pt_a) = setup();
+        let (mut core_b, mut mem_b, mut pt_b) = setup();
+
+        // Clustered: 16 misses back-to-back (they overlap in the shadow).
+        let clustered: Vec<Instr> = (0..16u64)
+            .map(|i| {
+                Instr::load(
+                    VirtAddr::new(0x1000 + i * 4),
+                    4,
+                    VirtAddr::new(0x100_0000 + i * 65536),
+                )
+            })
+            .collect();
+        // Spread: same 16 misses separated by long ALU runs.
+        let mut spread = Vec::new();
+        for i in 0..16u64 {
+            spread.push(Instr::load(
+                VirtAddr::new(0x1000 + i * 4),
+                4,
+                VirtAddr::new(0x100_0000 + i * 65536),
+            ));
+            for j in 0..400u64 {
+                spread.push(Instr::alu(VirtAddr::new(0x8000 + (j % 64) * 4), 4));
+            }
+        }
+
+        let a = core_a.run_invocation(clustered, &mut mem_a, &mut pt_a, &mut NoPrefetcher);
+        let b = core_b.run_invocation(spread, &mut mem_b, &mut pt_b, &mut NoPrefetcher);
+        assert!(
+            a.topdown.backend < b.topdown.backend,
+            "clustered misses ({}) should overlap more than spread ones ({})",
+            a.topdown.backend,
+            b.topdown.backend
+        );
+    }
+
+    #[test]
+    fn straddling_instruction_fetches_both_lines() {
+        let (mut core, mut mem, mut pt) = setup();
+        // One instruction whose bytes straddle a line boundary.
+        let trace = vec![Instr::alu(VirtAddr::new(0x103e), 4)];
+        let r = core.run_invocation(trace, &mut mem, &mut pt, &mut NoPrefetcher);
+        assert_eq!(r.stats.line_fetches, 2);
+    }
+
+    #[test]
+    fn topdown_total_matches_cycle_count() {
+        let (mut core, mut mem, mut pt) = setup();
+        let r = core.run_invocation(
+            straightline(0x1000, 1000),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        let total = r.topdown.total();
+        let diff = (total - r.cycles as f64).abs();
+        assert!(
+            diff <= 1.5,
+            "attributed {total} vs counted {} cycles",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn lifetime_counters_accumulate() {
+        let (mut core, mut mem, mut pt) = setup();
+        core.run_invocation(
+            straightline(0x1000, 100),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        core.run_invocation(
+            straightline(0x1000, 100),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        assert_eq!(core.lifetime_instructions(), 200);
+        assert!(core.lifetime_topdown().total() > 0.0);
+        assert!(core.now() > 0);
+    }
+
+    #[test]
+    fn cpi_computation() {
+        let r = InvocationResult {
+            cycles: 500,
+            instructions: 250,
+            topdown: TopDown::default(),
+            stats: CoreStats::default(),
+            prefetch: IssueCounters::default(),
+            start_cycle: 0,
+        };
+        assert_eq!(r.cpi(), 2.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The instruction-trace representation consumed by the timing model.
+//!
+//! Workload generators emit a stream of [`Instr`] records: program counter,
+//! encoded size (x86 instructions are variable-length) and an operation
+//! class. The timing model only needs the classes that have distinct
+//! timing behaviour: plain ALU work, loads, stores, and branches with
+//! their resolved direction and target.
+
+use luke_common::addr::VirtAddr;
+
+/// The control-flow class of a branch instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct jump.
+    Unconditional,
+    /// Direct call (pushes a return address).
+    Call,
+    /// Return (pops the return-address stack).
+    Return,
+    /// Indirect jump or call (target known only at execute).
+    Indirect,
+}
+
+/// Operation class of one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstrKind {
+    /// Arithmetic/logic or other non-memory, non-branch work.
+    Alu,
+    /// Memory load from the given virtual address.
+    Load(VirtAddr),
+    /// Memory store to the given virtual address.
+    Store(VirtAddr),
+    /// Branch with resolved direction and target.
+    Branch {
+        /// The branch's control-flow class.
+        kind: BranchKind,
+        /// Whether the branch is taken in this dynamic instance.
+        taken: bool,
+        /// Resolved target (meaningful when taken).
+        target: VirtAddr,
+    },
+}
+
+/// One dynamic instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instr {
+    /// Virtual program counter.
+    pub pc: VirtAddr,
+    /// Encoded length in bytes (1–15 on x86).
+    pub size: u8,
+    /// Operation class.
+    pub kind: InstrKind,
+}
+
+impl Instr {
+    /// An ALU instruction at `pc`.
+    pub fn alu(pc: VirtAddr, size: u8) -> Self {
+        Instr {
+            pc,
+            size,
+            kind: InstrKind::Alu,
+        }
+    }
+
+    /// A load at `pc` reading `addr`.
+    pub fn load(pc: VirtAddr, size: u8, addr: VirtAddr) -> Self {
+        Instr {
+            pc,
+            size,
+            kind: InstrKind::Load(addr),
+        }
+    }
+
+    /// A store at `pc` writing `addr`.
+    pub fn store(pc: VirtAddr, size: u8, addr: VirtAddr) -> Self {
+        Instr {
+            pc,
+            size,
+            kind: InstrKind::Store(addr),
+        }
+    }
+
+    /// A branch at `pc`.
+    pub fn branch(pc: VirtAddr, size: u8, kind: BranchKind, taken: bool, target: VirtAddr) -> Self {
+        Instr {
+            pc,
+            size,
+            kind: InstrKind::Branch {
+                kind,
+                taken,
+                target,
+            },
+        }
+    }
+
+    /// Whether this is a taken branch.
+    pub fn is_taken_branch(&self) -> bool {
+        matches!(self.kind, InstrKind::Branch { taken: true, .. })
+    }
+
+    /// The address of the byte after this instruction (fall-through PC).
+    pub fn fallthrough(&self) -> VirtAddr {
+        self.pc.offset(self.size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let pc = VirtAddr::new(0x100);
+        assert_eq!(Instr::alu(pc, 4).kind, InstrKind::Alu);
+        assert!(matches!(
+            Instr::load(pc, 4, VirtAddr::new(8)).kind,
+            InstrKind::Load(_)
+        ));
+        assert!(matches!(
+            Instr::store(pc, 4, VirtAddr::new(8)).kind,
+            InstrKind::Store(_)
+        ));
+    }
+
+    #[test]
+    fn taken_branch_detection() {
+        let pc = VirtAddr::new(0x100);
+        let t = VirtAddr::new(0x200);
+        assert!(Instr::branch(pc, 2, BranchKind::Conditional, true, t).is_taken_branch());
+        assert!(!Instr::branch(pc, 2, BranchKind::Conditional, false, t).is_taken_branch());
+        assert!(!Instr::alu(pc, 4).is_taken_branch());
+    }
+
+    #[test]
+    fn fallthrough_adds_size() {
+        let i = Instr::alu(VirtAddr::new(0x100), 5);
+        assert_eq!(i.fallthrough(), VirtAddr::new(0x105));
+    }
+}

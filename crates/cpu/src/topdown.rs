@@ -1,0 +1,206 @@
+//! Top-Down cycle accounting (Yasin, ISPASS'14), as used in §2.3.
+//!
+//! The timing model attributes every cycle as it charges it, so the CPI
+//! stacks of Figures 2–4 fall directly out of an invocation run: retiring,
+//! front-end (split into fetch latency and fetch bandwidth), bad
+//! speculation and back-end.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// An attributed cycle count for one execution interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TopDown {
+    /// Useful retirement work.
+    pub retiring: f64,
+    /// Front-end stalls caused by instruction-delivery *latency*:
+    /// I-cache misses, I-TLB walks, BTB redirect bubbles.
+    pub fetch_latency: f64,
+    /// Front-end stalls caused by instruction-delivery *bandwidth*:
+    /// fetch-block fragmentation on taken branches.
+    pub fetch_bandwidth: f64,
+    /// Pipeline refills after branch mispredictions.
+    pub bad_speculation: f64,
+    /// Back-end stalls: exposed data-miss latency and core-bound work.
+    pub backend: f64,
+}
+
+impl TopDown {
+    /// A zeroed accounting record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total attributed cycles.
+    pub fn total(&self) -> f64 {
+        self.retiring + self.frontend() + self.bad_speculation + self.backend
+    }
+
+    /// Total front-end stall cycles (latency + bandwidth).
+    pub fn frontend(&self) -> f64 {
+        self.fetch_latency + self.fetch_bandwidth
+    }
+
+    /// Cycles per instruction for this interval.
+    pub fn cpi(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.total() / instructions as f64
+        }
+    }
+
+    /// Fraction of all cycles attributed to the front-end.
+    pub fn frontend_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.frontend() / self.total()
+        }
+    }
+
+    /// Fraction of all *stall* (non-retiring) cycles attributed to the
+    /// front-end — the paper's "front-end is responsible for 62% of all
+    /// stall cycles" metric (§2.3).
+    pub fn frontend_stall_fraction(&self) -> f64 {
+        let stalls = self.total() - self.retiring;
+        if stalls <= 0.0 {
+            0.0
+        } else {
+            self.frontend() / stalls
+        }
+    }
+
+    /// Per-category difference `self - earlier` (clamped at zero).
+    pub fn delta(&self, earlier: &TopDown) -> TopDown {
+        TopDown {
+            retiring: (self.retiring - earlier.retiring).max(0.0),
+            fetch_latency: (self.fetch_latency - earlier.fetch_latency).max(0.0),
+            fetch_bandwidth: (self.fetch_bandwidth - earlier.fetch_bandwidth).max(0.0),
+            bad_speculation: (self.bad_speculation - earlier.bad_speculation).max(0.0),
+            backend: (self.backend - earlier.backend).max(0.0),
+        }
+    }
+
+    /// Scales every category by `1/instructions`, yielding a per-
+    /// instruction CPI stack.
+    pub fn per_instruction(&self, instructions: u64) -> TopDown {
+        if instructions == 0 {
+            return TopDown::default();
+        }
+        let n = instructions as f64;
+        TopDown {
+            retiring: self.retiring / n,
+            fetch_latency: self.fetch_latency / n,
+            fetch_bandwidth: self.fetch_bandwidth / n,
+            bad_speculation: self.bad_speculation / n,
+            backend: self.backend / n,
+        }
+    }
+}
+
+impl Add for TopDown {
+    type Output = TopDown;
+
+    fn add(self, rhs: TopDown) -> TopDown {
+        TopDown {
+            retiring: self.retiring + rhs.retiring,
+            fetch_latency: self.fetch_latency + rhs.fetch_latency,
+            fetch_bandwidth: self.fetch_bandwidth + rhs.fetch_bandwidth,
+            bad_speculation: self.bad_speculation + rhs.bad_speculation,
+            backend: self.backend + rhs.backend,
+        }
+    }
+}
+
+impl AddAssign for TopDown {
+    fn add_assign(&mut self, rhs: TopDown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for TopDown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retiring={:.0} fetch_lat={:.0} fetch_bw={:.0} bad_spec={:.0} backend={:.0}",
+            self.retiring,
+            self.fetch_latency,
+            self.fetch_bandwidth,
+            self.bad_speculation,
+            self.backend
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TopDown {
+        TopDown {
+            retiring: 100.0,
+            fetch_latency: 50.0,
+            fetch_bandwidth: 10.0,
+            bad_speculation: 20.0,
+            backend: 20.0,
+        }
+    }
+
+    #[test]
+    fn total_sums_categories() {
+        assert_eq!(sample().total(), 200.0);
+        assert_eq!(sample().frontend(), 60.0);
+    }
+
+    #[test]
+    fn cpi_divides_by_instructions() {
+        assert_eq!(sample().cpi(100), 2.0);
+        assert_eq!(sample().cpi(0), 0.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let t = sample();
+        assert!((t.frontend_fraction() - 0.3).abs() < 1e-12);
+        assert!((t.frontend_stall_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_fraction_of_pure_retirement_is_zero() {
+        let t = TopDown {
+            retiring: 10.0,
+            ..TopDown::default()
+        };
+        assert_eq!(t.frontend_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_and_delta_are_inverses() {
+        let a = sample();
+        let b = TopDown {
+            retiring: 1.0,
+            fetch_latency: 2.0,
+            fetch_bandwidth: 3.0,
+            bad_speculation: 4.0,
+            backend: 5.0,
+        };
+        let sum = a + b;
+        let back = sum.delta(&a);
+        assert!((back.retiring - 1.0).abs() < 1e-12);
+        assert!((back.fetch_bandwidth - 3.0).abs() < 1e-12);
+        assert!((back.backend - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_instruction_scales() {
+        let p = sample().per_instruction(100);
+        assert!((p.total() - 2.0).abs() < 1e-12);
+        assert!((p.retiring - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", sample()).is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! A set-associative cache with timestamped fills and prefetch tracking.
+//!
+//! The cache is keyed by *line number* (address / 64) and does not store
+//! data, only presence and bookkeeping: whether the line was brought in by a
+//! prefetch, whether it has been demand-referenced since its fill (for
+//! coverage/overprediction accounting, Figure 11), and the cycle at which an
+//! in-flight fill becomes usable (for prefetch-timeliness modelling).
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// What kind of demand access is being performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Instruction fetch.
+    Instr,
+    /// Data load or store.
+    Data,
+}
+
+/// Replacement policy for a cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used (the policy of every level in Table 1).
+    #[default]
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Pseudo-random (deterministic internal generator).
+    Random,
+}
+
+/// Result of a successful lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HitInfo {
+    /// Cycle at which the line's fill completes; a demand access earlier
+    /// than this pays the residual latency.
+    pub ready_at: u64,
+    /// The line was originally brought in by a prefetch.
+    pub prefetched: bool,
+    /// This is the first demand touch of a prefetched line (a *covered*
+    /// miss in prefetcher-evaluation terms).
+    pub first_use_of_prefetch: bool,
+}
+
+/// A line that was evicted to make room for a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line number of the victim.
+    pub line: u64,
+    /// It was prefetched and never demand-referenced (an overprediction).
+    pub unused_prefetch: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    line: u64,
+    prefetched: bool,
+    used: bool,
+    ready_at: u64,
+    last_touch: u64,
+    filled_at_seq: u64,
+}
+
+/// A set-associative cache (see module docs).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    policy: Replacement,
+    sets: Vec<Vec<Option<Entry>>>,
+    seq: u64,
+    rand_state: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry and policy.
+    pub fn new(cfg: CacheConfig, policy: Replacement) -> Self {
+        let sets = vec![vec![None; cfg.ways]; cfg.sets()];
+        Cache {
+            cfg,
+            policy,
+            sets,
+            seq: 0,
+            rand_state: 0x9e3779b97f4a7c15,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Performs a demand access. On a hit, recency and the used-flag are
+    /// updated and [`HitInfo`] is returned; on a miss, `None` (the caller is
+    /// responsible for fetching from the next level and calling [`fill`]).
+    ///
+    /// [`fill`]: Cache::fill
+    pub fn access(&mut self, line: u64, now: u64, class: AccessClass) -> Option<HitInfo> {
+        self.seq += 1;
+        let seq = self.seq;
+        let set = self.set_index(line);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.line == line {
+                let first_use = way.prefetched && !way.used;
+                way.used = true;
+                way.last_touch = seq;
+                let info = HitInfo {
+                    ready_at: way.ready_at.max(now),
+                    prefetched: way.prefetched,
+                    first_use_of_prefetch: first_use,
+                };
+                self.stats.record_hit(class, first_use, info.ready_at > now);
+                return Some(info);
+            }
+        }
+        self.stats.record_miss(class);
+        None
+    }
+
+    /// Looks up presence without disturbing replacement state or
+    /// statistics. Used by prefetchers to filter already-resident lines.
+    pub fn peek(&self, line: u64) -> bool {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .flatten()
+            .any(|entry| entry.line == line)
+    }
+
+    /// Inserts a line, evicting a victim if the set is full.
+    ///
+    /// `ready_at` is the cycle at which the fill completes; `prefetched`
+    /// marks a prefetcher-initiated fill; `class` is the access class that
+    /// triggered the fill. Re-filling a resident line refreshes its
+    /// timestamps instead of duplicating it.
+    pub fn fill(
+        &mut self,
+        line: u64,
+        ready_at: u64,
+        class: AccessClass,
+        prefetched: bool,
+    ) -> Option<Evicted> {
+        self.seq += 1;
+        let seq = self.seq;
+        let set = self.set_index(line);
+
+        // Already resident: refresh (an in-flight prefetch superseded by a
+        // demand fill, or vice versa).
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.line == line {
+                way.ready_at = way.ready_at.min(ready_at);
+                way.last_touch = seq;
+                if !prefetched {
+                    way.used = true;
+                }
+                return None;
+            }
+        }
+
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        } else {
+            match class {
+                AccessClass::Instr => self.stats.instr_fills += 1,
+                AccessClass::Data => self.stats.data_fills += 1,
+            }
+        }
+
+        let entry = Entry {
+            line,
+            prefetched,
+            used: false,
+            ready_at,
+            last_touch: seq,
+            filled_at_seq: seq,
+        };
+
+        // Empty way available?
+        if let Some(slot) = self.sets[set].iter_mut().find(|w| w.is_none()) {
+            *slot = Some(entry);
+            return None;
+        }
+
+        // Choose a victim.
+        let victim_way = self.choose_victim(set);
+        let victim = self.sets[set][victim_way]
+            .replace(entry)
+            .expect("victim way was occupied");
+        let unused_prefetch = victim.prefetched && !victim.used;
+        if unused_prefetch {
+            self.stats.prefetch_evicted_unused += 1;
+        }
+        Some(Evicted {
+            line: victim.line,
+            unused_prefetch,
+        })
+    }
+
+    fn choose_victim(&mut self, set: usize) -> usize {
+        let ways = &self.sets[set];
+        match self.policy {
+            Replacement::Lru => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.as_ref().map(|e| e.last_touch).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("cache has at least one way"),
+            Replacement::Fifo => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.as_ref().map(|e| e.filled_at_seq).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("cache has at least one way"),
+            Replacement::Random => {
+                // xorshift64*: deterministic, state-local.
+                self.rand_state ^= self.rand_state << 13;
+                self.rand_state ^= self.rand_state >> 7;
+                self.rand_state ^= self.rand_state << 17;
+                (self.rand_state % ways.len() as u64) as usize
+            }
+        }
+    }
+
+    /// Invalidates every line (the paper's interleaved baseline flushes all
+    /// microarchitectural state between invocations, §5.2). Unused
+    /// prefetches still resident are counted as overpredictions.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                if let Some(entry) = way.take() {
+                    if entry.prefetched && !entry.used {
+                        self.stats.prefetch_evicted_unused += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidates approximately `fraction` of resident lines, selected by
+    /// a deterministic hash of `(line, salt)`. Models *partial* state decay
+    /// for the IAT sweep of Figure 1.
+    pub fn evict_fraction(&mut self, fraction: f64, salt: u64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                let evict = way
+                    .as_ref()
+                    .map(|e| hash2(e.line, salt) <= threshold)
+                    .unwrap_or(false);
+                if evict {
+                    if let Some(entry) = way.take() {
+                        if entry.prefetched && !entry.used {
+                            self.stats.prefetch_evicted_unused += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.cfg.lines()
+    }
+
+    /// Iterates over resident line numbers (for tests and invariants).
+    pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().flatten().map(|e| e.line))
+    }
+}
+
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use luke_common::size::ByteSize;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways = 8 lines of 64B = 512B.
+        Cache::new(
+            CacheConfig::new(ByteSize::new(512), 2, 1, 4),
+            Replacement::Lru,
+        )
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(c.access(100, 0, AccessClass::Instr).is_none());
+        c.fill(100, 10, AccessClass::Instr, false);
+        let hit = c.access(100, 20, AccessClass::Instr).expect("hit");
+        assert_eq!(hit.ready_at, 20);
+        assert!(!hit.prefetched);
+    }
+
+    #[test]
+    fn in_flight_fill_reports_future_ready_time() {
+        let mut c = tiny();
+        c.fill(7, 100, AccessClass::Instr, true);
+        let hit = c.access(7, 40, AccessClass::Instr).expect("hit");
+        assert_eq!(hit.ready_at, 100);
+        assert!(hit.prefetched);
+        assert!(hit.first_use_of_prefetch);
+    }
+
+    #[test]
+    fn second_touch_is_not_first_use() {
+        let mut c = tiny();
+        c.fill(7, 0, AccessClass::Instr, true);
+        assert!(
+            c.access(7, 1, AccessClass::Instr)
+                .expect("hit")
+                .first_use_of_prefetch
+        );
+        assert!(
+            !c.access(7, 2, AccessClass::Instr)
+                .expect("hit")
+                .first_use_of_prefetch
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, 0, AccessClass::Instr, false);
+        c.fill(4, 0, AccessClass::Instr, false);
+        // Touch line 0 so line 4 is the LRU victim.
+        c.access(0, 1, AccessClass::Instr);
+        let evicted = c.fill(8, 2, AccessClass::Instr, false).expect("eviction");
+        assert_eq!(evicted.line, 4);
+        assert!(c.peek(0));
+        assert!(!c.peek(4));
+        assert!(c.peek(8));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_fill() {
+        let cfg = CacheConfig::new(ByteSize::new(512), 2, 1, 4);
+        let mut c = Cache::new(cfg, Replacement::Fifo);
+        c.fill(0, 0, AccessClass::Instr, false);
+        c.fill(4, 0, AccessClass::Instr, false);
+        // Touch line 0; FIFO ignores recency, so 0 is still the victim.
+        c.access(0, 1, AccessClass::Instr);
+        let evicted = c.fill(8, 2, AccessClass::Instr, false).expect("eviction");
+        assert_eq!(evicted.line, 0);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_and_bounded() {
+        let cfg = CacheConfig::new(ByteSize::new(512), 2, 1, 4);
+        let mut a = Cache::new(cfg, Replacement::Random);
+        let mut b = Cache::new(cfg, Replacement::Random);
+        for line in 0..200u64 {
+            let ea = a.fill(line, 0, AccessClass::Instr, false);
+            let eb = b.fill(line, 0, AccessClass::Instr, false);
+            assert_eq!(ea, eb, "random policy must still be deterministic");
+            assert!(a.occupancy() <= a.capacity_lines());
+        }
+        assert_eq!(a.occupancy(), a.capacity_lines());
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(3, 5, AccessClass::Data, false);
+        assert!(c.fill(3, 9, AccessClass::Data, false).is_none());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_counts_overprediction() {
+        let mut c = tiny();
+        c.fill(0, 0, AccessClass::Instr, true);
+        c.fill(4, 0, AccessClass::Instr, false);
+        c.fill(8, 0, AccessClass::Instr, false); // evicts line 0 (prefetched, unused)
+        assert_eq!(c.stats().prefetch_evicted_unused, 1);
+    }
+
+    #[test]
+    fn used_prefetch_eviction_is_not_overprediction() {
+        let mut c = tiny();
+        c.fill(0, 0, AccessClass::Instr, true);
+        c.access(0, 1, AccessClass::Instr);
+        c.fill(4, 0, AccessClass::Instr, false);
+        c.fill(8, 0, AccessClass::Instr, false);
+        assert_eq!(c.stats().prefetch_evicted_unused, 0);
+    }
+
+    #[test]
+    fn flush_all_empties_and_counts_unused_prefetches() {
+        let mut c = tiny();
+        c.fill(1, 0, AccessClass::Instr, true);
+        c.fill(2, 0, AccessClass::Data, false);
+        c.flush_all();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats().prefetch_evicted_unused, 1);
+        assert!(c.access(1, 0, AccessClass::Instr).is_none());
+    }
+
+    #[test]
+    fn evict_fraction_extremes() {
+        let mut c = tiny();
+        for line in 0..8u64 {
+            c.fill(line, 0, AccessClass::Data, false);
+        }
+        let before = c.occupancy();
+        c.evict_fraction(0.0, 1);
+        assert_eq!(c.occupancy(), before);
+        c.evict_fraction(1.0, 1);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn evict_fraction_partial_is_roughly_proportional() {
+        let cfg = CacheConfig::new(ByteSize::kib(64), 8, 1, 4);
+        let mut c = Cache::new(cfg, Replacement::Lru);
+        let n = c.capacity_lines() as u64;
+        for line in 0..n {
+            c.fill(line, 0, AccessClass::Data, false);
+        }
+        c.evict_fraction(0.5, 42);
+        let frac = c.occupancy() as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.1, "occupancy fraction {frac}");
+    }
+
+    #[test]
+    fn peek_does_not_affect_lru() {
+        let mut c = tiny();
+        c.fill(0, 0, AccessClass::Instr, false);
+        c.fill(4, 0, AccessClass::Instr, false);
+        // peek(0) must not promote line 0.
+        assert!(c.peek(0));
+        let evicted = c.fill(8, 1, AccessClass::Instr, false).expect("eviction");
+        assert_eq!(evicted.line, 0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses_by_class() {
+        let mut c = tiny();
+        c.access(1, 0, AccessClass::Instr);
+        c.fill(1, 0, AccessClass::Instr, false);
+        c.access(1, 1, AccessClass::Instr);
+        c.access(2, 2, AccessClass::Data);
+        let s = c.stats();
+        assert_eq!(s.instr.misses, 1);
+        assert_eq!(s.instr.hits, 1);
+        assert_eq!(s.data.misses, 1);
+        assert_eq!(s.data.hits, 0);
+    }
+
+    #[test]
+    fn fills_are_counted_per_class() {
+        let mut c = tiny();
+        c.fill(1, 0, AccessClass::Instr, false);
+        c.fill(2, 0, AccessClass::Data, false);
+        c.fill(3, 0, AccessClass::Instr, true); // prefetch: not a demand fill
+        let s = c.stats();
+        assert_eq!(s.instr_fills, 1);
+        assert_eq!(s.data_fills, 1);
+        assert_eq!(s.prefetch_fills, 1);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny();
+        for line in 0..1000u64 {
+            c.fill(line, 0, AccessClass::Instr, false);
+            assert!(c.occupancy() <= c.capacity_lines());
+        }
+        assert_eq!(c.occupancy(), c.capacity_lines());
+    }
+}

@@ -1,0 +1,175 @@
+//! DRAM latency, channel-occupancy and traffic accounting.
+//!
+//! Latency is a fixed random-read cost; bandwidth is modelled as a single
+//! channel that transfers one 64-byte line per [`DramConfig::cycles_per_line`]
+//! cycles. The channel model is what throttles Jukebox's bulk replay: a
+//! burst of prefetches queues on the channel, and each prefetch's arrival
+//! time is its issue slot plus the access latency. All transferred bytes
+//! are attributed to a [`Traffic`] category so Figure 12's overhead
+//! breakdown can be reconstructed.
+
+use crate::config::DramConfig;
+use crate::stats::{Traffic, TrafficBytes};
+use luke_common::addr::LINE_BYTES;
+
+/// The DRAM back-end.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::config::DramConfig;
+/// use sim_mem::dram::Dram;
+/// use sim_mem::stats::Traffic;
+///
+/// let mut dram = Dram::new(DramConfig::new(100, 10));
+/// let first = dram.read_line(0, Traffic::DemandInstr);
+/// let second = dram.read_line(0, Traffic::Prefetch);
+/// // Back-to-back reads queue on the channel.
+/// assert!(second > first);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    channel_free_at: u64,
+    traffic: TrafficBytes,
+}
+
+impl Dram {
+    /// Creates a DRAM model.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram {
+            cfg,
+            channel_free_at: 0,
+            traffic: TrafficBytes::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Reads one 64-byte line starting no earlier than `now`; returns the
+    /// cycle at which the line is available. Occupies the channel for the
+    /// transfer duration and attributes the bytes to `category`.
+    pub fn read_line(&mut self, now: u64, category: Traffic) -> u64 {
+        let start = now.max(self.channel_free_at);
+        self.channel_free_at = start + self.cfg.cycles_per_line;
+        self.traffic.add(category, LINE_BYTES as u64);
+        start + self.cfg.latency
+    }
+
+    /// Writes one 64-byte line (metadata recording). Writes are buffered
+    /// off the critical path, so no completion time is returned, but the
+    /// channel occupancy and traffic are charged.
+    pub fn write_line(&mut self, now: u64, category: Traffic) {
+        let start = now.max(self.channel_free_at);
+        self.channel_free_at = start + self.cfg.cycles_per_line;
+        self.traffic.add(category, LINE_BYTES as u64);
+    }
+
+    /// Transfers `bytes` of sequential metadata (rounded up to whole lines)
+    /// starting no earlier than `now`; returns availability of the last
+    /// line. Used for streaming metadata reads at replay.
+    pub fn read_bytes(&mut self, now: u64, bytes: u64, category: Traffic) -> u64 {
+        let lines = bytes.div_ceil(LINE_BYTES as u64).max(1);
+        let start = now.max(self.channel_free_at);
+        self.channel_free_at = start + lines * self.cfg.cycles_per_line;
+        self.traffic.add(category, lines * LINE_BYTES as u64);
+        start + self.cfg.latency + (lines - 1) * self.cfg.cycles_per_line
+    }
+
+    /// Accumulated traffic by category.
+    pub fn traffic(&self) -> &TrafficBytes {
+        self.traffic_ref()
+    }
+
+    fn traffic_ref(&self) -> &TrafficBytes {
+        &self.traffic
+    }
+
+    /// Cycle at which the channel is next free (for tests and the replay
+    /// issue loop).
+    pub fn channel_free_at(&self) -> u64 {
+        self.channel_free_at
+    }
+
+    /// Resets traffic counters (not channel state).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = TrafficBytes::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::new(100, 10))
+    }
+
+    #[test]
+    fn single_read_latency() {
+        let mut d = dram();
+        assert_eq!(d.read_line(0, Traffic::DemandInstr), 100);
+    }
+
+    #[test]
+    fn reads_queue_on_channel() {
+        let mut d = dram();
+        let a = d.read_line(0, Traffic::Prefetch);
+        let b = d.read_line(0, Traffic::Prefetch);
+        let c = d.read_line(0, Traffic::Prefetch);
+        assert_eq!(a, 100);
+        assert_eq!(b, 110);
+        assert_eq!(c, 120);
+    }
+
+    #[test]
+    fn idle_channel_does_not_delay() {
+        let mut d = dram();
+        d.read_line(0, Traffic::DemandData);
+        // By cycle 1000 the channel is long free.
+        assert_eq!(d.read_line(1000, Traffic::DemandData), 1100);
+    }
+
+    #[test]
+    fn traffic_attributed_per_category() {
+        let mut d = dram();
+        d.read_line(0, Traffic::DemandInstr);
+        d.read_line(0, Traffic::Prefetch);
+        d.write_line(0, Traffic::MetadataRecord);
+        let t = d.traffic();
+        assert_eq!(t.demand_instr, 64);
+        assert_eq!(t.prefetch, 64);
+        assert_eq!(t.metadata_record, 64);
+        assert_eq!(t.total(), 192);
+    }
+
+    #[test]
+    fn read_bytes_rounds_up_to_lines() {
+        let mut d = dram();
+        let done = d.read_bytes(0, 100, Traffic::MetadataReplay);
+        // 100 bytes -> 2 lines; last line available at latency + 1 slot.
+        assert_eq!(done, 110);
+        assert_eq!(d.traffic().metadata_replay, 128);
+    }
+
+    #[test]
+    fn writes_occupy_channel() {
+        let mut d = dram();
+        d.write_line(0, Traffic::MetadataRecord);
+        let read = d.read_line(0, Traffic::DemandData);
+        assert_eq!(read, 110);
+    }
+
+    #[test]
+    fn reset_traffic_clears_counters_only() {
+        let mut d = dram();
+        d.read_line(0, Traffic::DemandData);
+        let free = d.channel_free_at();
+        d.reset_traffic();
+        assert_eq!(d.traffic().total(), 0);
+        assert_eq!(d.channel_free_at(), free);
+    }
+}

@@ -1,0 +1,183 @@
+//! Miss-status holding registers: bounded in-flight miss tracking.
+//!
+//! MSHRs bound how many misses can overlap. The back-end's memory-level
+//! parallelism model asks the MSHR file whether a new miss can be issued at
+//! a given cycle; a full file serialises the access behind the earliest
+//! completion, which is how bursts of data misses stop overlapping once the
+//! Table 1 limits (10 at L1, 32 at L2/LLC) are reached.
+
+/// A bounded set of in-flight misses, each identified by line number and a
+/// completion cycle.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::mshr::MshrFile;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.issue(1, 0, 100), 0);   // starts immediately
+/// assert_eq!(mshrs.issue(2, 0, 100), 0);   // second entry
+/// // File full until cycle 100: the third miss is delayed.
+/// assert_eq!(mshrs.issue(3, 0, 100), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    // Completion cycles of in-flight misses.
+    in_flight: Vec<(u64, u64)>, // (line, completes_at)
+    merges: u64,
+    delays: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            in_flight: Vec::with_capacity(capacity),
+            merges: 0,
+            delays: 0,
+        }
+    }
+
+    /// Issues a miss for `line` at cycle `now` with service time
+    /// `latency`; returns the cycle at which the miss *starts* being
+    /// serviced (equal to `now` unless the file is full, in which case it
+    /// is the earliest completion among in-flight misses).
+    ///
+    /// A miss to a line already in flight merges with the existing entry
+    /// (returns its start so the caller can compute the shared completion).
+    pub fn issue(&mut self, line: u64, now: u64, latency: u64) -> u64 {
+        self.retire(now);
+        if let Some(&(_, completes)) = self.in_flight.iter().find(|(l, _)| *l == line) {
+            self.merges += 1;
+            // Merged miss completes when the original does.
+            return completes.saturating_sub(latency);
+        }
+        let start = if self.in_flight.len() < self.capacity {
+            now
+        } else {
+            self.delays += 1;
+            let earliest = self
+                .in_flight
+                .iter()
+                .map(|&(_, c)| c)
+                .min()
+                .expect("file is full, so non-empty");
+            // Free the slot that completes earliest.
+            let idx = self
+                .in_flight
+                .iter()
+                .position(|&(_, c)| c == earliest)
+                .expect("found above");
+            self.in_flight.swap_remove(idx);
+            earliest.max(now)
+        };
+        self.in_flight.push((line, start + latency));
+        start
+    }
+
+    /// Drops entries that completed at or before `now`.
+    pub fn retire(&mut self, now: u64) {
+        self.in_flight.retain(|&(_, c)| c > now);
+    }
+
+    /// Number of currently tracked misses (after retiring at `now`).
+    pub fn occupancy(&mut self, now: u64) -> usize {
+        self.retire(now);
+        self.in_flight.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Count of merged (secondary) misses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Count of misses delayed by a full file.
+    pub fn delays(&self) -> u64 {
+        self.delays
+    }
+
+    /// Clears all in-flight state (pipeline flush).
+    pub fn flush(&mut self) {
+        self.in_flight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_capacity_no_delay() {
+        let mut m = MshrFile::new(4);
+        for line in 0..4 {
+            assert_eq!(m.issue(line, 10, 100), 10);
+        }
+        assert_eq!(m.delays(), 0);
+    }
+
+    #[test]
+    fn full_file_serialises_behind_earliest_completion() {
+        let mut m = MshrFile::new(2);
+        m.issue(1, 0, 50); // completes 50
+        m.issue(2, 0, 90); // completes 90
+        let start = m.issue(3, 10, 100);
+        assert_eq!(start, 50);
+        assert_eq!(m.delays(), 1);
+    }
+
+    #[test]
+    fn completed_entries_retire() {
+        let mut m = MshrFile::new(1);
+        m.issue(1, 0, 10); // completes at 10
+        assert_eq!(m.issue(2, 20, 10), 20);
+        assert_eq!(m.delays(), 0);
+    }
+
+    #[test]
+    fn duplicate_line_merges() {
+        let mut m = MshrFile::new(4);
+        m.issue(5, 0, 100);
+        let start = m.issue(5, 30, 100);
+        // Merged miss completes with the original at 100.
+        assert_eq!(start + 100, 100);
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.occupancy(30), 1);
+    }
+
+    #[test]
+    fn occupancy_reflects_retirement() {
+        let mut m = MshrFile::new(4);
+        m.issue(1, 0, 10);
+        m.issue(2, 0, 20);
+        assert_eq!(m.occupancy(5), 2);
+        assert_eq!(m.occupancy(15), 1);
+        assert_eq!(m.occupancy(25), 0);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut m = MshrFile::new(2);
+        m.issue(1, 0, 100);
+        m.flush();
+        assert_eq!(m.occupancy(0), 0);
+        assert_eq!(m.issue(2, 0, 10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        MshrFile::new(0);
+    }
+}

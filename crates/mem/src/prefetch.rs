@@ -1,0 +1,335 @@
+//! The instruction-prefetcher interface.
+//!
+//! Prefetchers (Jukebox in `crates/core`, the baselines in
+//! `crates/prefetchers`) plug into the simulation through
+//! [`InstructionPrefetcher`]: they observe the demand instruction-fetch
+//! stream ([`FetchObservation`]) and issue prefetches through a
+//! [`PrefetchIssuer`], which owns the timing rules — address translation,
+//! I-TLB pre-population, DRAM channel pacing and metadata traffic
+//! accounting — so that no prefetcher can cheat the memory model.
+
+use crate::hierarchy::{MemoryHierarchy, PrefetchOutcome};
+use crate::page_table::PageTable;
+use crate::stats::Traffic;
+use luke_common::addr::LineAddr;
+
+/// One demand instruction-line fetch, as observed by a prefetcher.
+///
+/// The Jukebox recorder filters on `l2_miss` (it records the stream of L2
+/// instruction misses, §3.2); temporal-stream prefetchers like PIF consume
+/// every observation as a proxy for the retired instruction stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchObservation {
+    /// Virtual line address fetched.
+    pub vline: LineAddr,
+    /// The fetch missed the L1-I.
+    pub l1_miss: bool,
+    /// The fetch also missed the L2.
+    pub l2_miss: bool,
+    /// The fetch hit the L2 on a prefetched line's first demand use —
+    /// an L2 miss that the prefetcher covered. Record-and-replay
+    /// prefetchers must record these too, or covered lines would vanish
+    /// from the next metadata generation.
+    pub l2_prefetch_first_use: bool,
+    /// Core cycle of the fetch.
+    pub now: u64,
+}
+
+impl FetchObservation {
+    /// Whether a record-and-replay recorder should record this fetch: it
+    /// missed the L2, or only hit because a prefetch covered it.
+    pub fn l2_recordable(&self) -> bool {
+        self.l2_miss || self.l2_prefetch_first_use
+    }
+}
+
+/// Counters of prefetcher-initiated activity within one invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IssueCounters {
+    /// Prefetches that caused a line fetch (LLC or DRAM).
+    pub issued: u64,
+    /// Prefetches dropped because the line was already L2-resident.
+    pub redundant: u64,
+    /// Metadata bytes written (recording).
+    pub metadata_written: u64,
+    /// Metadata bytes read (replaying).
+    pub metadata_read: u64,
+}
+
+/// Persistent issuer state that survives between borrows of the memory
+/// system: the replay/streaming clock and the activity counters. The core
+/// timing loop threads one of these through an invocation, constructing a
+/// short-lived [`PrefetchIssuer`] around it for each prefetcher callback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IssuerState {
+    /// The issuer's clock (see [`PrefetchIssuer::now`]).
+    pub clock: u64,
+    /// Accumulated activity counters.
+    pub counters: IssueCounters,
+}
+
+/// The controlled interface through which prefetchers touch the memory
+/// system.
+#[derive(Debug)]
+pub struct PrefetchIssuer<'a> {
+    mem: &'a mut MemoryHierarchy,
+    page_table: &'a mut PageTable,
+    clock: u64,
+    counters: IssueCounters,
+}
+
+impl<'a> PrefetchIssuer<'a> {
+    /// Creates an issuer positioned at cycle `now`.
+    pub fn new(mem: &'a mut MemoryHierarchy, page_table: &'a mut PageTable, now: u64) -> Self {
+        PrefetchIssuer {
+            mem,
+            page_table,
+            clock: now,
+            counters: IssueCounters::default(),
+        }
+    }
+
+    /// Re-creates an issuer from persisted [`IssuerState`], advancing its
+    /// clock to at least `now` (a prefetcher can never issue in the past).
+    pub fn resume(
+        mem: &'a mut MemoryHierarchy,
+        page_table: &'a mut PageTable,
+        state: IssuerState,
+        now: u64,
+    ) -> Self {
+        PrefetchIssuer {
+            mem,
+            page_table,
+            clock: state.clock.max(now),
+            counters: state.counters,
+        }
+    }
+
+    /// Extracts the persistent state for a later [`PrefetchIssuer::resume`].
+    pub fn into_state(self) -> IssuerState {
+        IssuerState {
+            clock: self.clock,
+            counters: self.counters,
+        }
+    }
+
+    /// The issuer's current cycle. Advances as metadata reads and line
+    /// transfers occupy the memory channel, which is what makes bulk
+    /// replay take time and late prefetches possible.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Issues an instruction prefetch into the L2 for `vline`.
+    ///
+    /// Translates the address (pre-populating the I-TLB, replay step 2 of
+    /// §3.3) and requests the line. Returns the fill outcome.
+    pub fn prefetch_line(&mut self, vline: LineAddr) -> PrefetchOutcome {
+        self.mem.itlb_prefill(vline.base().page_number());
+        let pline = self.page_table.translate_line(vline);
+        let outcome = self.mem.prefetch_instr_l2(pline, self.clock);
+        if outcome.already_resident {
+            self.counters.redundant += 1;
+        } else {
+            self.counters.issued += 1;
+        }
+        outcome
+    }
+
+    /// Charges a sequential metadata read of `bytes` (replay). Returns the
+    /// cycle at which the metadata is available; the issuer's clock
+    /// advances to that point, so subsequent prefetches cannot outrun their
+    /// own metadata.
+    pub fn read_metadata(&mut self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return self.clock;
+        }
+        self.counters.metadata_read += bytes;
+        let available = self
+            .mem
+            .dram_mut()
+            .read_bytes(self.clock, bytes, Traffic::MetadataReplay);
+        self.clock = available;
+        available
+    }
+
+    /// Charges a metadata write of `bytes` (recording). Writes are
+    /// buffered off the critical path; only traffic is charged.
+    pub fn write_metadata(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.counters.metadata_written += bytes;
+        let mut remaining = bytes;
+        while remaining > 0 {
+            self.mem
+                .dram_mut()
+                .write_line(self.clock, Traffic::MetadataRecord);
+            remaining = remaining.saturating_sub(luke_common::addr::LINE_BYTES as u64);
+        }
+    }
+
+    /// Activity counters accumulated through this issuer.
+    pub fn counters(&self) -> IssueCounters {
+        self.counters
+    }
+}
+
+/// An instruction prefetcher driven by the simulation loop.
+///
+/// Implementations: `jukebox::JukeboxPrefetcher`, `prefetchers::Pif`,
+/// `prefetchers::NextLine`, `prefetchers::NoPrefetcher`.
+pub trait InstructionPrefetcher {
+    /// Short display name ("jukebox", "pif", ...).
+    fn name(&self) -> &str;
+
+    /// Invoked when the OS dispatches a new invocation to the core —
+    /// the replay trigger (§3.3). `issuer.now()` is the dispatch cycle.
+    fn on_invocation_start(&mut self, issuer: &mut PrefetchIssuer<'_>);
+
+    /// Invoked for every demand instruction-line fetch, in program order.
+    fn on_fetch(&mut self, observation: &FetchObservation, issuer: &mut PrefetchIssuer<'_>);
+
+    /// Invoked when the invocation completes and the process is
+    /// descheduled; recording state is sealed here.
+    fn on_invocation_end(&mut self, issuer: &mut PrefetchIssuer<'_>);
+}
+
+/// The trivial prefetcher: does nothing. This is the paper's interleaved
+/// baseline configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoPrefetcher;
+
+impl InstructionPrefetcher for NoPrefetcher {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn on_invocation_start(&mut self, _issuer: &mut PrefetchIssuer<'_>) {}
+
+    fn on_fetch(&mut self, _observation: &FetchObservation, _issuer: &mut PrefetchIssuer<'_>) {}
+
+    fn on_invocation_end(&mut self, _issuer: &mut PrefetchIssuer<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+
+    fn setup() -> (MemoryHierarchy, PageTable) {
+        (
+            MemoryHierarchy::new(HierarchyConfig::skylake_like()),
+            PageTable::new(0),
+        )
+    }
+
+    #[test]
+    fn prefetch_line_translates_and_fills_l2() {
+        let (mut mem, mut pt) = setup();
+        let vline = LineAddr::from_index(1 << 16);
+        let pline = pt.translate_line(vline);
+        {
+            let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+            let out = issuer.prefetch_line(vline);
+            assert!(!out.already_resident);
+            assert_eq!(issuer.counters().issued, 1);
+        }
+        assert!(mem.l2().peek(pline));
+        assert!(mem.itlb_contains(vline.base().page_number()));
+    }
+
+    #[test]
+    fn redundant_prefetches_counted_separately() {
+        let (mut mem, mut pt) = setup();
+        let vline = LineAddr::from_index(77);
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        issuer.prefetch_line(vline);
+        issuer.prefetch_line(vline);
+        let c = issuer.counters();
+        assert_eq!(c.issued, 1);
+        assert_eq!(c.redundant, 1);
+    }
+
+    #[test]
+    fn metadata_read_advances_clock_and_charges_traffic() {
+        let (mut mem, mut pt) = setup();
+        {
+            let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+            let t = issuer.read_metadata(256);
+            assert!(t > 0);
+            assert_eq!(issuer.now(), t);
+            assert_eq!(issuer.counters().metadata_read, 256);
+        }
+        assert_eq!(mem.dram().traffic().metadata_replay, 256);
+    }
+
+    #[test]
+    fn metadata_write_charges_traffic_without_stalling() {
+        let (mut mem, mut pt) = setup();
+        {
+            let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+            let before = issuer.now();
+            issuer.write_metadata(128);
+            assert_eq!(issuer.now(), before);
+        }
+        assert_eq!(mem.dram().traffic().metadata_record, 128);
+    }
+
+    #[test]
+    fn zero_byte_metadata_ops_are_free() {
+        let (mut mem, mut pt) = setup();
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 5);
+        assert_eq!(issuer.read_metadata(0), 5);
+        issuer.write_metadata(0);
+        let c = issuer.counters();
+        assert_eq!(c.metadata_read, 0);
+        assert_eq!(c.metadata_written, 0);
+    }
+
+    #[test]
+    fn resume_preserves_counters_and_advances_clock() {
+        let (mut mem, mut pt) = setup();
+        let state = {
+            let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+            issuer.prefetch_line(LineAddr::from_index(5));
+            issuer.into_state()
+        };
+        assert_eq!(state.counters.issued, 1);
+        let resumed = PrefetchIssuer::resume(&mut mem, &mut pt, state, 1_000_000);
+        assert_eq!(resumed.now(), 1_000_000, "clock advances to now");
+        assert_eq!(resumed.counters().issued, 1);
+    }
+
+    #[test]
+    fn resume_keeps_later_clock() {
+        let (mut mem, mut pt) = setup();
+        let state = IssuerState {
+            clock: 500,
+            counters: IssueCounters::default(),
+        };
+        let issuer = PrefetchIssuer::resume(&mut mem, &mut pt, state, 100);
+        assert_eq!(issuer.now(), 500, "a lagging core cannot rewind the issuer");
+    }
+
+    #[test]
+    fn no_prefetcher_is_inert() {
+        let (mut mem, mut pt) = setup();
+        let mut pf = NoPrefetcher;
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        pf.on_invocation_start(&mut issuer);
+        pf.on_fetch(
+            &FetchObservation {
+                vline: LineAddr::from_index(1),
+                l1_miss: true,
+                l2_miss: true,
+                l2_prefetch_first_use: false,
+                now: 0,
+            },
+            &mut issuer,
+        );
+        pf.on_invocation_end(&mut issuer);
+        assert_eq!(issuer.counters(), IssueCounters::default());
+        assert_eq!(pf.name(), "none");
+    }
+}

@@ -1,0 +1,280 @@
+//! Statistics counters for caches and DRAM traffic.
+//!
+//! The evaluation needs, per cache level, demand hits/misses split by
+//! instruction vs data (the MPKI breakdowns of Figure 5 and Table 3) and
+//! prefetch bookkeeping (fills, covered misses, overpredictions —
+//! Figure 11); and, for DRAM, bytes moved by traffic category
+//! (Figure 12's bandwidth-overhead breakdown).
+
+use crate::cache::AccessClass;
+
+/// Demand hit/miss counters for one access class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+}
+
+impl ClassCounts {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Raw miss ratio (misses / accesses). MPKI is computed by the caller,
+    /// which knows the retired-instruction count; see [`mpki`].
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Counters for one cache level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Instruction-side demand traffic.
+    pub instr: ClassCounts,
+    /// Data-side demand traffic.
+    pub data: ClassCounts,
+    /// Demand hits on lines brought in by a prefetch, first touch only
+    /// (covered misses).
+    pub prefetch_first_hits: u64,
+    /// Demand hits whose fill was still in flight (late but useful
+    /// prefetches).
+    pub prefetch_late_hits: u64,
+    /// Lines filled by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Demand fills triggered by instruction accesses.
+    pub instr_fills: u64,
+    /// Demand fills triggered by data accesses.
+    pub data_fills: u64,
+    /// Prefetched lines evicted (or flushed) without ever being
+    /// demand-referenced: overpredictions.
+    pub prefetch_evicted_unused: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record_hit(
+        &mut self,
+        class: AccessClass,
+        first_use_of_prefetch: bool,
+        late: bool,
+    ) {
+        match class {
+            AccessClass::Instr => self.instr.hits += 1,
+            AccessClass::Data => self.data.hits += 1,
+        }
+        if first_use_of_prefetch {
+            self.prefetch_first_hits += 1;
+            if late {
+                self.prefetch_late_hits += 1;
+            }
+        }
+    }
+
+    pub(crate) fn record_miss(&mut self, class: AccessClass) {
+        match class {
+            AccessClass::Instr => self.instr.misses += 1,
+            AccessClass::Data => self.data.misses += 1,
+        }
+    }
+
+    /// Total demand misses (instruction + data).
+    pub fn demand_misses(&self) -> u64 {
+        self.instr.misses + self.data.misses
+    }
+
+    /// Misses per thousand instructions for the instruction class.
+    pub fn instr_mpki(&self, instructions: u64) -> f64 {
+        mpki(self.instr.misses, instructions)
+    }
+
+    /// Misses per thousand instructions for the data class.
+    pub fn data_mpki(&self, instructions: u64) -> f64 {
+        mpki(self.data.misses, instructions)
+    }
+
+    /// Difference of two snapshots: `self - earlier`, counter-wise. Used to
+    /// attribute statistics to a single invocation.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            instr: ClassCounts {
+                hits: self.instr.hits - earlier.instr.hits,
+                misses: self.instr.misses - earlier.instr.misses,
+            },
+            data: ClassCounts {
+                hits: self.data.hits - earlier.data.hits,
+                misses: self.data.misses - earlier.data.misses,
+            },
+            prefetch_first_hits: self.prefetch_first_hits - earlier.prefetch_first_hits,
+            prefetch_late_hits: self.prefetch_late_hits - earlier.prefetch_late_hits,
+            prefetch_fills: self.prefetch_fills - earlier.prefetch_fills,
+            instr_fills: self.instr_fills - earlier.instr_fills,
+            data_fills: self.data_fills - earlier.data_fills,
+            prefetch_evicted_unused: self.prefetch_evicted_unused - earlier.prefetch_evicted_unused,
+        }
+    }
+}
+
+/// Misses per thousand instructions.
+pub fn mpki(misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+/// Category of a DRAM line transfer, for bandwidth accounting (Figure 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Traffic {
+    /// Demand instruction fetch.
+    DemandInstr,
+    /// Demand data access.
+    DemandData,
+    /// Prefetcher-initiated line fetch.
+    Prefetch,
+    /// Prefetcher metadata written during recording.
+    MetadataRecord,
+    /// Prefetcher metadata read during replay.
+    MetadataReplay,
+}
+
+/// Byte counters per traffic category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficBytes {
+    /// Demand instruction bytes.
+    pub demand_instr: u64,
+    /// Demand data bytes.
+    pub demand_data: u64,
+    /// Prefetch bytes (useful and overpredicted alike; overpredictions are
+    /// separated post-hoc via cache statistics).
+    pub prefetch: u64,
+    /// Metadata bytes written while recording.
+    pub metadata_record: u64,
+    /// Metadata bytes read while replaying.
+    pub metadata_replay: u64,
+}
+
+impl TrafficBytes {
+    /// Adds `bytes` to the given category.
+    pub fn add(&mut self, category: Traffic, bytes: u64) {
+        match category {
+            Traffic::DemandInstr => self.demand_instr += bytes,
+            Traffic::DemandData => self.demand_data += bytes,
+            Traffic::Prefetch => self.prefetch += bytes,
+            Traffic::MetadataRecord => self.metadata_record += bytes,
+            Traffic::MetadataReplay => self.metadata_replay += bytes,
+        }
+    }
+
+    /// Total bytes across all categories.
+    pub fn total(&self) -> u64 {
+        self.demand_instr
+            + self.demand_data
+            + self.prefetch
+            + self.metadata_record
+            + self.metadata_replay
+    }
+
+    /// Demand-only bytes (the baseline traffic without any prefetcher).
+    pub fn demand(&self) -> u64 {
+        self.demand_instr + self.demand_data
+    }
+
+    /// Counter-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &TrafficBytes) -> TrafficBytes {
+        TrafficBytes {
+            demand_instr: self.demand_instr - earlier.demand_instr,
+            demand_data: self.demand_data - earlier.demand_data,
+            prefetch: self.prefetch - earlier.prefetch,
+            metadata_record: self.metadata_record - earlier.metadata_record,
+            metadata_replay: self.metadata_replay - earlier.metadata_replay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_empty() {
+        assert_eq!(ClassCounts::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_simple() {
+        let c = ClassCounts { hits: 3, misses: 1 };
+        assert_eq!(c.accesses(), 4);
+        assert!((c.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_computation() {
+        assert_eq!(mpki(54, 1000), 54.0);
+        assert_eq!(mpki(10, 0), 0.0);
+        let s = CacheStats {
+            instr: ClassCounts {
+                hits: 0,
+                misses: 30,
+            },
+            data: ClassCounts {
+                hits: 0,
+                misses: 10,
+            },
+            ..CacheStats::default()
+        };
+        assert_eq!(s.instr_mpki(1000), 30.0);
+        assert_eq!(s.data_mpki(2000), 5.0);
+        assert_eq!(s.demand_misses(), 40);
+    }
+
+    #[test]
+    fn stats_delta_subtracts_counterwise() {
+        let early = CacheStats {
+            instr: ClassCounts { hits: 5, misses: 2 },
+            prefetch_fills: 1,
+            ..CacheStats::default()
+        };
+        let late = CacheStats {
+            instr: ClassCounts { hits: 9, misses: 3 },
+            prefetch_fills: 4,
+            ..CacheStats::default()
+        };
+        let d = late.delta(&early);
+        assert_eq!(d.instr.hits, 4);
+        assert_eq!(d.instr.misses, 1);
+        assert_eq!(d.prefetch_fills, 3);
+    }
+
+    #[test]
+    fn traffic_bytes_accumulate_and_total() {
+        let mut t = TrafficBytes::default();
+        t.add(Traffic::DemandInstr, 64);
+        t.add(Traffic::DemandData, 128);
+        t.add(Traffic::Prefetch, 64);
+        t.add(Traffic::MetadataRecord, 32);
+        t.add(Traffic::MetadataReplay, 32);
+        assert_eq!(t.total(), 320);
+        assert_eq!(t.demand(), 192);
+    }
+
+    #[test]
+    fn traffic_delta() {
+        let mut a = TrafficBytes::default();
+        a.add(Traffic::Prefetch, 100);
+        let mut b = a;
+        b.add(Traffic::Prefetch, 50);
+        b.add(Traffic::DemandData, 7);
+        let d = b.delta(&a);
+        assert_eq!(d.prefetch, 50);
+        assert_eq!(d.demand_data, 7);
+        assert_eq!(d.demand_instr, 0);
+    }
+}

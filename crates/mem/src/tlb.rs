@@ -1,0 +1,201 @@
+//! Fully-associative translation lookaside buffers with LRU replacement.
+//!
+//! The Jukebox replay engine deliberately pushes region base addresses
+//! through the I-TLB so that translations are pre-populated before demand
+//! fetch needs them (§3.3, step 2). Modelling TLB contents therefore
+//! matters: a lukewarm invocation starts with a cold I-TLB, and part of the
+//! fetch-latency win comes from replay-initiated page walks happening off
+//! the critical path.
+
+use crate::config::TlbConfig;
+
+/// Outcome of a TLB access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbOutcome {
+    /// Whether the translation was resident.
+    pub hit: bool,
+    /// Latency charged for the translation (0 on a hit, the page-walk
+    /// latency on a miss).
+    pub latency: u64,
+}
+
+/// A fully-associative TLB of virtual page numbers.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::config::TlbConfig;
+/// use sim_mem::tlb::Tlb;
+///
+/// let mut tlb = Tlb::new(TlbConfig::new(4, 40));
+/// assert!(!tlb.access(7).hit);
+/// assert!(tlb.access(7).hit);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    // (virtual page number, last-touch sequence)
+    entries: Vec<(u64, u64)>,
+    seq: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        Tlb {
+            cfg,
+            entries: Vec::with_capacity(cfg.entries),
+            seq: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates a virtual page number, walking the page table on a miss
+    /// and installing the translation.
+    pub fn access(&mut self, vpage: u64) -> TlbOutcome {
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(entry) = self.entries.iter_mut().find(|(page, _)| *page == vpage) {
+            entry.1 = seq;
+            self.hits += 1;
+            return TlbOutcome {
+                hit: true,
+                latency: 0,
+            };
+        }
+        self.misses += 1;
+        self.insert(vpage);
+        TlbOutcome {
+            hit: false,
+            latency: self.cfg.walk_latency,
+        }
+    }
+
+    /// Installs a translation without charging the walk to the caller —
+    /// used by replay-initiated translations that happen off the critical
+    /// path (§3.3).
+    pub fn prefill(&mut self, vpage: u64) {
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(entry) = self.entries.iter_mut().find(|(page, _)| *page == vpage) {
+            entry.1 = seq;
+            return;
+        }
+        self.insert(vpage);
+    }
+
+    fn insert(&mut self, vpage: u64) {
+        let seq = self.seq;
+        if self.entries.len() < self.cfg.entries {
+            self.entries.push((vpage, seq));
+            return;
+        }
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, touch))| *touch)
+            .map(|(i, _)| i)
+            .expect("TLB has at least one entry");
+        self.entries[victim] = (vpage, seq);
+    }
+
+    /// Whether a translation is resident (no state change).
+    pub fn contains(&self, vpage: u64) -> bool {
+        self.entries.iter().any(|(page, _)| *page == vpage)
+    }
+
+    /// Invalidates all translations (context switch / interleaving flush).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// (hits, misses) since construction.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of resident translations.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(entries: usize) -> Tlb {
+        Tlb::new(TlbConfig::new(entries, 40))
+    }
+
+    #[test]
+    fn miss_charges_walk_latency() {
+        let mut t = tlb(4);
+        let out = t.access(1);
+        assert!(!out.hit);
+        assert_eq!(out.latency, 40);
+    }
+
+    #[test]
+    fn hit_is_free() {
+        let mut t = tlb(4);
+        t.access(1);
+        let out = t.access(1);
+        assert!(out.hit);
+        assert_eq!(out.latency, 0);
+    }
+
+    #[test]
+    fn lru_eviction_on_overflow() {
+        let mut t = tlb(2);
+        t.access(1);
+        t.access(2);
+        t.access(1); // 2 becomes LRU
+        t.access(3); // evicts 2
+        assert!(t.contains(1));
+        assert!(!t.contains(2));
+        assert!(t.contains(3));
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn prefill_avoids_later_walk() {
+        let mut t = tlb(4);
+        t.prefill(9);
+        let out = t.access(9);
+        assert!(out.hit);
+    }
+
+    #[test]
+    fn prefill_of_resident_page_refreshes_recency() {
+        let mut t = tlb(2);
+        t.access(1);
+        t.access(2);
+        t.prefill(1); // 2 is now LRU
+        t.access(3);
+        assert!(t.contains(1));
+        assert!(!t.contains(2));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = tlb(4);
+        t.access(1);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+        assert!(!t.access(1).hit);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut t = tlb(4);
+        t.access(1);
+        t.access(1);
+        t.access(2);
+        assert_eq!(t.counts(), (1, 2));
+    }
+}

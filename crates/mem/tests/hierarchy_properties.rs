@@ -1,0 +1,170 @@
+//! Property-based tests of the memory hierarchy: latency ordering,
+//! inclusion-ish behaviour of the demand path, prefetch semantics and
+//! statistics consistency under arbitrary access sequences.
+
+use luke_common::addr::LineAddr;
+use proptest::prelude::*;
+use sim_mem::config::HierarchyConfig;
+use sim_mem::hierarchy::{Level, MemoryHierarchy};
+use sim_mem::page_table::PageTable;
+use sim_mem::stats::Traffic;
+
+fn mem() -> MemoryHierarchy {
+    MemoryHierarchy::new(HierarchyConfig::skylake_like())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn repeat_fetch_is_never_slower(lines in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut m = mem();
+        let mut pt = PageTable::new(0);
+        let mut now = 0u64;
+        for &l in &lines {
+            let vline = LineAddr::from_index(l);
+            let pline = pt.translate_line(vline);
+            let first = m.fetch_instr(vline, pline, now);
+            now += first.latency;
+            let again = m.fetch_instr(vline, pline, now);
+            now += again.latency;
+            prop_assert!(again.latency <= first.latency, "line {l}");
+            prop_assert_eq!(again.hit_level, Level::L1);
+        }
+    }
+
+    #[test]
+    fn deeper_levels_cost_more(line in 0u64..100_000) {
+        let mut m = mem();
+        let mut pt = PageTable::new(0);
+        let vline = LineAddr::from_index(line);
+        let pline = pt.translate_line(vline);
+        let memory = m.fetch_instr(vline, pline, 0);
+        prop_assert_eq!(memory.hit_level, Level::Memory);
+        let warm = m.fetch_instr(vline, pline, memory.latency);
+        prop_assert!(warm.latency < memory.latency);
+    }
+
+    #[test]
+    fn demand_miss_counts_are_consistent(lines in prop::collection::vec(0u64..512, 1..300)) {
+        // At every level, hits + misses of the instruction class equals
+        // the number of accesses reaching that level.
+        let mut m = mem();
+        let mut pt = PageTable::new(0);
+        let mut now = 0u64;
+        for &l in &lines {
+            let vline = LineAddr::from_index(l);
+            let pline = pt.translate_line(vline);
+            let out = m.fetch_instr(vline, pline, now);
+            now += out.latency;
+        }
+        let snap = m.snapshot();
+        let l1 = snap.l1i.instr;
+        prop_assert_eq!(l1.accesses(), lines.len() as u64);
+        // L2 sees exactly the L1 misses.
+        prop_assert_eq!(snap.l2.instr.accesses(), l1.misses);
+        // LLC sees exactly the L2 misses.
+        prop_assert_eq!(snap.llc.instr.accesses(), snap.l2.instr.misses);
+        // DRAM moved exactly one line per LLC miss.
+        prop_assert_eq!(snap.traffic.demand_instr, snap.llc.instr.misses * 64);
+    }
+
+    #[test]
+    fn prefetch_then_demand_hits_l2_or_better(lines in prop::collection::vec(0u64..2048, 1..100)) {
+        let mut m = mem();
+        let mut pt = PageTable::new(0);
+        let mut arrival = 0;
+        for &l in &lines {
+            let pline = pt.translate_line(LineAddr::from_index(l));
+            arrival = m.prefetch_instr_l2(pline, 0).arrival.max(arrival);
+        }
+        // After all fills complete, every line must be L2-resident or
+        // better (smaller sets may have evicted some under conflict —
+        // bounded by capacity).
+        let mut resident = 0;
+        for &l in &lines {
+            let pline = pt.translate_line(LineAddr::from_index(l));
+            if m.l2().peek(pline) {
+                resident += 1;
+            }
+        }
+        let unique: std::collections::BTreeSet<u64> = lines.iter().copied().collect();
+        prop_assert!(
+            resident as usize >= unique.len().min(m.l2().capacity_lines() / 2),
+            "{resident} resident of {} unique",
+            unique.len()
+        );
+        let _ = arrival;
+    }
+
+    #[test]
+    fn flush_restores_cold_behaviour(lines in prop::collection::vec(0u64..256, 1..50)) {
+        let mut m = mem();
+        let mut pt = PageTable::new(0);
+        for &l in &lines {
+            let vline = LineAddr::from_index(l);
+            let pline = pt.translate_line(vline);
+            m.fetch_instr(vline, pline, 0);
+        }
+        m.flush_all();
+        let vline = LineAddr::from_index(lines[0]);
+        let pline = pt.translate_line(vline);
+        let out = m.fetch_instr(vline, pline, 1_000_000);
+        prop_assert_eq!(out.hit_level, Level::Memory);
+        prop_assert!(out.tlb_miss);
+    }
+
+    #[test]
+    fn decay_fraction_one_equals_flush(lines in prop::collection::vec(0u64..256, 1..50), salt in any::<u64>()) {
+        let mut m = mem();
+        let mut pt = PageTable::new(0);
+        for &l in &lines {
+            let vline = LineAddr::from_index(l);
+            let pline = pt.translate_line(vline);
+            m.fetch_instr(vline, pline, 0);
+        }
+        m.decay(1.0, 1.0, salt);
+        prop_assert_eq!(m.l1i().occupancy(), 0);
+        prop_assert_eq!(m.l2().occupancy(), 0);
+        prop_assert_eq!(m.llc().occupancy(), 0);
+    }
+
+    #[test]
+    fn dram_channel_time_is_monotonic(reads in prop::collection::vec(0u64..1000, 1..100)) {
+        let mut m = mem();
+        let mut last = 0u64;
+        let mut now = 0u64;
+        for &gap in &reads {
+            now += gap;
+            let available = m.dram_mut().read_line(now, Traffic::Prefetch);
+            prop_assert!(available > now, "completion must be in the future");
+            prop_assert!(available >= last, "channel time went backwards");
+            last = available;
+        }
+    }
+
+    #[test]
+    fn perfect_icache_only_pays_compulsory(lines in prop::collection::vec(0u64..512, 1..150)) {
+        let mut m = mem();
+        m.set_perfect_icache(true);
+        let mut pt = PageTable::new(0);
+        let unique: std::collections::BTreeSet<u64> = lines.iter().copied().collect();
+        let mut memory_fetches = 0u64;
+        let mut now = 0;
+        for &l in &lines {
+            let vline = LineAddr::from_index(l);
+            let pline = pt.translate_line(vline);
+            let out = m.fetch_instr(vline, pline, now);
+            now += out.latency;
+            if out.hit_level == Level::Memory {
+                memory_fetches += 1;
+            }
+        }
+        prop_assert_eq!(memory_fetches, unique.len() as u64);
+        // Flushing must not disturb the perfect store.
+        m.flush_all();
+        let vline = LineAddr::from_index(lines[0]);
+        let pline = pt.translate_line(vline);
+        prop_assert_eq!(m.fetch_instr(vline, pline, now).hit_level, Level::L1);
+    }
+}

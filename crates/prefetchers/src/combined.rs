@@ -1,0 +1,123 @@
+//! Composition of several prefetchers (the "JB + PIF-ideal" configuration
+//! of Figure 13).
+
+use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
+
+/// Runs multiple prefetchers side by side: every event is delivered to
+/// each component in order. Redundant prefetches are deduplicated by the
+/// L2 presence check in the memory hierarchy, so composition is safe.
+pub struct Combined {
+    name: String,
+    components: Vec<Box<dyn InstructionPrefetcher>>,
+}
+
+impl Combined {
+    /// Combines the given prefetchers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<Box<dyn InstructionPrefetcher>>) -> Self {
+        assert!(!components.is_empty(), "need at least one component");
+        let name = components
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join("+");
+        Combined { name, components }
+    }
+
+    /// Number of composed prefetchers.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the combination is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Combined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Combined")
+            .field("name", &self.name)
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl InstructionPrefetcher for Combined {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_invocation_start(&mut self, issuer: &mut PrefetchIssuer<'_>) {
+        for c in &mut self.components {
+            c.on_invocation_start(issuer);
+        }
+    }
+
+    fn on_fetch(&mut self, observation: &FetchObservation, issuer: &mut PrefetchIssuer<'_>) {
+        for c in &mut self.components {
+            c.on_fetch(observation, issuer);
+        }
+    }
+
+    fn on_invocation_end(&mut self, issuer: &mut PrefetchIssuer<'_>) {
+        for c in &mut self.components {
+            c.on_invocation_end(issuer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::next_line::NextLine;
+    use luke_common::addr::LineAddr;
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::hierarchy::MemoryHierarchy;
+    use sim_mem::page_table::PageTable;
+
+    #[test]
+    fn name_joins_components() {
+        let c = Combined::new(vec![
+            Box::new(NextLine::new(1)),
+            Box::new(crate::pif::Pif::ideal()),
+        ]);
+        assert_eq!(c.name(), "next-line+pif-ideal");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn events_reach_all_components() {
+        let mut c = Combined::new(vec![Box::new(NextLine::new(1)), Box::new(NextLine::new(2))]);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        c.on_invocation_start(&mut issuer);
+        c.on_fetch(
+            &FetchObservation {
+                vline: LineAddr::from_index(10),
+                l1_miss: true,
+                l2_miss: true,
+                l2_prefetch_first_use: false,
+                now: 0,
+            },
+            &mut issuer,
+        );
+        c.on_invocation_end(&mut issuer);
+        // depth-1 issues line 11; depth-2 issues 11 (redundant) and 12.
+        let counters = issuer.counters();
+        assert_eq!(counters.issued, 2);
+        assert_eq!(counters.redundant, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_combination_rejected() {
+        Combined::new(vec![]);
+    }
+}

@@ -1,0 +1,167 @@
+//! A cache-restoration prefetcher in the style of the prior work the paper
+//! contrasts Jukebox with (§6): Daly & Cain's cache restoration \[10\] and
+//! RECAP \[53\] save the address footprint of the cache to memory on a
+//! context switch and indiscriminately restore it on resume.
+//!
+//! This implementation records **every** instruction line touched by an
+//! invocation — one full address per line, no spatial compression, no
+//! L2-hit filtering — and bulk-restores all of it at the next dispatch.
+//! Against Jukebox it demonstrates the §6 trade-off quantitatively: high
+//! coverage, but metadata an order of magnitude larger (8 bytes per line
+//! vs 54 bits per *region*) and correspondingly higher restore bandwidth.
+//!
+//! Unlike the physical-address prior work, this variant records virtual
+//! lines so it composes with the simulator's paging model; the metadata
+//! cost comparison is unaffected.
+
+use luke_common::addr::LineAddr;
+use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
+use std::collections::HashSet;
+
+/// Bytes of metadata per recorded line (a full 64-bit address).
+pub const BYTES_PER_LINE: u64 = 8;
+
+/// The footprint-restoration prefetcher (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct FootprintRestore {
+    // Lines recorded during the current invocation, in first-touch order.
+    recording: Vec<LineAddr>,
+    recorded_set: HashSet<LineAddr>,
+    // The previous invocation's footprint, replayed at dispatch.
+    replay: Vec<LineAddr>,
+}
+
+impl FootprintRestore {
+    /// Creates an empty restorer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packed metadata bytes of the footprint the next invocation will
+    /// restore.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.replay.len() as u64 * BYTES_PER_LINE
+    }
+
+    /// Number of lines in the replay footprint.
+    pub fn footprint_lines(&self) -> usize {
+        self.replay.len()
+    }
+}
+
+impl InstructionPrefetcher for FootprintRestore {
+    fn name(&self) -> &str {
+        "footprint-restore"
+    }
+
+    fn on_invocation_start(&mut self, issuer: &mut PrefetchIssuer<'_>) {
+        // The footprint recorded by the previous invocation becomes this
+        // invocation's restore source; recording restarts from scratch.
+        self.replay = std::mem::take(&mut self.recording);
+        self.recorded_set.clear();
+
+        // Indiscriminate restore: stream the metadata and prefetch every
+        // recorded line. One 64B metadata read covers 8 packed addresses.
+        let mut pending_bytes = 0u64;
+        for &line in &self.replay {
+            if pending_bytes == 0 {
+                issuer.read_metadata(64);
+                pending_bytes = 64;
+            }
+            pending_bytes -= BYTES_PER_LINE;
+            issuer.prefetch_line(line);
+        }
+    }
+
+    fn on_fetch(&mut self, observation: &FetchObservation, issuer: &mut PrefetchIssuer<'_>) {
+        // Record every unique line touched, hit or miss — the cache's
+        // footprint, not its miss stream.
+        if self.recorded_set.insert(observation.vline) {
+            self.recording.push(observation.vline);
+            // Metadata write traffic: one full address per line, charged
+            // in 64B units as they accumulate.
+            if self
+                .recording
+                .len()
+                .is_multiple_of(64 / BYTES_PER_LINE as usize)
+            {
+                issuer.write_metadata(64);
+            }
+        }
+    }
+
+    fn on_invocation_end(&mut self, _issuer: &mut PrefetchIssuer<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::hierarchy::MemoryHierarchy;
+    use sim_mem::page_table::PageTable;
+
+    fn obs(line: u64, l1_miss: bool) -> FetchObservation {
+        FetchObservation {
+            vline: LineAddr::from_index(line),
+            l1_miss,
+            l2_miss: l1_miss,
+            l2_prefetch_first_use: false,
+            now: 0,
+        }
+    }
+
+    fn setup() -> (MemoryHierarchy, PageTable) {
+        (
+            MemoryHierarchy::new(HierarchyConfig::skylake_like()),
+            PageTable::new(0),
+        )
+    }
+
+    #[test]
+    fn records_hits_and_misses_alike() {
+        let (mut mem, mut pt) = setup();
+        let mut pf = FootprintRestore::new();
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        pf.on_invocation_start(&mut issuer);
+        pf.on_fetch(&obs(1, true), &mut issuer);
+        pf.on_fetch(&obs(2, false), &mut issuer); // an L1 hit is still footprint
+        pf.on_fetch(&obs(1, false), &mut issuer); // duplicate: ignored
+        assert_eq!(pf.recording.len(), 2);
+    }
+
+    #[test]
+    fn second_invocation_restores_everything() {
+        let (mut mem, mut pt) = setup();
+        let mut pf = FootprintRestore::new();
+        {
+            let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+            pf.on_invocation_start(&mut issuer);
+            for line in 0..100u64 {
+                pf.on_fetch(&obs(line, true), &mut issuer);
+            }
+            pf.on_invocation_end(&mut issuer);
+        }
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        pf.on_invocation_start(&mut issuer);
+        let counters = issuer.counters();
+        assert_eq!(counters.issued + counters.redundant, 100);
+        assert!(counters.metadata_read > 0);
+        assert_eq!(pf.footprint_lines(), 100);
+        assert_eq!(pf.metadata_bytes(), 800);
+    }
+
+    #[test]
+    fn metadata_is_an_order_of_magnitude_larger_than_jukebox() {
+        // 10_000 lines over ~2_500 1KB regions: Jukebox needs
+        // 2500 * 54 bits ≈ 17KB; footprint restore needs 80KB.
+        let lines = 10_000u64;
+        let restore_bytes = lines * BYTES_PER_LINE;
+        let jukebox_bytes = (2_500 * 54u64).div_ceil(8);
+        assert!(restore_bytes > 4 * jukebox_bytes);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(FootprintRestore::new().name(), "footprint-restore");
+    }
+}

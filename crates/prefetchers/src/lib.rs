@@ -1,0 +1,42 @@
+//! Baseline instruction prefetchers for the Jukebox evaluation.
+//!
+//! * [`NextLine`] — the trivial sequential prefetcher (the kind built into
+//!   L1 caches, Table 1 lists one on the L1-D);
+//! * [`Pif`] — Proactive Instruction Fetch (Ferdman et al., MICRO'11), the
+//!   state-of-the-art temporal-streaming comparison point of §5.5. PIF
+//!   records the retired instruction stream, indexes it by trigger
+//!   address, and replays it with a bounded lookahead, stopping to
+//!   re-index whenever the core's actual stream diverges from the
+//!   recorded one. Configured with the paper's 49KB index + 164KB stream
+//!   storage; **non-persistent** across invocations (PIF was designed for
+//!   long-running servers and does not save state across function
+//!   invocations);
+//! * [`Pif::ideal`] — the PIF-ideal variant of §5.5: unlimited index and
+//!   stream storage that persist across invocations;
+//! * [`Combined`] — runs several prefetchers side by side (the "JB +
+//!   PIF-ideal" bar of Figure 13);
+//! * [`FootprintRestore`] — indiscriminate cache restoration à la
+//!   Daly & Cain / RECAP (§6's first family of prior work): full
+//!   per-line-address metadata, high coverage, heavy traffic;
+//! * [`FetchDirected`] — BTB-directed run-ahead à la FDIP/Boomerang
+//!   (§6's second family), whose tables are core state and therefore cold
+//!   at every lukewarm invocation.
+//!
+//! The perfect-I-cache oracle of Figure 10 is not a prefetcher: it is a
+//! memory-hierarchy mode
+//! ([`MemoryHierarchy::set_perfect_icache`](sim_mem::hierarchy::MemoryHierarchy::set_perfect_icache)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combined;
+pub mod fetch_directed;
+pub mod footprint_restore;
+pub mod next_line;
+pub mod pif;
+
+pub use combined::Combined;
+pub use fetch_directed::FetchDirected;
+pub use footprint_restore::FootprintRestore;
+pub use next_line::NextLine;
+pub use pif::{Pif, PifConfig};

@@ -1,0 +1,131 @@
+//! The next-line instruction prefetcher.
+//!
+//! On every demand L1-I miss, prefetches the following `depth` lines into
+//! the L2. Catches straight-line code but nothing across taken branches —
+//! a useful sanity baseline between "no prefetcher" and Jukebox.
+
+use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
+
+/// Next-`depth`-lines prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use prefetchers::NextLine;
+///
+/// let pf = NextLine::new(2);
+/// assert_eq!(pf.depth(), 2);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct NextLine {
+    depth: u64,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher fetching `depth` lines ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: u64) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        NextLine { depth }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        NextLine::new(1)
+    }
+}
+
+impl InstructionPrefetcher for NextLine {
+    fn name(&self) -> &str {
+        "next-line"
+    }
+
+    fn on_invocation_start(&mut self, _issuer: &mut PrefetchIssuer<'_>) {}
+
+    fn on_fetch(&mut self, observation: &FetchObservation, issuer: &mut PrefetchIssuer<'_>) {
+        if !observation.l1_miss {
+            return;
+        }
+        let mut line = observation.vline;
+        for _ in 0..self.depth {
+            line = line.next();
+            issuer.prefetch_line(line);
+        }
+    }
+
+    fn on_invocation_end(&mut self, _issuer: &mut PrefetchIssuer<'_>) {}
+}
+
+/// Helper shared by prefetcher tests: a fetch observation for a line.
+#[cfg(test)]
+pub(crate) fn test_observation(line_index: u64, l1_miss: bool, l2_miss: bool) -> FetchObservation {
+    FetchObservation {
+        vline: luke_common::addr::LineAddr::from_index(line_index),
+        l1_miss,
+        l2_miss,
+        l2_prefetch_first_use: false,
+        now: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luke_common::addr::LineAddr;
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::hierarchy::MemoryHierarchy;
+    use sim_mem::page_table::PageTable;
+
+    #[test]
+    fn prefetches_following_lines_on_miss() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let mut pf = NextLine::new(2);
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        pf.on_fetch(&test_observation(100, true, true), &mut issuer);
+        assert_eq!(issuer.counters().issued, 2);
+    }
+
+    #[test]
+    fn ignores_l1_hits() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let mut pf = NextLine::default();
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        pf.on_fetch(&test_observation(100, false, false), &mut issuer);
+        assert_eq!(issuer.counters().issued, 0);
+    }
+
+    #[test]
+    fn next_line_lands_in_l2() {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let mut pf = NextLine::default();
+        {
+            let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+            pf.on_fetch(&test_observation(100, true, true), &mut issuer);
+        }
+        let pline = pt.translate_line(LineAddr::from_index(101));
+        assert!(mem.l2().peek(pline));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_rejected() {
+        NextLine::new(0);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(NextLine::default().name(), "next-line");
+    }
+}

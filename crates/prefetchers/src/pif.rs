@@ -1,0 +1,342 @@
+//! Proactive Instruction Fetch (PIF) — the §5.5 comparison point.
+//!
+//! PIF is a temporal-streaming prefetcher: it **records** the retired
+//! instruction stream (here at cache-line granularity), keeps an **index**
+//! from line address to the most recent stream position starting there,
+//! and **replays**: while the demand stream matches the recorded stream at
+//! the replay pointer, it prefetches a bounded number of lines ahead;
+//! when the streams diverge it stops and re-indexes from the divergent
+//! address. Re-indexing is the behaviour that caps PIF's usefulness for
+//! lukewarm functions — it prevents the prefetcher from running far
+//! enough ahead of the core to hide main-memory latency (§5.5).
+//!
+//! Two variants:
+//! * **PIF** ([`Pif::paper`]) — 49KB index, 164KB stream storage,
+//!   state *cleared at every invocation start* (PIF does not save state
+//!   across function invocations);
+//! * **PIF-ideal** ([`Pif::ideal`]) — unlimited storage, persistent
+//!   across invocations.
+
+use luke_common::addr::LineAddr;
+use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
+use std::collections::HashMap;
+
+/// PIF configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PifConfig {
+    /// Maximum history (stream) records; `None` = unlimited (ideal).
+    pub history_capacity: Option<usize>,
+    /// Maximum index entries; `None` = unlimited (ideal).
+    pub index_capacity: Option<usize>,
+    /// How many stream records the replay engine runs ahead of the
+    /// confirmed position.
+    pub lookahead: usize,
+    /// How many new stream records may be issued per confirmed fetch: the
+    /// engine rebuilds its run-ahead gradually after a re-index rather
+    /// than bursting the whole window.
+    pub issue_per_fetch: usize,
+    /// Whether state survives across invocations.
+    pub persistent: bool,
+}
+
+impl PifConfig {
+    /// The paper's PIF configuration (§5.5): 164KB of stream metadata at
+    /// ~5 bytes per line record and a 49KB index at ~6 bytes per entry,
+    /// non-persistent.
+    pub fn paper() -> Self {
+        PifConfig {
+            history_capacity: Some(164 * 1024 / 5),
+            index_capacity: Some(49 * 1024 / 6),
+            lookahead: 24,
+            issue_per_fetch: 2,
+            persistent: false,
+        }
+    }
+
+    /// The PIF-ideal configuration (§5.5): unlimited, persistent.
+    pub fn ideal() -> Self {
+        PifConfig {
+            history_capacity: None,
+            index_capacity: None,
+            lookahead: 24,
+            issue_per_fetch: 2,
+            persistent: true,
+        }
+    }
+}
+
+/// Counters for PIF behaviour analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PifStats {
+    /// Demand fetches that matched the replay stream.
+    pub stream_follows: u64,
+    /// Divergences that forced a re-index.
+    pub reindexes: u64,
+    /// Re-index attempts that found no stream (replay idle).
+    pub index_misses: u64,
+}
+
+/// The PIF prefetcher (see module docs).
+#[derive(Clone, Debug)]
+pub struct Pif {
+    cfg: PifConfig,
+    name: &'static str,
+    // Recorded stream of retired lines (previous + current invocation).
+    history: Vec<LineAddr>,
+    // Line -> most recent stream position starting there.
+    index: HashMap<LineAddr, usize>,
+    // Replay state: position in `history` the demand stream last matched.
+    replay_pos: Option<usize>,
+    // How far ahead (absolute history position) we have issued prefetches.
+    issued_until: usize,
+    stats: PifStats,
+    last_recorded: Option<LineAddr>,
+}
+
+impl Pif {
+    /// Creates a PIF with an explicit configuration.
+    pub fn new(cfg: PifConfig) -> Self {
+        Pif {
+            cfg,
+            name: if cfg.persistent { "pif-ideal" } else { "pif" },
+            history: Vec::new(),
+            index: HashMap::new(),
+            replay_pos: None,
+            issued_until: 0,
+            stats: PifStats::default(),
+            last_recorded: None,
+        }
+    }
+
+    /// The paper-configured, non-persistent PIF.
+    pub fn paper() -> Self {
+        Pif::new(PifConfig::paper())
+    }
+
+    /// The unlimited, persistent PIF-ideal.
+    pub fn ideal() -> Self {
+        Pif::new(PifConfig::ideal())
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> PifStats {
+        self.stats
+    }
+
+    /// Records a retired line into history and index.
+    fn record(&mut self, line: LineAddr) {
+        // Deduplicate immediate repeats (several instructions per line).
+        if self.last_recorded == Some(line) {
+            return;
+        }
+        self.last_recorded = Some(line);
+        if let Some(cap) = self.cfg.history_capacity {
+            if self.history.len() >= cap {
+                return; // stream storage exhausted
+            }
+        }
+        let pos = self.history.len();
+        self.history.push(line);
+        if let Some(cap) = self.cfg.index_capacity {
+            if self.index.len() >= cap && !self.index.contains_key(&line) {
+                return; // index full: new trigger not indexed
+            }
+        }
+        self.index.insert(line, pos);
+    }
+
+    /// Issues prefetches for the stream window ahead of `pos`, bounded by
+    /// both the lookahead window and the per-fetch issue rate.
+    fn run_ahead(&mut self, pos: usize, issuer: &mut PrefetchIssuer<'_>) {
+        let start = self.issued_until.max(pos + 1);
+        let window_end = (pos + 1 + self.cfg.lookahead).min(self.history.len());
+        let end = (start + self.cfg.issue_per_fetch).min(window_end);
+        for i in start..end {
+            issuer.prefetch_line(self.history[i]);
+        }
+        self.issued_until = self.issued_until.max(end);
+    }
+}
+
+impl InstructionPrefetcher for Pif {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn on_invocation_start(&mut self, _issuer: &mut PrefetchIssuer<'_>) {
+        if !self.cfg.persistent {
+            self.history.clear();
+            self.index.clear();
+        }
+        self.replay_pos = None;
+        self.issued_until = 0;
+        self.last_recorded = None;
+    }
+
+    fn on_fetch(&mut self, observation: &FetchObservation, issuer: &mut PrefetchIssuer<'_>) {
+        let line = observation.vline;
+
+        // --- Replay: follow or re-index ---
+        // PIF follows its recorded stream exactly; any divergence between
+        // the core's actual stream and the recorded one stops prefetching
+        // and forces a re-index (§5.5). No prefetches are issued on the
+        // divergent fetch itself — this inability to keep running ahead
+        // across divergences is what caps PIF's usefulness.
+        let followed = match self.replay_pos {
+            Some(pos) if pos < self.history.len() && self.history[pos] == line => Some(pos),
+            _ => None,
+        };
+        match followed {
+            Some(pos) => {
+                self.stats.stream_follows += 1;
+                self.replay_pos = Some(pos + 1);
+                self.run_ahead(pos, issuer);
+            }
+            None => {
+                if self.replay_pos.is_some() {
+                    self.stats.reindexes += 1;
+                }
+                match self.index.get(&line).copied() {
+                    Some(pos) => {
+                        // Re-anchor; issuing resumes only once the stream
+                        // is confirmed by the next matching fetch.
+                        self.replay_pos = Some(pos + 1);
+                        self.issued_until = pos + 1;
+                    }
+                    None => {
+                        self.stats.index_misses += 1;
+                        self.replay_pos = None;
+                    }
+                }
+            }
+        }
+
+        // --- Record ---
+        self.record(line);
+    }
+
+    fn on_invocation_end(&mut self, _issuer: &mut PrefetchIssuer<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::config::HierarchyConfig;
+    use sim_mem::hierarchy::MemoryHierarchy;
+    use sim_mem::page_table::PageTable;
+
+    fn obs(line: u64) -> FetchObservation {
+        FetchObservation {
+            vline: LineAddr::from_index(line),
+            l1_miss: true,
+            l2_miss: true,
+            l2_prefetch_first_use: false,
+            now: 0,
+        }
+    }
+
+    fn drive(pf: &mut Pif, mem: &mut MemoryHierarchy, pt: &mut PageTable, lines: &[u64]) -> u64 {
+        let mut issuer = PrefetchIssuer::new(mem, pt, 0);
+        pf.on_invocation_start(&mut issuer);
+        for &l in lines {
+            pf.on_fetch(&obs(l), &mut issuer);
+        }
+        pf.on_invocation_end(&mut issuer);
+        issuer.counters().issued + issuer.counters().redundant
+    }
+
+    #[test]
+    fn ideal_replays_previous_invocation() {
+        let mut pf = Pif::ideal();
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let stream: Vec<u64> = (100..200).collect();
+        let first = drive(&mut pf, &mut mem, &mut pt, &stream);
+        let second = drive(&mut pf, &mut mem, &mut pt, &stream);
+        assert!(
+            second > first,
+            "second invocation should replay: {first} vs {second}"
+        );
+        assert!(pf.stats().stream_follows > 50);
+    }
+
+    #[test]
+    fn non_persistent_pif_forgets_between_invocations() {
+        let mut pf = Pif::paper();
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let stream: Vec<u64> = (100..150).collect();
+        drive(&mut pf, &mut mem, &mut pt, &stream);
+        let follows_before = pf.stats().stream_follows;
+        drive(&mut pf, &mut mem, &mut pt, &stream);
+        // With history cleared, the second run can only follow within-run
+        // repetition — and this stream has none.
+        assert_eq!(pf.stats().stream_follows, follows_before);
+    }
+
+    #[test]
+    fn within_invocation_repetition_is_prefetched() {
+        let mut pf = Pif::paper();
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        // The same loop body twice within one invocation.
+        let mut stream: Vec<u64> = (100..140).collect();
+        stream.extend(100..140);
+        drive(&mut pf, &mut mem, &mut pt, &stream);
+        assert!(pf.stats().stream_follows > 20);
+    }
+
+    #[test]
+    fn divergence_causes_reindex() {
+        let mut pf = Pif::ideal();
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let first: Vec<u64> = (100..160).collect();
+        drive(&mut pf, &mut mem, &mut pt, &first);
+        // Second invocation takes a different path in the middle.
+        let mut second: Vec<u64> = (100..130).collect();
+        second.extend(500..520); // divergent path
+        second.extend(130..160); // rejoin
+        drive(&mut pf, &mut mem, &mut pt, &second);
+        assert!(pf.stats().reindexes > 0, "divergence must force re-index");
+    }
+
+    #[test]
+    fn bounded_history_stops_recording() {
+        let cfg = PifConfig {
+            history_capacity: Some(10),
+            index_capacity: Some(10),
+            lookahead: 4,
+            issue_per_fetch: 4,
+            persistent: true,
+        };
+        let mut pf = Pif::new(cfg);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let stream: Vec<u64> = (0..100).collect();
+        drive(&mut pf, &mut mem, &mut pt, &stream);
+        assert_eq!(pf.history.len(), 10);
+    }
+
+    #[test]
+    fn lookahead_bounds_prefetch_distance() {
+        let mut pf = Pif::ideal();
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        let stream: Vec<u64> = (100..1100).collect();
+        drive(&mut pf, &mut mem, &mut pt, &stream);
+        // Second invocation: first fetch alone may trigger at most
+        // lookahead prefetches.
+        let mut issuer = PrefetchIssuer::new(&mut mem, &mut pt, 0);
+        pf.on_invocation_start(&mut issuer);
+        pf.on_fetch(&obs(100), &mut issuer);
+        let issued = issuer.counters().issued + issuer.counters().redundant;
+        assert!(issued <= 24, "issued {issued} > lookahead");
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Pif::paper().name(), "pif");
+        assert_eq!(Pif::ideal().name(), "pif-ideal");
+    }
+}

@@ -1,0 +1,88 @@
+//! Invocation inter-arrival-time (IAT) distributions.
+//!
+//! The Azure Functions study the paper builds on (§2.1) shows fewer than
+//! 5% of invocations arrive less than a second apart: the vast majority of
+//! warm-instance IATs lie between one second and a few minutes. The
+//! characterization (Figure 1) sweeps fixed IATs; host-level traffic uses
+//! exponential (Poisson) arrivals.
+
+use luke_common::rng::DetRng;
+
+/// A distribution of inter-arrival times, in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IatDistribution {
+    /// Every gap is exactly this many milliseconds (Figure 1 sweep).
+    Fixed(f64),
+    /// Exponentially distributed gaps with the given mean (Poisson
+    /// arrivals).
+    Exponential {
+        /// Mean inter-arrival time in milliseconds.
+        mean_ms: f64,
+    },
+}
+
+impl IatDistribution {
+    /// Samples the next gap in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameter is not positive and finite.
+    pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        match *self {
+            IatDistribution::Fixed(ms) => {
+                assert!(ms >= 0.0 && ms.is_finite(), "fixed IAT must be ≥ 0");
+                ms
+            }
+            IatDistribution::Exponential { mean_ms } => rng.exponential(mean_ms),
+        }
+    }
+
+    /// The distribution mean in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            IatDistribution::Fixed(ms) => ms,
+            IatDistribution::Exponential { mean_ms } => mean_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = IatDistribution::Fixed(250.0);
+        let mut rng = DetRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 250.0);
+        }
+        assert_eq!(d.mean_ms(), 250.0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = IatDistribution::Exponential { mean_ms: 1000.0 };
+        let mut rng = DetRng::new(2);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean {mean}");
+        assert_eq!(d.mean_ms(), 1000.0);
+    }
+
+    #[test]
+    fn exponential_samples_are_positive() {
+        let d = IatDistribution::Exponential { mean_ms: 5.0 };
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 0")]
+    fn negative_fixed_rejected() {
+        IatDistribution::Fixed(-1.0).sample(&mut DetRng::new(0));
+    }
+}

@@ -1,0 +1,131 @@
+//! The cache-state decay model for interleaved execution.
+//!
+//! Between two invocations of a function-under-test, the host runs other
+//! instances' invocations on the same core. Each such invocation installs
+//! its own instruction and data working set, probabilistically evicting
+//! the FUT's lines. Under (near-)random placement, the probability that a
+//! given resident line survives `k` foreign line installations into a
+//! cache of `C` lines is `((C-1)/C)^k ≈ exp(-k/C)` — so the evicted
+//! fraction after an idle gap is `1 - exp(-installed/C)`.
+//!
+//! This is the mechanism behind Figure 1: CPI climbs with IAT as
+//! `installed` grows past each level's capacity — the L1s and L2 die
+//! first, the big LLC last — and saturates once everything is cold.
+
+use luke_common::size::ByteSize;
+
+/// Host-level parameters of the decay model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterleaveModel {
+    /// Aggregate invocation rate of *other* instances sharing the FUT's
+    /// core, in invocations per second.
+    pub other_invocations_per_sec: f64,
+    /// Mean per-invocation cache working set (instructions + data) of the
+    /// other instances, in bytes.
+    pub mean_working_set: ByteSize,
+    /// Fraction of an interleaved invocation's working set that reaches
+    /// the shared LLC (private-level misses).
+    pub llc_reach: f64,
+}
+
+impl InterleaveModel {
+    /// A high-occupancy host: ~50% CPU load of 1ms invocations on the
+    /// FUT's core (≈500 foreign invocations/second, §2.2's simplistic
+    /// example), each with a ≈700KB combined working set.
+    pub fn high_occupancy() -> Self {
+        InterleaveModel {
+            other_invocations_per_sec: 500.0,
+            mean_working_set: ByteSize::kib(700),
+            // Only private-level misses of the interleaved invocations
+            // reach the shared LLC, so it decays an order of magnitude
+            // more slowly than the private levels — the paper's Figure 1
+            // knee between 10ms and 1s.
+            llc_reach: 0.35,
+        }
+    }
+
+    /// Foreign lines installed into private caches during an idle gap of
+    /// `iat_ms` milliseconds.
+    pub fn lines_installed(&self, iat_ms: f64) -> f64 {
+        let invocations = self.other_invocations_per_sec * iat_ms / 1000.0;
+        invocations * self.mean_working_set.lines() as f64
+    }
+
+    /// Fraction of a private cache of `capacity_lines` evicted after a
+    /// gap of `iat_ms`.
+    pub fn decay_fraction(&self, capacity_lines: usize, iat_ms: f64) -> f64 {
+        let installed = self.lines_installed(iat_ms);
+        1.0 - (-installed / capacity_lines as f64).exp()
+    }
+
+    /// Fraction of the shared LLC evicted after a gap of `iat_ms`. The
+    /// LLC sees `llc_reach` of the foreign traffic but from *all* cores;
+    /// we conservatively model the FUT's core share only, which makes the
+    /// LLC decay slower than private levels — the behaviour Figure 1's
+    /// knee depends on.
+    pub fn llc_decay_fraction(&self, capacity_lines: usize, iat_ms: f64) -> f64 {
+        let installed = self.lines_installed(iat_ms) * self.llc_reach;
+        1.0 - (-installed / capacity_lines as f64).exp()
+    }
+}
+
+impl Default for InterleaveModel {
+    fn default() -> Self {
+        Self::high_occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_gap_no_decay() {
+        let m = InterleaveModel::high_occupancy();
+        assert_eq!(m.decay_fraction(16384, 0.0), 0.0);
+        assert_eq!(m.llc_decay_fraction(131072, 0.0), 0.0);
+    }
+
+    #[test]
+    fn decay_is_monotonic_in_iat() {
+        let m = InterleaveModel::high_occupancy();
+        let mut last = 0.0;
+        for iat in [1.0, 10.0, 100.0, 1000.0, 10000.0] {
+            let d = m.decay_fraction(16384, iat);
+            assert!(d >= last, "decay must grow with IAT");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn long_gap_saturates_at_full_decay() {
+        let m = InterleaveModel::high_occupancy();
+        let d = m.decay_fraction(16384, 60_000.0);
+        assert!(d > 0.999, "a minute of interleaving kills the L2: {d}");
+    }
+
+    #[test]
+    fn small_cache_decays_before_large() {
+        let m = InterleaveModel::high_occupancy();
+        let iat = 20.0;
+        let l2 = m.decay_fraction(16384, iat); // 1MB
+        let llc = m.llc_decay_fraction(131072, iat); // 8MB
+        assert!(l2 > llc, "L2 ({l2}) should decay before the LLC ({llc})");
+    }
+
+    #[test]
+    fn lines_installed_scales_linearly() {
+        let m = InterleaveModel::high_occupancy();
+        let a = m.lines_installed(100.0);
+        let b = m.lines_installed(200.0);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_second_gap_floods_private_levels() {
+        // §2.2: with ~1s IAT on a busy host, hundreds of foreign
+        // invocations interleave — far exceeding private capacities.
+        let m = InterleaveModel::high_occupancy();
+        assert!(m.lines_installed(1000.0) > 131072.0);
+    }
+}

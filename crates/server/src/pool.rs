@@ -1,0 +1,208 @@
+//! The warm-instance pool and provider keep-alive policy.
+//!
+//! Providers keep idle function instances alive for 5–60 minutes (§2.1)
+//! in anticipation of further invocations; with hundreds of gigabytes of
+//! host memory, a thousand or more warm instances may be resident (§2.2).
+//! The pool tracks per-instance idle times and applies the keep-alive
+//! policy on a sweep.
+
+use std::collections::HashMap;
+
+/// One warm (memory-resident) function instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmInstance {
+    /// Unique instance id (process id on the host).
+    pub id: u64,
+    /// Index of the function this instance runs (into the host's function
+    /// table).
+    pub function: usize,
+    /// Wall-clock time of the most recent invocation, in milliseconds.
+    pub last_invoked_ms: f64,
+    /// Number of invocations served.
+    pub invocations: u64,
+}
+
+/// The pool of warm instances (see module docs).
+#[derive(Clone, Debug)]
+pub struct InstancePool {
+    keep_alive_ms: f64,
+    instances: HashMap<u64, WarmInstance>,
+    next_id: u64,
+    cold_starts: u64,
+    expirations: u64,
+}
+
+impl InstancePool {
+    /// Creates a pool with the given keep-alive window in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_alive_ms` is not positive.
+    pub fn new(keep_alive_ms: f64) -> Self {
+        assert!(keep_alive_ms > 0.0, "keep-alive must be positive");
+        InstancePool {
+            keep_alive_ms,
+            instances: HashMap::new(),
+            next_id: 1,
+            cold_starts: 0,
+            expirations: 0,
+        }
+    }
+
+    /// The keep-alive window in milliseconds.
+    pub fn keep_alive_ms(&self) -> f64 {
+        self.keep_alive_ms
+    }
+
+    /// Spawns a new warm instance for `function` at time `now_ms` (a cold
+    /// start). Returns its id.
+    pub fn spawn(&mut self, function: usize, now_ms: f64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.cold_starts += 1;
+        self.instances.insert(
+            id,
+            WarmInstance {
+                id,
+                function,
+                last_invoked_ms: now_ms,
+                invocations: 0,
+            },
+        );
+        id
+    }
+
+    /// Records an invocation dispatched to `id` at `now_ms`. Returns the
+    /// idle gap since the previous invocation, or `None` if the instance
+    /// is unknown (expired).
+    pub fn invoke(&mut self, id: u64, now_ms: f64) -> Option<f64> {
+        let inst = self.instances.get_mut(&id)?;
+        let gap = (now_ms - inst.last_invoked_ms).max(0.0);
+        inst.last_invoked_ms = now_ms;
+        inst.invocations += 1;
+        Some(gap)
+    }
+
+    /// Finds an existing warm instance of `function`, preferring the most
+    /// recently invoked one.
+    pub fn find_warm(&self, function: usize) -> Option<&WarmInstance> {
+        self.instances
+            .values()
+            .filter(|i| i.function == function)
+            .max_by(|a, b| {
+                a.last_invoked_ms
+                    .partial_cmp(&b.last_invoked_ms)
+                    .expect("times are finite")
+            })
+    }
+
+    /// Applies the keep-alive policy at time `now_ms`: tears down
+    /// instances idle longer than the window. Returns how many expired.
+    pub fn sweep(&mut self, now_ms: f64) -> usize {
+        let keep_alive = self.keep_alive_ms;
+        let before = self.instances.len();
+        self.instances
+            .retain(|_, inst| now_ms - inst.last_invoked_ms <= keep_alive);
+        let expired = before - self.instances.len();
+        self.expirations += expired as u64;
+        expired
+    }
+
+    /// Number of warm instances.
+    pub fn warm_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Instance lookup.
+    pub fn instance(&self, id: u64) -> Option<&WarmInstance> {
+        self.instances.get(&id)
+    }
+
+    /// Cold starts since pool creation.
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Keep-alive expirations since pool creation.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_invoke_track_gaps() {
+        let mut pool = InstancePool::new(60_000.0);
+        let id = pool.spawn(0, 1000.0);
+        assert_eq!(pool.invoke(id, 3500.0), Some(2500.0));
+        assert_eq!(pool.invoke(id, 3600.0), Some(100.0));
+        assert_eq!(pool.instance(id).unwrap().invocations, 2);
+    }
+
+    #[test]
+    fn unknown_instance_returns_none() {
+        let mut pool = InstancePool::new(60_000.0);
+        assert_eq!(pool.invoke(99, 0.0), None);
+    }
+
+    #[test]
+    fn keep_alive_expires_idle_instances() {
+        let mut pool = InstancePool::new(10_000.0);
+        let a = pool.spawn(0, 0.0);
+        let b = pool.spawn(1, 0.0);
+        pool.invoke(b, 9_000.0);
+        let expired = pool.sweep(15_000.0);
+        assert_eq!(expired, 1);
+        assert!(pool.instance(a).is_none());
+        assert!(pool.instance(b).is_some());
+        assert_eq!(pool.expirations(), 1);
+    }
+
+    #[test]
+    fn find_warm_prefers_most_recent() {
+        let mut pool = InstancePool::new(60_000.0);
+        let a = pool.spawn(7, 0.0);
+        let b = pool.spawn(7, 0.0);
+        pool.invoke(a, 100.0);
+        pool.invoke(b, 200.0);
+        assert_eq!(pool.find_warm(7).unwrap().id, b);
+        assert!(pool.find_warm(8).is_none());
+    }
+
+    #[test]
+    fn warm_count_and_cold_starts() {
+        let mut pool = InstancePool::new(60_000.0);
+        for f in 0..5 {
+            pool.spawn(f, 0.0);
+        }
+        assert_eq!(pool.warm_count(), 5);
+        assert_eq!(pool.cold_starts(), 5);
+    }
+
+    #[test]
+    fn thousand_warm_instances_supported() {
+        // §2.2: a thousand or more warm instances per server.
+        let mut pool = InstancePool::new(600_000.0);
+        for f in 0..1000 {
+            pool.spawn(f % 20, 0.0);
+        }
+        assert_eq!(pool.warm_count(), 1000);
+        assert_eq!(pool.sweep(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_keep_alive_rejected() {
+        InstancePool::new(0.0);
+    }
+
+    #[test]
+    fn gap_clamped_for_out_of_order_clock() {
+        let mut pool = InstancePool::new(60_000.0);
+        let id = pool.spawn(0, 100.0);
+        assert_eq!(pool.invoke(id, 50.0), Some(0.0));
+    }
+}

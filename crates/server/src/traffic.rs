@@ -1,0 +1,142 @@
+//! Host-level invocation traffic generation.
+//!
+//! Produces a time-ordered stream of invocation events for a set of warm
+//! instances, each with its own inter-arrival distribution — the input to
+//! server-scale simulations (and the `lukewarm_server` example).
+
+use crate::iat::IatDistribution;
+use luke_common::rng::DetRng;
+
+/// One invocation arrival.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvocationEvent {
+    /// Arrival time in milliseconds since simulation start.
+    pub at_ms: f64,
+    /// Index of the instance being invoked.
+    pub instance: usize,
+}
+
+/// Generates merged Poisson/fixed arrival streams for many instances.
+#[derive(Clone, Debug)]
+pub struct TrafficGenerator {
+    // Per-instance: (distribution, next arrival time, rng).
+    lanes: Vec<(IatDistribution, f64, DetRng)>,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator for `distributions.len()` instances; instance
+    /// `i` follows `distributions[i]`. First arrivals are sampled from
+    /// each distribution (staggered start).
+    pub fn new(distributions: &[IatDistribution], seed: u64) -> Self {
+        let root = DetRng::new(seed);
+        let lanes = distributions
+            .iter()
+            .enumerate()
+            .map(|(i, &dist)| {
+                let mut rng = root.split(i as u64);
+                let first = dist.sample(&mut rng);
+                (dist, first, rng)
+            })
+            .collect();
+        TrafficGenerator { lanes }
+    }
+
+    /// Number of instances generating traffic.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Produces the next `count` events in global time order.
+    pub fn take_events(&mut self, count: usize) -> Vec<InvocationEvent> {
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            if let Some(e) = self.next_event() {
+                events.push(e);
+            } else {
+                break;
+            }
+        }
+        events
+    }
+
+    fn next_event(&mut self) -> Option<InvocationEvent> {
+        let (idx, _) = self
+            .lanes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("finite times"))?;
+        let (dist, at, rng) = &mut self.lanes[idx];
+        let event = InvocationEvent {
+            at_ms: *at,
+            instance: idx,
+        };
+        *at += dist.sample(rng).max(f64::MIN_POSITIVE);
+        Some(event)
+    }
+}
+
+impl Iterator for TrafficGenerator {
+    type Item = InvocationEvent;
+
+    fn next(&mut self) -> Option<InvocationEvent> {
+        self.next_event()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_time_ordered() {
+        let dists = vec![
+            IatDistribution::Exponential { mean_ms: 100.0 },
+            IatDistribution::Exponential { mean_ms: 50.0 },
+            IatDistribution::Fixed(75.0),
+        ];
+        let mut g = TrafficGenerator::new(&dists, 1);
+        let events = g.take_events(200);
+        assert_eq!(events.len(), 200);
+        for pair in events.windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
+    }
+
+    #[test]
+    fn faster_lane_fires_more_often() {
+        let dists = vec![
+            IatDistribution::Fixed(1000.0),
+            IatDistribution::Fixed(100.0),
+        ];
+        let mut g = TrafficGenerator::new(&dists, 2);
+        let events = g.take_events(110);
+        let fast = events.iter().filter(|e| e.instance == 1).count();
+        let slow = events.iter().filter(|e| e.instance == 0).count();
+        assert!(fast > 5 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let dists = vec![IatDistribution::Exponential { mean_ms: 10.0 }; 4];
+        let a: Vec<_> = TrafficGenerator::new(&dists, 7).take_events(50);
+        let b: Vec<_> = TrafficGenerator::new(&dists, 7).take_events(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_generator_yields_nothing() {
+        let mut g = TrafficGenerator::new(&[], 0);
+        assert_eq!(g.lanes(), 0);
+        assert!(g.take_events(10).is_empty());
+        assert!(g.next().is_none());
+    }
+
+    #[test]
+    fn iterator_interface_works() {
+        let dists = vec![IatDistribution::Fixed(10.0)];
+        let mut g = TrafficGenerator::new(&dists, 3);
+        let events = g.take_events(5);
+        assert_eq!(events.len(), 5);
+        assert!((events[0].at_ms - 10.0).abs() < 1e-9);
+    }
+}

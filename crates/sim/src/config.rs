@@ -1,0 +1,97 @@
+//! Full-system configuration presets.
+
+use jukebox::JukeboxConfig;
+use sim_cpu::CoreConfig;
+use sim_mem::HierarchyConfig;
+
+/// A complete platform configuration: core, memory system and the Jukebox
+/// parameters appropriate for it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Platform name ("skylake" / "broadwell").
+    pub name: &'static str,
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// Cache/TLB/DRAM parameters.
+    pub mem: HierarchyConfig,
+    /// Jukebox parameters tuned for this platform (§5.6: the small
+    /// Broadwell L2 needs 32KB of metadata).
+    pub jukebox: JukeboxConfig,
+}
+
+impl SystemConfig {
+    /// The Skylake-like evaluation platform of Table 1.
+    pub fn skylake() -> Self {
+        SystemConfig {
+            name: "skylake",
+            core: CoreConfig::skylake_like(),
+            mem: HierarchyConfig::skylake_like(),
+            jukebox: JukeboxConfig::paper_default(),
+        }
+    }
+
+    /// The Broadwell-like characterization platform (§4.1, §5.6).
+    pub fn broadwell() -> Self {
+        SystemConfig {
+            name: "broadwell",
+            core: CoreConfig::broadwell_like(),
+            mem: HierarchyConfig::broadwell_like(),
+            jukebox: JukeboxConfig::broadwell(),
+        }
+    }
+
+    /// Renders the Table 1-style parameter listing.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("Platform: {}\n", self.name));
+        s.push_str(&format!(
+            "Core: {}-wide, {} GHz, ROB {}, fetch {}B/cycle, mispredict penalty {}\n",
+            self.core.issue_width,
+            self.core.freq_ghz,
+            self.core.rob_entries,
+            self.core.fetch_bytes_per_cycle,
+            self.core.mispredict_penalty,
+        ));
+        s.push_str(&format!(
+            "BP: gshare 2^{} + bimodal 2^{}, BTB 2^{} entries, RAS {}\n",
+            self.core.gshare_bits, self.core.bimodal_bits, self.core.btb_bits, self.core.ras_depth,
+        ));
+        s.push_str(&format!("L1-I: {}\n", self.mem.l1i));
+        s.push_str(&format!("L1-D: {}\n", self.mem.l1d));
+        s.push_str(&format!("L2:   {}\n", self.mem.l2));
+        s.push_str(&format!("LLC:  {}\n", self.mem.llc));
+        s.push_str(&format!(
+            "DRAM: {} cycles latency, {} cycles/line channel occupancy\n",
+            self.mem.dram.latency, self.mem.dram.cycles_per_line,
+        ));
+        s.push_str(&format!(
+            "Jukebox: CRRB {} entries, region {}B, metadata {} per direction\n",
+            self.jukebox.crrb_entries, self.jukebox.region_bytes, self.jukebox.metadata_capacity,
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luke_common::size::ByteSize;
+
+    #[test]
+    fn presets_differ_in_l2_and_metadata() {
+        let sky = SystemConfig::skylake();
+        let bdw = SystemConfig::broadwell();
+        assert_eq!(sky.mem.l2.capacity, ByteSize::mib(1));
+        assert_eq!(bdw.mem.l2.capacity, ByteSize::kib(256));
+        assert_eq!(sky.jukebox.metadata_capacity, ByteSize::kib(16));
+        assert_eq!(bdw.jukebox.metadata_capacity, ByteSize::kib(32));
+    }
+
+    #[test]
+    fn describe_contains_key_parameters() {
+        let s = SystemConfig::skylake().describe();
+        assert!(s.contains("skylake"));
+        assert!(s.contains("1MB"));
+        assert!(s.contains("CRRB 16"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment runners — one module per figure/table of the paper.
+//!
+//! Each module exposes a `run(params) -> Data` function returning typed
+//! rows, and the data type implements `Display`, rendering the same
+//! series the paper reports. The benchmark harness (`crates/bench`)
+//! invokes these at paper scale and prints the tables; integration tests
+//! invoke them at `ExperimentParams::quick()` scale and assert the
+//! qualitative shape.
+
+pub mod ablations;
+pub mod fig01_cpi_vs_iat;
+pub mod fig02_topdown;
+pub mod fig05_mpki;
+pub mod fig06_footprints;
+pub mod fig08_metadata_size;
+pub mod fig09_metadata_cap;
+pub mod fig10_speedup;
+pub mod fig11_coverage;
+pub mod fig12_bandwidth;
+pub mod fig13_pif;
+pub mod host_interleaving;
+pub mod keep_alive;
+pub mod related_work;
+pub mod table3_broadwell;
+pub mod workflow_slo;
+
+pub use fig01_cpi_vs_iat as fig01;
+pub use fig02_topdown as fig02;
+pub use fig05_mpki as fig05;
+pub use fig06_footprints as fig06;
+pub use fig08_metadata_size as fig08;
+pub use fig09_metadata_cap as fig09;
+pub use fig10_speedup as fig10;
+pub use fig11_coverage as fig11;
+pub use fig12_bandwidth as fig12;
+pub use fig13_pif as fig13;
+pub use table3_broadwell as table3;

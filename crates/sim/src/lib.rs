@@ -1,0 +1,47 @@
+//! Full-system simulation of lukewarm serverless functions — the glue that
+//! reproduces every experiment in the paper.
+//!
+//! * [`config`] — [`SystemConfig`] presets for the two platforms: the
+//!   Skylake-like evaluation machine (Table 1) and the Broadwell-like
+//!   characterization machine (§4.1/§5.6);
+//! * [`system`] — [`SystemSim`]: one core + memory hierarchy + page
+//!   table + synthetic function, with the paper's state-manipulation
+//!   knobs (full flush for the interleaved baseline, partial decay for
+//!   the Figure 1 IAT sweep, perfect-I-cache oracle);
+//! * [`runner`] — measurement protocol: warm-up invocations (which record
+//!   Jukebox metadata, mirroring the paper's post-checkpoint setup) then
+//!   measured invocations, aggregated into a [`runner::RunSummary`];
+//! * [`experiments`] — one module per paper figure/table, each returning
+//!   typed rows and rendering the same series the paper reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use lukewarm_sim::{ExperimentParams, PrefetcherKind, SystemConfig};
+//! use lukewarm_sim::runner::{run, CacheState, RunSpec};
+//! use workloads::FunctionProfile;
+//!
+//! let params = ExperimentParams::quick();
+//! let profile = FunctionProfile::named("Auth-G").unwrap().scaled(params.scale);
+//! let base = run(
+//!     &SystemConfig::skylake(),
+//!     &profile,
+//!     PrefetcherKind::None,
+//!     RunSpec::lukewarm(),
+//!     &params,
+//! );
+//! assert!(base.cpi() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod host;
+pub mod runner;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use runner::{ExperimentParams, PrefetcherKind};
+pub use system::SystemSim;

@@ -1,0 +1,170 @@
+//! The data address space of a synthetic function.
+//!
+//! Loads and stores are classified into three locality classes, mirroring
+//! what short request handlers do: **hot** accesses hit a small stack/local
+//! area and stay L1-resident; **medium** accesses walk a ring of recently
+//! allocated objects (session state, parsed request) that lives in the L2;
+//! **cold** accesses touch the function's heap at random (lookups into
+//! cached tables, runtime metadata), producing the data-side misses of
+//! Figure 5.
+
+use luke_common::addr::{VirtAddr, LINE_BYTES};
+use luke_common::rng::DetRng;
+use luke_common::size::ByteSize;
+
+/// Locality class of a memory operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LocalityClass {
+    /// Stack/locals: tiny, always cache-resident.
+    Hot,
+    /// Recently-used object ring: fits in the L2.
+    Medium,
+    /// Heap at large: the function's full data working set.
+    Cold,
+}
+
+/// Base of the stack area (grows nowhere; a fixed scratch window).
+const STACK_BASE: u64 = 0x7fff_f000_0000;
+/// Base of the medium object ring.
+const RING_BASE: u64 = 0x0000_6000_0000;
+/// Base of the heap.
+const HEAP_BASE: u64 = 0x0000_7000_0000;
+
+/// Size of the hot stack window.
+const STACK_BYTES: u64 = 4 * 1024;
+/// Upper bound on the medium ring.
+const RING_MAX_BYTES: u64 = 48 * 1024;
+/// Lower bound on the medium ring.
+const RING_MIN_BYTES: u64 = 4 * 1024;
+
+/// The data address space (see module docs).
+#[derive(Clone, Debug)]
+pub struct DataSpace {
+    heap_bytes: u64,
+    ring_bytes: u64,
+    ring_cursor: u64,
+}
+
+impl DataSpace {
+    /// Creates a data space with the given heap (cold) working-set size.
+    /// The medium ring scales with the heap (half its size, clamped to
+    /// [4KB, 48KB]) so scaled-down test workloads stay proportionate.
+    pub fn new(heap: ByteSize) -> Self {
+        DataSpace {
+            heap_bytes: heap.bytes().max(LINE_BYTES as u64),
+            ring_bytes: (heap.bytes() / 2).clamp(RING_MIN_BYTES, RING_MAX_BYTES),
+            ring_cursor: 0,
+        }
+    }
+
+    /// Generates an operand address of the given class.
+    pub fn address(&mut self, class: LocalityClass, rng: &mut DetRng) -> VirtAddr {
+        match class {
+            LocalityClass::Hot => VirtAddr::new(STACK_BASE + rng.below(STACK_BYTES)),
+            LocalityClass::Medium => {
+                // Sequential ring walk with small strides: high spatial
+                // locality, bounded working set.
+                self.ring_cursor = (self.ring_cursor + rng.below(96)) % self.ring_bytes;
+                VirtAddr::new(RING_BASE + self.ring_cursor)
+            }
+            LocalityClass::Cold => VirtAddr::new(HEAP_BASE + rng.below(self.heap_bytes)),
+        }
+    }
+
+    /// Samples a locality class with the handler-like mix
+    /// (70% hot / 20% medium / 10% cold).
+    pub fn sample_class(rng: &mut DetRng) -> LocalityClass {
+        let u = rng.unit();
+        if u < 0.70 {
+            LocalityClass::Hot
+        } else if u < 0.90 {
+            LocalityClass::Medium
+        } else {
+            LocalityClass::Cold
+        }
+    }
+
+    /// The heap working-set size in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        self.heap_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_addresses_stay_in_stack_window() {
+        let mut ds = DataSpace::new(ByteSize::kib(256));
+        let mut rng = DetRng::new(1);
+        for _ in 0..1000 {
+            let a = ds.address(LocalityClass::Hot, &mut rng).as_u64();
+            assert!((STACK_BASE..STACK_BASE + STACK_BYTES).contains(&a));
+        }
+    }
+
+    #[test]
+    fn medium_addresses_stay_in_ring() {
+        let mut ds = DataSpace::new(ByteSize::kib(256));
+        let mut rng = DetRng::new(2);
+        for _ in 0..1000 {
+            let a = ds.address(LocalityClass::Medium, &mut rng).as_u64();
+            assert!((RING_BASE..RING_BASE + RING_MAX_BYTES).contains(&a));
+        }
+    }
+
+    #[test]
+    fn cold_addresses_cover_heap() {
+        let heap = ByteSize::kib(128);
+        let mut ds = DataSpace::new(heap);
+        let mut rng = DetRng::new(3);
+        let mut max = 0;
+        for _ in 0..10_000 {
+            let a = ds.address(LocalityClass::Cold, &mut rng).as_u64();
+            assert!((HEAP_BASE..HEAP_BASE + heap.bytes()).contains(&a));
+            max = max.max(a - HEAP_BASE);
+        }
+        assert!(
+            max > heap.bytes() / 2,
+            "cold accesses should spread over the heap"
+        );
+    }
+
+    #[test]
+    fn class_mix_matches_targets() {
+        let mut rng = DetRng::new(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            match DataSpace::sample_class(&mut rng) {
+                LocalityClass::Hot => counts[0] += 1,
+                LocalityClass::Medium => counts[1] += 1,
+                LocalityClass::Cold => counts[2] += 1,
+            }
+        }
+        let f = |c: usize| c as f64 / 30_000.0;
+        assert!((f(counts[0]) - 0.70).abs() < 0.02);
+        assert!((f(counts[1]) - 0.20).abs() < 0.02);
+        assert!((f(counts[2]) - 0.10).abs() < 0.02);
+    }
+
+    #[test]
+    fn tiny_heap_clamped_to_a_line() {
+        let ds = DataSpace::new(ByteSize::new(1));
+        assert_eq!(ds.heap_bytes(), LINE_BYTES as u64);
+    }
+
+    #[test]
+    fn ring_scales_with_heap() {
+        let small = DataSpace::new(ByteSize::kib(8));
+        let large = DataSpace::new(ByteSize::kib(512));
+        assert_eq!(small.ring_bytes, RING_MIN_BYTES);
+        assert_eq!(large.ring_bytes, RING_MAX_BYTES);
+    }
+
+    #[test]
+    fn address_regions_do_not_overlap() {
+        const { assert!(RING_BASE + RING_MAX_BYTES < HEAP_BASE) };
+        const { assert!(HEAP_BASE + (1 << 32) < STACK_BASE) };
+    }
+}

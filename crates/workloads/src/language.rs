@@ -1,0 +1,178 @@
+//! Language-runtime archetypes.
+//!
+//! The paper finds that "the language in which the function is written is
+//! the single biggest determinant of a given function's runtime and
+//! Jukebox's efficacy" (§5.1, footnote 4). The archetypes below encode the
+//! two mechanisms behind that finding:
+//!
+//! * **code-region density** — compiled Go binaries execute spatially
+//!   compact code; CPython's interpreter loop and V8's JIT-compiled
+//!   fragments scatter the hot lines across many regions. Sparse regions
+//!   mean more CRRB entries per footprint byte, so Python/NodeJS functions
+//!   need more Jukebox metadata (Figure 8) and overflow the 16KB budget
+//!   (Figure 11's lower coverage);
+//! * **dynamic overhead** — interpreted/JIT runtimes execute more
+//!   instructions per request for the same business logic.
+
+use std::fmt;
+
+/// The language runtime a synthetic function models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// CPython interpreter.
+    Python,
+    /// NodeJS / V8 JIT.
+    NodeJs,
+    /// Compiled Go.
+    Go,
+}
+
+impl Language {
+    /// All three runtimes, in the paper's presentation order.
+    pub const ALL: [Language; 3] = [Language::Python, Language::NodeJs, Language::Go];
+
+    /// Mean cache lines touched per 1KB code region (of 16). Calibrated
+    /// from the paper's own measurements: metadata-per-footprint ratios in
+    /// Figure 8 imply ≈2.2–2.8 lines/region for interpreter/JIT code and
+    /// ≈3.5–4.5 for compiled Go. Drives Jukebox metadata size.
+    pub fn lines_per_region(self) -> f64 {
+        match self {
+            Language::Python => 2.2,
+            Language::NodeJs => 2.5,
+            Language::Go => 4.0,
+        }
+    }
+
+    /// Fraction of each 1KB code region's lines actually touched by hot
+    /// code (`lines_per_region / 16`). Drives Jukebox metadata size
+    /// (Figure 8).
+    pub fn code_density(self) -> f64 {
+        self.lines_per_region() / 16.0
+    }
+
+    /// Whether the runtime's code placement is scattered (interpreter
+    /// handler dispatch, JIT fragment placement). Scattered runtimes get
+    /// more placement arenas, spreading their footprint over more pages.
+    pub fn scattered_layout(self) -> bool {
+        !matches!(self, Language::Go)
+    }
+
+    /// Number of basic blocks per procedure `(min, max)`. Interpreter and
+    /// JIT runtimes execute short fragmented procedures (bytecode
+    /// handlers, JIT stubs); compiled Go code has long inlined functions.
+    /// Together with the occupancy holes this controls how many code
+    /// regions — and therefore CRRB entries — a footprint spans.
+    pub fn proc_blocks_range(self) -> (u64, u64) {
+        match self {
+            Language::Python => (3, 7),
+            Language::NodeJs => (4, 8),
+            Language::Go => (8, 15),
+        }
+    }
+
+    /// Basic-block length range in bytes `(min, max)`. Compiled code has
+    /// longer straight-line runs.
+    pub fn block_len_range(self) -> (u64, u64) {
+        match self {
+            Language::Python => (16, 56),
+            Language::NodeJs => (16, 64),
+            Language::Go => (32, 120),
+        }
+    }
+
+    /// Relative dynamic-instruction overhead versus compiled code.
+    pub fn dynamic_overhead(self) -> f64 {
+        match self {
+            Language::Python => 1.6,
+            Language::NodeJs => 1.35,
+            Language::Go => 1.0,
+        }
+    }
+
+    /// Probability that an internal conditional branch site follows its
+    /// bias (higher = more predictable code).
+    pub fn branch_bias(self) -> f64 {
+        match self {
+            Language::Python => 0.88,
+            Language::NodeJs => 0.90,
+            Language::Go => 0.92,
+        }
+    }
+
+    /// Suffix used in the paper's function abbreviations.
+    pub fn suffix(self) -> char {
+        match self {
+            Language::Python => 'P',
+            Language::NodeJs => 'N',
+            Language::Go => 'G',
+        }
+    }
+
+    /// Parses a paper-style suffix.
+    pub fn from_suffix(suffix: char) -> Option<Language> {
+        match suffix {
+            'P' => Some(Language::Python),
+            'N' => Some(Language::NodeJs),
+            'G' => Some(Language::Go),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Language::Python => "Python",
+            Language::NodeJs => "NodeJS",
+            Language::Go => "Go",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn go_is_densest() {
+        assert!(Language::Go.code_density() > Language::NodeJs.code_density());
+        assert!(Language::NodeJs.code_density() >= Language::Python.code_density());
+    }
+
+    #[test]
+    fn interpreters_are_scattered() {
+        assert!(Language::Python.scattered_layout());
+        assert!(Language::NodeJs.scattered_layout());
+        assert!(!Language::Go.scattered_layout());
+    }
+
+    #[test]
+    fn overhead_ordering() {
+        assert!(Language::Python.dynamic_overhead() > Language::NodeJs.dynamic_overhead());
+        assert_eq!(Language::Go.dynamic_overhead(), 1.0);
+    }
+
+    #[test]
+    fn suffix_round_trips() {
+        for lang in Language::ALL {
+            assert_eq!(Language::from_suffix(lang.suffix()), Some(lang));
+        }
+        assert_eq!(Language::from_suffix('X'), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Language::Python.to_string(), "Python");
+        assert_eq!(Language::NodeJs.to_string(), "NodeJS");
+        assert_eq!(Language::Go.to_string(), "Go");
+    }
+
+    #[test]
+    fn block_ranges_are_valid() {
+        for lang in Language::ALL {
+            let (lo, hi) = lang.block_len_range();
+            assert!(lo >= 8 && lo < hi);
+        }
+    }
+}

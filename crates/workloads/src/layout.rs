@@ -1,0 +1,599 @@
+//! Static code layout and the canonical control-flow walk.
+//!
+//! A synthetic function's code is a set of **basic blocks** grouped into
+//! **procedures**, placed into virtual-memory arenas by a per-language
+//! policy (Go: procedure-contiguous; Python/NodeJS: scattered across
+//! arenas, modelling interpreter handler dispatch and JIT fragment
+//! placement). Between blocks, dead gaps are inserted so that the fraction
+//! of touched lines per 1KB region matches the language's code density —
+//! the knob that determines Jukebox metadata size (Figure 8).
+//!
+//! Execution follows a **canonical walk**: a fixed sequence of procedure
+//! visits organized in rounds through a dispatcher (the event loop of the
+//! gRPC server each function instance runs, §4.3). Core procedures appear
+//! in every invocation; *optional groups* are included per invocation with
+//! probability ½, producing the ≈0.9 Jaccard footprint commonality of
+//! Figure 6b.
+
+use crate::data_space::LocalityClass;
+use crate::language::Language;
+use crate::profile::FunctionProfile;
+use luke_common::addr::{VirtAddr, LINE_BYTES};
+use luke_common::rng::DetRng;
+
+/// Base virtual address of the first code arena.
+const CODE_BASE: u64 = 0x0000_4000_0000;
+/// Spacing between arena bases. 24 arenas at 16MB stay well below the
+/// data-space bases (0x6000_0000+).
+const ARENA_STRIDE: u64 = 0x0100_0000; // 16MB
+
+/// Operation template of one static instruction slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TemplateOp {
+    /// Arithmetic/logic work.
+    Alu,
+    /// Load with the given operand locality.
+    Load(LocalityClass),
+    /// Store with the given operand locality.
+    Store(LocalityClass),
+    /// An internal conditional branch that, when taken, skips to the
+    /// block's terminal instruction. `taken_probability` is the per-visit
+    /// chance it is taken (sites are biased, hence predictable once the
+    /// predictor is warm).
+    CondBranch {
+        /// Per-visit probability the branch is taken.
+        taken_probability: f64,
+    },
+}
+
+/// One static instruction slot within a block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Template {
+    /// Byte offset from the block start.
+    pub offset: u32,
+    /// Encoded length in bytes.
+    pub size: u8,
+    /// Operation class.
+    pub op: TemplateOp,
+}
+
+/// A basic block: straight-line templates plus a terminal control-transfer
+/// slot whose kind is decided dynamically by the walk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Start virtual address.
+    pub start: VirtAddr,
+    /// Total length in bytes, including the terminal slot.
+    pub len: u32,
+    /// Straight-line instruction slots (terminal excluded).
+    pub templates: Vec<Template>,
+    /// Offset of the terminal control-transfer instruction.
+    pub terminal_offset: u32,
+    /// Size of the terminal instruction.
+    pub terminal_size: u8,
+}
+
+impl Block {
+    /// Address one past the end of the block (the fall-through target).
+    pub fn end(&self) -> VirtAddr {
+        self.start.offset(self.len as u64)
+    }
+
+    /// Address of the terminal instruction.
+    pub fn terminal_pc(&self) -> VirtAddr {
+        self.start.offset(self.terminal_offset as u64)
+    }
+
+    /// Number of instruction slots including the terminal.
+    pub fn instr_slots(&self) -> usize {
+        self.templates.len() + 1
+    }
+}
+
+/// A procedure: an ordered list of block indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proc {
+    /// Indices into [`CodeLayout::blocks`].
+    pub blocks: Vec<usize>,
+}
+
+/// One entry of the canonical walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Visit {
+    /// Procedure to visit.
+    pub proc: usize,
+    /// `None` for core procedures; `Some(group)` for optional procedures,
+    /// included per invocation iff the group's coin lands heads.
+    pub optional_group: Option<u32>,
+}
+
+/// The complete static layout of a synthetic function.
+#[derive(Clone, Debug)]
+pub struct CodeLayout {
+    /// All basic blocks.
+    pub blocks: Vec<Block>,
+    /// All procedures.
+    pub procs: Vec<Proc>,
+    /// The canonical walk (sweep followed by hot-loop rounds).
+    pub canonical: Vec<Visit>,
+    /// Number of leading [`CodeLayout::canonical`] entries that form the
+    /// footprint-defining sweep; the rest is the hot loop. Per-invocation
+    /// traces shuffle the sweep locally (see `trace::emit_invocation`).
+    pub sweep_len: usize,
+    /// Dispatcher head block (ends in the call to the visited procedure).
+    pub dispatcher_head: Block,
+    /// Dispatcher tail block (the call's return continuation; loops back).
+    pub dispatcher_tail: Block,
+    /// Number of optional groups referenced by the canonical walk.
+    pub optional_groups: u32,
+}
+
+impl CodeLayout {
+    /// Builds the layout for a profile. Deterministic in `profile.seed`.
+    pub fn build(profile: &FunctionProfile) -> Self {
+        Builder::new(profile).build()
+    }
+
+    /// Static lines covered by all blocks (the upper bound on any
+    /// invocation's instruction footprint, dispatcher included).
+    pub fn static_lines(&self) -> usize {
+        let mut lines: Vec<u64> = self
+            .blocks
+            .iter()
+            .chain([&self.dispatcher_head, &self.dispatcher_tail])
+            .flat_map(block_lines)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+
+    /// Estimated dynamic instructions of one full walk (all optional
+    /// groups included).
+    pub fn walk_instr_estimate(&self) -> u64 {
+        let dispatcher =
+            (self.dispatcher_head.instr_slots() + self.dispatcher_tail.instr_slots()) as u64;
+        self.canonical
+            .iter()
+            .map(|v| {
+                dispatcher
+                    + self.procs[v.proc]
+                        .blocks
+                        .iter()
+                        .map(|&b| self.blocks[b].instr_slots() as u64)
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+/// Lines spanned by a block.
+fn block_lines(block: &Block) -> impl Iterator<Item = u64> {
+    let first = block.start.line().index();
+    let last = block.start.offset(block.len as u64 - 1).line().index();
+    first..=last
+}
+
+struct Builder<'a> {
+    profile: &'a FunctionProfile,
+    rng: DetRng,
+    cursors: Vec<u64>,
+    last_counted_line: Vec<Option<u64>>,
+    next_arena: usize,
+    blocks: Vec<Block>,
+    procs: Vec<Proc>,
+    placed_lines: u64,
+}
+
+impl<'a> Builder<'a> {
+    fn new(profile: &'a FunctionProfile) -> Self {
+        // Scattered runtimes rotate procedures across more code areas
+        // than the 16-entry CRRB can track, so revisits to a large code
+        // region fall outside the CRRB lifetime and duplicate metadata
+        // entries — the mechanism that makes >1KB regions inefficient for
+        // them (Figure 8's rising right flank).
+        let arenas = if profile.language.scattered_layout() {
+            24
+        } else {
+            6
+        };
+        Builder {
+            profile,
+            rng: DetRng::new(profile.seed).split(0x1A10),
+            cursors: (0..arenas)
+                .map(|a| CODE_BASE + a as u64 * ARENA_STRIDE)
+                .collect(),
+            last_counted_line: vec![None; arenas],
+            next_arena: 0,
+            blocks: Vec::new(),
+            procs: Vec::new(),
+            placed_lines: 0,
+        }
+    }
+
+    fn build(mut self) -> CodeLayout {
+        let lang = self.profile.language;
+        let total_lines = self.profile.code_footprint.lines().max(64);
+        // Core lines are visited every invocation. The optional pool is
+        // twice the per-invocation optional share because each group is
+        // included with probability 1/2.
+        let optional = self.profile.optional_fraction.clamp(0.0, 0.5);
+        let core_target = (total_lines as f64 * (1.0 - optional)) as u64;
+        let optional_target = (total_lines as f64 * 2.0 * optional) as u64;
+
+        // Dispatcher: a dedicated hot arena-0 pair of blocks.
+        let dispatcher_head = self.make_block(0, 32);
+        let dispatcher_tail = self.make_block_at(dispatcher_head.end(), 24);
+        // Move the arena cursor past the tail so no block overlaps it.
+        self.cursors[0] = dispatcher_tail.end().as_u64() + LINE_BYTES as u64;
+
+        let mut core_procs = Vec::new();
+        while self.placed_lines < core_target {
+            core_procs.push(self.make_proc(lang));
+        }
+        let core_placed = self.placed_lines;
+        let mut optional_procs = Vec::new();
+        while self.placed_lines < core_placed + optional_target {
+            optional_procs.push(self.make_proc(lang));
+        }
+
+        // Canonical walk, phase 1 (the sweep): every core procedure once,
+        // with optional procedures interspersed — this is the invocation's
+        // footprint-defining pass. Optional procedures are interspersed
+        // between core ones, one group per optional proc.
+        let mut round = Vec::new();
+        let opt_stride = if optional_procs.is_empty() {
+            usize::MAX
+        } else {
+            (core_procs.len() / optional_procs.len()).max(1)
+        };
+        let mut opt_iter = optional_procs.iter().enumerate();
+        let mut pending_opt = opt_iter.next();
+        for (i, &proc) in core_procs.iter().enumerate() {
+            round.push(Visit {
+                proc,
+                optional_group: None,
+            });
+            if i % opt_stride == opt_stride - 1 {
+                if let Some((group, &proc)) = pending_opt {
+                    round.push(Visit {
+                        proc,
+                        optional_group: Some(group as u32),
+                    });
+                    pending_opt = opt_iter.next();
+                }
+            }
+        }
+        // Any optional procs not yet placed go at the end of the round.
+        while let Some((group, &proc)) = pending_opt {
+            round.push(Visit {
+                proc,
+                optional_group: Some(group as u32),
+            });
+            pending_opt = opt_iter.next();
+        }
+
+        // Phase 2 (the hot loop): real handlers spend most of their
+        // dynamic instructions re-executing a hot subset of the code
+        // (request-processing inner loops), not re-sweeping the whole
+        // footprint — which is why re-references mostly hit the L2 and
+        // the per-invocation footprint equals one sweep. Every third core
+        // procedure is hot.
+        let visit_instrs = |procs: &[Proc], blocks: &[Block], v: &Visit| -> u64 {
+            let body: u64 = procs[v.proc]
+                .blocks
+                .iter()
+                .map(|&b| blocks[b].instr_slots() as u64)
+                .sum();
+            body + dispatcher_head.instr_slots() as u64 + dispatcher_tail.instr_slots() as u64
+        };
+        let sweep_instrs: u64 = round
+            .iter()
+            .map(|v| visit_instrs(&self.procs, &self.blocks, v))
+            .sum();
+        let hot: Vec<Visit> = core_procs
+            .iter()
+            .step_by(3)
+            .map(|&proc| Visit {
+                proc,
+                optional_group: None,
+            })
+            .collect();
+        let hot_instrs: u64 = hot
+            .iter()
+            .map(|v| visit_instrs(&self.procs, &self.blocks, v))
+            .sum::<u64>()
+            .max(1);
+        let remaining = self.profile.instructions.saturating_sub(sweep_instrs);
+        let hot_rounds = (remaining / hot_instrs).max(1) as usize;
+
+        let mut canonical = Vec::with_capacity(round.len() + hot.len() * hot_rounds);
+        canonical.extend(round.iter().copied());
+        let sweep_len = canonical.len();
+        for _ in 0..hot_rounds {
+            canonical.extend(hot.iter().copied());
+        }
+
+        CodeLayout {
+            blocks: self.blocks,
+            procs: self.procs,
+            canonical,
+            sweep_len,
+            dispatcher_head,
+            dispatcher_tail,
+            optional_groups: optional_procs.len() as u32,
+        }
+    }
+
+    /// Creates a procedure of 3–8 blocks and registers it; returns its
+    /// index.
+    ///
+    /// Blocks of a procedure are placed **back-to-back** (real compilers
+    /// lay a function out contiguously, so intra-procedure control flow
+    /// is fall-through and sequential for the fetch unit). After the
+    /// procedure, an occupancy *hole* is left so that touched lines per
+    /// 1KB region match the language target — the holes are the unused
+    /// cold code (error paths, unreached library functions) that make
+    /// instruction footprints spatially sparse. Successive procedures
+    /// rotate arenas, so the walk hops between distant code areas at
+    /// call granularity, like real runtimes.
+    fn make_proc(&mut self, lang: Language) -> usize {
+        let (lo, hi) = lang.proc_blocks_range();
+        let n_blocks = self.rng.range(lo, hi + 1) as usize;
+        self.next_arena = (self.next_arena + 1) % self.cursors.len();
+        let arena = self.next_arena;
+        let proc_start = self.cursors[arena];
+        let lines_before = self.placed_lines;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let (lo, hi) = lang.block_len_range();
+            let len = self.rng.range(lo, hi + 1) as u32;
+            let block = self.make_block(arena, len);
+            self.blocks.push(block);
+            blocks.push(self.blocks.len() - 1);
+        }
+        // Occupancy hole: the procedure's touched lines should average
+        // `lines_per_region` per 1KB of laid-out code span.
+        const REGION_UNIT: f64 = 1024.0;
+        let proc_bytes = (self.cursors[arena] - proc_start) as f64;
+        let proc_lines = (self.placed_lines - lines_before) as f64;
+        let span_target = REGION_UNIT * proc_lines / lang.lines_per_region();
+        let hole = (span_target - proc_bytes).max(0.0) * (0.6 + 0.8 * self.rng.unit());
+        // Advance past the hole, at least one full line so procedures
+        // never share a cache line.
+        self.cursors[arena] += hole as u64 + LINE_BYTES as u64;
+
+        self.procs.push(Proc { blocks });
+        self.procs.len() - 1
+    }
+
+    /// Places a block of `len` bytes at the arena cursor, back-to-back
+    /// with the previous block (occupancy holes are inserted per
+    /// procedure, not per block).
+    fn make_block(&mut self, arena: usize, len: u32) -> Block {
+        let start = VirtAddr::new(self.cursors[arena]);
+        let block = self.make_block_at(start, len);
+        let first_line = block.start.line().index();
+        let last_line = block.start.offset(block.len as u64 - 1).line().index();
+        let prev_counted = self.last_counted_line[arena];
+        let new_first = if prev_counted == Some(first_line) {
+            // The block shares its first line with the previous block.
+            first_line + 1
+        } else {
+            first_line
+        };
+        if last_line >= new_first {
+            self.placed_lines += last_line - new_first + 1;
+        }
+        self.last_counted_line[arena] = Some(last_line);
+        self.cursors[arena] = block.end().as_u64();
+        block
+    }
+
+    /// Creates a block at an explicit address with generated templates.
+    fn make_block_at(&mut self, start: VirtAddr, len: u32) -> Block {
+        let mix = self.profile.mix;
+        let terminal_size = self.rng.range(2, 6) as u8;
+        let body_len = len.saturating_sub(terminal_size as u32);
+        let mut templates = Vec::new();
+        let mut offset = 0u32;
+        let mut since_branch = 0u32;
+        while offset + 6 <= body_len {
+            let size = self.rng.range(3, 7) as u8;
+            let u = self.rng.unit();
+            let op = if since_branch >= mix.branch_gap && self.rng.chance(mix.branch_chance) {
+                since_branch = 0;
+                TemplateOp::CondBranch {
+                    taken_probability: 1.0 - self.profile.language.branch_bias(),
+                }
+            } else if u < mix.load {
+                TemplateOp::Load(sample_locality(&mut self.rng))
+            } else if u < mix.load + mix.store {
+                TemplateOp::Store(sample_locality(&mut self.rng))
+            } else {
+                TemplateOp::Alu
+            };
+            since_branch += 1;
+            templates.push(Template { offset, size, op });
+            offset += size as u32;
+        }
+        Block {
+            start,
+            len: offset + terminal_size as u32,
+            templates,
+            terminal_offset: offset,
+            terminal_size,
+        }
+    }
+}
+
+fn sample_locality(rng: &mut DetRng) -> LocalityClass {
+    crate::data_space::DataSpace::sample_class(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::paper_suite;
+    use crate::profile::FunctionProfile;
+
+    fn small(name: &str) -> FunctionProfile {
+        FunctionProfile::named(name).expect("suite").scaled(0.05)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = small("Auth-G");
+        let a = CodeLayout::build(&p);
+        let b = CodeLayout::build(&p);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        assert_eq!(a.canonical.len(), b.canonical.len());
+        assert_eq!(a.blocks[0], b.blocks[0]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p = small("Auth-G");
+        let a = CodeLayout::build(&p);
+        p.seed += 1;
+        let b = CodeLayout::build(&p);
+        // Same base addresses, but the generated structure must differ.
+        assert_ne!(
+            (a.blocks.len(), a.blocks[0].len),
+            (b.blocks.len(), b.blocks[0].len),
+        );
+    }
+
+    #[test]
+    fn static_lines_near_target() {
+        for name in ["Auth-G", "Pay-N", "Email-P"] {
+            let p = small(name);
+            let layout = CodeLayout::build(&p);
+            let target = p.code_footprint.lines() as f64;
+            // Static pool = core + 2x optional share.
+            let expected = target * (1.0 + p.optional_fraction);
+            let actual = layout.static_lines() as f64;
+            let ratio = actual / expected;
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "{name}: {actual} lines vs expected {expected} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_instrs_near_target() {
+        for name in ["Auth-G", "Pay-N", "Fib-P"] {
+            let p = small(name);
+            let layout = CodeLayout::build(&p);
+            let est = layout.walk_instr_estimate() as f64;
+            let target = p.instructions as f64;
+            let ratio = est / target;
+            assert!(
+                (0.6..2.2).contains(&ratio),
+                "{name}: estimated {est} instrs vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_has_multiple_rounds() {
+        let layout = CodeLayout::build(&small("Fib-G"));
+        let unique_procs: std::collections::BTreeSet<usize> =
+            layout.canonical.iter().map(|v| v.proc).collect();
+        assert!(layout.canonical.len() >= 2 * unique_procs.len());
+    }
+
+    #[test]
+    fn every_proc_appears_in_canonical() {
+        let layout = CodeLayout::build(&small("Auth-N"));
+        let visited: std::collections::BTreeSet<usize> =
+            layout.canonical.iter().map(|v| v.proc).collect();
+        assert_eq!(visited.len(), layout.procs.len());
+    }
+
+    #[test]
+    fn optional_groups_present_and_bounded() {
+        let layout = CodeLayout::build(&small("RecO-P"));
+        assert!(layout.optional_groups > 0);
+        for v in &layout.canonical {
+            if let Some(g) = v.optional_group {
+                assert!(g < layout.optional_groups);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_do_not_overlap_within_arena() {
+        let layout = CodeLayout::build(&small("Ship-G"));
+        let mut spans: Vec<(u64, u64)> = layout
+            .blocks
+            .iter()
+            .map(|b| (b.start.as_u64(), b.end().as_u64()))
+            .collect();
+        spans.push((
+            layout.dispatcher_head.start.as_u64(),
+            layout.dispatcher_head.end().as_u64(),
+        ));
+        spans.push((
+            layout.dispatcher_tail.start.as_u64(),
+            layout.dispatcher_tail.end().as_u64(),
+        ));
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn dispatcher_tail_follows_head() {
+        let layout = CodeLayout::build(&small("Geo-G"));
+        assert_eq!(layout.dispatcher_head.end(), layout.dispatcher_tail.start);
+    }
+
+    #[test]
+    fn terminal_is_last_bytes_of_block() {
+        let layout = CodeLayout::build(&small("Rate-G"));
+        for b in &layout.blocks {
+            assert_eq!(
+                b.terminal_offset + b.terminal_size as u32,
+                b.len,
+                "terminal must end the block"
+            );
+            for t in &b.templates {
+                assert!(t.offset + t.size as u32 <= b.terminal_offset);
+            }
+        }
+    }
+
+    #[test]
+    fn go_layout_denser_than_python() {
+        // Compare static line span density: touched lines / spanned regions.
+        let density = |name: &str| {
+            let layout = CodeLayout::build(&small(name));
+            let mut regions: Vec<u64> = layout
+                .blocks
+                .iter()
+                .flat_map(block_lines)
+                .map(|l| l / 16)
+                .collect();
+            let lines = layout.static_lines() as f64;
+            regions.sort_unstable();
+            regions.dedup();
+            lines / (regions.len() as f64 * 16.0)
+        };
+        let go = density("Auth-G");
+        let py = density("Auth-P");
+        assert!(go > py, "go density {go} should exceed python {py}");
+    }
+
+    #[test]
+    fn full_suite_builds() {
+        for p in paper_suite() {
+            let p = p.scaled(0.02);
+            let layout = CodeLayout::build(&p);
+            assert!(!layout.blocks.is_empty(), "{}", p.name);
+            assert!(!layout.canonical.is_empty(), "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Function profiles: the 20-function suite of Table 2.
+//!
+//! Each profile fixes the calibration targets a synthetic function is built
+//! to: mean per-invocation instruction footprint (Figure 6a places these
+//! between 300KB and just over 800KB), the fraction of the walk on
+//! per-invocation optional paths (which sets Jaccard commonality,
+//! Figure 6b), dynamic instruction count, and data working-set size.
+
+use crate::language::Language;
+use luke_common::size::ByteSize;
+
+/// The instruction mix a function's basic blocks are generated with —
+/// each suite member gets a flavour matching what it computes (Fibonacci
+/// is branchy recursion, AES a straight-line compute kernel, catalog
+/// lookups are load-heavy, ...). The mix shapes the Top-Down stacks'
+/// per-function texture (Figure 2) without moving the footprint
+/// calibration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstructionMix {
+    /// Probability that a straight-line slot is a load.
+    pub load: f64,
+    /// Probability that a straight-line slot is a store.
+    pub store: f64,
+    /// Minimum straight-line slots between conditional-branch sites.
+    pub branch_gap: u32,
+    /// Probability of placing a conditional branch once past the gap.
+    pub branch_chance: f64,
+}
+
+impl InstructionMix {
+    /// A balanced request-handler mix.
+    pub fn balanced() -> Self {
+        InstructionMix {
+            load: 0.22,
+            store: 0.08,
+            branch_gap: 8,
+            branch_chance: 0.35,
+        }
+    }
+
+    /// Control-flow-heavy code (recursion, interpreters of conditionals).
+    pub fn branchy() -> Self {
+        InstructionMix {
+            load: 0.16,
+            store: 0.05,
+            branch_gap: 5,
+            branch_chance: 0.5,
+        }
+    }
+
+    /// Straight-line compute kernels (crypto rounds, checksums).
+    pub fn compute() -> Self {
+        InstructionMix {
+            load: 0.28,
+            store: 0.06,
+            branch_gap: 14,
+            branch_chance: 0.2,
+        }
+    }
+
+    /// Lookup-dominated handlers (catalog, recommendation, profile reads).
+    pub fn lookup() -> Self {
+        InstructionMix {
+            load: 0.32,
+            store: 0.06,
+            branch_gap: 8,
+            branch_chance: 0.3,
+        }
+    }
+
+    /// Serialization/formatting-heavy handlers (emails, receipts).
+    pub fn builder() -> Self {
+        InstructionMix {
+            load: 0.24,
+            store: 0.15,
+            branch_gap: 9,
+            branch_chance: 0.3,
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load/store probabilities do not leave room for ALU
+    /// work or the branch parameters are degenerate.
+    pub fn validate(&self) {
+        assert!(self.load >= 0.0 && self.store >= 0.0, "negative mix");
+        assert!(self.load + self.store < 0.9, "mix leaves no ALU work");
+        assert!(self.branch_gap >= 1, "branch gap must be at least 1");
+        assert!((0.0..=1.0).contains(&self.branch_chance), "bad chance");
+    }
+}
+
+impl Default for InstructionMix {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+/// Calibration targets for one synthetic function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionProfile {
+    /// Paper-style abbreviation, e.g. `"Auth-G"`.
+    pub name: String,
+    /// Language runtime archetype.
+    pub language: Language,
+    /// Target mean instruction footprint per invocation.
+    pub code_footprint: ByteSize,
+    /// Fraction of the per-invocation footprint drawn from optional
+    /// (per-invocation-varying) paths. ≈0.10 yields the paper's ≥0.9
+    /// Jaccard commonality; the three outlier functions use more.
+    pub optional_fraction: f64,
+    /// Target dynamic instructions per invocation (before language
+    /// overhead).
+    pub instructions: u64,
+    /// Data working set per invocation.
+    pub data_footprint: ByteSize,
+    /// The function's instruction-mix flavour.
+    pub mix: InstructionMix,
+    /// Seed for all of this function's deterministic randomness.
+    pub seed: u64,
+}
+
+impl FunctionProfile {
+    /// Builds a profile with suite defaults derived from name, language
+    /// and footprint.
+    fn suite_entry(
+        name: &str,
+        language: Language,
+        footprint_kb: u64,
+        optional_fraction: f64,
+        mix: InstructionMix,
+        seed: u64,
+    ) -> FunctionProfile {
+        mix.validate();
+        let base_instructions = 600_000.0;
+        FunctionProfile {
+            name: name.to_string(),
+            language,
+            code_footprint: ByteSize::kib(footprint_kb),
+            optional_fraction,
+            instructions: (base_instructions * language.dynamic_overhead()) as u64,
+            data_footprint: ByteSize::kib((footprint_kb * 2) / 5),
+            mix,
+            seed,
+        }
+    }
+
+    /// Looks a function up in the paper suite by abbreviation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use workloads::FunctionProfile;
+    ///
+    /// assert!(FunctionProfile::named("Pay-N").is_some());
+    /// assert!(FunctionProfile::named("Nope-X").is_none());
+    /// ```
+    pub fn named(name: &str) -> Option<FunctionProfile> {
+        paper_suite().into_iter().find(|p| p.name == name)
+    }
+
+    /// Returns a copy scaled by `factor` in footprint, instruction count
+    /// and data size — used to keep unit/integration tests fast while
+    /// preserving per-language shape. Values are floored to keep the
+    /// function non-degenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(&self, factor: f64) -> FunctionProfile {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale_bytes =
+            |b: ByteSize| ByteSize::new(((b.bytes() as f64 * factor) as u64).max(16 * 1024));
+        FunctionProfile {
+            name: self.name.clone(),
+            language: self.language,
+            code_footprint: scale_bytes(self.code_footprint),
+            optional_fraction: self.optional_fraction,
+            instructions: ((self.instructions as f64 * factor) as u64).max(4_000),
+            data_footprint: scale_bytes(self.data_footprint),
+            mix: self.mix,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The 20 functions of Table 2, in the paper's figure order.
+///
+/// Footprints follow Figure 6a's shape: everything within ~300–800KB;
+/// Pay-N the largest (it is the paper's example of a metadata-hungry
+/// function, Figure 9), ProdL-G among the smallest. `RecO-P`, `Curr-N` and
+/// `Email-P` get a larger optional fraction — Figure 6b shows three
+/// functions with commonality below 0.9.
+pub fn paper_suite() -> Vec<FunctionProfile> {
+    use Language::{Go, NodeJs, Python};
+    let f = FunctionProfile::suite_entry;
+    let m = InstructionMix::balanced;
+    vec![
+        f("Fib-P", Python, 430, 0.10, InstructionMix::branchy(), 101),
+        f("AES-P", Python, 500, 0.10, InstructionMix::compute(), 102),
+        f("Auth-P", Python, 540, 0.10, m(), 103),
+        f("Email-P", Python, 660, 0.16, InstructionMix::builder(), 104),
+        f("RecO-P", Python, 560, 0.20, InstructionMix::lookup(), 105),
+        f("Fib-N", NodeJs, 470, 0.10, InstructionMix::branchy(), 106),
+        f("AES-N", NodeJs, 560, 0.10, InstructionMix::compute(), 107),
+        f("Auth-N", NodeJs, 620, 0.10, m(), 108),
+        f("Curr-N", NodeJs, 520, 0.18, InstructionMix::compute(), 109),
+        f("Pay-N", NodeJs, 800, 0.10, InstructionMix::builder(), 110),
+        f("Fib-G", Go, 320, 0.10, InstructionMix::branchy(), 111),
+        f("AES-G", Go, 360, 0.10, InstructionMix::compute(), 112),
+        f("Auth-G", Go, 490, 0.10, m(), 113),
+        f("Geo-G", Go, 390, 0.10, InstructionMix::compute(), 114),
+        f("ProdL-G", Go, 330, 0.10, InstructionMix::lookup(), 115),
+        f("Prof-G", Go, 410, 0.10, InstructionMix::lookup(), 116),
+        f("Rate-G", Go, 370, 0.10, m(), 117),
+        f("RecH-G", Go, 430, 0.10, InstructionMix::lookup(), 118),
+        f("User-G", Go, 350, 0.10, m(), 119),
+        f("Ship-G", Go, 400, 0.10, InstructionMix::builder(), 120),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_functions() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 20);
+        // 5 Python, 5 NodeJS, 10 Go, as in Table 2.
+        let count = |l: Language| suite.iter().filter(|p| p.language == l).count();
+        assert_eq!(count(Language::Python), 5);
+        assert_eq!(count(Language::NodeJs), 5);
+        assert_eq!(count(Language::Go), 10);
+    }
+
+    #[test]
+    fn names_are_unique_and_match_language_suffix() {
+        let suite = paper_suite();
+        let mut names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+        for p in &suite {
+            let suffix = p.name.chars().last().expect("non-empty name");
+            assert_eq!(
+                Language::from_suffix(suffix),
+                Some(p.language),
+                "{}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn footprints_in_paper_band() {
+        for p in paper_suite() {
+            let kb = p.code_footprint.as_kib();
+            assert!((300.0..=820.0).contains(&kb), "{}: {kb}KB", p.name);
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let suite = paper_suite();
+        let mut seeds: Vec<u64> = suite.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 20);
+    }
+
+    #[test]
+    fn named_lookup() {
+        let p = FunctionProfile::named("ProdL-G").expect("exists");
+        assert_eq!(p.language, Language::Go);
+        assert!(FunctionProfile::named("ProdL-X").is_none());
+    }
+
+    #[test]
+    fn python_runs_more_instructions_than_go() {
+        let py = FunctionProfile::named("Fib-P").unwrap();
+        let go = FunctionProfile::named("Fib-G").unwrap();
+        assert!(py.instructions > go.instructions);
+    }
+
+    #[test]
+    fn scaled_shrinks_with_floor() {
+        let p = FunctionProfile::named("Pay-N").unwrap();
+        let s = p.scaled(0.05);
+        assert!(s.code_footprint < p.code_footprint);
+        assert!(s.code_footprint.bytes() >= 16 * 1024);
+        assert!(s.instructions >= 4_000);
+        assert_eq!(s.language, p.language);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        FunctionProfile::named("Fib-G").unwrap().scaled(0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Per-invocation trace emission.
+//!
+//! Walks the canonical visit sequence of a [`CodeLayout`], materializing
+//! dynamic [`Instr`]s: dispatcher head → call → procedure blocks → return →
+//! dispatcher tail → loop. Per-invocation randomness (seeded by the
+//! invocation index) decides optional-group inclusion, internal branch
+//! outcomes and operand addresses — everything else is stable across
+//! invocations, which is precisely the structure record-and-replay
+//! prefetching exploits.
+
+use crate::data_space::DataSpace;
+use crate::layout::{Block, CodeLayout, TemplateOp, Visit};
+use crate::profile::FunctionProfile;
+use luke_common::rng::DetRng;
+use sim_cpu::instr::{BranchKind, Instr};
+
+/// Visits in the sweep are locally shuffled within windows of this many
+/// entries per invocation: the request-dependent order in which a handler
+/// touches its procedures. Content (and therefore the footprint) is
+/// stable; fine-grained temporal order is not — which is exactly why
+/// order-sensitive stream prefetchers like PIF keep diverging while
+/// content-based record-and-replay (Jukebox) does not (§5.5).
+pub const SWEEP_SHUFFLE_WINDOW: usize = 8;
+
+/// Emits the dynamic instruction trace of one invocation.
+///
+/// Deterministic in `(profile.seed, invocation)`.
+pub fn emit_invocation(
+    profile: &FunctionProfile,
+    layout: &CodeLayout,
+    invocation: u64,
+) -> Vec<Instr> {
+    let inv_rng = DetRng::new(profile.seed).split(0xE317).split(invocation);
+    let included = optional_inclusion(layout, &inv_rng);
+    let mut emitter = Emitter {
+        rng: inv_rng.split(0xF00D),
+        data: DataSpace::new(profile.data_footprint),
+        out: Vec::with_capacity(layout.walk_instr_estimate() as usize),
+    };
+
+    // Filter optional groups, then shuffle the sweep portion window-wise.
+    let sweep_len = layout.sweep_len.min(layout.canonical.len());
+    let mut sweep: Vec<&Visit> = layout.canonical[..sweep_len]
+        .iter()
+        .filter(|v| {
+            v.optional_group
+                .map(|g| included[g as usize])
+                .unwrap_or(true)
+        })
+        .collect();
+    let mut shuffle_rng = inv_rng.split(0x5FF1E);
+    for window in sweep.chunks_mut(SWEEP_SHUFFLE_WINDOW) {
+        // Fisher–Yates within the window.
+        for i in (1..window.len()).rev() {
+            let j = shuffle_rng.below(i as u64 + 1) as usize;
+            window.swap(i, j);
+        }
+    }
+    // Sweep visits also enter their procedure at a request-dependent
+    // block (a rotated visit order): same content, different fine-grained
+    // temporal order. Hot-loop visits are stable.
+    let mut rotate_rng = inv_rng.split(0x2074);
+    for visit in sweep {
+        let proc_len = layout.procs[visit.proc].blocks.len();
+        let rotation = if rotate_rng.chance(0.5) {
+            rotate_rng.below(proc_len as u64) as usize
+        } else {
+            0
+        };
+        emitter.emit_visit(layout, visit, rotation);
+    }
+    for visit in &layout.canonical[sweep_len..] {
+        emitter.emit_visit(layout, visit, 0);
+    }
+    emitter.out
+}
+
+/// Per-invocation coin flips for each optional group. Group order is
+/// stable, so inclusion of group `g` depends only on `(seed, invocation,
+/// g)`.
+fn optional_inclusion(layout: &CodeLayout, inv_rng: &DetRng) -> Vec<bool> {
+    (0..layout.optional_groups)
+        .map(|g| inv_rng.split(0x0917 + g as u64).chance(0.5))
+        .collect()
+}
+
+struct Emitter {
+    rng: DetRng,
+    data: DataSpace,
+    out: Vec<Instr>,
+}
+
+/// How a block's terminal transfers control.
+#[derive(Clone, Copy, Debug)]
+enum Terminal {
+    /// Fall through or jump to the next block.
+    Jump(luke_common::addr::VirtAddr),
+    /// Call into a procedure (pushes the dispatcher-tail continuation).
+    Call(luke_common::addr::VirtAddr),
+    /// Return to the dispatcher tail.
+    Return(luke_common::addr::VirtAddr),
+}
+
+impl Emitter {
+    /// Emits one procedure visit. `rotation` rotates the block visit
+    /// order (entering at block `rotation` and wrapping), modelling
+    /// request-dependent entry points; content is unchanged.
+    fn emit_visit(&mut self, layout: &CodeLayout, visit: &Visit, rotation: usize) {
+        let proc = &layout.procs[visit.proc];
+        let order: Vec<usize> = (0..proc.blocks.len())
+            .map(|i| proc.blocks[(i + rotation) % proc.blocks.len()])
+            .collect();
+        let first_block = layout.blocks[order[0]].start;
+        // Dispatcher head ends in the call.
+        self.emit_block(&layout.dispatcher_head, Terminal::Call(first_block));
+        // Procedure body.
+        for (i, &block_idx) in order.iter().enumerate() {
+            let block = &layout.blocks[block_idx];
+            let terminal = if i + 1 < order.len() {
+                Terminal::Jump(layout.blocks[order[i + 1]].start)
+            } else {
+                Terminal::Return(layout.dispatcher_tail.start)
+            };
+            self.emit_block(block, terminal);
+        }
+        // Dispatcher tail loops back to the head.
+        self.emit_block(
+            &layout.dispatcher_tail,
+            Terminal::Jump(layout.dispatcher_head.start),
+        );
+    }
+
+    fn emit_block(&mut self, block: &Block, terminal: Terminal) {
+        let terminal_pc = block.terminal_pc();
+        for t in &block.templates {
+            let pc = block.start.offset(t.offset as u64);
+            match t.op {
+                TemplateOp::Alu => self.out.push(Instr::alu(pc, t.size)),
+                TemplateOp::Load(class) => {
+                    let addr = self.data.address(class, &mut self.rng);
+                    self.out.push(Instr::load(pc, t.size, addr));
+                }
+                TemplateOp::Store(class) => {
+                    let addr = self.data.address(class, &mut self.rng);
+                    self.out.push(Instr::store(pc, t.size, addr));
+                }
+                TemplateOp::CondBranch { taken_probability } => {
+                    let taken = self.rng.chance(taken_probability);
+                    self.out.push(Instr::branch(
+                        pc,
+                        t.size,
+                        BranchKind::Conditional,
+                        taken,
+                        terminal_pc,
+                    ));
+                    if taken {
+                        // Skip the rest of the straight-line body.
+                        break;
+                    }
+                }
+            }
+        }
+        // Terminal control transfer.
+        match terminal {
+            Terminal::Jump(target) => {
+                if target == block.end() {
+                    // Adjacent block: plain fall-through.
+                    self.out.push(Instr::alu(terminal_pc, block.terminal_size));
+                } else {
+                    self.out.push(Instr::branch(
+                        terminal_pc,
+                        block.terminal_size,
+                        BranchKind::Unconditional,
+                        true,
+                        target,
+                    ));
+                }
+            }
+            Terminal::Call(target) => self.out.push(Instr::branch(
+                terminal_pc,
+                block.terminal_size,
+                BranchKind::Call,
+                true,
+                target,
+            )),
+            Terminal::Return(target) => self.out.push(Instr::branch(
+                terminal_pc,
+                block.terminal_size,
+                BranchKind::Return,
+                true,
+                target,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::CodeLayout;
+    use crate::profile::FunctionProfile;
+    use sim_cpu::instr::InstrKind;
+
+    fn setup(name: &str) -> (FunctionProfile, CodeLayout) {
+        let p = FunctionProfile::named(name).expect("suite").scaled(0.05);
+        let layout = CodeLayout::build(&p);
+        (p, layout)
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let (p, layout) = setup("Auth-G");
+        let a = emit_invocation(&p, &layout, 3);
+        let b = emit_invocation(&p, &layout, 3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[100], b[100]);
+        assert_eq!(a.last(), b.last());
+    }
+
+    #[test]
+    fn different_invocations_differ() {
+        let (p, layout) = setup("Auth-G");
+        let a = emit_invocation(&p, &layout, 0);
+        let b = emit_invocation(&p, &layout, 1);
+        assert_ne!(a.len(), b.len(), "optional groups should vary");
+    }
+
+    #[test]
+    fn instruction_count_near_profile_target() {
+        let (p, layout) = setup("Pay-N");
+        let trace = emit_invocation(&p, &layout, 0);
+        let ratio = trace.len() as f64 / p.instructions as f64;
+        assert!(
+            (0.5..2.5).contains(&ratio),
+            "emitted {} vs target {}",
+            trace.len(),
+            p.instructions
+        );
+    }
+
+    #[test]
+    fn calls_and_returns_are_paired() {
+        let (p, layout) = setup("Fib-G");
+        let trace = emit_invocation(&p, &layout, 0);
+        let calls = trace
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Branch {
+                        kind: BranchKind::Call,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let returns = trace
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Branch {
+                        kind: BranchKind::Return,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(calls, returns);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn returns_target_dispatcher_tail() {
+        let (p, layout) = setup("Fib-G");
+        let trace = emit_invocation(&p, &layout, 0);
+        for i in &trace {
+            if let InstrKind::Branch {
+                kind: BranchKind::Return,
+                target,
+                ..
+            } = i.kind
+            {
+                assert_eq!(target, layout.dispatcher_tail.start);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_has_realistic_mix() {
+        let (p, layout) = setup("Auth-N");
+        let trace = emit_invocation(&p, &layout, 0);
+        let n = trace.len() as f64;
+        let loads = trace
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Load(_)))
+            .count() as f64;
+        let branches = trace
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Branch { .. }))
+            .count() as f64;
+        assert!(
+            loads / n > 0.08 && loads / n < 0.35,
+            "load frac {}",
+            loads / n
+        );
+        assert!(
+            branches / n > 0.05 && branches / n < 0.40,
+            "branch frac {}",
+            branches / n
+        );
+    }
+
+    #[test]
+    fn taken_cond_branch_skips_to_terminal() {
+        let (p, layout) = setup("Fib-P");
+        let trace = emit_invocation(&p, &layout, 0);
+        // After any taken conditional, the next instruction must be at the
+        // branch's target (the block terminal).
+        let mut checked = 0;
+        for pair in trace.windows(2) {
+            if let InstrKind::Branch {
+                kind: BranchKind::Conditional,
+                taken: true,
+                target,
+            } = pair[0].kind
+            {
+                assert_eq!(pair[1].pc, target);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "expected at least one taken internal branch");
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        // Every non-taken-branch instruction is followed by its
+        // fall-through; every taken branch by its target.
+        let (p, layout) = setup("User-G");
+        let trace = emit_invocation(&p, &layout, 2);
+        for pair in trace.windows(2) {
+            let (cur, next) = (&pair[0], &pair[1]);
+            match cur.kind {
+                InstrKind::Branch {
+                    taken: true,
+                    target,
+                    ..
+                } => {
+                    assert_eq!(next.pc, target, "taken branch at {}", cur.pc);
+                }
+                _ => {
+                    assert_eq!(next.pc, cur.fallthrough(), "fall-through at {}", cur.pc);
+                }
+            }
+        }
+    }
+}

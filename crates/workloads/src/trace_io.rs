@@ -1,0 +1,238 @@
+//! Binary import/export of instruction traces.
+//!
+//! The simulator consumes plain [`Instr`] streams, so any trace source can
+//! drive it — synthetic functions, or real traces captured with a binary
+//! instrumentation tool and converted to this format. The codec is a
+//! simple, versioned little-endian layout (no external dependencies):
+//!
+//! ```text
+//! magic "LWTR" | version u32 | count u64 | records...
+//! record: pc u64 | size u8 | tag u8 | payload
+//!   tag 0 Alu    — no payload
+//!   tag 1 Load   — addr u64
+//!   tag 2 Store  — addr u64
+//!   tag 3 Branch — kind u8, taken u8, target u64
+//! ```
+
+use luke_common::addr::VirtAddr;
+use sim_cpu::instr::{BranchKind, Instr, InstrKind};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"LWTR";
+const VERSION: u32 = 1;
+
+/// Serializes a trace to a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &[Instr]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for i in trace {
+        w.write_all(&i.pc.as_u64().to_le_bytes())?;
+        w.write_all(&[i.size])?;
+        match i.kind {
+            InstrKind::Alu => w.write_all(&[0u8])?,
+            InstrKind::Load(addr) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&addr.as_u64().to_le_bytes())?;
+            }
+            InstrKind::Store(addr) => {
+                w.write_all(&[2u8])?;
+                w.write_all(&addr.as_u64().to_le_bytes())?;
+            }
+            InstrKind::Branch {
+                kind,
+                taken,
+                target,
+            } => {
+                w.write_all(&[3u8, branch_kind_tag(kind), taken as u8])?;
+                w.write_all(&target.as_u64().to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trace from a reader.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic/version/tag, `UnexpectedEof` for a
+/// truncated stream, and propagates reader errors.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<Instr>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(invalid(&format!("unsupported version {version}")));
+    }
+    let count = read_u64(&mut r)?;
+    let mut trace = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let pc = VirtAddr::new(read_u64(&mut r)?);
+        let size = read_u8(&mut r)?;
+        let kind = match read_u8(&mut r)? {
+            0 => InstrKind::Alu,
+            1 => InstrKind::Load(VirtAddr::new(read_u64(&mut r)?)),
+            2 => InstrKind::Store(VirtAddr::new(read_u64(&mut r)?)),
+            3 => {
+                let kind = branch_kind_from_tag(read_u8(&mut r)?)?;
+                let taken = match read_u8(&mut r)? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(invalid(&format!("bad taken flag {other}"))),
+                };
+                let target = VirtAddr::new(read_u64(&mut r)?);
+                InstrKind::Branch {
+                    kind,
+                    taken,
+                    target,
+                }
+            }
+            other => return Err(invalid(&format!("bad record tag {other}"))),
+        };
+        trace.push(Instr { pc, size, kind });
+    }
+    Ok(trace)
+}
+
+fn branch_kind_tag(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn branch_kind_from_tag(tag: u8) -> io::Result<BranchKind> {
+    Ok(match tag {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Indirect,
+        other => return Err(invalid(&format!("bad branch kind {other}"))),
+    })
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionProfile, SyntheticFunction};
+
+    fn sample() -> Vec<Instr> {
+        vec![
+            Instr::alu(VirtAddr::new(0x1000), 4),
+            Instr::load(VirtAddr::new(0x1004), 5, VirtAddr::new(0x7000_0000)),
+            Instr::store(VirtAddr::new(0x1009), 3, VirtAddr::new(0x7000_0040)),
+            Instr::branch(
+                VirtAddr::new(0x100c),
+                2,
+                BranchKind::Call,
+                true,
+                VirtAddr::new(0x2000),
+            ),
+            Instr::branch(
+                VirtAddr::new(0x2000),
+                2,
+                BranchKind::Conditional,
+                false,
+                VirtAddr::new(0x2040),
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        let trace = sample();
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        let back = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn round_trips_a_synthetic_function_trace() {
+        let p = FunctionProfile::named("Fib-G").unwrap().scaled(0.02);
+        let f = SyntheticFunction::build(&p);
+        let trace = f.invocation_trace(0);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        assert_eq!(read_trace(bytes.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &[]).unwrap();
+        assert_eq!(read_trace(bytes.as_slice()).unwrap(), Vec::<Instr>::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &sample()).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_bad_tag() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0x1000u64.to_le_bytes());
+        bytes.push(4); // size
+        bytes.push(9); // bad tag
+        let err = read_trace(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

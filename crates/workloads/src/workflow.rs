@@ -1,0 +1,133 @@
+//! Serverless workflows: functions composed into end-to-end applications.
+//!
+//! Two of the paper's workload sources are *distributed applications
+//! implemented as serverless workflows* (§2.3): the Hotel Reservation
+//! application from DeathStarBench \[18\] and Google's Online Boutique \[21\].
+//! A user request fans through several functions in sequence, so the
+//! end-to-end latency — the quantity under the tens-of-milliseconds SLOs
+//! the introduction cites \[20\] — accumulates every stage's lukewarm
+//! penalty.
+
+use crate::profile::{paper_suite, FunctionProfile};
+
+/// A linear chain of serverless functions handling one request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workflow {
+    /// Application name.
+    pub name: String,
+    /// The stages, in invocation order.
+    pub stages: Vec<FunctionProfile>,
+}
+
+impl Workflow {
+    /// Builds a workflow from suite function names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not in the paper suite or `names` is empty.
+    pub fn from_names(name: &str, names: &[&str]) -> Workflow {
+        assert!(!names.is_empty(), "workflow needs at least one stage");
+        let suite = paper_suite();
+        let stages = names
+            .iter()
+            .map(|n| {
+                suite
+                    .iter()
+                    .find(|p| &p.name == n)
+                    .unwrap_or_else(|| panic!("unknown workflow stage {n:?}"))
+                    .clone()
+            })
+            .collect();
+        Workflow {
+            name: name.to_string(),
+            stages,
+        }
+    }
+
+    /// The Hotel Reservation search flow (DeathStarBench \[18\]): locate
+    /// nearby hotels, price them, fetch profiles, recommend, authenticate
+    /// the user.
+    pub fn hotel_reservation() -> Workflow {
+        Workflow::from_names(
+            "hotel-reservation",
+            &["Geo-G", "Rate-G", "Prof-G", "RecH-G", "User-G"],
+        )
+    }
+
+    /// The Online Boutique checkout flow (Google microservices demo \[21\]):
+    /// catalog lookup, currency conversion, payment, confirmation email,
+    /// shipping quote.
+    pub fn online_boutique() -> Workflow {
+        Workflow::from_names(
+            "online-boutique",
+            &["ProdL-G", "Curr-N", "Pay-N", "Email-P", "Ship-G"],
+        )
+    }
+
+    /// Both paper workflows.
+    pub fn paper_workflows() -> Vec<Workflow> {
+        vec![Self::hotel_reservation(), Self::online_boutique()]
+    }
+
+    /// Returns a copy with every stage scaled (see
+    /// [`FunctionProfile::scaled`]).
+    pub fn scaled(&self, factor: f64) -> Workflow {
+        Workflow {
+            name: self.name.clone(),
+            stages: self.stages.iter().map(|p| p.scaled(factor)).collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the workflow has no stages (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::Language;
+
+    #[test]
+    fn hotel_reservation_is_all_go() {
+        let w = Workflow::hotel_reservation();
+        assert_eq!(w.len(), 5);
+        assert!(w.stages.iter().all(|s| s.language == Language::Go));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn online_boutique_mixes_languages() {
+        let w = Workflow::online_boutique();
+        let langs: std::collections::BTreeSet<char> =
+            w.stages.iter().map(|s| s.language.suffix()).collect();
+        assert!(langs.len() >= 3, "boutique spans runtimes: {langs:?}");
+    }
+
+    #[test]
+    fn scaled_scales_every_stage() {
+        let w = Workflow::hotel_reservation().scaled(0.05);
+        for (s, orig) in w.stages.iter().zip(Workflow::hotel_reservation().stages) {
+            assert!(s.code_footprint < orig.code_footprint);
+        }
+        assert_eq!(w.name, "hotel-reservation");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workflow stage")]
+    fn unknown_stage_panics() {
+        Workflow::from_names("x", &["Nope-Z"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_workflow_panics() {
+        Workflow::from_names("x", &[]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Quickstart: measure one function's lukewarm penalty and how much of it
+//! Jukebox recovers.
+//!
+//! ```text
+//! cargo run --release --example quickstart [function] [scale]
+//! ```
+//!
+//! `function` is a Table 2 abbreviation (default `Auth-G`); `scale` scales
+//! the workload (default 0.25 for a quick run; 1.0 = paper scale).
+
+use lukewarm::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "Auth-G".to_string());
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.25);
+
+    let profile = FunctionProfile::named(&name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown function {name:?}; pick one of:");
+            for p in paper_suite() {
+                eprintln!("  {}", p.name);
+            }
+            std::process::exit(1);
+        })
+        .scaled(scale);
+    let config = SystemConfig::skylake();
+    let params = ExperimentParams {
+        scale,
+        invocations: 5,
+        warmup: 2,
+    };
+
+    println!("function  : {} ({})", profile.name, profile.language);
+    println!(
+        "footprint : {} target, {} instructions/invocation",
+        profile.code_footprint, profile.instructions
+    );
+    println!("platform  :\n{}", config.describe());
+
+    let reference = run(
+        &config,
+        &profile,
+        PrefetcherKind::None,
+        RunSpec::reference(),
+        &params,
+    );
+    let baseline = run(
+        &config,
+        &profile,
+        PrefetcherKind::None,
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let jukebox = run(
+        &config,
+        &profile,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let perfect = run(
+        &config,
+        &profile,
+        PrefetcherKind::PerfectICache,
+        RunSpec::lukewarm(),
+        &params,
+    );
+
+    println!("\nconfiguration        CPI     vs reference");
+    println!("------------------------------------------");
+    let row = |label: &str, cpi: f64| {
+        println!(
+            "{label:<20} {cpi:>5.2}   {:>+9.1}%",
+            (cpi / reference.cpi() - 1.0) * 100.0
+        );
+    };
+    row("reference (warm)", reference.cpi());
+    row("lukewarm baseline", baseline.cpi());
+    row("lukewarm + Jukebox", jukebox.cpi());
+    row("perfect I-cache", perfect.cpi());
+
+    println!(
+        "\nJukebox speedup over lukewarm baseline : {:+.1}%",
+        (jukebox.speedup_over(&baseline) - 1.0) * 100.0
+    );
+    println!(
+        "Perfect-I$ opportunity                 : {:+.1}%",
+        (perfect.speedup_over(&baseline) - 1.0) * 100.0
+    );
+    println!(
+        "L2 instruction-miss coverage           : {:.0}%",
+        jukebox.mem.l2.prefetch_first_hits as f64 / baseline.mem.l2.instr.misses.max(1) as f64
+            * 100.0
+    );
+    let stack = baseline.cpi_stack();
+    println!(
+        "\nlukewarm Top-Down stack (cycles/instr): retiring {:.2} | fetch-lat {:.2} | fetch-bw {:.2} | bad-spec {:.2} | backend {:.2}",
+        stack.retiring, stack.fetch_latency, stack.fetch_bandwidth, stack.bad_speculation, stack.backend
+    );
+}

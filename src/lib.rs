@@ -1,0 +1,69 @@
+//! **lukewarm** — a reproduction of *Lukewarm Serverless Functions:
+//! Characterization and Optimization* (Schall, Margaritov, Ustiugov,
+//! Sandberg, Grot — ISCA 2022).
+//!
+//! Serverless hosts keep thousands of function instances warm in memory
+//! while their invocations arrive seconds apart. Between two invocations of
+//! one instance, hundreds of other invocations execute on the same core and
+//! obliterate its microarchitectural state: the next invocation is
+//! *lukewarm* — memory-resident, yet facing a cold CPU. The paper measures
+//! a 31–114% CPI penalty, attributes most of it to instruction-fetch
+//! latency, and proposes **Jukebox**, a record-and-replay instruction
+//! prefetcher that stores ~32KB of per-instance metadata in main memory and
+//! bulk-prefetches the recorded instruction working set into the L2 at
+//! dispatch.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`jukebox`] | `jukebox` | the prefetcher: CRRB, metadata, record/replay, OS model |
+//! | [`mem`] | `sim-mem` | caches, TLBs, DRAM, page tables, prefetch interface |
+//! | [`cpu`] | `sim-cpu` | trace-driven timing model with Top-Down accounting |
+//! | [`workloads`] | `workloads` | the 20-function synthetic suite (Table 2) |
+//! | [`prefetchers`] | `prefetchers` | PIF, PIF-ideal, next-line baselines |
+//! | [`server`] | `server` | warm pools, IAT traffic, interleaving model |
+//! | [`sim`] | `lukewarm-sim` | full-system glue + every figure/table experiment |
+//! | [`common`] | `luke-common` | addresses, statistics, deterministic RNG |
+//!
+//! # Quickstart
+//!
+//! Measure one function's lukewarm penalty and how much Jukebox recovers:
+//!
+//! ```
+//! use lukewarm::prelude::*;
+//!
+//! let params = ExperimentParams::quick(); // scaled-down for doc tests
+//! let profile = FunctionProfile::named("Auth-G").unwrap().scaled(params.scale);
+//! let config = SystemConfig::skylake();
+//!
+//! let baseline = run(&config, &profile, PrefetcherKind::None, RunSpec::lukewarm(), &params);
+//! let jukebox = run(
+//!     &config,
+//!     &profile,
+//!     PrefetcherKind::Jukebox(config.jukebox),
+//!     RunSpec::lukewarm(),
+//!     &params,
+//! );
+//! assert!(jukebox.speedup_over(&baseline) > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use jukebox;
+pub use luke_common as common;
+pub use lukewarm_sim as sim;
+pub use prefetchers;
+pub use server;
+pub use sim_cpu as cpu;
+pub use sim_mem as mem;
+pub use workloads;
+
+/// The most common imports for driving experiments.
+pub mod prelude {
+    pub use jukebox::{JukeboxConfig, JukeboxPrefetcher};
+    pub use lukewarm_sim::runner::{run, CacheState, RunSpec};
+    pub use lukewarm_sim::{ExperimentParams, PrefetcherKind, SystemConfig, SystemSim};
+    pub use workloads::{paper_suite, FunctionProfile, SyntheticFunction};
+}

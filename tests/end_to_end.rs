@@ -1,0 +1,251 @@
+//! End-to-end integration tests spanning every crate: workload generation
+//! through the core timing model, memory hierarchy and the Jukebox
+//! prefetcher, checked against the paper's qualitative claims.
+
+use lukewarm::prelude::*;
+
+fn quick() -> ExperimentParams {
+    ExperimentParams::quick()
+}
+
+fn profile(name: &str, params: &ExperimentParams) -> FunctionProfile {
+    FunctionProfile::named(name)
+        .expect("suite function")
+        .scaled(params.scale)
+}
+
+#[test]
+fn lukewarm_invocations_are_substantially_slower_than_warm() {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    for name in ["Auth-G", "Fib-P", "Curr-N"] {
+        let p = profile(name, &params);
+        let reference = run(
+            &config,
+            &p,
+            PrefetcherKind::None,
+            RunSpec::reference(),
+            &params,
+        );
+        let lukewarm = run(
+            &config,
+            &p,
+            PrefetcherKind::None,
+            RunSpec::lukewarm(),
+            &params,
+        );
+        let penalty = lukewarm.cpi() / reference.cpi() - 1.0;
+        assert!(
+            penalty > 0.25,
+            "{name}: lukewarm penalty only {:.0}%",
+            penalty * 100.0
+        );
+    }
+}
+
+#[test]
+fn jukebox_recovers_a_large_fraction_of_the_opportunity() {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let p = profile("Auth-G", &params);
+    let baseline = run(
+        &config,
+        &p,
+        PrefetcherKind::None,
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let jukebox = run(
+        &config,
+        &p,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let perfect = run(
+        &config,
+        &p,
+        PrefetcherKind::PerfectICache,
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let jb_gain = jukebox.speedup_over(&baseline) - 1.0;
+    let perfect_gain = perfect.speedup_over(&baseline) - 1.0;
+    assert!(jb_gain > 0.05, "jukebox gain {jb_gain}");
+    assert!(
+        jb_gain > 0.35 * perfect_gain,
+        "jukebox ({jb_gain:.2}) should recover a large share of the perfect-I$ \
+         opportunity ({perfect_gain:.2})"
+    );
+    assert!(
+        jb_gain <= perfect_gain * 1.05,
+        "jukebox cannot beat the oracle: {jb_gain} vs {perfect_gain}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let p = profile("Geo-G", &params);
+    let a = run(
+        &config,
+        &p,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let b = run(
+        &config,
+        &p,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+    );
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.mem.l2.instr.misses, b.mem.l2.instr.misses);
+    assert_eq!(a.prefetch.issued, b.prefetch.issued);
+}
+
+#[test]
+fn fetch_latency_dominates_the_lukewarm_penalty() {
+    // §2.3's key claim: the single largest source of extra cycles in the
+    // interleaved setup is instruction fetch latency.
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let p = profile("Pay-N", &params);
+    let reference = run(
+        &config,
+        &p,
+        PrefetcherKind::None,
+        RunSpec::reference(),
+        &params,
+    );
+    let lukewarm = run(
+        &config,
+        &p,
+        PrefetcherKind::None,
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let r = reference.cpi_stack();
+    let l = lukewarm.cpi_stack();
+    let extra = l.total() - r.total();
+    let extra_fetch = (l.fetch_latency - r.fetch_latency).max(0.0);
+    assert!(extra > 0.0);
+    assert!(
+        extra_fetch / extra > 0.4,
+        "fetch latency should be the largest extra component: {:.0}%",
+        extra_fetch / extra * 100.0
+    );
+    assert!(extra_fetch > (l.bad_speculation - r.bad_speculation).max(0.0));
+    assert!(extra_fetch > (l.fetch_bandwidth - r.fetch_bandwidth).max(0.0));
+}
+
+#[test]
+fn jukebox_eliminates_most_llc_instruction_misses() {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let p = profile("Ship-G", &params);
+    let baseline = run(
+        &config,
+        &p,
+        PrefetcherKind::None,
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let jukebox = run(
+        &config,
+        &p,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let ratio = jukebox.llc_instr_mpki() / baseline.llc_instr_mpki().max(f64::MIN_POSITIVE);
+    assert!(
+        ratio < 0.5,
+        "jukebox should remove most LLC instruction misses; kept {:.0}%",
+        ratio * 100.0
+    );
+}
+
+#[test]
+fn metadata_traffic_flows_through_dram_accounting() {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let p = profile("User-G", &params);
+    let jukebox = run(
+        &config,
+        &p,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+    );
+    assert!(jukebox.mem.traffic.metadata_record > 0);
+    assert!(jukebox.mem.traffic.metadata_replay > 0);
+    assert!(jukebox.mem.traffic.prefetch > 0);
+    // Metadata is a compressed form of the working set: far smaller than
+    // the prefetch traffic it steers.
+    assert!(jukebox.mem.traffic.metadata_replay < jukebox.mem.traffic.prefetch / 4);
+}
+
+#[test]
+fn broadwell_platform_also_benefits_but_less() {
+    // §5.6: Jukebox helps on the small-L2 Broadwell too, just less.
+    let params = quick();
+    let sky = SystemConfig::skylake();
+    let bdw = SystemConfig::broadwell();
+    let speedup = |config: &SystemConfig| {
+        let p = profile("Rate-G", &params);
+        let baseline = run(
+            config,
+            &p,
+            PrefetcherKind::None,
+            RunSpec::lukewarm(),
+            &params,
+        );
+        let jukebox = run(
+            config,
+            &p,
+            PrefetcherKind::Jukebox(config.jukebox),
+            RunSpec::lukewarm(),
+            &params,
+        );
+        jukebox.speedup_over(&baseline)
+    };
+    let sky_speedup = speedup(&sky);
+    let bdw_speedup = speedup(&bdw);
+    assert!(sky_speedup > 1.03, "skylake speedup {sky_speedup}");
+    assert!(bdw_speedup > 1.0, "broadwell speedup {bdw_speedup}");
+}
+
+#[test]
+fn partial_decay_sits_between_reference_and_lukewarm() {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let p = profile("Prof-G", &params);
+    let reference = run(
+        &config,
+        &p,
+        PrefetcherKind::None,
+        RunSpec::reference(),
+        &params,
+    );
+    let decayed = run(
+        &config,
+        &p,
+        PrefetcherKind::None,
+        RunSpec::decayed(0.5, 0.2, false),
+        &params,
+    );
+    let lukewarm = run(
+        &config,
+        &p,
+        PrefetcherKind::None,
+        RunSpec::lukewarm(),
+        &params,
+    );
+    assert!(decayed.cpi() >= reference.cpi() * 0.97);
+    assert!(decayed.cpi() <= lukewarm.cpi() * 1.03);
+}

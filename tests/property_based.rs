@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cross-crate invariants.
+
+use jukebox::metadata::{decode, encode, MetadataEntry};
+use jukebox::{Crrb, JukeboxConfig};
+use luke_common::addr::{LineAddr, VirtAddr};
+use luke_common::stats::{geomean, jaccard, mean, percentile, Summary};
+use proptest::prelude::*;
+use sim_mem::cache::{AccessClass, Cache, Replacement};
+use sim_mem::config::CacheConfig;
+use sim_mem::tlb::Tlb;
+use sim_mem::TlbConfig;
+use std::collections::BTreeSet;
+
+fn tiny_cache() -> Cache {
+    // 8 sets x 4 ways = 32 lines.
+    Cache::new(
+        CacheConfig::new(luke_common::size::ByteSize::kib(2), 4, 1, 4),
+        Replacement::Lru,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Cache invariants ---
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(lines in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut cache = tiny_cache();
+        for line in lines {
+            cache.fill(line, 0, AccessClass::Instr, false);
+            prop_assert!(cache.occupancy() <= cache.capacity_lines());
+        }
+    }
+
+    #[test]
+    fn cache_hit_after_fill_until_evicted(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        // A line reported resident by peek must hit on access; a line that
+        // hits must still be resident afterwards.
+        let mut cache = tiny_cache();
+        for (line, is_fill) in ops {
+            if is_fill {
+                cache.fill(line, 0, AccessClass::Data, false);
+                prop_assert!(cache.peek(line));
+            } else {
+                let resident = cache.peek(line);
+                let hit = cache.access(line, 0, AccessClass::Data);
+                prop_assert_eq!(resident, hit.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_flush_always_empties(lines in prop::collection::vec(0u64..500, 0..100)) {
+        let mut cache = tiny_cache();
+        for line in lines {
+            cache.fill(line, 0, AccessClass::Instr, true);
+        }
+        cache.flush_all();
+        prop_assert_eq!(cache.occupancy(), 0);
+    }
+
+    #[test]
+    fn lru_keeps_the_most_recently_touched_line(extra in prop::collection::vec(0u64..1000, 1..64)) {
+        // Touch line 7 last in its set; filling conflicting lines must
+        // never evict it before the set's other occupants.
+        let mut cache = tiny_cache();
+        cache.fill(7, 0, AccessClass::Instr, false);
+        for (i, line) in extra.iter().enumerate() {
+            // Refresh line 7's recency before each conflicting fill.
+            cache.access(7, i as u64, AccessClass::Instr);
+            // Fill another line in the same set (stride by set count 8).
+            cache.fill(line * 8 + 7, i as u64, AccessClass::Instr, false);
+            if *line != 0 {
+                prop_assert!(cache.peek(7), "line 7 evicted despite recency");
+            }
+        }
+    }
+
+    // --- TLB ---
+
+    #[test]
+    fn tlb_occupancy_bounded(pages in prop::collection::vec(0u64..100, 1..200)) {
+        let mut tlb = Tlb::new(TlbConfig::new(8, 10));
+        for page in pages {
+            tlb.access(page);
+            prop_assert!(tlb.occupancy() <= 8);
+        }
+    }
+
+    #[test]
+    fn tlb_hit_iff_resident(pages in prop::collection::vec(0u64..20, 1..100)) {
+        let mut tlb = Tlb::new(TlbConfig::new(4, 10));
+        for page in pages {
+            let resident = tlb.contains(page);
+            let outcome = tlb.access(page);
+            prop_assert_eq!(resident, outcome.hit);
+            prop_assert!(tlb.contains(page), "page must be resident after access");
+        }
+    }
+
+    // --- CRRB / metadata ---
+
+    #[test]
+    fn crrb_never_loses_a_recorded_line(addrs in prop::collection::vec(0u64..(1u64 << 20), 1..300)) {
+        // Every recorded line must appear in (evicted entries) U (drained
+        // entries).
+        let config = JukeboxConfig::paper_default();
+        let mut crrb = Crrb::new(config);
+        let mut collected = Vec::new();
+        for addr in &addrs {
+            if let Some(entry) = crrb.record(VirtAddr::new(*addr * 64).line()) {
+                collected.push(entry);
+            }
+        }
+        collected.extend(crrb.drain());
+        let recorded: BTreeSet<u64> = collected
+            .iter()
+            .flat_map(|e| e.lines(&config).map(|l| l.index()))
+            .collect();
+        for addr in addrs {
+            let line = VirtAddr::new(addr * 64).line().index();
+            prop_assert!(recorded.contains(&line), "line {line} lost");
+        }
+    }
+
+    #[test]
+    fn metadata_encode_decode_round_trips(
+        entries in prop::collection::vec((0u64..(1u64 << 37), 1u128..(1u128 << 16)), 0..100)
+    ) {
+        let config = JukeboxConfig::paper_default();
+        let entries: Vec<MetadataEntry> = entries
+            .into_iter()
+            .map(|(region, vector)| MetadataEntry {
+                region_base: VirtAddr::new(region * 1024),
+                access_vector: vector,
+            })
+            .collect();
+        let decoded = decode(&encode(&entries, &config), entries.len(), &config);
+        prop_assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn crrb_coalesces_within_one_region(slots in prop::collection::vec(0u64..16, 1..50)) {
+        let config = JukeboxConfig::paper_default();
+        let mut crrb = Crrb::new(config);
+        for slot in &slots {
+            let evicted = crrb.record(LineAddr::from_index(0x4000 + slot));
+            prop_assert!(evicted.is_none(), "single region must never evict");
+        }
+        let drained = crrb.drain();
+        prop_assert_eq!(drained.len(), 1);
+        let unique: BTreeSet<u64> = slots.iter().copied().collect();
+        prop_assert_eq!(u64::from(drained[0].line_count()), unique.len() as u64);
+    }
+
+    // --- Statistics ---
+
+    #[test]
+    fn jaccard_is_bounded_and_symmetric(
+        a in prop::collection::btree_set(0u64..64, 0..32),
+        b in prop::collection::btree_set(0u64..64, 0..32)
+    ) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&b, &a));
+        if a == b {
+            prop_assert_eq!(j, 1.0);
+        }
+    }
+
+    #[test]
+    fn geomean_between_min_and_max(values in prop::collection::vec(0.01f64..100.0, 1..32)) {
+        let g = geomean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001, "{min} <= {g} <= {max}");
+        prop_assert!(g <= mean(&values) * 1.001, "geomean exceeds mean");
+    }
+
+    #[test]
+    fn percentile_within_range(values in prop::collection::vec(-50.0f64..50.0, 1..40), p in 0.0f64..100.0) {
+        let v = percentile(&values, p);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    fn summary_merge_matches_combined_stream(
+        a in prop::collection::vec(-100.0f64..100.0, 0..32),
+        b in prop::collection::vec(-100.0f64..100.0, 0..32)
+    ) {
+        let mut merged: Summary = a.iter().copied().collect();
+        merged.merge(&b.iter().copied().collect());
+        let combined: Summary = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert!((merged.mean() - combined.mean()).abs() < 1e-9);
+        prop_assert_eq!(merged.min(), combined.min());
+        prop_assert_eq!(merged.max(), combined.max());
+    }
+
+    // --- Address arithmetic ---
+
+    #[test]
+    fn line_and_region_arithmetic_consistent(addr in 0u64..(1u64 << 47)) {
+        let a = VirtAddr::new(addr);
+        let line = a.line();
+        prop_assert!(line.base().as_u64() <= addr);
+        prop_assert!(addr < line.base().as_u64() + 64);
+        let region = a.region_base(1024);
+        prop_assert_eq!(region.as_u64() % 1024, 0);
+        prop_assert!(region.as_u64() <= addr);
+        let slot = line.region_slot(1024);
+        prop_assert!(slot < 16);
+        prop_assert_eq!(region.as_u64() + slot as u64 * 64, line.base().as_u64());
+    }
+
+    // --- Deterministic RNG ---
+
+    #[test]
+    fn det_rng_streams_reproduce(seed in any::<u64>(), label in any::<u64>()) {
+        use luke_common::rng::DetRng;
+        let mut a = DetRng::new(seed).split(label);
+        let mut b = DetRng::new(seed).split(label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Cross-crate integration: traces exported through the binary codec and
+//! re-imported must drive the simulator identically to the originals.
+
+use lukewarm::cpu::{Core, CoreConfig};
+use lukewarm::mem::prefetch::NoPrefetcher;
+use lukewarm::mem::{HierarchyConfig, MemoryHierarchy, PageTable};
+use lukewarm::workloads::trace_io::{read_trace, write_trace};
+use lukewarm::workloads::{FunctionProfile, SyntheticFunction};
+
+#[test]
+fn imported_traces_simulate_identically() {
+    let profile = FunctionProfile::named("Geo-G").unwrap().scaled(0.03);
+    let function = SyntheticFunction::build(&profile);
+    let original = function.invocation_trace(0);
+
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &original).expect("export");
+    let imported = read_trace(bytes.as_slice()).expect("import");
+    assert_eq!(imported, original);
+
+    let run = |trace: &[lukewarm::cpu::Instr]| {
+        let mut core = Core::new(CoreConfig::skylake_like());
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        core.run_invocation(trace.iter().copied(), &mut mem, &mut pt, &mut NoPrefetcher)
+    };
+    let a = run(&original);
+    let b = run(&imported);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.topdown, b.topdown);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn exported_trace_size_is_predictable() {
+    let profile = FunctionProfile::named("Fib-G").unwrap().scaled(0.02);
+    let function = SyntheticFunction::build(&profile);
+    let trace = function.invocation_trace(1);
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &trace).expect("export");
+    // Header (16B) + at least 10B per record (pc + size + tag), at most
+    // 21B (branch records).
+    assert!(bytes.len() as u64 >= 16 + trace.len() as u64 * 10);
+    assert!(bytes.len() as u64 <= 16 + trace.len() as u64 * 21);
+}

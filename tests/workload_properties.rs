@@ -1,0 +1,96 @@
+//! Property-based tests over the synthetic workload generator: the trace
+//! invariants that the timing model and prefetchers rely on.
+
+use lukewarm::cpu::instr::{BranchKind, InstrKind};
+use lukewarm::workloads::footprint::{footprint_bytes, instruction_lines};
+use lukewarm::workloads::{paper_suite, FunctionProfile, SyntheticFunction};
+use proptest::prelude::*;
+
+fn any_suite_function() -> impl Strategy<Value = FunctionProfile> {
+    (0..paper_suite().len()).prop_map(|i| paper_suite().swap_remove(i))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn control_flow_is_always_consistent(profile in any_suite_function(), invocation in 0u64..32) {
+        // Every non-taken instruction is followed by its fall-through;
+        // every taken branch by its target. This is the contract between
+        // the generator and the fetch model.
+        let f = SyntheticFunction::build(&profile.scaled(0.03));
+        let trace = f.invocation_trace(invocation);
+        prop_assert!(trace.len() > 500);
+        for pair in trace.windows(2) {
+            match pair[0].kind {
+                InstrKind::Branch { taken: true, target, .. } => {
+                    prop_assert_eq!(pair[1].pc, target);
+                }
+                _ => prop_assert_eq!(pair[1].pc, pair[0].fallthrough()),
+            }
+        }
+    }
+
+    #[test]
+    fn calls_and_returns_balance(profile in any_suite_function(), invocation in 0u64..16) {
+        let f = SyntheticFunction::build(&profile.scaled(0.03));
+        let trace = f.invocation_trace(invocation);
+        let mut depth: i64 = 0;
+        for i in &trace {
+            match i.kind {
+                InstrKind::Branch { kind: BranchKind::Call, .. } => depth += 1,
+                InstrKind::Branch { kind: BranchKind::Return, .. } => {
+                    depth -= 1;
+                    prop_assert!(depth >= 0, "return without a call");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(depth, 0, "unbalanced calls at trace end");
+    }
+
+    #[test]
+    fn traces_are_deterministic(profile in any_suite_function(), invocation in 0u64..8) {
+        let p = profile.scaled(0.02);
+        let f1 = SyntheticFunction::build(&p);
+        let f2 = SyntheticFunction::build(&p);
+        prop_assert_eq!(f1.invocation_trace(invocation), f2.invocation_trace(invocation));
+    }
+
+    #[test]
+    fn footprint_tracks_profile_target(profile in any_suite_function()) {
+        let p = profile.scaled(0.06);
+        let f = SyntheticFunction::build(&p);
+        let measured = footprint_bytes(&f.invocation_trace(0)) as f64;
+        let target = p.code_footprint.bytes() as f64;
+        let ratio = measured / target;
+        prop_assert!(
+            (0.55..1.8).contains(&ratio),
+            "{}: measured {measured}B vs target {target}B",
+            p.name
+        );
+    }
+
+    #[test]
+    fn invocations_share_most_lines(profile in any_suite_function(), a in 0u64..8, b in 8u64..16) {
+        let p = profile.scaled(0.04);
+        let f = SyntheticFunction::build(&p);
+        let la = instruction_lines(&f.invocation_trace(a));
+        let lb = instruction_lines(&f.invocation_trace(b));
+        let j = luke_common::stats::jaccard(&la, &lb);
+        prop_assert!(j > 0.7, "{}: jaccard {j}", p.name);
+    }
+
+    #[test]
+    fn pc_stream_stays_in_code_space(profile in any_suite_function()) {
+        let p = profile.scaled(0.02);
+        let f = SyntheticFunction::build(&p);
+        for i in f.invocation_trace(0) {
+            let pc = i.pc.as_u64();
+            prop_assert!((0x4000_0000..0x6000_0000).contains(&pc), "pc {pc:#x} outside arenas");
+            if let InstrKind::Load(addr) | InstrKind::Store(addr) = i.kind {
+                prop_assert!(addr.as_u64() >= 0x6000_0000, "data {addr} inside code space");
+            }
+        }
+    }
+}
