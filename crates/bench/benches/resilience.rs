@@ -1,0 +1,11 @@
+//! **Resilience** — end-to-end workflow latency distributions (P50/P99)
+//! and SLO attainment under seeded fault injection, for warm vs lukewarm
+//! vs lukewarm+Jukebox at a sweep of fault rates.
+
+use lukewarm_sim::experiments::resilience;
+
+fn main() {
+    luke_bench::harness("Resilience: workflows under fault injection", |params| {
+        resilience::run_experiment(params).to_string()
+    });
+}

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use luke_common::SimError;
 use lukewarm_sim::experiments as exp;
 use lukewarm_sim::runner::{run, RunSpec};
 use lukewarm_sim::{ExperimentParams, PrefetcherKind, SystemConfig};
@@ -124,13 +125,39 @@ impl Options {
     }
 }
 
-/// A CLI error with a user-facing message.
+/// A CLI error with a user-facing one-line message and the process exit
+/// code the binary should return.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// User-facing message.
+    pub message: String,
+    /// Process exit code: 2 for usage errors; [`SimError`] codes (3 =
+    /// invalid configuration, 4 = corrupt metadata) pass through.
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (unknown command, malformed option): exit code 2.
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError {
+            message: e.to_string(),
+            code: e.exit_code(),
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -169,7 +196,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--prefetcher" => prefetcher = extras[i].1.clone(),
                     "--state" => state = extras[i].1.clone(),
                     other => {
-                        return Err(CliError(format!("unknown option {other}")));
+                        return Err(CliError::usage(format!("unknown option {other}")));
                     }
                 }
                 i += 1;
@@ -187,7 +214,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "compare" => {
             let (function, opts, extras) = parse_function_and_options(&rest)?;
             if let Some((k, _)) = extras.first() {
-                return Err(CliError(format!("unknown option {k}")));
+                return Err(CliError::usage(format!("unknown option {k}")));
             }
             Ok(Command::Compare {
                 function,
@@ -197,7 +224,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "figure" => {
             let (name, opts, extras) = parse_function_and_options(&rest)?;
             if let Some((k, _)) = extras.first() {
-                return Err(CliError(format!("unknown option {k}")));
+                return Err(CliError::usage(format!("unknown option {k}")));
             }
             Ok(Command::Figure {
                 name,
@@ -207,14 +234,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "workflow" => {
             let (name, opts, extras) = parse_function_and_options(&rest)?;
             if let Some((k, _)) = extras.first() {
-                return Err(CliError(format!("unknown option {k}")));
+                return Err(CliError::usage(format!("unknown option {k}")));
             }
             Ok(Command::Workflow {
                 name,
                 options: opts,
             })
         }
-        other => Err(CliError(format!(
+        other => Err(CliError::usage(format!(
             "unknown command {other:?}; try `lukewarm help`"
         ))),
     }
@@ -229,29 +256,29 @@ fn parse_function_and_options(
     let mut it = rest.iter();
     let name = it
         .next()
-        .ok_or_else(|| CliError("missing argument".into()))?
+        .ok_or_else(|| CliError::usage("missing argument"))?
         .to_string();
     let mut opts = Options::default();
     let mut extras = Vec::new();
     while let Some(key) = it.next() {
         let value = it
             .next()
-            .ok_or_else(|| CliError(format!("option {key} needs a value")))?;
+            .ok_or_else(|| CliError::usage(format!("option {key} needs a value")))?;
         match key.as_str() {
             "--scale" => {
                 opts.scale = value
                     .parse()
-                    .map_err(|_| CliError(format!("bad --scale {value:?}")))?;
+                    .map_err(|_| CliError::usage(format!("bad --scale {value:?}")))?;
                 if opts.scale <= 0.0 {
-                    return Err(CliError("--scale must be positive".into()));
+                    return Err(CliError::usage("--scale must be positive"));
                 }
             }
             "--invocations" => {
                 opts.invocations = value
                     .parse()
-                    .map_err(|_| CliError(format!("bad --invocations {value:?}")))?;
+                    .map_err(|_| CliError::usage(format!("bad --invocations {value:?}")))?;
                 if opts.invocations == 0 {
-                    return Err(CliError("--invocations must be positive".into()));
+                    return Err(CliError::usage("--invocations must be positive"));
                 }
             }
             "--platform" => opts.platform = parse_platform(value)?,
@@ -265,7 +292,7 @@ fn parse_platform(s: &str) -> Result<Platform, CliError> {
     match s {
         "skylake" => Ok(Platform::Skylake),
         "broadwell" => Ok(Platform::Broadwell),
-        other => Err(CliError(format!(
+        other => Err(CliError::usage(format!(
             "unknown platform {other:?} (skylake | broadwell)"
         ))),
     }
@@ -283,7 +310,7 @@ fn parse_prefetcher(s: &str, platform: Platform) -> Result<PrefetcherKind, CliEr
         "footprint-restore" => Ok(PrefetcherKind::FootprintRestore),
         "fetch-directed" => Ok(PrefetcherKind::FetchDirected),
         "perfect" | "perfect-icache" => Ok(PrefetcherKind::PerfectICache),
-        other => Err(CliError(format!("unknown prefetcher {other:?}"))),
+        other => Err(CliError::usage(format!("unknown prefetcher {other:?}"))),
     }
 }
 
@@ -291,7 +318,7 @@ fn parse_state(s: &str) -> Result<RunSpec, CliError> {
     match s {
         "lukewarm" | "interleaved" => Ok(RunSpec::lukewarm()),
         "reference" | "warm" => Ok(RunSpec::reference()),
-        other => Err(CliError(format!(
+        other => Err(CliError::usage(format!(
             "unknown state {other:?} (lukewarm | reference)"
         ))),
     }
@@ -300,7 +327,7 @@ fn parse_state(s: &str) -> Result<RunSpec, CliError> {
 fn lookup_function(name: &str) -> Result<FunctionProfile, CliError> {
     FunctionProfile::named(name).ok_or_else(|| {
         let names: Vec<String> = paper_suite().into_iter().map(|p| p.name).collect();
-        CliError(format!(
+        CliError::usage(format!(
             "unknown function {name:?}; available: {}",
             names.join(", ")
         ))
@@ -331,6 +358,12 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Describe { platform } => Ok(platform.config().describe()),
+        // `lukewarm run resilience` runs the fault-injection study over
+        // the paper workflows rather than a single function.
+        Command::Run { function, options, .. } if function == "resilience" => {
+            options.platform.config().validate()?;
+            Ok(exp::resilience::run_experiment(&options.params()).to_string())
+        }
         Command::Run {
             function,
             options,
@@ -339,6 +372,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         } => {
             let profile = lookup_function(function)?.scaled(options.scale);
             let config = options.platform.config();
+            config.validate()?;
             let kind = parse_prefetcher(prefetcher, options.platform)?;
             let spec = parse_state(state)?;
             let s = run(&config, &profile, kind, spec, &options.params());
@@ -377,6 +411,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Command::Compare { function, options } => {
             let profile = lookup_function(function)?.scaled(options.scale);
             let config = options.platform.config();
+            config.validate()?;
             let params = options.params();
             let reference = run(
                 &config,
@@ -450,11 +485,12 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 "workflows" => exp::workflow_slo::run_experiment(&params).to_string(),
                 "host" => exp::host_interleaving::run_experiment(&params).to_string(),
                 "keep-alive" => exp::keep_alive::run_experiment(&params).to_string(),
+                "resilience" => exp::resilience::run_experiment(&params).to_string(),
                 other => {
-                    return Err(CliError(format!(
+                    return Err(CliError::usage(format!(
                         "unknown figure {other:?}; one of: table1 fig01 fig02 fig05 fig06 \
                          fig08 fig09 fig10 fig11 fig12 fig13 table3 ablations related-work \
-                         workflows host keep-alive"
+                         workflows host keep-alive resilience"
                     )))
                 }
             };
@@ -469,7 +505,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                         .into_iter()
                         .map(|w| w.name)
                         .collect();
-                    CliError(format!(
+                    CliError::usage(format!(
                         "unknown workflow {name:?}; available: {}",
                         names.join(", ")
                     ))
@@ -501,6 +537,7 @@ fn help_text() -> String {
      \x20 lukewarm describe [skylake|broadwell]\n\
      \x20 lukewarm run FUNCTION [--scale S] [--invocations N] [--platform P]\n\
      \x20                       [--prefetcher K] [--state lukewarm|reference]\n\
+     \x20 lukewarm run resilience [--scale S] [--invocations N]\n\
      \x20 lukewarm compare FUNCTION [--scale S] [--invocations N] [--platform P]\n\
      \x20 lukewarm figure NAME [--scale S] [--invocations N]\n\
      \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\n\
@@ -590,7 +627,7 @@ mod tests {
     #[test]
     fn unknown_function_reports_choices() {
         let err = run_cli(&argv("compare Bogus-X")).unwrap_err();
-        assert!(err.0.contains("available"));
+        assert!(err.message.contains("available"));
     }
 
     #[test]
@@ -612,7 +649,7 @@ mod tests {
     #[test]
     fn unknown_figure_lists_options() {
         let err = run_cli(&argv("figure fig99")).unwrap_err();
-        assert!(err.0.contains("fig10"));
+        assert!(err.message.contains("fig10"));
     }
 
     #[test]
@@ -621,6 +658,31 @@ mod tests {
         for cmd in ["list", "describe", "run", "compare", "figure", "workflow"] {
             assert!(h.contains(cmd), "missing {cmd}");
         }
+    }
+
+    #[test]
+    fn usage_errors_exit_with_code_two() {
+        assert_eq!(run_cli(&argv("frobnicate")).unwrap_err().code, 2);
+        assert_eq!(run_cli(&argv("run Auth-G --scale -1")).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn sim_errors_carry_their_exit_codes() {
+        let invalid: CliError = luke_common::SimError::invalid_config("l2.cache.ways", "zero").into();
+        assert_eq!(invalid.code, 3);
+        assert!(invalid.message.contains("l2.cache.ways"));
+        let corrupt: CliError = luke_common::SimError::corrupt_metadata("tag mismatch").into();
+        assert_eq!(corrupt.code, 4);
+        // One-line messages: nothing multi-line reaches stderr.
+        assert!(!invalid.message.contains('\n'));
+        assert!(!corrupt.message.contains('\n'));
+    }
+
+    #[test]
+    fn run_resilience_executes_at_tiny_scale() {
+        let out = run_cli(&argv("run resilience --scale 0.02 --invocations 1")).unwrap();
+        assert!(out.contains("SLO"));
+        assert!(out.contains("lukewarm+JB"));
     }
 
     #[test]
@@ -637,6 +699,6 @@ mod tests {
         .unwrap();
         assert!(out.contains("END-TO-END"));
         let err = run_cli(&argv("workflow nope")).unwrap_err();
-        assert!(err.0.contains("online-boutique"));
+        assert!(err.message.contains("online-boutique"));
     }
 }

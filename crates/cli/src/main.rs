@@ -6,7 +6,7 @@ fn main() {
         Ok(output) => println!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(e.code);
         }
     }
 }

@@ -1,0 +1,104 @@
+//! Error type shared by every layer of the simulator.
+//!
+//! Configuration mistakes (a zero-way cache, a negative inter-arrival time,
+//! a non-positive keep-alive) and runtime integrity failures (corrupted
+//! prefetcher metadata) are expected, user-triggerable conditions, not
+//! programming bugs — so the constructors that detect them return
+//! `Result<_, SimError>` rather than panicking, and the CLI maps each
+//! variant to a distinct process exit code.
+
+use std::fmt;
+
+/// An expected failure: invalid configuration or corrupted state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration value failed validation before any simulation ran.
+    ///
+    /// `field` names the offending knob in dotted form (`"l2.ways"`,
+    /// `"pool.keep_alive_ms"`), `reason` says what was wrong with it.
+    InvalidConfig {
+        /// Dotted path of the offending field.
+        field: String,
+        /// Human-readable explanation of the violation.
+        reason: String,
+    },
+    /// Prefetcher metadata failed an integrity check at replay time.
+    ///
+    /// This is recoverable: the replayer degrades to record-only for the
+    /// invocation and counts the abort, it never panics.
+    CorruptMetadata {
+        /// What the validator found (truncation, out-of-bounds region, …).
+        reason: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for configuration violations.
+    pub fn invalid_config(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for metadata integrity failures.
+    pub fn corrupt_metadata(reason: impl Into<String>) -> Self {
+        SimError::CorruptMetadata {
+            reason: reason.into(),
+        }
+    }
+
+    /// Process exit code the CLI uses for this error class.
+    ///
+    /// `2` is reserved for usage errors (unknown flags); configuration
+    /// validation gets `3`, metadata corruption `4`.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SimError::InvalidConfig { .. } => 3,
+            SimError::CorruptMetadata { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field}: {reason}")
+            }
+            SimError::CorruptMetadata { reason } => {
+                write!(f, "corrupt metadata: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let e = SimError::invalid_config("l2.ways", "must be positive");
+        let s = format!("{e}");
+        assert_eq!(s, "invalid config: l2.ways: must be positive");
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let cfg = SimError::invalid_config("x", "y");
+        let meta = SimError::corrupt_metadata("tag mismatch");
+        assert_ne!(cfg.exit_code(), 0);
+        assert_ne!(meta.exit_code(), 0);
+        assert_ne!(cfg.exit_code(), meta.exit_code());
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::corrupt_metadata("truncated"));
+        assert!(format!("{e}").contains("truncated"));
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`addr`] — strongly-typed virtual/physical addresses and the cache-line,
 //!   page and code-region arithmetic the simulator performs constantly;
+//! * [`error`] — the [`SimError`] type returned by validated constructors
+//!   throughout the workspace, so invalid configurations surface as clean
+//!   errors (and CLI exit codes) rather than panics;
 //! * [`rng`] — deterministic, splittable random-number generation so that
 //!   every experiment is exactly reproducible from a single seed;
 //! * [`stats`] — the statistics the paper reports (arithmetic/geometric
@@ -27,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod error;
 pub mod rng;
 pub mod size;
 pub mod stats;
 pub mod table;
 
 pub use addr::{LineAddr, PhysAddr, VirtAddr, LINE_BYTES, PAGE_BYTES};
+pub use error::SimError;
 pub use rng::DetRng;
 pub use stats::Summary;

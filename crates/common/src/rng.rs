@@ -3,13 +3,11 @@
 //! Every stochastic choice in the workspace — workload synthesis, invocation
 //! inter-arrival times, per-invocation control-flow variation — flows from a
 //! [`DetRng`], so a single top-level seed reproduces an entire experiment
-//! bit-for-bit. `DetRng` wraps a fast non-cryptographic generator and adds
-//! *splitting*: deriving an independent child stream from a label, so
-//! subsystems cannot perturb each other's randomness by consuming different
-//! amounts of it.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! bit-for-bit. `DetRng` wraps a fast non-cryptographic generator
+//! (xoshiro256++, seeded via SplitMix64 — self-contained, no external
+//! dependencies) and adds *splitting*: deriving an independent child stream
+//! from a label, so subsystems cannot perturb each other's randomness by
+//! consuming different amounts of it.
 
 /// A deterministic random-number generator with labelled sub-streams.
 ///
@@ -31,16 +29,21 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct DetRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            seed,
-            inner: SmallRng::seed_from_u64(mix(seed)),
+        // Expand the seed into the xoshiro state through a SplitMix64
+        // stream, per the generator authors' recommendation.
+        let mut sm = mix(seed);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            sm = mix(sm);
+            *word = sm;
         }
+        DetRng { seed, state }
     }
 
     /// The seed this generator was created from.
@@ -65,7 +68,16 @@ impl DetRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Multiply-shift (Lemire) bounded generation with a rejection pass
+        // to remove modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -75,12 +87,13 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -110,9 +123,18 @@ impl DetRng {
         mean + std_dev * z
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Chooses an index according to the relative `weights`.

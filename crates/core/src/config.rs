@@ -2,6 +2,7 @@
 
 use luke_common::addr::{LINE_BYTES, VA_BITS};
 use luke_common::size::ByteSize;
+use luke_common::SimError;
 
 /// Configuration of a Jukebox prefetcher instance.
 ///
@@ -96,16 +97,35 @@ impl JukeboxConfig {
     /// # Panics
     ///
     /// Panics if the region size is not a power-of-two multiple of 64B in
-    /// `[128, 8192]`, or the CRRB is empty.
+    /// `[128, 8192]`, or the CRRB is empty. Use
+    /// [`JukeboxConfig::try_validate`] to get an error instead.
     pub fn validate(&self) {
-        assert!(
-            self.region_bytes.is_power_of_two()
-                && self.region_bytes >= 2 * LINE_BYTES
-                && self.region_bytes <= 8192,
-            "region size must be a power of two in [128B, 8KB], got {}",
-            self.region_bytes
-        );
-        assert!(self.crrb_entries > 0, "CRRB needs at least one entry");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Validates geometry, returning an error instead of panicking.
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        if !(self.region_bytes.is_power_of_two()
+            && self.region_bytes >= 2 * LINE_BYTES
+            && self.region_bytes <= 8192)
+        {
+            return Err(SimError::invalid_config(
+                "jukebox.region_bytes",
+                format!(
+                    "region size must be a power of two in [128B, 8KB], got {}",
+                    self.region_bytes
+                ),
+            ));
+        }
+        if self.crrb_entries == 0 {
+            return Err(SimError::invalid_config(
+                "jukebox.crrb_entries",
+                "CRRB needs at least one entry",
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -56,3 +56,4 @@ pub use crrb::Crrb;
 pub use metadata::{MetadataBuffer, MetadataEntry};
 pub use prefetcher::JukeboxPrefetcher;
 pub use record::Recorder;
+pub use replay::{replay_validated, validate_buffer, validate_entry, ReplayStats};

@@ -56,11 +56,20 @@ impl MetadataEntry {
 
 /// A bounded, append-only metadata buffer (one direction of the
 /// double-buffered per-instance storage, §3.4.1).
+///
+/// The buffer maintains an order-sensitive integrity tag over its entries,
+/// updated incrementally on every push. Metadata restored from an
+/// untrusted snapshot (via [`MetadataBuffer::from_raw_parts`]) carries a
+/// caller-supplied tag; [`MetadataBuffer::is_consistent`] recomputes the
+/// fold and exposes tampering, truncation and bit-flips to the replay
+/// validator.
 #[derive(Clone, Debug)]
 pub struct MetadataBuffer {
     config: JukeboxConfig,
     entries: Vec<MetadataEntry>,
     dropped: u64,
+    tag: u64,
+    generation: u64,
 }
 
 impl MetadataBuffer {
@@ -70,6 +79,8 @@ impl MetadataBuffer {
             config,
             entries: Vec::new(),
             dropped: 0,
+            tag: TAG_SEED,
+            generation: 0,
         }
     }
 
@@ -87,6 +98,27 @@ impl MetadataBuffer {
         buffer
     }
 
+    /// Reassembles a buffer from untrusted parts — a deserialized
+    /// snapshot, a foreign host's metadata. Nothing is validated here:
+    /// capacity may be exceeded and the tag may not match the entries.
+    /// The replay validator ([`crate::replay::replay_validated`]) is the
+    /// trust boundary.
+    pub fn from_raw_parts(
+        config: JukeboxConfig,
+        entries: Vec<MetadataEntry>,
+        dropped: u64,
+        tag: u64,
+        generation: u64,
+    ) -> Self {
+        MetadataBuffer {
+            config,
+            entries,
+            dropped,
+            tag,
+            generation,
+        }
+    }
+
     /// Appends an entry if capacity allows; otherwise counts it as
     /// dropped (the limit register stops recording, §3.2). Returns whether
     /// the entry was stored.
@@ -95,6 +127,7 @@ impl MetadataBuffer {
             self.dropped += 1;
             return false;
         }
+        self.tag = fold_tag(self.tag, self.entries.len(), &entry);
         self.entries.push(entry);
         true
     }
@@ -139,12 +172,64 @@ impl MetadataBuffer {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.dropped = 0;
+        self.tag = TAG_SEED;
+    }
+
+    /// The integrity tag over the current entries (order-sensitive fold,
+    /// maintained incrementally by [`MetadataBuffer::push`]).
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The generation number stamped at seal time (which invocation
+    /// recorded this buffer).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamps the generation (called by the recorder at seal).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Whether the stored tag matches a recomputation over the entries.
+    ///
+    /// `false` means the buffer was corrupted after recording: entries
+    /// mutated, reordered, appended, or truncated without going through
+    /// [`MetadataBuffer::push`].
+    pub fn is_consistent(&self) -> bool {
+        let mut tag = TAG_SEED;
+        for (i, entry) in self.entries.iter().enumerate() {
+            tag = fold_tag(tag, i, entry);
+        }
+        tag == self.tag
     }
 
     /// The configuration.
     pub fn config(&self) -> &JukeboxConfig {
         &self.config
     }
+}
+
+/// Initial value of the integrity fold.
+const TAG_SEED: u64 = 0x6a75_6b65_626f_7821; // "jukebox!"
+
+/// One step of the order-sensitive integrity fold: mixes the running tag
+/// with the entry's position, base address and access vector.
+fn fold_tag(tag: u64, index: usize, entry: &MetadataEntry) -> u64 {
+    let mut h = tag ^ splitmix(index as u64);
+    h = splitmix(h ^ entry.region_base.as_u64());
+    h = splitmix(h ^ entry.access_vector as u64);
+    splitmix(h ^ (entry.access_vector >> 64) as u64)
+}
+
+/// SplitMix64 finalizer (same permutation `luke_common::rng` uses for
+/// stream splitting).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Packed size in bytes of `n` entries under `config`.
@@ -345,6 +430,69 @@ mod tests {
         let entries = vec![MetadataEntry::with_line(base, 5)];
         let decoded = decode(&encode(&entries, &config), 1, &config);
         assert_eq!(decoded[0].region_base, base);
+    }
+
+    #[test]
+    fn pushed_buffer_is_consistent() {
+        let mut buf = MetadataBuffer::new(cfg());
+        assert!(buf.is_consistent(), "empty buffer");
+        for i in 0..50u64 {
+            buf.push(MetadataEntry::with_line(VirtAddr::new(i * 1024), 0));
+        }
+        assert!(buf.is_consistent());
+        buf.clear();
+        assert!(buf.is_consistent(), "cleared buffer");
+    }
+
+    #[test]
+    fn from_raw_parts_with_matching_tag_is_consistent() {
+        let mut src = MetadataBuffer::new(cfg());
+        for i in 0..20u64 {
+            src.push(MetadataEntry::with_line(VirtAddr::new(i * 1024), 3));
+        }
+        let restored = MetadataBuffer::from_raw_parts(
+            cfg(),
+            src.entries().to_vec(),
+            0,
+            src.tag(),
+            src.generation(),
+        );
+        assert!(restored.is_consistent());
+    }
+
+    #[test]
+    fn tampering_breaks_consistency() {
+        let mut src = MetadataBuffer::new(cfg());
+        for i in 0..20u64 {
+            src.push(MetadataEntry::with_line(VirtAddr::new(i * 1024), 3));
+        }
+        let tag = src.tag();
+
+        // Flipped access-vector bit.
+        let mut entries = src.entries().to_vec();
+        entries[7].access_vector ^= 1 << 5;
+        assert!(!MetadataBuffer::from_raw_parts(cfg(), entries, 0, tag, 0).is_consistent());
+
+        // Truncation.
+        let entries = src.entries()[..10].to_vec();
+        assert!(!MetadataBuffer::from_raw_parts(cfg(), entries, 0, tag, 0).is_consistent());
+
+        // Reordering.
+        let mut entries = src.entries().to_vec();
+        entries.swap(0, 19);
+        assert!(!MetadataBuffer::from_raw_parts(cfg(), entries, 0, tag, 0).is_consistent());
+
+        // Wrong tag on intact entries.
+        let entries = src.entries().to_vec();
+        assert!(!MetadataBuffer::from_raw_parts(cfg(), entries, 0, tag ^ 1, 0).is_consistent());
+    }
+
+    #[test]
+    fn generation_round_trips() {
+        let mut buf = MetadataBuffer::new(cfg());
+        assert_eq!(buf.generation(), 0);
+        buf.set_generation(17);
+        assert_eq!(buf.generation(), 17);
     }
 
     #[test]

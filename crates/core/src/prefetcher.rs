@@ -8,7 +8,9 @@
 use crate::config::JukeboxConfig;
 use crate::metadata::MetadataBuffer;
 use crate::record::Recorder;
-use crate::replay::{replay, ReplayStats};
+use crate::replay::{replay_validated, ReplayStats};
+use luke_common::addr::VirtAddr;
+use luke_common::SimError;
 use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
 
 /// Jukebox as an [`InstructionPrefetcher`] (see module docs).
@@ -29,6 +31,15 @@ pub struct JukeboxPrefetcher {
     last_replay: ReplayStats,
     record_enabled: bool,
     replay_enabled: bool,
+    /// Function code span the replay validator trusts; prefetches outside
+    /// it are dropped.
+    address_bounds: Option<(VirtAddr, VirtAddr)>,
+    /// Invocations served (stamps buffer generations at seal).
+    generation: u64,
+    /// Cumulative replay passes aborted on corrupt metadata.
+    replay_aborts: u64,
+    /// Cumulative prefetches dropped by replay validation.
+    dropped_prefetches: u64,
 }
 
 impl JukeboxPrefetcher {
@@ -42,7 +53,18 @@ impl JukeboxPrefetcher {
             last_replay: ReplayStats::default(),
             record_enabled: true,
             replay_enabled: true,
+            address_bounds: None,
+            generation: 0,
+            replay_aborts: 0,
+            dropped_prefetches: 0,
         }
+    }
+
+    /// Creates a Jukebox instance, returning an error on invalid
+    /// configuration instead of panicking.
+    pub fn try_new(config: JukeboxConfig) -> Result<Self, SimError> {
+        config.try_validate()?;
+        Ok(Self::new(config))
     }
 
     /// Creates a Jukebox instance whose first invocation replays
@@ -95,6 +117,30 @@ impl JukeboxPrefetcher {
     pub fn record_bytes_required(&self) -> u64 {
         self.recorder.as_ref().map_or(0, |r| r.bytes_required())
     }
+
+    /// Restricts replay to the function's code span `[lo, hi)` (typically
+    /// `CodeLayout::address_span`). Metadata regions outside it — which
+    /// can only come from corruption or a foreign snapshot — are dropped
+    /// rather than prefetched.
+    pub fn set_address_bounds(&mut self, lo: VirtAddr, hi: VirtAddr) {
+        self.address_bounds = Some((lo, hi));
+    }
+
+    /// The configured replay bounds, if any.
+    pub fn address_bounds(&self) -> Option<(VirtAddr, VirtAddr)> {
+        self.address_bounds
+    }
+
+    /// Replay passes abandoned on corrupt metadata since creation. Each
+    /// abort degraded one invocation to record-only.
+    pub fn replay_aborts(&self) -> u64 {
+        self.replay_aborts
+    }
+
+    /// Prefetches dropped by replay validation since creation.
+    pub fn dropped_prefetches(&self) -> u64 {
+        self.dropped_prefetches
+    }
 }
 
 impl InstructionPrefetcher for JukeboxPrefetcher {
@@ -103,10 +149,19 @@ impl InstructionPrefetcher for JukeboxPrefetcher {
     }
 
     fn on_invocation_start(&mut self, issuer: &mut PrefetchIssuer<'_>) {
-        // Replay what the previous invocation recorded.
+        // Replay what the previous invocation recorded, validating the
+        // metadata before trusting any of it.
         if self.replay_enabled {
             if let Some(buffer) = &self.replay_buffer {
-                self.last_replay = replay(buffer, &self.config, issuer);
+                self.last_replay =
+                    replay_validated(buffer, &self.config, self.address_bounds, issuer);
+                self.replay_aborts += self.last_replay.replay_aborts;
+                self.dropped_prefetches += self.last_replay.dropped_prefetches;
+                if self.last_replay.replay_aborts > 0 {
+                    // The buffer is corrupt; discard it so it is never
+                    // consulted again. This invocation runs record-only.
+                    self.replay_buffer = None;
+                }
             }
         }
         // Open a fresh record buffer for this invocation.
@@ -131,8 +186,11 @@ impl InstructionPrefetcher for JukeboxPrefetcher {
     fn on_invocation_end(&mut self, issuer: &mut PrefetchIssuer<'_>) {
         // Seal and swap: the buffer just recorded becomes the next
         // invocation's replay source.
+        self.generation += 1;
         if let Some(recorder) = self.recorder.take() {
-            self.replay_buffer = Some(recorder.seal(issuer));
+            let mut sealed = recorder.seal(issuer);
+            sealed.set_generation(self.generation);
+            self.replay_buffer = Some(sealed);
         }
     }
 }
@@ -237,6 +295,72 @@ mod tests {
         run_invocation(&mut jb, &mut mem, &mut pt, &[]);
         let pline = pt.translate_line(LineAddr::from_index(0x7000 / 64));
         assert!(mem.l2().peek(pline), "replayed line resident in L2");
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_record_only() {
+        let config = JukeboxConfig::paper_default();
+        // Record a clean buffer, then tamper with a copy of its entries.
+        let mut donor = JukeboxPrefetcher::new(config);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        run_invocation(&mut donor, &mut mem, &mut pt, &[0x4000, 0x5000, 0x6000]);
+        let clean = donor.snapshot().unwrap();
+        let mut entries = clean.entries().to_vec();
+        entries[1].region_base = VirtAddr::new(0xdead_beef_f000);
+        let corrupt = MetadataBuffer::from_raw_parts(config, entries, 0, clean.tag(), 1);
+
+        let mut jb = JukeboxPrefetcher::from_snapshot(config, corrupt);
+        let before = mem.l2().stats().prefetch_fills;
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x4000]);
+        assert_eq!(jb.replay_aborts(), 1);
+        assert!(jb.dropped_prefetches() > 0);
+        assert_eq!(jb.last_replay().lines, 0);
+        assert_eq!(mem.l2().stats().prefetch_fills, before, "no wild prefetch");
+        // The invocation still recorded: its own buffer replaced the
+        // corrupt one.
+        assert_eq!(jb.replay_buffer().unwrap().len(), 1);
+        assert!(jb.replay_buffer().unwrap().is_consistent());
+
+        // The next invocation replays normally again.
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x4000]);
+        assert_eq!(jb.replay_aborts(), 1, "no further aborts");
+        assert_eq!(jb.last_replay().lines, 1);
+    }
+
+    #[test]
+    fn address_bounds_drop_out_of_layout_prefetches() {
+        let config = JukeboxConfig::paper_default();
+        let mut jb = JukeboxPrefetcher::new(config);
+        jb.set_address_bounds(VirtAddr::new(0x40_0000), VirtAddr::new(0x50_0000));
+        assert!(jb.address_bounds().is_some());
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        // One in-bounds line and one outside the declared layout.
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x40_0000, 0x90_0000]);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[]);
+        assert_eq!(jb.last_replay().lines, 1);
+        assert_eq!(jb.dropped_prefetches(), 1);
+        assert_eq!(jb.replay_aborts(), 0);
+    }
+
+    #[test]
+    fn sealed_buffers_carry_generations() {
+        let mut jb = JukeboxPrefetcher::new(JukeboxConfig::paper_default());
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::skylake_like());
+        let mut pt = PageTable::new(0);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x1000]);
+        assert_eq!(jb.replay_buffer().unwrap().generation(), 1);
+        run_invocation(&mut jb, &mut mem, &mut pt, &[0x1000]);
+        assert_eq!(jb.replay_buffer().unwrap().generation(), 2);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config() {
+        let mut bad = JukeboxConfig::paper_default();
+        bad.crrb_entries = 0;
+        assert!(JukeboxPrefetcher::try_new(bad).is_err());
+        assert!(JukeboxPrefetcher::try_new(JukeboxConfig::paper_default()).is_ok());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! 8MB LLC) used for the characterization and the small-L2 sensitivity study.
 
 use luke_common::size::ByteSize;
+use luke_common::SimError;
 use std::fmt;
 
 /// Geometry and timing of one cache level.
@@ -28,16 +29,33 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics if the capacity is not a power of two, the way count is zero,
-    /// or the capacity does not hold a whole number of sets.
+    /// the capacity does not hold a whole number of sets, or there are no
+    /// MSHRs. Use [`CacheConfig::try_new`] to get an error instead.
     pub fn new(capacity: ByteSize, ways: usize, latency: u64, mshrs: usize) -> Self {
+        match Self::try_new(capacity, ways, latency, mshrs) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a configuration, returning an error on invalid geometry:
+    /// non-power-of-two capacity, zero ways, a capacity that does not
+    /// divide into whole sets, or zero MSHRs (a cache that can never
+    /// service a miss).
+    pub fn try_new(
+        capacity: ByteSize,
+        ways: usize,
+        latency: u64,
+        mshrs: usize,
+    ) -> Result<Self, SimError> {
         let cfg = CacheConfig {
             capacity,
             ways,
             latency,
             mshrs,
         };
-        cfg.validate();
-        cfg
+        cfg.validate()?;
+        Ok(cfg)
     }
 
     /// Number of cache lines this level holds.
@@ -50,19 +68,35 @@ impl CacheConfig {
         self.lines() / self.ways
     }
 
-    fn validate(&self) {
-        assert!(
-            self.capacity.is_power_of_two(),
-            "cache capacity must be a power of two, got {}",
-            self.capacity
-        );
-        assert!(self.ways > 0, "cache must have at least one way");
-        assert!(
-            self.lines().is_multiple_of(self.ways) && self.sets() > 0,
-            "capacity {} not divisible into {}-way sets",
-            self.capacity,
-            self.ways
-        );
+    fn validate(&self) -> Result<(), SimError> {
+        if !self.capacity.is_power_of_two() {
+            return Err(SimError::invalid_config(
+                "cache.capacity",
+                format!("cache capacity must be a power of two, got {}", self.capacity),
+            ));
+        }
+        if self.ways == 0 {
+            return Err(SimError::invalid_config(
+                "cache.ways",
+                "cache must have at least one way",
+            ));
+        }
+        if !self.lines().is_multiple_of(self.ways) || self.sets() == 0 {
+            return Err(SimError::invalid_config(
+                "cache.ways",
+                format!(
+                    "capacity {} not divisible into {}-way sets",
+                    self.capacity, self.ways
+                ),
+            ));
+        }
+        if self.mshrs == 0 {
+            return Err(SimError::invalid_config(
+                "cache.mshrs",
+                "cache must have at least one MSHR to admit misses",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -90,13 +124,27 @@ impl TlbConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is zero.
+    /// Panics if `entries` is zero. Use [`TlbConfig::try_new`] to get an
+    /// error instead.
     pub fn new(entries: usize, walk_latency: u64) -> Self {
-        assert!(entries > 0, "TLB must have at least one entry");
-        TlbConfig {
+        match Self::try_new(entries, walk_latency) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a configuration, returning an error if `entries` is zero.
+    pub fn try_new(entries: usize, walk_latency: u64) -> Result<Self, SimError> {
+        if entries == 0 {
+            return Err(SimError::invalid_config(
+                "tlb.entries",
+                "TLB must have at least one entry",
+            ));
+        }
+        Ok(TlbConfig {
             entries,
             walk_latency,
-        }
+        })
     }
 }
 
@@ -118,13 +166,28 @@ impl DramConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `cycles_per_line` is zero.
+    /// Panics if `cycles_per_line` is zero. Use [`DramConfig::try_new`] to
+    /// get an error instead.
     pub fn new(latency: u64, cycles_per_line: u64) -> Self {
-        assert!(cycles_per_line > 0, "line transfer must take time");
-        DramConfig {
+        match Self::try_new(latency, cycles_per_line) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a configuration, returning an error if `cycles_per_line` is
+    /// zero.
+    pub fn try_new(latency: u64, cycles_per_line: u64) -> Result<Self, SimError> {
+        if cycles_per_line == 0 {
+            return Err(SimError::invalid_config(
+                "dram.cycles_per_line",
+                "line transfer must take time",
+            ));
+        }
+        Ok(DramConfig {
             latency,
             cycles_per_line,
-        }
+        })
     }
 }
 
@@ -174,6 +237,26 @@ impl HierarchyConfig {
         }
     }
 
+    /// Validates every level of the hierarchy, naming the offending level
+    /// in the error (`"l2.cache.ways"`, …).
+    pub fn validate(&self) -> Result<(), SimError> {
+        let levels = [
+            ("l1i", &self.l1i),
+            ("l1d", &self.l1d),
+            ("l2", &self.l2),
+            ("llc", &self.llc),
+        ];
+        for (name, cache) in levels {
+            cache.validate().map_err(|e| prefix_field(name, e))?;
+        }
+        TlbConfig::try_new(self.itlb.entries, self.itlb.walk_latency)
+            .map_err(|e| prefix_field("itlb", e))?;
+        TlbConfig::try_new(self.dtlb.entries, self.dtlb.walk_latency)
+            .map_err(|e| prefix_field("dtlb", e))?;
+        DramConfig::try_new(self.dram.latency, self.dram.cycles_per_line)?;
+        Ok(())
+    }
+
     /// Worst-case demand latency (all levels miss, page walk included):
     /// useful as an upper bound in assertions.
     pub fn max_latency(&self) -> u64 {
@@ -188,6 +271,17 @@ impl HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> Self {
         Self::skylake_like()
+    }
+}
+
+/// Re-roots a validation error's field path under a hierarchy level name.
+fn prefix_field(level: &str, e: SimError) -> SimError {
+    match e {
+        SimError::InvalidConfig { field, reason } => SimError::InvalidConfig {
+            field: format!("{level}.{field}"),
+            reason,
+        },
+        other => other,
     }
 }
 
@@ -227,6 +321,43 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_ways_rejected() {
         CacheConfig::new(ByteSize::kib(32), 0, 1, 1);
+    }
+
+    #[test]
+    fn try_new_reports_zero_ways_without_panicking() {
+        let err = CacheConfig::try_new(ByteSize::kib(32), 0, 1, 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { ref field, .. } if field == "cache.ways"));
+    }
+
+    #[test]
+    fn try_new_rejects_non_power_of_two_sets() {
+        // 32KB, 24 ways: 512 lines do not divide into 24-way sets.
+        let err = CacheConfig::try_new(ByteSize::kib(32), 24, 1, 1).unwrap_err();
+        assert!(format!("{err}").contains("24-way"));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_mshrs() {
+        let err = CacheConfig::try_new(ByteSize::kib(32), 8, 1, 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { ref field, .. } if field == "cache.mshrs"));
+    }
+
+    #[test]
+    fn tlb_and_dram_try_new_validate() {
+        assert!(TlbConfig::try_new(0, 40).is_err());
+        assert!(TlbConfig::try_new(64, 40).is_ok());
+        assert!(DramConfig::try_new(100, 0).is_err());
+        assert!(DramConfig::try_new(100, 9).is_ok());
+    }
+
+    #[test]
+    fn hierarchy_validate_names_the_level() {
+        let mut c = HierarchyConfig::skylake_like();
+        c.l2.ways = 0;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { ref field, .. } if field == "l2.cache.ways"));
+        assert!(HierarchyConfig::skylake_like().validate().is_ok());
+        assert!(HierarchyConfig::broadwell_like().validate().is_ok());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! exponential (Poisson) arrivals.
 
 use luke_common::rng::DetRng;
+use luke_common::SimError;
 
 /// A distribution of inter-arrival times, in milliseconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -22,17 +23,52 @@ pub enum IatDistribution {
 }
 
 impl IatDistribution {
+    /// Creates a fixed-gap distribution, rejecting negative or non-finite
+    /// gaps.
+    pub fn fixed(ms: f64) -> Result<Self, SimError> {
+        let d = IatDistribution::Fixed(ms);
+        d.validate()?;
+        Ok(d)
+    }
+
+    /// Creates an exponential (Poisson-arrival) distribution, rejecting a
+    /// non-positive or non-finite mean.
+    pub fn exponential(mean_ms: f64) -> Result<Self, SimError> {
+        let d = IatDistribution::Exponential { mean_ms };
+        d.validate()?;
+        Ok(d)
+    }
+
+    /// Checks the distribution parameter, since the enum variants are
+    /// directly constructible.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match *self {
+            IatDistribution::Fixed(ms) if !(ms >= 0.0 && ms.is_finite()) => Err(
+                SimError::invalid_config("iat.fixed_ms", format!("fixed IAT must be ≥ 0 and finite, got {ms}")),
+            ),
+            IatDistribution::Exponential { mean_ms } if !(mean_ms > 0.0 && mean_ms.is_finite()) => {
+                Err(SimError::invalid_config(
+                    "iat.mean_ms",
+                    format!("exponential IAT mean must be > 0 and finite, got {mean_ms}"),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Samples the next gap in milliseconds.
     ///
     /// # Panics
     ///
-    /// Panics if the distribution parameter is not positive and finite.
+    /// Panics if the distribution parameter is invalid (the enum variants
+    /// are directly constructible, bypassing [`IatDistribution::fixed`] /
+    /// [`IatDistribution::exponential`]). Validated call sites never panic.
     pub fn sample(&self, rng: &mut DetRng) -> f64 {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
         match *self {
-            IatDistribution::Fixed(ms) => {
-                assert!(ms >= 0.0 && ms.is_finite(), "fixed IAT must be ≥ 0");
-                ms
-            }
+            IatDistribution::Fixed(ms) => ms,
             IatDistribution::Exponential { mean_ms } => rng.exponential(mean_ms),
         }
     }
@@ -84,5 +120,30 @@ mod tests {
     #[should_panic(expected = "≥ 0")]
     fn negative_fixed_rejected() {
         IatDistribution::Fixed(-1.0).sample(&mut DetRng::new(0));
+    }
+
+    #[test]
+    fn validated_constructors_reject_bad_parameters() {
+        assert!(IatDistribution::fixed(-1.0).is_err());
+        assert!(IatDistribution::fixed(f64::NAN).is_err());
+        assert!(IatDistribution::fixed(f64::INFINITY).is_err());
+        assert!(IatDistribution::exponential(0.0).is_err());
+        assert!(IatDistribution::exponential(-5.0).is_err());
+        assert_eq!(
+            IatDistribution::fixed(250.0).unwrap(),
+            IatDistribution::Fixed(250.0)
+        );
+        assert_eq!(
+            IatDistribution::exponential(10.0).unwrap(),
+            IatDistribution::Exponential { mean_ms: 10.0 }
+        );
+    }
+
+    #[test]
+    fn validation_error_is_one_line_and_names_the_field() {
+        let err = IatDistribution::fixed(-1.0).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("iat.fixed_ms"), "{msg}");
+        assert!(!msg.contains('\n'));
     }
 }

@@ -9,6 +9,9 @@
 //!
 //! * [`iat`] — inter-arrival-time distributions (fixed and exponential,
 //!   the Azure-trace-like traffic of §2.1);
+//! * [`fault`] — seeded, deterministic fault injection (instance crashes,
+//!   timeouts, cold-start failures, memory-pressure evictions) and bounded
+//!   retry with exponential backoff;
 //! * [`pool`] — the warm-instance pool with a provider keep-alive policy;
 //! * [`interleave`] — the state-decay model: how much of each cache level
 //!   survives an idle gap, given the host's invocation rate and footprint
@@ -19,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod iat;
 pub mod interleave;
 pub mod pool;
 pub mod traffic;
 
+pub use fault::{AttemptCosts, FaultKind, FaultPlan, FaultRates, FaultStats, RetryPolicy};
 pub use iat::IatDistribution;
 pub use interleave::InterleaveModel;
 pub use pool::{InstancePool, WarmInstance};

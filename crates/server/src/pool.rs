@@ -6,6 +6,7 @@
 //! The pool tracks per-instance idle times and applies the keep-alive
 //! policy on a sweep.
 
+use luke_common::SimError;
 use std::collections::HashMap;
 
 /// One warm (memory-resident) function instance.
@@ -30,6 +31,7 @@ pub struct InstancePool {
     next_id: u64,
     cold_starts: u64,
     expirations: u64,
+    evictions: u64,
 }
 
 impl InstancePool {
@@ -37,16 +39,32 @@ impl InstancePool {
     ///
     /// # Panics
     ///
-    /// Panics if `keep_alive_ms` is not positive.
+    /// Panics if `keep_alive_ms` is not positive. Use
+    /// [`InstancePool::try_new`] to get an error instead.
     pub fn new(keep_alive_ms: f64) -> Self {
-        assert!(keep_alive_ms > 0.0, "keep-alive must be positive");
-        InstancePool {
+        match Self::try_new(keep_alive_ms) {
+            Ok(pool) => pool,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a pool, returning an error if the keep-alive window is not
+    /// strictly positive and finite.
+    pub fn try_new(keep_alive_ms: f64) -> Result<Self, SimError> {
+        if !(keep_alive_ms > 0.0 && keep_alive_ms.is_finite()) {
+            return Err(SimError::invalid_config(
+                "pool.keep_alive_ms",
+                format!("keep-alive must be positive and finite, got {keep_alive_ms}"),
+            ));
+        }
+        Ok(InstancePool {
             keep_alive_ms,
             instances: HashMap::new(),
             next_id: 1,
             cold_starts: 0,
             expirations: 0,
-        }
+            evictions: 0,
+        })
     }
 
     /// The keep-alive window in milliseconds.
@@ -89,11 +107,7 @@ impl InstancePool {
         self.instances
             .values()
             .filter(|i| i.function == function)
-            .max_by(|a, b| {
-                a.last_invoked_ms
-                    .partial_cmp(&b.last_invoked_ms)
-                    .expect("times are finite")
-            })
+            .max_by(|a, b| a.last_invoked_ms.total_cmp(&b.last_invoked_ms))
     }
 
     /// Applies the keep-alive policy at time `now_ms`: tears down
@@ -118,6 +132,17 @@ impl InstancePool {
         self.instances.get(&id)
     }
 
+    /// Forcibly tears down one instance (a crash or a memory-pressure
+    /// eviction, as opposed to a keep-alive expiry). Returns `true` if the
+    /// instance existed.
+    pub fn evict(&mut self, id: u64) -> bool {
+        let existed = self.instances.remove(&id).is_some();
+        if existed {
+            self.evictions += 1;
+        }
+        existed
+    }
+
     /// Cold starts since pool creation.
     pub fn cold_starts(&self) -> u64 {
         self.cold_starts
@@ -126,6 +151,11 @@ impl InstancePool {
     /// Keep-alive expirations since pool creation.
     pub fn expirations(&self) -> u64 {
         self.expirations
+    }
+
+    /// Forced evictions (crashes, memory pressure) since pool creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -197,6 +227,30 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_keep_alive_rejected() {
         InstancePool::new(0.0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_keep_alive_without_panicking() {
+        assert!(InstancePool::try_new(0.0).is_err());
+        assert!(InstancePool::try_new(-1.0).is_err());
+        assert!(InstancePool::try_new(f64::NAN).is_err());
+        assert!(InstancePool::try_new(f64::INFINITY).is_err());
+        let err = InstancePool::try_new(-1.0).unwrap_err();
+        assert!(format!("{err}").contains("pool.keep_alive_ms"));
+        assert!(InstancePool::try_new(60_000.0).is_ok());
+    }
+
+    #[test]
+    fn evict_removes_and_counts() {
+        let mut pool = InstancePool::new(60_000.0);
+        let a = pool.spawn(0, 0.0);
+        let b = pool.spawn(1, 0.0);
+        assert!(pool.evict(a));
+        assert!(!pool.evict(a), "double-evict must be a no-op");
+        assert!(pool.instance(a).is_none());
+        assert!(pool.instance(b).is_some());
+        assert_eq!(pool.evictions(), 1);
+        assert_eq!(pool.expirations(), 0, "evictions are not expirations");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::iat::IatDistribution;
 use luke_common::rng::DetRng;
+use luke_common::SimError;
 
 /// One invocation arrival.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,7 +28,30 @@ impl TrafficGenerator {
     /// Creates a generator for `distributions.len()` instances; instance
     /// `i` follows `distributions[i]`. First arrivals are sampled from
     /// each distribution (staggered start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any distribution has an invalid parameter. Use
+    /// [`TrafficGenerator::try_new`] to get an error instead.
     pub fn new(distributions: &[IatDistribution], seed: u64) -> Self {
+        match Self::try_new(distributions, seed) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, validating every lane's distribution up front
+    /// (the error names the offending lane).
+    pub fn try_new(distributions: &[IatDistribution], seed: u64) -> Result<Self, SimError> {
+        for (i, dist) in distributions.iter().enumerate() {
+            dist.validate().map_err(|e| match e {
+                SimError::InvalidConfig { field, reason } => SimError::InvalidConfig {
+                    field: format!("traffic.lane[{i}].{field}"),
+                    reason,
+                },
+                other => other,
+            })?;
+        }
         let root = DetRng::new(seed);
         let lanes = distributions
             .iter()
@@ -38,7 +62,7 @@ impl TrafficGenerator {
                 (dist, first, rng)
             })
             .collect();
-        TrafficGenerator { lanes }
+        Ok(TrafficGenerator { lanes })
     }
 
     /// Number of instances generating traffic.
@@ -64,7 +88,7 @@ impl TrafficGenerator {
             .lanes
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("finite times"))?;
+            .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1))?;
         let (dist, at, rng) = &mut self.lanes[idx];
         let event = InvocationEvent {
             at_ms: *at,
@@ -129,6 +153,18 @@ mod tests {
         assert_eq!(g.lanes(), 0);
         assert!(g.take_events(10).is_empty());
         assert!(g.next().is_none());
+    }
+
+    #[test]
+    fn try_new_names_the_offending_lane() {
+        let dists = vec![
+            IatDistribution::Fixed(10.0),
+            IatDistribution::Exponential { mean_ms: -3.0 },
+        ];
+        let err = TrafficGenerator::try_new(&dists, 0).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("traffic.lane[1]"), "{msg}");
+        assert!(TrafficGenerator::try_new(&dists[..1], 0).is_ok());
     }
 
     #[test]

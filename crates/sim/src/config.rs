@@ -1,6 +1,7 @@
 //! Full-system configuration presets.
 
 use jukebox::JukeboxConfig;
+use luke_common::SimError;
 use sim_cpu::CoreConfig;
 use sim_mem::HierarchyConfig;
 
@@ -38,6 +39,40 @@ impl SystemConfig {
             mem: HierarchyConfig::broadwell_like(),
             jukebox: JukeboxConfig::broadwell(),
         }
+    }
+
+    /// Validates every layer of the configuration — core, memory
+    /// hierarchy, Jukebox — returning the first violation. The CLI calls
+    /// this before running anything, so a zero-way cache or an empty CRRB
+    /// becomes a one-line error and a nonzero exit rather than a panic.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.core.freq_ghz > 0.0 && self.core.freq_ghz.is_finite()) {
+            return Err(SimError::invalid_config(
+                "core.freq_ghz",
+                format!("must be positive and finite, got {}", self.core.freq_ghz),
+            ));
+        }
+        if self.core.issue_width == 0 {
+            return Err(SimError::invalid_config(
+                "core.issue_width",
+                "must be at least 1",
+            ));
+        }
+        if self.core.rob_entries == 0 {
+            return Err(SimError::invalid_config(
+                "core.rob_entries",
+                "must be at least 1",
+            ));
+        }
+        if self.core.fetch_bytes_per_cycle == 0 {
+            return Err(SimError::invalid_config(
+                "core.fetch_bytes_per_cycle",
+                "must be at least 1",
+            ));
+        }
+        self.mem.validate()?;
+        self.jukebox.try_validate()?;
+        Ok(())
     }
 
     /// Renders the Table 1-style parameter listing.
@@ -85,6 +120,31 @@ mod tests {
         assert_eq!(bdw.mem.l2.capacity, ByteSize::kib(256));
         assert_eq!(sky.jukebox.metadata_capacity, ByteSize::kib(16));
         assert_eq!(bdw.jukebox.metadata_capacity, ByteSize::kib(32));
+    }
+
+    #[test]
+    fn presets_validate_clean() {
+        assert!(SystemConfig::skylake().validate().is_ok());
+        assert!(SystemConfig::broadwell().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_surfaces_violations_in_any_layer() {
+        let mut c = SystemConfig::skylake();
+        c.core.freq_ghz = 0.0;
+        assert!(format!("{}", c.validate().unwrap_err()).contains("core.freq_ghz"));
+
+        let mut c = SystemConfig::skylake();
+        c.mem.llc.ways = 0;
+        assert!(format!("{}", c.validate().unwrap_err()).contains("llc.cache.ways"));
+
+        let mut c = SystemConfig::skylake();
+        c.mem.l2.mshrs = 0;
+        assert!(format!("{}", c.validate().unwrap_err()).contains("l2.cache.mshrs"));
+
+        let mut c = SystemConfig::skylake();
+        c.jukebox.crrb_entries = 0;
+        assert!(format!("{}", c.validate().unwrap_err()).contains("jukebox.crrb_entries"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod fig13_pif;
 pub mod host_interleaving;
 pub mod keep_alive;
 pub mod related_work;
+pub mod resilience;
 pub mod table3_broadwell;
 pub mod workflow_slo;
 

@@ -78,14 +78,31 @@ impl PrefetcherKind {
     /// this is a no-op prefetcher; the caller must also set the hierarchy
     /// mode (done by [`run`]).
     pub fn build(&self) -> Box<dyn InstructionPrefetcher> {
+        self.build_bounded(None)
+    }
+
+    /// Instantiates the prefetcher with the function's code span, when
+    /// known, so Jukebox's replay validator can bounds-check metadata
+    /// region pointers against the layout.
+    pub fn build_bounded(
+        &self,
+        bounds: Option<(luke_common::VirtAddr, luke_common::VirtAddr)>,
+    ) -> Box<dyn InstructionPrefetcher> {
+        let jukebox = |cfg: JukeboxConfig| {
+            let mut jb = JukeboxPrefetcher::new(cfg);
+            if let Some((lo, hi)) = bounds {
+                jb.set_address_bounds(lo, hi);
+            }
+            jb
+        };
         match *self {
             PrefetcherKind::None | PrefetcherKind::PerfectICache => Box::new(NoPrefetcher),
-            PrefetcherKind::Jukebox(cfg) => Box::new(JukeboxPrefetcher::new(cfg)),
+            PrefetcherKind::Jukebox(cfg) => Box::new(jukebox(cfg)),
             PrefetcherKind::NextLine => Box::new(NextLine::default()),
             PrefetcherKind::Pif => Box::new(Pif::paper()),
             PrefetcherKind::PifIdeal => Box::new(Pif::ideal()),
             PrefetcherKind::JukeboxPlusPifIdeal(cfg) => Box::new(Combined::new(vec![
-                Box::new(JukeboxPrefetcher::new(cfg)),
+                Box::new(jukebox(cfg)),
                 Box::new(Pif::ideal()),
             ])),
             PrefetcherKind::FootprintRestore => Box::new(FootprintRestore::new()),
@@ -312,7 +329,7 @@ pub fn run(
     if prefetcher == PrefetcherKind::PerfectICache {
         sim.set_perfect_icache(true);
     }
-    let mut pf = prefetcher.build();
+    let mut pf = prefetcher.build_bounded(Some(sim.function().layout().address_span()));
 
     let apply_state = |sim: &mut SystemSim| match spec.state {
         CacheState::Reference => {}

@@ -148,6 +148,24 @@ impl CodeLayout {
         lines.len()
     }
 
+    /// Smallest half-open virtual-address range `[lo, hi)` covering every
+    /// block, dispatcher included — the bounds within which any legitimate
+    /// instruction fetch (and hence any valid prefetcher-metadata region)
+    /// must fall.
+    pub fn address_span(&self) -> (VirtAddr, VirtAddr) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for block in self
+            .blocks
+            .iter()
+            .chain([&self.dispatcher_head, &self.dispatcher_tail])
+        {
+            lo = lo.min(block.start.as_u64());
+            hi = hi.max(block.end().as_u64());
+        }
+        (VirtAddr::new(lo.min(hi)), VirtAddr::new(hi))
+    }
+
     /// Estimated dynamic instructions of one full walk (all optional
     /// groups included).
     pub fn walk_instr_estimate(&self) -> u64 {
