@@ -6,15 +6,18 @@
 //! lukewarm run FUNCTION [OPTIONS]       # one configuration, full metrics
 //! lukewarm compare FUNCTION [OPTIONS]   # baseline vs jukebox vs perfect
 //! lukewarm figure NAME [OPTIONS]        # regenerate a paper figure/table
+//! lukewarm trace FUNCTION [OPTIONS]     # Chrome-trace invocation timeline
 //!
 //! OPTIONS:
 //!   --scale S           workload scale (default 0.25; 1.0 = paper)
 //!   --invocations N     measured invocations (default 4)
 //!   --platform P        skylake | broadwell (default skylake)
+//!   --emit F            table | json | csv (default table)
 //!   --prefetcher K      none | jukebox | next-line | pif | pif-ideal |
 //!                       jukebox+pif-ideal | footprint-restore |
-//!                       fetch-directed | perfect (run only; default jukebox)
-//!   --state ST          lukewarm | reference (run only; default lukewarm)
+//!                       fetch-directed | perfect (run/trace; default jukebox)
+//!   --state ST          lukewarm | reference (run/trace; default lukewarm)
+//!   --out FILE          write the trace to FILE (trace only)
 //! ```
 //!
 //! The parsing layer is exposed as a library so it can be unit-tested; the
@@ -24,8 +27,9 @@
 #![warn(missing_docs)]
 
 use luke_common::SimError;
+use luke_obs::{Dataset, Export};
 use lukewarm_sim::experiments as exp;
-use lukewarm_sim::runner::{run, RunSpec};
+use lukewarm_sim::runner::{run, run_observed, RunSpec};
 use lukewarm_sim::{ExperimentParams, PrefetcherKind, SystemConfig};
 use workloads::workflow::Workflow;
 use workloads::{paper_suite, FunctionProfile};
@@ -72,8 +76,33 @@ pub enum Command {
         /// Common options.
         options: Options,
     },
+    /// `lukewarm trace FUNCTION ...`
+    Trace {
+        /// Function abbreviation.
+        function: String,
+        /// Common options.
+        options: Options,
+        /// Prefetcher to attach.
+        prefetcher: String,
+        /// Cache-state protocol.
+        state: String,
+        /// Output file for the Chrome trace (stdout if absent).
+        out: Option<String>,
+    },
     /// `lukewarm help` or empty invocation.
     Help,
+}
+
+/// Output format for experiment results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Emit {
+    /// Human-readable text tables (the historic output, byte-identical).
+    #[default]
+    Table,
+    /// Machine-readable JSON (`{"datasets":[...]}` or a registry snapshot).
+    Json,
+    /// CSV, one `# name`-headed section per dataset.
+    Csv,
 }
 
 /// Platform selector.
@@ -103,6 +132,8 @@ pub struct Options {
     pub invocations: u64,
     /// Platform.
     pub platform: Platform,
+    /// Output format.
+    pub emit: Emit,
 }
 
 impl Default for Options {
@@ -111,6 +142,7 @@ impl Default for Options {
             scale: 0.25,
             invocations: 4,
             platform: Platform::Skylake,
+            emit: Emit::Table,
         }
     }
 }
@@ -241,6 +273,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 options: opts,
             })
         }
+        "trace" => {
+            let (function, opts, extras) = parse_function_and_options(&rest)?;
+            let mut prefetcher = "jukebox".to_string();
+            let mut state = "lukewarm".to_string();
+            let mut out = None;
+            for (key, value) in &extras {
+                match key.as_str() {
+                    "--prefetcher" => prefetcher = value.clone(),
+                    "--state" => state = value.clone(),
+                    "--out" => out = Some(value.clone()),
+                    other => {
+                        return Err(CliError::usage(format!("unknown option {other}")));
+                    }
+                }
+            }
+            parse_prefetcher(&prefetcher, Platform::Skylake)?;
+            parse_state(&state)?;
+            Ok(Command::Trace {
+                function,
+                options: opts,
+                prefetcher,
+                state,
+                out,
+            })
+        }
         other => Err(CliError::usage(format!(
             "unknown command {other:?}; try `lukewarm help`"
         ))),
@@ -282,10 +339,22 @@ fn parse_function_and_options(
                 }
             }
             "--platform" => opts.platform = parse_platform(value)?,
+            "--emit" => opts.emit = parse_emit(value)?,
             _ => extras.push((key.to_string(), value.to_string())),
         }
     }
     Ok((name, opts, extras))
+}
+
+fn parse_emit(s: &str) -> Result<Emit, CliError> {
+    match s {
+        "table" => Ok(Emit::Table),
+        "json" => Ok(Emit::Json),
+        "csv" => Ok(Emit::Csv),
+        other => Err(CliError::usage(format!(
+            "unknown emit format {other:?} (table | json | csv)"
+        ))),
+    }
 }
 
 fn parse_platform(s: &str) -> Result<Platform, CliError> {
@@ -334,6 +403,42 @@ fn lookup_function(name: &str) -> Result<FunctionProfile, CliError> {
     })
 }
 
+/// Renders an experiment result in the requested format: the historic
+/// `Display` table, or the [`Export`] datasets as JSON/CSV.
+fn render<T: std::fmt::Display + Export>(data: &T, emit: Emit) -> String {
+    match emit {
+        Emit::Table => data.to_string(),
+        Emit::Json => luke_obs::export::to_json(&data.datasets()),
+        Emit::Csv => luke_obs::export::to_csv(&data.datasets()),
+    }
+}
+
+/// Renders already-built datasets (for results assembled in the CLI).
+fn render_datasets(datasets: &[Dataset], emit: Emit, table: impl FnOnce() -> String) -> String {
+    match emit {
+        Emit::Table => table(),
+        Emit::Json => luke_obs::export::to_json(datasets),
+        Emit::Csv => luke_obs::export::to_csv(datasets),
+    }
+}
+
+/// Table 1 as datasets: one `(platform, parameter, value)` row per
+/// `describe()` line.
+fn table1_datasets() -> Vec<Dataset> {
+    let mut ds = Dataset::new("table1.platforms", &["platform", "parameter", "value"]);
+    for config in [SystemConfig::skylake(), SystemConfig::broadwell()] {
+        for line in config.describe().lines() {
+            let (param, value) = line.split_once(": ").unwrap_or((line, ""));
+            ds.push_row(vec![
+                config.name.into(),
+                param.trim_end_matches(':').trim().into(),
+                value.trim().into(),
+            ]);
+        }
+    }
+    vec![ds]
+}
+
 /// Executes a parsed command, returning the text to print.
 ///
 /// # Errors
@@ -362,7 +467,10 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         // the paper workflows rather than a single function.
         Command::Run { function, options, .. } if function == "resilience" => {
             options.platform.config().validate()?;
-            Ok(exp::resilience::run_experiment(&options.params()).to_string())
+            Ok(render(
+                &exp::resilience::run_experiment(&options.params()),
+                options.emit,
+            ))
         }
         Command::Run {
             function,
@@ -375,6 +483,15 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             config.validate()?;
             let kind = parse_prefetcher(prefetcher, options.platform)?;
             let spec = parse_state(state)?;
+            // JSON/CSV export the full metrics-registry snapshot — a
+            // strict superset of the text summary below.
+            if options.emit != Emit::Table {
+                let obs = run_observed(&config, &profile, kind, spec, &options.params(), 0);
+                return Ok(match options.emit {
+                    Emit::Json => obs.registry.to_json(),
+                    _ => obs.registry.to_csv(),
+                });
+            }
             let s = run(&config, &profile, kind, spec, &options.params());
             let td = s.cpi_stack();
             Ok(format!(
@@ -441,14 +558,39 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 RunSpec::lukewarm(),
                 &params,
             );
-            let mut t =
-                luke_common::table::TextTable::new(&["configuration", "CPI", "vs reference"]);
-            for (label, s) in [
+            let configurations = [
                 ("reference (warm)", &reference),
                 ("lukewarm baseline", &baseline),
                 ("lukewarm + jukebox", &jukebox),
                 ("perfect I-cache", &perfect),
-            ] {
+            ];
+            if options.emit != Emit::Table {
+                let mut ds = Dataset::new(
+                    "compare.configurations",
+                    &["function", "configuration", "CPI", "vs reference"],
+                );
+                for (label, s) in configurations {
+                    ds.push_row(vec![
+                        profile.name.clone().into(),
+                        label.into(),
+                        s.cpi().into(),
+                        (s.cpi() / reference.cpi()).into(),
+                    ]);
+                }
+                let mut speedups = Dataset::new(
+                    "compare.speedups",
+                    &["function", "jukebox speedup", "perfect I-cache speedup"],
+                );
+                speedups.push_row(vec![
+                    profile.name.clone().into(),
+                    jukebox.speedup_over(&baseline).into(),
+                    perfect.speedup_over(&baseline).into(),
+                ]);
+                return Ok(render_datasets(&[ds, speedups], options.emit, String::new));
+            }
+            let mut t =
+                luke_common::table::TextTable::new(&["configuration", "CPI", "vs reference"]);
+            for (label, s) in configurations {
                 t.row(&[
                     label.to_string(),
                     format!("{:.2}", s.cpi()),
@@ -463,29 +605,32 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         }
         Command::Figure { name, options } => {
             let params = options.params();
+            let emit = options.emit;
             let rendered = match name.as_str() {
-                "table1" => format!(
-                    "{}\n{}",
-                    SystemConfig::skylake().describe(),
-                    SystemConfig::broadwell().describe()
-                ),
-                "fig01" => exp::fig01::run_experiment(&params).to_string(),
-                "fig02" | "fig03" | "fig04" => exp::fig02::run_experiment(&params).to_string(),
-                "fig05" => exp::fig05::run_experiment(&params).to_string(),
-                "fig06" => exp::fig06::run_experiment(&params).to_string(),
-                "fig08" => exp::fig08::run_experiment(&params).to_string(),
-                "fig09" => exp::fig09::run_experiment(&params).to_string(),
-                "fig10" => exp::fig10::run_experiment(&params).to_string(),
-                "fig11" => exp::fig11::run_experiment(&params).to_string(),
-                "fig12" => exp::fig12::run_experiment(&params).to_string(),
-                "fig13" => exp::fig13::run_experiment(&params).to_string(),
-                "table3" => exp::table3::run_experiment(&params).to_string(),
-                "ablations" => exp::ablations::run_experiment(&params).to_string(),
-                "related-work" => exp::related_work::run_experiment(&params).to_string(),
-                "workflows" => exp::workflow_slo::run_experiment(&params).to_string(),
-                "host" => exp::host_interleaving::run_experiment(&params).to_string(),
-                "keep-alive" => exp::keep_alive::run_experiment(&params).to_string(),
-                "resilience" => exp::resilience::run_experiment(&params).to_string(),
+                "table1" => render_datasets(&table1_datasets(), emit, || {
+                    format!(
+                        "{}\n{}",
+                        SystemConfig::skylake().describe(),
+                        SystemConfig::broadwell().describe()
+                    )
+                }),
+                "fig01" => render(&exp::fig01::run_experiment(&params), emit),
+                "fig02" | "fig03" | "fig04" => render(&exp::fig02::run_experiment(&params), emit),
+                "fig05" => render(&exp::fig05::run_experiment(&params), emit),
+                "fig06" => render(&exp::fig06::run_experiment(&params), emit),
+                "fig08" => render(&exp::fig08::run_experiment(&params), emit),
+                "fig09" => render(&exp::fig09::run_experiment(&params), emit),
+                "fig10" => render(&exp::fig10::run_experiment(&params), emit),
+                "fig11" => render(&exp::fig11::run_experiment(&params), emit),
+                "fig12" => render(&exp::fig12::run_experiment(&params), emit),
+                "fig13" => render(&exp::fig13::run_experiment(&params), emit),
+                "table3" => render(&exp::table3::run_experiment(&params), emit),
+                "ablations" => render(&exp::ablations::run_experiment(&params), emit),
+                "related-work" => render(&exp::related_work::run_experiment(&params), emit),
+                "workflows" => render(&exp::workflow_slo::run_experiment(&params), emit),
+                "host" => render(&exp::host_interleaving::run_experiment(&params), emit),
+                "keep-alive" => render(&exp::keep_alive::run_experiment(&params), emit),
+                "resilience" => render(&exp::resilience::run_experiment(&params), emit),
                 other => {
                     return Err(CliError::usage(format!(
                         "unknown figure {other:?}; one of: table1 fig01 fig02 fig05 fig06 \
@@ -515,18 +660,59 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let data = exp::workflow_slo::Data {
                 workflows: vec![result],
             };
-            Ok(data.to_string())
+            Ok(render(&data, options.emit))
+        }
+        Command::Trace {
+            function,
+            options,
+            prefetcher,
+            state,
+            ..
+        } => {
+            let profile = lookup_function(function)?.scaled(options.scale);
+            let config = options.platform.config();
+            config.validate()?;
+            let kind = parse_prefetcher(prefetcher, options.platform)?;
+            let spec = parse_state(state)?;
+            let obs = run_observed(
+                &config,
+                &profile,
+                kind,
+                spec,
+                &options.params(),
+                TRACE_CAPACITY,
+            );
+            Ok(luke_obs::trace::chrome_trace(
+                &format!("{} on {} ({})", profile.name, config.name, kind.label()),
+                &obs.events,
+            ))
         }
     }
 }
 
-/// Parses and executes in one step (the binary's body).
+/// Event-ring capacity for `lukewarm trace`: large enough to hold every
+/// fetch stall of the last measured invocation at default scales.
+const TRACE_CAPACITY: usize = 65_536;
+
+/// Parses and executes in one step (the binary's body). When the command
+/// is `trace --out FILE`, the trace document is written to FILE and a
+/// one-line confirmation is returned instead.
 ///
 /// # Errors
 ///
-/// Propagates parse and execution errors.
+/// Propagates parse and execution errors; file-write failures surface as
+/// usage-coded errors naming the path.
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
-    execute(&parse(args)?)
+    let command = parse(args)?;
+    let output = execute(&command)?;
+    if let Command::Trace { out: Some(path), .. } = &command {
+        std::fs::write(path, &output).map_err(|e| CliError {
+            message: format!("cannot write {path:?}: {e}"),
+            code: 2,
+        })?;
+        return Ok(format!("wrote Chrome trace to {path}"));
+    }
+    Ok(output)
 }
 
 fn help_text() -> String {
@@ -540,7 +726,11 @@ fn help_text() -> String {
      \x20 lukewarm run resilience [--scale S] [--invocations N]\n\
      \x20 lukewarm compare FUNCTION [--scale S] [--invocations N] [--platform P]\n\
      \x20 lukewarm figure NAME [--scale S] [--invocations N]\n\
-     \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\n\
+     \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\
+     \x20 lukewarm trace FUNCTION [--prefetcher K] [--state ST] [--out FILE]\n\n\
+     All run/compare/figure/workflow/trace commands accept --emit table|json|csv\n\
+     (default table; trace always emits Chrome trace-event JSON).\n\
+     See docs/OBSERVABILITY.md for the metric catalogue and export formats.\n\n\
      Run `cargo bench` in the repository for the full paper reproduction.\n"
         .to_string()
 }
@@ -676,6 +866,104 @@ mod tests {
         // One-line messages: nothing multi-line reaches stderr.
         assert!(!invalid.message.contains('\n'));
         assert!(!corrupt.message.contains('\n'));
+    }
+
+    #[test]
+    fn emit_option_parses_and_rejects_bad_values() {
+        let cmd = parse(&argv("figure fig10 --emit json")).unwrap();
+        match cmd {
+            Command::Figure { options, .. } => assert_eq!(options.emit, Emit::Json),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&argv("figure fig10 --emit yaml")).is_err());
+        // --emit is a recognized common option on every subcommand.
+        assert!(parse(&argv("compare Auth-G --emit csv")).is_ok());
+        assert!(parse(&argv("workflow hotel-reservation --emit csv")).is_ok());
+        assert!(parse(&argv("run Auth-G --emit json")).is_ok());
+    }
+
+    #[test]
+    fn run_emit_json_is_a_parseable_registry_snapshot() {
+        let out = run_cli(&argv(
+            "run Fib-G --scale 0.02 --invocations 1 --emit json",
+        ))
+        .unwrap();
+        let v = luke_obs::json::parse(&out).unwrap();
+        let counters = v.get("counters").unwrap();
+        assert!(counters.get("run.invocations").unwrap().as_f64() >= Some(1.0));
+        assert!(counters.get("mem.l2.instr.misses").is_some());
+        assert!(v.get("gauges").unwrap().get("run.cpi").is_some());
+        assert!(v
+            .get("histograms")
+            .unwrap()
+            .get("invocation.cycles")
+            .is_some());
+    }
+
+    #[test]
+    fn run_emit_csv_has_registry_header() {
+        let out = run_cli(&argv("run Fib-G --scale 0.02 --invocations 1 --emit csv")).unwrap();
+        assert!(out.starts_with("kind,name,field,value\n"));
+        assert!(out.contains("counter,run.invocations,value,"));
+    }
+
+    #[test]
+    fn compare_emit_json_covers_the_table_columns() {
+        let out = run_cli(&argv(
+            "compare Fib-G --scale 0.02 --invocations 1 --emit json",
+        ))
+        .unwrap();
+        let v = luke_obs::json::parse(&out).unwrap();
+        let datasets = v.get("datasets").unwrap().as_arr().unwrap();
+        let cols = datasets[0].get("columns").unwrap().as_arr().unwrap();
+        for needed in ["configuration", "CPI", "vs reference"] {
+            assert!(
+                cols.iter().any(|c| c.as_str() == Some(needed)),
+                "missing column {needed}"
+            );
+        }
+        assert_eq!(datasets[0].get("rows").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn figure_table1_emit_formats() {
+        let json = run_cli(&argv("figure table1 --emit json")).unwrap();
+        let v = luke_obs::json::parse(&json).unwrap();
+        assert!(v.get("datasets").is_some());
+        assert!(json.contains("skylake") && json.contains("broadwell"));
+        let csv = run_cli(&argv("figure table1 --emit csv")).unwrap();
+        assert!(csv.starts_with("# table1.platforms\n"));
+    }
+
+    #[test]
+    fn trace_parses_with_out_file() {
+        let cmd = parse(&argv("trace Fib-G --scale 0.05 --out timeline.json")).unwrap();
+        match cmd {
+            Command::Trace {
+                function, out, ..
+            } => {
+                assert_eq!(function, "Fib-G");
+                assert_eq!(out.as_deref(), Some("timeline.json"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&argv("trace Fib-G --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn trace_emits_chrome_trace_json() {
+        let out = run_cli(&argv("trace Fib-G --scale 0.02 --invocations 1")).unwrap();
+        let v = luke_obs::json::parse(&out).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        if cfg!(feature = "obs_disabled") {
+            // Recording is compiled out: only the process metadata record.
+            assert_eq!(events.len(), 1);
+        } else {
+            // Metadata event plus at least dispatch/retire of one invocation.
+            assert!(events.len() >= 3, "only {} events", events.len());
+            assert!(out.contains("\"dispatch\""));
+            assert!(out.contains("\"retire\""));
+        }
     }
 
     #[test]

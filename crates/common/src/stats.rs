@@ -23,32 +23,41 @@ pub fn mean(values: &[f64]) -> f64 {
     }
 }
 
-/// Geometric mean of a slice of positive values. Returns 0 for an empty
-/// slice.
+/// Geometric mean of a slice of values. Returns 0 for an empty slice.
 ///
 /// The paper reports speedups as geometric means ("GEOMEAN" in
 /// Figures 9/10/13).
 ///
-/// # Panics
-///
-/// Panics if any value is not strictly positive.
+/// NaN-safe filter semantics: values that are not strictly positive
+/// (zero, negative, NaN, -inf) carry no usable speedup information and
+/// are skipped rather than aborting the whole sweep — a degenerate run
+/// (e.g. a zero-cycle sample, which [`speedup_over`] reports as NaN)
+/// degrades to a geomean over the remaining valid samples. If *no* value
+/// is valid, the result is NaN, which every caller can detect; callers
+/// wanting the count of dropped samples should pre-filter with
+/// [`f64::is_finite`] + positivity themselves (the experiment runner
+/// surfaces it as the `run.invalid_samples` counter).
 ///
 /// # Examples
 ///
 /// ```
 /// let g = luke_common::stats::geomean(&[1.0, 4.0]);
 /// assert!((g - 2.0).abs() < 1e-12);
+/// // Invalid samples are filtered, not fatal:
+/// let g = luke_common::stats::geomean(&[1.0, f64::NAN, 4.0, 0.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert!(luke_common::stats::geomean(&[0.0, f64::NAN]).is_nan());
 /// ```
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    assert!(
-        values.iter().all(|&v| v > 0.0),
-        "geomean requires positive values"
-    );
-    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (log_sum / values.len() as f64).exp()
+    let valid: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if valid.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = valid.iter().map(|v| v.ln()).sum();
+    (log_sum / valid.len() as f64).exp()
 }
 
 /// Population standard deviation. Returns 0 for slices shorter than 2.
@@ -275,9 +284,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn geomean_rejects_nonpositive() {
-        geomean(&[1.0, 0.0]);
+    fn geomean_filters_nonpositive_values() {
+        // Invalid samples are skipped, so one dead run cannot abort a
+        // whole sweep's aggregation.
+        let g = geomean(&[2.0, 0.0, 8.0, -3.0, f64::NAN]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_all_invalid_is_nan() {
+        assert!(geomean(&[0.0, -1.0, f64::NAN]).is_nan());
+        // Empty stays 0 for backwards compatibility.
+        assert_eq!(geomean(&[]), 0.0);
     }
 
     #[test]

@@ -193,6 +193,14 @@ impl InstructionPrefetcher for JukeboxPrefetcher {
             self.replay_buffer = Some(sealed);
         }
     }
+
+    fn fill_registry(&self, registry: &mut luke_obs::Registry) {
+        registry.counter_add("replay.aborts", self.replay_aborts);
+        registry.counter_add("replay.dropped_prefetches", self.dropped_prefetches);
+        registry.counter_add("replay.entries", self.last_replay.entries);
+        registry.counter_add("replay.lines", self.last_replay.lines);
+        registry.counter_add("replay.metadata_bytes", self.last_replay.metadata_bytes);
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use crate::config::CoreConfig;
 use crate::instr::{Instr, InstrKind};
 use crate::topdown::TopDown;
 use luke_common::addr::LineAddr;
+use luke_obs::{Event, EventKind, EventRing, Registry};
 use sim_mem::hierarchy::MemoryHierarchy;
 use sim_mem::page_table::PageTable;
 use sim_mem::prefetch::{
@@ -30,6 +31,19 @@ pub struct CoreStats {
     pub loads: u64,
     /// Stores executed.
     pub stores: u64,
+}
+
+impl CoreStats {
+    /// Accumulates these counters into `registry` under `core.*`.
+    pub fn add_to_registry(&self, registry: &mut Registry) {
+        registry.counter_add("core.instructions", self.instructions);
+        registry.counter_add("core.branches", self.branches);
+        registry.counter_add("core.taken_branches", self.taken_branches);
+        registry.counter_add("core.mispredicts", self.mispredicts);
+        registry.counter_add("core.line_fetches", self.line_fetches);
+        registry.counter_add("core.loads", self.loads);
+        registry.counter_add("core.stores", self.stores);
+    }
 }
 
 /// Timing result of one invocation.
@@ -71,6 +85,8 @@ pub struct Core {
     data_shadow_end: u64,
     lifetime_topdown: TopDown,
     lifetime_instructions: u64,
+    invocations: u64,
+    events: EventRing,
 }
 
 impl Core {
@@ -91,7 +107,26 @@ impl Core {
             data_shadow_end: 0,
             lifetime_topdown: TopDown::new(),
             lifetime_instructions: 0,
+            invocations: 0,
+            events: EventRing::disabled(),
         }
+    }
+
+    /// Enables lifecycle event tracing, keeping the most recent
+    /// `capacity` events (0 disables tracing, the default).
+    pub fn set_event_capacity(&mut self, capacity: usize) {
+        self.events = EventRing::with_capacity(capacity);
+    }
+
+    /// The lifecycle event ring (empty unless tracing was enabled via
+    /// [`Core::set_event_capacity`]).
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Drains the traced lifecycle events, oldest first.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.events.take_events()
     }
 
     /// The core configuration.
@@ -154,6 +189,23 @@ impl Core {
             prefetcher.on_invocation_start(&mut issuer);
             issuer.into_state()
         };
+        self.invocations += 1;
+        self.events.record(Event {
+            ts: start,
+            dur: 0,
+            kind: EventKind::Dispatch,
+            a: self.invocations - 1,
+            b: 0,
+        });
+        if pf_state.counters.issued > 0 {
+            self.events.record(Event {
+                ts: start,
+                dur: 0,
+                kind: EventKind::PrefetchBatch,
+                a: pf_state.counters.issued,
+                b: pf_state.counters.redundant,
+            });
+        }
 
         for instr in trace {
             // --- Instruction delivery ---
@@ -255,6 +307,13 @@ impl Core {
 
         self.lifetime_topdown += td;
         self.lifetime_instructions += stats.instructions;
+        self.events.record(Event {
+            ts: self.now,
+            dur: 0,
+            kind: EventKind::Retire,
+            a: stats.instructions,
+            b: self.now - start,
+        });
         InvocationResult {
             cycles: self.now - start,
             instructions: stats.instructions,
@@ -314,7 +373,22 @@ impl Core {
         } else {
             0
         };
-        self.advance(exposed_cache + tlb_part, &mut td.fetch_latency);
+        let stall = exposed_cache + tlb_part;
+        if stall > 0 {
+            self.events.record(Event {
+                ts: self.now,
+                dur: stall,
+                kind: EventKind::FetchStall,
+                a: pline,
+                b: match out.hit_level {
+                    sim_mem::hierarchy::Level::L1 => 0,
+                    sim_mem::hierarchy::Level::L2 => 1,
+                    sim_mem::hierarchy::Level::Llc => 2,
+                    sim_mem::hierarchy::Level::Memory => 3,
+                },
+            });
+        }
+        self.advance(stall, &mut td.fetch_latency);
 
         let observation = FetchObservation {
             vline: line,
@@ -579,6 +653,45 @@ mod tests {
         assert_eq!(core.lifetime_instructions(), 200);
         assert!(core.lifetime_topdown().total() > 0.0);
         assert!(core.now() > 0);
+    }
+
+    #[test]
+    fn event_tracing_captures_lifecycle() {
+        let (mut core, mut mem, mut pt) = setup();
+        core.set_event_capacity(1024);
+        let r = core.run_invocation(
+            straightline(0x1000, 256),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        let events = core.take_events();
+        if cfg!(feature = "obs_disabled") {
+            assert!(events.is_empty());
+            return;
+        }
+        assert_eq!(events.first().unwrap().kind, EventKind::Dispatch);
+        let retire = events.last().unwrap();
+        assert_eq!(retire.kind, EventKind::Retire);
+        assert_eq!(retire.a, r.instructions);
+        assert_eq!(retire.b, r.cycles);
+        // A cold 256-instruction run must expose at least one fetch stall.
+        assert!(events.iter().any(|e| e.kind == EventKind::FetchStall));
+        // Timestamps are monotone.
+        assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_and_costless() {
+        let (mut core, mut mem, mut pt) = setup();
+        core.run_invocation(
+            straightline(0x1000, 256),
+            &mut mem,
+            &mut pt,
+            &mut NoPrefetcher,
+        );
+        assert!(core.events().is_empty());
+        assert_eq!(core.events().total_recorded(), 0);
     }
 
     #[test]

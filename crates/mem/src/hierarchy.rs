@@ -84,6 +84,16 @@ pub struct HierarchySnapshot {
 }
 
 impl HierarchySnapshot {
+    /// Accumulates every level's counters and the DRAM traffic bytes into
+    /// `registry` under `mem.{l1i,l1d,l2,llc}.*` and `mem.traffic.*`.
+    pub fn add_to_registry(&self, registry: &mut luke_obs::Registry) {
+        self.l1i.add_to_registry(registry, "mem.l1i");
+        self.l1d.add_to_registry(registry, "mem.l1d");
+        self.l2.add_to_registry(registry, "mem.l2");
+        self.llc.add_to_registry(registry, "mem.llc");
+        self.traffic.add_to_registry(registry);
+    }
+
     /// Counter-wise difference `self - earlier`.
     pub fn delta(&self, earlier: &HierarchySnapshot) -> HierarchySnapshot {
         HierarchySnapshot {

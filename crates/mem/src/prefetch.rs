@@ -193,6 +193,11 @@ pub trait InstructionPrefetcher {
     /// Invoked when the invocation completes and the process is
     /// descheduled; recording state is sealed here.
     fn on_invocation_end(&mut self, issuer: &mut PrefetchIssuer<'_>);
+
+    /// Contributes prefetcher-internal telemetry (e.g. replay aborts) to
+    /// the metrics registry. The default contributes nothing; stateful
+    /// prefetchers override it.
+    fn fill_registry(&self, _registry: &mut luke_obs::Registry) {}
 }
 
 /// The trivial prefetcher: does nothing. This is the paper's interleaved

@@ -7,6 +7,7 @@
 //! (Figure 12's bandwidth-overhead breakdown).
 
 use crate::cache::AccessClass;
+use luke_obs::Registry;
 
 /// Demand hit/miss counters for one access class.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -99,6 +100,29 @@ impl CacheStats {
         mpki(self.data.misses, instructions)
     }
 
+    /// Accumulates these counters into `registry` under
+    /// `<prefix>.{instr,data}.{hits,misses}` and the prefetch bookkeeping
+    /// names (e.g. prefix `mem.l2` yields `mem.l2.instr.misses`).
+    pub fn add_to_registry(&self, registry: &mut Registry, prefix: &str) {
+        registry.counter_add(&format!("{prefix}.instr.hits"), self.instr.hits);
+        registry.counter_add(&format!("{prefix}.instr.misses"), self.instr.misses);
+        registry.counter_add(&format!("{prefix}.data.hits"), self.data.hits);
+        registry.counter_add(&format!("{prefix}.data.misses"), self.data.misses);
+        registry.counter_add(
+            &format!("{prefix}.prefetch.first_hits"),
+            self.prefetch_first_hits,
+        );
+        registry.counter_add(
+            &format!("{prefix}.prefetch.late_hits"),
+            self.prefetch_late_hits,
+        );
+        registry.counter_add(&format!("{prefix}.prefetch.fills"), self.prefetch_fills);
+        registry.counter_add(
+            &format!("{prefix}.prefetch.evicted_unused"),
+            self.prefetch_evicted_unused,
+        );
+    }
+
     /// Difference of two snapshots: `self - earlier`, counter-wise. Used to
     /// attribute statistics to a single invocation.
     pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
@@ -185,6 +209,16 @@ impl TrafficBytes {
     /// Demand-only bytes (the baseline traffic without any prefetcher).
     pub fn demand(&self) -> u64 {
         self.demand_instr + self.demand_data
+    }
+
+    /// Accumulates these byte counters into `registry` under
+    /// `mem.traffic.*`.
+    pub fn add_to_registry(&self, registry: &mut Registry) {
+        registry.counter_add("mem.traffic.demand_instr", self.demand_instr);
+        registry.counter_add("mem.traffic.demand_data", self.demand_data);
+        registry.counter_add("mem.traffic.prefetch", self.prefetch);
+        registry.counter_add("mem.traffic.metadata_record", self.metadata_record);
+        registry.counter_add("mem.traffic.metadata_replay", self.metadata_replay);
     }
 
     /// Counter-wise difference `self - earlier`.

@@ -1,0 +1,270 @@
+//! Log-bucketed (HDR-style) histograms for latency and size samples.
+//!
+//! Values below [`LINEAR_CUTOFF`] each get their own bucket (exact
+//! resolution where cycle counts are small); above it, every power-of-two
+//! octave is split into [`SUBS_PER_OCTAVE`] sub-buckets, bounding relative
+//! error at ~25% while covering the full `u64` range in a few hundred
+//! buckets. Percentiles are extracted by bucket walk and reported as the
+//! bucket's inclusive upper bound, so `P99 >= actual P99` always holds.
+
+/// Values below this get one bucket each (exact).
+pub const LINEAR_CUTOFF: u64 = 32;
+
+/// Sub-buckets per power-of-two octave above the linear region.
+pub const SUBS_PER_OCTAVE: usize = 4;
+
+const SUB_BITS: u32 = 2; // log2(SUBS_PER_OCTAVE)
+const FIRST_OCTAVE_MSB: u32 = 5; // log2(LINEAR_CUTOFF)
+const OCTAVES: usize = (64 - FIRST_OCTAVE_MSB) as usize;
+
+/// Total bucket count.
+pub const BUCKETS: usize = LINEAR_CUTOFF as usize + OCTAVES * SUBS_PER_OCTAVE;
+
+/// The bucket index a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_CUTOFF {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = ((value >> (msb - SUB_BITS)) & (SUBS_PER_OCTAVE as u64 - 1)) as usize;
+    LINEAR_CUTOFF as usize + (msb - FIRST_OCTAVE_MSB) as usize * SUBS_PER_OCTAVE + sub
+}
+
+/// The half-open value range `[lo, hi)` bucket `index` covers.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    if index < LINEAR_CUTOFF as usize {
+        return (index as u64, index as u64 + 1);
+    }
+    let rel = index - LINEAR_CUTOFF as usize;
+    let msb = FIRST_OCTAVE_MSB + (rel / SUBS_PER_OCTAVE) as u32;
+    let sub = (rel % SUBS_PER_OCTAVE) as u64;
+    let width = 1u64 << (msb - SUB_BITS);
+    let lo = (1u64 << msb) + sub * width;
+    // The top sub-bucket of the top octave ends at u64::MAX (the
+    // exclusive bound would overflow; the histogram treats it as
+    // inclusive of u64::MAX).
+    let hi = lo.saturating_add(width);
+    (lo, hi)
+}
+
+/// A log-bucketed histogram of `u64` samples (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupancy of bucket `index` (for tests and exporters).
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`), reported as the
+    /// inclusive upper bound of the bucket holding that rank, clamped to
+    /// the recorded maximum. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return (hi - 1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median sample (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile sample.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile sample.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating). `min`/`max`
+    /// are kept from `self`: extremes are not invertible from deltas.
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let counts = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        Histogram {
+            counts,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..LINEAR_CUTOFF {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert_eq!((lo, hi), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn every_value_falls_in_its_bucket() {
+        for &v in &[0, 1, 31, 32, 33, 47, 48, 63, 64, 100, 1000, 1 << 20, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v, "{v}: lo {lo}");
+            assert!(v < hi || hi == u64::MAX, "{v}: hi {hi}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_contiguous_and_monotone() {
+        let mut prev_hi = 0;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, prev_hi, "bucket {i} must start where {} ended", i - 1);
+            assert!(hi > lo, "bucket {i} must be non-empty");
+            prev_hi = hi;
+            if hi == u64::MAX {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_of_identical_small_values_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7);
+        }
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p99(), 7);
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn percentile_orders_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.p50() >= 450 && h.p50() <= 600, "p50 {}", h.p50());
+        assert!(h.p99() >= 950, "p99 {}", h.p99());
+        assert!(h.p99() <= h.max());
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counts() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let snap = h.clone();
+        h.record(5);
+        h.record(700);
+        let d = h.delta(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.bucket_count(bucket_index(5)), 1);
+        assert_eq!(d.bucket_count(bucket_index(700)), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Unified observability for the lukewarm simulation stack.
+//!
+//! Everything the paper's argument rests on is a counter or a timeline:
+//! Top-Down CPI stacks (Fig. 2), MPKI breakdowns (Fig. 5), prefetch
+//! coverage (Fig. 11), DRAM traffic categories (Fig. 12). This crate is
+//! the single layer those numbers flow through:
+//!
+//! * [`registry`] — a metrics [`registry::Registry`] of typed counters,
+//!   gauges and log-bucketed histograms under hierarchical dotted names
+//!   (`mem.l2.instr.misses`, `replay.dropped_prefetches`), snapshotable
+//!   and diffable between invocations;
+//! * [`events`] — a bounded, zero-allocation [`events::EventRing`]
+//!   recording the invocation lifecycle (dispatch → fetch stalls →
+//!   prefetch batches → fault draws → retire), with an `obs_disabled`
+//!   feature that compiles recording out entirely;
+//! * [`export`] — the [`export::Dataset`] table IR every experiment
+//!   renders into, plus JSON and CSV writers;
+//! * [`json`] — a dependency-free JSON writer *and* minimal parser (the
+//!   build container has no `serde`), which doubles as the jq-free
+//!   well-formedness checker used by CI and the golden tests;
+//! * [`trace`] — Chrome `trace_event` / Perfetto timeline output for a
+//!   single traced invocation.
+//!
+//! The crate depends only on `luke-common`, so every simulator crate can
+//! thread a registry through without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use events::{Event, EventKind, EventRing};
+pub use export::{Dataset, Export, Value};
+pub use hist::Histogram;
+pub use registry::{Registry, Snapshot};

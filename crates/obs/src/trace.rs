@@ -1,0 +1,110 @@
+//! Chrome `trace_event` / Perfetto JSON timeline output.
+//!
+//! Renders an [`EventRing`]'s contents as the JSON Object Format of the
+//! Trace Event spec: open `chrome://tracing` or <https://ui.perfetto.dev>
+//! and load the file. Durations ([`EventKind::FetchStall`]) become
+//! complete (`"ph":"X"`) events; everything else is an instant
+//! (`"ph":"i"`). Timestamps are core cycles, declared via
+//! `otherData.clock` so the unit is self-describing.
+
+use crate::events::{Event, EventKind};
+use crate::json::write_str;
+
+/// Serializes events (oldest first) as a Chrome trace JSON document.
+///
+/// `process_name` labels the single process row (typically the function
+/// under trace); all events land on thread 1.
+pub fn chrome_trace(process_name: &str, events: &[Event]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"cycles\"},\"traceEvents\":[");
+    // Metadata record naming the process row.
+    out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":");
+    write_str(&mut out, process_name);
+    out.push_str("}}");
+    for event in events {
+        out.push(',');
+        write_event(&mut out, event);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_event(out: &mut String, event: &Event) {
+    out.push_str("{\"name\":");
+    write_str(out, event.kind.label());
+    out.push_str(",\"cat\":\"invocation\",\"pid\":1,\"tid\":1,\"ts\":");
+    out.push_str(&event.ts.to_string());
+    match event.kind {
+        EventKind::FetchStall => {
+            out.push_str(",\"ph\":\"X\",\"dur\":");
+            out.push_str(&event.dur.to_string());
+        }
+        _ => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+    }
+    out.push_str(",\"args\":{");
+    let (ka, kb) = arg_names(event.kind);
+    write_str(out, ka);
+    out.push(':');
+    out.push_str(&event.a.to_string());
+    out.push(',');
+    write_str(out, kb);
+    out.push(':');
+    out.push_str(&event.b.to_string());
+    out.push_str("}}");
+}
+
+fn arg_names(kind: EventKind) -> (&'static str, &'static str) {
+    match kind {
+        EventKind::Dispatch => ("invocation", "reserved"),
+        EventKind::FetchStall => ("line", "hit_level"),
+        EventKind::PrefetchBatch => ("issued", "redundant"),
+        EventKind::FaultDraw => ("fault_kind", "attempt"),
+        EventKind::Retire => ("instructions", "cycles"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn ev(ts: u64, dur: u64, kind: EventKind, a: u64, b: u64) -> Event {
+        Event { ts, dur, kind, a, b }
+    }
+
+    #[test]
+    fn trace_document_is_valid_json_with_expected_phases() {
+        let events = [
+            ev(0, 0, EventKind::Dispatch, 1, 0),
+            ev(5, 120, EventKind::FetchStall, 42, 2),
+            ev(900, 0, EventKind::Retire, 5000, 900),
+        ];
+        let doc = chrome_trace("Auth-G", &events);
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+        assert_eq!(
+            v.get("otherData").unwrap().get("clock").unwrap().as_str(),
+            Some("cycles")
+        );
+        let te = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata record + 3 events.
+        assert_eq!(te.len(), 4);
+        assert_eq!(te[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(te[1].get("name").unwrap().as_str(), Some("dispatch"));
+        assert_eq!(te[1].get("ph").unwrap().as_str(), Some("i"));
+        let stall = &te[2];
+        assert_eq!(stall.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(stall.get("dur").unwrap().as_f64(), Some(120.0));
+        assert_eq!(stall.get("args").unwrap().get("line").unwrap().as_f64(), Some(42.0));
+        assert_eq!(
+            te[3].get("args").unwrap().get("instructions").unwrap().as_f64(),
+            Some(5000.0)
+        );
+    }
+
+    #[test]
+    fn empty_trace_still_has_process_metadata() {
+        let doc = chrome_trace("fn", &[]);
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

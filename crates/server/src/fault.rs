@@ -12,6 +12,7 @@
 
 use luke_common::rng::DetRng;
 use luke_common::SimError;
+use luke_obs::{Event, EventKind, EventRing, Registry};
 
 /// The kinds of fault the plan can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -195,12 +196,34 @@ impl FaultPlan {
         costs: &AttemptCosts,
         stats: &mut FaultStats,
     ) -> InvocationResult {
+        self.run_invocation_traced(policy, invocation, costs, stats, &mut EventRing::disabled())
+    }
+
+    /// [`FaultPlan::run_invocation`] with lifecycle tracing: every fault
+    /// that strikes is recorded into `events` as a
+    /// [`EventKind::FaultDraw`] (timestamp = accumulated latency in µs,
+    /// `a` = fault-kind index into [`FaultKind::ALL`], `b` = attempt).
+    pub fn run_invocation_traced(
+        &self,
+        policy: &RetryPolicy,
+        invocation: u64,
+        costs: &AttemptCosts,
+        stats: &mut FaultStats,
+        events: &mut EventRing,
+    ) -> InvocationResult {
         let mut latency_ms = 0.0;
         // A memory-pressure eviction during the idle gap forces a cold
         // start even if the caller expected a warm instance.
         let mut needs_spawn = costs.starts_cold || self.evicted_before(invocation);
         if !costs.starts_cold && needs_spawn {
             stats.evictions += 1;
+            events.record(Event {
+                ts: 0,
+                dur: 0,
+                kind: EventKind::FaultDraw,
+                a: fault_kind_index(FaultKind::MemoryPressureEviction),
+                b: 0,
+            });
         }
 
         let mut attempt: u64 = 0;
@@ -221,6 +244,13 @@ impl FaultPlan {
                 }
                 Some((kind, wasted_ms)) => {
                     latency_ms += wasted_ms;
+                    events.record(Event {
+                        ts: (latency_ms * 1000.0) as u64,
+                        dur: 0,
+                        kind: EventKind::FaultDraw,
+                        a: fault_kind_index(kind),
+                        b: attempt,
+                    });
                     // A crash tears the instance down; the retry must
                     // spawn a fresh one.
                     if kind == FaultKind::InstanceCrash {
@@ -277,6 +307,12 @@ impl FaultPlan {
     }
 }
 
+/// Index of `kind` within [`FaultKind::ALL`] — the stable encoding used
+/// by [`EventKind::FaultDraw`] payloads.
+pub fn fault_kind_index(kind: FaultKind) -> u64 {
+    FaultKind::ALL.iter().position(|&k| k == kind).unwrap_or(0) as u64
+}
+
 /// Latency model for one invocation attempt, in milliseconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AttemptCosts {
@@ -321,6 +357,17 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
+    /// Accumulates these counters into `registry` under `fault.*`.
+    pub fn fill_registry(&self, registry: &mut Registry) {
+        registry.counter_add("fault.crashes", self.crashes);
+        registry.counter_add("fault.timeouts", self.timeouts);
+        registry.counter_add("fault.cold_start_failures", self.cold_start_failures);
+        registry.counter_add("fault.evictions", self.evictions);
+        registry.counter_add("fault.retries", self.retries);
+        registry.counter_add("fault.completed", self.completed);
+        registry.counter_add("fault.abandoned", self.abandoned);
+    }
+
     /// Total faults injected, of any kind.
     pub fn total_faults(&self) -> u64 {
         self.crashes + self.timeouts + self.cold_start_failures + self.evictions
@@ -702,6 +749,74 @@ mod tests {
         let (r2, s2) = run();
         assert_eq!(r1, r2);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn traced_run_records_fault_draws() {
+        let plan = FaultPlan::new(
+            5,
+            FaultRates {
+                crash: 0.0,
+                timeout: 1.0,
+                cold_start_failure: 0.0,
+                memory_pressure: 0.0,
+            },
+        )
+        .unwrap();
+        let mut stats = FaultStats::default();
+        let mut events = EventRing::with_capacity(64);
+        let r = plan.run_invocation_traced(
+            &RetryPolicy::no_retry(),
+            0,
+            &warm_costs(),
+            &mut stats,
+            &mut events,
+        );
+        assert!(!r.completed);
+        if cfg!(feature = "obs_disabled") {
+            return;
+        }
+        let drawn = events.take_events();
+        assert_eq!(drawn.len(), 1);
+        assert_eq!(drawn[0].kind, EventKind::FaultDraw);
+        assert_eq!(
+            drawn[0].a,
+            fault_kind_index(FaultKind::InvocationTimeout)
+        );
+    }
+
+    #[test]
+    fn traced_and_plain_runs_agree() {
+        let plan = FaultPlan::new(23, FaultRates::uniform(0.3)).unwrap();
+        let policy = RetryPolicy::default();
+        let costs = warm_costs();
+        let mut s1 = FaultStats::default();
+        let mut s2 = FaultStats::default();
+        let mut events = EventRing::with_capacity(4096);
+        for n in 0..200 {
+            let a = plan.run_invocation(&policy, n, &costs, &mut s1);
+            let b = plan.run_invocation_traced(&policy, n, &costs, &mut s2, &mut events);
+            assert_eq!(a, b);
+        }
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn fill_registry_exports_fault_counters() {
+        let stats = FaultStats {
+            crashes: 1,
+            timeouts: 2,
+            cold_start_failures: 3,
+            evictions: 4,
+            retries: 5,
+            completed: 6,
+            abandoned: 7,
+        };
+        let mut reg = Registry::new();
+        stats.fill_registry(&mut reg);
+        assert_eq!(reg.counter("fault.crashes"), 1);
+        assert_eq!(reg.counter("fault.retries"), 5);
+        assert_eq!(reg.counter("fault.abandoned"), 7);
     }
 
     #[test]

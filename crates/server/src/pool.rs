@@ -157,6 +157,15 @@ impl InstancePool {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Contributes pool telemetry to `registry`: lifecycle counters under
+    /// `pool.*` and the current warm population as a gauge.
+    pub fn fill_registry(&self, registry: &mut luke_obs::Registry) {
+        registry.counter_add("pool.cold_starts", self.cold_starts);
+        registry.counter_add("pool.expirations", self.expirations);
+        registry.counter_add("pool.evictions", self.evictions);
+        registry.gauge_set("pool.warm_instances", self.instances.len() as f64);
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ pub struct InvocationEvent {
 pub struct TrafficGenerator {
     // Per-instance: (distribution, next arrival time, rng).
     lanes: Vec<(IatDistribution, f64, DetRng)>,
+    generated: u64,
 }
 
 impl TrafficGenerator {
@@ -62,12 +63,26 @@ impl TrafficGenerator {
                 (dist, first, rng)
             })
             .collect();
-        Ok(TrafficGenerator { lanes })
+        Ok(TrafficGenerator {
+            lanes,
+            generated: 0,
+        })
     }
 
     /// Number of instances generating traffic.
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Total invocation events produced so far.
+    pub fn events_generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Contributes generator telemetry to `registry` under `traffic.*`.
+    pub fn fill_registry(&self, registry: &mut luke_obs::Registry) {
+        registry.counter_add("traffic.events_generated", self.generated);
+        registry.gauge_set("traffic.lanes", self.lanes.len() as f64);
     }
 
     /// Produces the next `count` events in global time order.
@@ -95,6 +110,7 @@ impl TrafficGenerator {
             instance: idx,
         };
         *at += dist.sample(rng).max(f64::MIN_POSITIVE);
+        self.generated += 1;
         Some(event)
     }
 }

@@ -20,6 +20,7 @@ use crate::system::SystemSim;
 use jukebox::metadata::MetadataBuffer;
 use jukebox::{JukeboxConfig, JukeboxPrefetcher};
 use luke_common::table::TextTable;
+use luke_obs::{Dataset, Export};
 use sim_mem::prefetch::{FetchObservation, InstructionPrefetcher, PrefetchIssuer};
 use std::fmt;
 use workloads::FunctionProfile;
@@ -202,6 +203,48 @@ impl fmt::Display for Data {
             self.snapshot_boot_cycles,
             (self.snapshot_boot_speedup() - 1.0) * 100.0
         )
+    }
+}
+
+impl Export for Data {
+    fn datasets(&self) -> Vec<Dataset> {
+        let mut speedups = Dataset::new(
+            "ablations.speedups",
+            &["function", "configuration", "speedup over baseline"],
+        );
+        speedups.push_row(vec![
+            self.function.clone().into(),
+            "jukebox (FIFO replay)".into(),
+            self.jukebox.into(),
+        ]);
+        speedups.push_row(vec![
+            self.function.clone().into(),
+            "jukebox, reversed replay".into(),
+            self.reversed_replay.into(),
+        ]);
+        for &(entries, s) in &self.crrb_sweep {
+            speedups.push_row(vec![
+                self.function.clone().into(),
+                format!("jukebox, CRRB {entries} entries").into(),
+                s.into(),
+            ]);
+        }
+        let mut boot = Dataset::new(
+            "ablations.snapshot_boot",
+            &[
+                "function",
+                "cold boot cycles",
+                "snapshot boot cycles",
+                "speedup",
+            ],
+        );
+        boot.push_row(vec![
+            self.function.clone().into(),
+            self.cold_boot_cycles.into(),
+            self.snapshot_boot_cycles.into(),
+            self.snapshot_boot_speedup().into(),
+        ]);
+        vec![speedups, boot]
     }
 }
 

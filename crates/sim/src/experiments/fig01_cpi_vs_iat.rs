@@ -11,6 +11,7 @@
 use crate::config::SystemConfig;
 use crate::runner::{run, CacheState, ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::table::TextTable;
+use luke_obs::{Dataset, Export, Value};
 use server::InterleaveModel;
 use std::fmt;
 use workloads::FunctionProfile;
@@ -111,6 +112,28 @@ impl fmt::Display for Data {
             table.row(&row);
         }
         write!(f, "{table}")
+    }
+}
+
+impl Export for Data {
+    fn datasets(&self) -> Vec<Dataset> {
+        let mut columns = vec!["IAT [ms]".to_string()];
+        columns.extend(self.curves.iter().map(|c| c.function.clone()));
+        let mut ds = Dataset {
+            name: "fig01.normalized_cpi".to_string(),
+            columns,
+            rows: Vec::new(),
+        };
+        if let Some(first) = self.curves.first() {
+            for (i, &(iat, _)) in first.points.iter().enumerate() {
+                let mut row: Vec<Value> = vec![iat.into()];
+                for c in &self.curves {
+                    row.push(c.points[i].1.into());
+                }
+                ds.push_row(row);
+            }
+        }
+        vec![ds]
     }
 }
 

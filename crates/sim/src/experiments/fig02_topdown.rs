@@ -14,6 +14,7 @@ use crate::config::SystemConfig;
 use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::mean;
 use luke_common::table::TextTable;
+use luke_obs::{Dataset, Export};
 use sim_cpu::TopDown;
 use std::fmt;
 use workloads::paper_suite;
@@ -203,6 +204,59 @@ impl fmt::Display for Data {
             self.render_fig3(),
             self.render_fig4()
         )
+    }
+}
+
+impl Export for Data {
+    fn datasets(&self) -> Vec<Dataset> {
+        let mut fig2 = Dataset::new(
+            "fig02.topdown",
+            &[
+                "function", "config", "CPI", "retiring", "frontend", "bad_spec", "backend",
+            ],
+        );
+        let mut fig3 = Dataset::new(
+            "fig03.frontend",
+            &[
+                "function",
+                "ref_fetch_lat",
+                "ref_fetch_bw",
+                "int_fetch_lat",
+                "int_fetch_bw",
+                "norm_total",
+            ],
+        );
+        for row in &self.rows {
+            for (label, td) in [("ref", &row.reference), ("interleaved", &row.interleaved)] {
+                fig2.push_row(vec![
+                    row.function.clone().into(),
+                    label.into(),
+                    td.total().into(),
+                    td.retiring.into(),
+                    td.frontend().into(),
+                    td.bad_speculation.into(),
+                    td.backend.into(),
+                ]);
+            }
+            let base = row.reference.frontend().max(f64::MIN_POSITIVE);
+            fig3.push_row(vec![
+                row.function.clone().into(),
+                row.reference.fetch_latency.into(),
+                row.reference.fetch_bandwidth.into(),
+                row.interleaved.fetch_latency.into(),
+                row.interleaved.fetch_bandwidth.into(),
+                (row.interleaved.frontend() / base).into(),
+            ]);
+        }
+        let mut fig4 = Dataset::new(
+            "fig04.means",
+            &["mean_cpi_increase", "mean_fetch_latency_share"],
+        );
+        fig4.push_row(vec![
+            self.mean_cpi_increase().into(),
+            self.mean_fetch_latency_share().into(),
+        ]);
+        vec![fig2, fig3, fig4]
     }
 }
 

@@ -143,6 +143,47 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut mpki = luke_obs::Dataset::new(
+            "fig05.mpki",
+            &[
+                "function", "config", "L2 instr", "L2 data", "L3 instr", "L3 data",
+            ],
+        );
+        for row in &self.rows {
+            for (label, m) in [("ref", &row.reference), ("interleaved", &row.interleaved)] {
+                mpki.push_row(vec![
+                    row.function.clone().into(),
+                    label.into(),
+                    m.l2_instr.into(),
+                    m.l2_data.into(),
+                    m.llc_instr.into(),
+                    m.llc_data.into(),
+                ]);
+            }
+        }
+        let (l2_ref, l2_int) = self.mean_l2_total();
+        let (l3_ref, l3_int) = self.mean_llc_instr();
+        let mut means = luke_obs::Dataset::new(
+            "fig05.means",
+            &[
+                "mean L2 ref",
+                "mean L2 interleaved",
+                "mean LLC instr ref",
+                "mean LLC instr interleaved",
+            ],
+        );
+        means.push_row(vec![
+            l2_ref.into(),
+            l2_int.into(),
+            l3_ref.into(),
+            l3_int.into(),
+        ]);
+        vec![mpki, means]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,6 +94,43 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut footprints = luke_obs::Dataset::new(
+            "fig06.footprints",
+            &[
+                "function",
+                "mean footprint",
+                "min",
+                "max",
+                "jaccard mean",
+                "jaccard min",
+            ],
+        );
+        for row in &self.rows {
+            let (lo, hi) = row.study.range_bytes();
+            footprints.push_row(vec![
+                row.function.clone().into(),
+                (row.study.mean_bytes() as u64).into(),
+                lo.into(),
+                hi.into(),
+                row.study.jaccard_mean.into(),
+                row.study.jaccard_min.into(),
+            ]);
+        }
+        let mut summary = luke_obs::Dataset::new(
+            "fig06.summary",
+            &["invocations", "functions", "functions with commonality >= 0.9"],
+        );
+        summary.push_row(vec![
+            self.invocations.into(),
+            (self.rows.len() as u64).into(),
+            (self.functions_above_09() as u64).into(),
+        ]);
+        vec![footprints, summary]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -118,6 +118,24 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut columns = vec!["function".to_string()];
+        columns.extend(REGION_SIZES.iter().map(|r| format!("{r}B")));
+        let mut ds = luke_obs::Dataset {
+            name: "fig08.metadata_bytes".to_string(),
+            columns,
+            rows: Vec::new(),
+        };
+        for row in &self.rows {
+            let mut cells: Vec<luke_obs::Value> = vec![row.function.clone().into()];
+            cells.extend(row.sizes.iter().map(|&(_, bytes)| bytes.into()));
+            ds.push_row(cells);
+        }
+        vec![ds]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

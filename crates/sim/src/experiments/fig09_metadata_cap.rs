@@ -96,7 +96,7 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
         .iter()
         .enumerate()
         .map(|(i, &kb)| {
-            let values: Vec<f64> = all.iter().map(|s| s[i].1.max(0.01)).collect();
+            let values: Vec<f64> = all.iter().map(|s| s[i].1).collect();
             (kb, geomean(&values))
         })
         .collect();
@@ -124,6 +124,24 @@ impl fmt::Display for Data {
             t.row(&cells);
         }
         write!(f, "{t}")
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut columns = vec!["function".to_string()];
+        columns.extend(CAPACITIES_KB.iter().map(|kb| format!("{kb}KB")));
+        let mut ds = luke_obs::Dataset {
+            name: "fig09.speedup_vs_capacity".to_string(),
+            columns,
+            rows: Vec::new(),
+        };
+        for row in &self.rows {
+            let mut cells: Vec<luke_obs::Value> = vec![row.function.clone().into()];
+            cells.extend(row.speedups.iter().map(|&(_, s)| s.into()));
+            ds.push_row(cells);
+        }
+        vec![ds]
     }
 }
 

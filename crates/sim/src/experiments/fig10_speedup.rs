@@ -82,7 +82,7 @@ impl Data {
             &self
                 .rows
                 .iter()
-                .map(|r| r.jukebox.max(0.01))
+                .map(|r| r.jukebox)
                 .collect::<Vec<_>>(),
         )
     }
@@ -94,7 +94,7 @@ impl Data {
             &self
                 .rows
                 .iter()
-                .map(|r| r.perfect.max(0.01))
+                .map(|r| r.perfect)
                 .collect::<Vec<_>>(),
         )
     }
@@ -120,6 +120,28 @@ impl fmt::Display for Data {
             format!("{:+.1}%", (self.perfect_geomean() - 1.0) * 100.0),
         ]);
         write!(f, "{t}")
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut ds = luke_obs::Dataset::new(
+            "fig10.speedup",
+            &["function", "jukebox", "perfect I-cache"],
+        );
+        for row in &self.rows {
+            ds.push_row(vec![
+                row.function.clone().into(),
+                row.jukebox.into(),
+                row.perfect.into(),
+            ]);
+        }
+        ds.push_row(vec![
+            "GEOMEAN".into(),
+            self.jukebox_geomean().into(),
+            self.perfect_geomean().into(),
+        ]);
+        vec![ds]
     }
 }
 

@@ -133,6 +133,32 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut coverage = luke_obs::Dataset::new(
+            "fig11.coverage",
+            &["function", "covered", "uncovered", "overpredicted"],
+        );
+        for row in &self.rows {
+            coverage.push_row(vec![
+                row.function.clone().into(),
+                row.covered.into(),
+                row.uncovered.into(),
+                row.overpredicted.into(),
+            ]);
+        }
+        let mut means = luke_obs::Dataset::new(
+            "fig11.means",
+            &["mean coverage", "mean overprediction"],
+        );
+        means.push_row(vec![
+            self.mean_coverage().into(),
+            self.mean_overprediction().into(),
+        ]);
+        vec![coverage, means]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -128,6 +128,36 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut overhead = luke_obs::Dataset::new(
+            "fig12.bandwidth_overhead",
+            &[
+                "function",
+                "overpredicted",
+                "metadata record",
+                "metadata replay",
+                "total",
+            ],
+        );
+        for row in &self.rows {
+            overhead.push_row(vec![
+                row.function.clone().into(),
+                row.overpredicted.into(),
+                row.metadata_record.into(),
+                row.metadata_replay.into(),
+                row.total().into(),
+            ]);
+        }
+        let mut means = luke_obs::Dataset::new(
+            "fig12.means",
+            &["mean overhead", "max overhead"],
+        );
+        means.push_row(vec![self.mean_overhead().into(), self.max_overhead().into()]);
+        vec![overhead, means]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

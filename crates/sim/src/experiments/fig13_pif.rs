@@ -79,7 +79,7 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
         }
         all.push(row);
     }
-    let geo = |f: fn(&Row) -> f64| geomean(&all.iter().map(|r| f(r).max(0.01)).collect::<Vec<_>>());
+    let geo = |f: fn(&Row) -> f64| geomean(&all.iter().map(f).collect::<Vec<_>>());
     rows.push(Row {
         function: "GEOMEAN".to_string(),
         pif: geo(|r| r.pif),
@@ -112,6 +112,25 @@ impl fmt::Display for Data {
             ]);
         }
         write!(f, "{t}")
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut ds = luke_obs::Dataset::new(
+            "fig13.pif_vs_jukebox",
+            &["function", "PIF", "PIF-ideal", "JB", "JB+PIF-ideal"],
+        );
+        for row in &self.rows {
+            ds.push_row(vec![
+                row.function.clone().into(),
+                row.pif.into(),
+                row.pif_ideal.into(),
+                row.jukebox.into(),
+                row.jukebox_pif_ideal.into(),
+            ]);
+        }
+        vec![ds]
     }
 }
 

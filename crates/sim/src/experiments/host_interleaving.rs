@@ -133,7 +133,7 @@ impl Data {
             &self
                 .rows
                 .iter()
-                .map(|r| r.jukebox_speedup().max(0.01))
+                .map(|r| r.jukebox_speedup())
                 .collect::<Vec<_>>(),
         )
     }
@@ -171,6 +171,41 @@ impl fmt::Display for Data {
             self.flush_model_fidelity(),
             (self.jukebox_geomean() - 1.0) * 100.0
         )
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut cpi = luke_obs::Dataset::new(
+            "host_interleaving.cpi",
+            &[
+                "function",
+                "solo CPI",
+                "flush-model CPI",
+                "co-run CPI",
+                "co-run+JB CPI",
+                "JB speedup",
+            ],
+        );
+        for r in &self.rows {
+            cpi.push_row(vec![
+                r.function.clone().into(),
+                r.solo_cpi.into(),
+                r.flush_cpi.into(),
+                r.corun_cpi.into(),
+                r.corun_jukebox_cpi.into(),
+                r.jukebox_speedup().into(),
+            ]);
+        }
+        let mut summary = luke_obs::Dataset::new(
+            "host_interleaving.summary",
+            &["flush-model fidelity", "jukebox geomean"],
+        );
+        summary.push_row(vec![
+            self.flush_model_fidelity().into(),
+            self.jukebox_geomean().into(),
+        ]);
+        vec![cpi, summary]
     }
 }
 

@@ -163,6 +163,39 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut sweep = luke_obs::Dataset::new(
+            "keep_alive.sweep",
+            &[
+                "keep-alive",
+                "warm-hit rate",
+                "warm functions",
+                "mean warm instances",
+                "sub-second gaps",
+            ],
+        );
+        for r in &self.rows {
+            sweep.push_row(vec![
+                r.keep_alive_min.into(),
+                r.warm_hit_rate.into(),
+                r.warm_function_fraction.into(),
+                r.mean_warm_instances.into(),
+                r.subsecond_gap_rate.into(),
+            ]);
+        }
+        let mut population = luke_obs::Dataset::new(
+            "keep_alive.population",
+            &["functions", "invocations"],
+        );
+        population.push_row(vec![
+            (self.functions as u64).into(),
+            (self.invocations as u64).into(),
+        ]);
+        vec![sweep, population]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,6 +116,31 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut ds = luke_obs::Dataset::new(
+            "related_work.comparison",
+            &[
+                "function",
+                "prefetcher",
+                "speedup",
+                "metadata/invocation",
+                "DRAM bytes vs baseline",
+            ],
+        );
+        for r in &self.rows {
+            ds.push_row(vec![
+                self.function.clone().into(),
+                r.prefetcher.into(),
+                r.speedup.into(),
+                r.metadata_bytes_per_invocation.into(),
+                r.bandwidth_ratio.into(),
+            ]);
+        }
+        vec![ds]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

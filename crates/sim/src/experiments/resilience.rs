@@ -247,6 +247,63 @@ impl fmt::Display for Data {
     }
 }
 
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut sweep = luke_obs::Dataset::new(
+            "resilience.sweep",
+            &[
+                "workflow",
+                "rate",
+                "config",
+                "P50 ms",
+                "P99 ms",
+                "SLO %",
+                "faults",
+                "retries",
+                "abandoned",
+                "crashes",
+                "timeouts",
+                "cold start failures",
+                "evictions",
+                "completed",
+            ],
+        );
+        let mut replay = luke_obs::Dataset::new(
+            "resilience.replay_telemetry",
+            &["workflow", "requests", "replay aborts", "dropped prefetches"],
+        );
+        for w in &self.workflows {
+            for p in &w.points {
+                for m in &p.modes {
+                    sweep.push_row(vec![
+                        w.workflow.clone().into(),
+                        p.rate.into(),
+                        m.mode.into(),
+                        m.p50_ms.into(),
+                        m.p99_ms.into(),
+                        (m.slo_attainment * 100.0).into(),
+                        m.faults.total_faults().into(),
+                        m.faults.retries.into(),
+                        m.faults.abandoned.into(),
+                        m.faults.crashes.into(),
+                        m.faults.timeouts.into(),
+                        m.faults.cold_start_failures.into(),
+                        m.faults.evictions.into(),
+                        m.faults.completed.into(),
+                    ]);
+                }
+            }
+            replay.push_row(vec![
+                w.workflow.clone().into(),
+                w.requests.into(),
+                w.latency.replay_aborts.into(),
+                w.latency.dropped_prefetches.into(),
+            ]);
+        }
+        vec![sweep, replay]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,7 +61,7 @@ fn measure_platform(config: &SystemConfig, params: &ExperimentParams) -> Platfor
         base_llc += baseline.llc_instr_mpki();
         jb_l2 += jukebox.l2_instr_mpki();
         jb_llc += jukebox.llc_instr_mpki();
-        speedups.push(jukebox.speedup_over(&baseline).max(0.01));
+        speedups.push(jukebox.speedup_over(&baseline));
     }
     PlatformResult {
         l2_instr_delta: jb_l2 / base_l2.max(f64::MIN_POSITIVE) - 1.0,
@@ -94,6 +94,24 @@ impl fmt::Display for Data {
             ]);
         }
         write!(f, "{t}")
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut ds = luke_obs::Dataset::new(
+            "table3.platforms",
+            &["platform", "L2 instr misses", "LLC instr misses", "speedup"],
+        );
+        for (name, r) in [("Skylake", &self.skylake), ("Broadwell", &self.broadwell)] {
+            ds.push_row(vec![
+                name.into(),
+                r.l2_instr_delta.into(),
+                r.llc_instr_delta.into(),
+                r.speedup_geomean.into(),
+            ]);
+        }
+        vec![ds]
     }
 }
 

@@ -11,7 +11,7 @@
 //! lukewarm+Jukebox execution.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::runner::{run, run_observed, ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::table::TextTable;
 use std::fmt;
 use workloads::workflow::Workflow;
@@ -36,6 +36,12 @@ pub struct WorkflowResult {
     pub workflow: String,
     /// Per-stage latencies.
     pub stages: Vec<StageLatency>,
+    /// Replay validation aborts observed across the Jukebox stage
+    /// measurements (corrupt metadata degrades Jukebox to record-only).
+    pub replay_aborts: u64,
+    /// Prefetches dropped by replay validation across the Jukebox stage
+    /// measurements.
+    pub dropped_prefetches: u64,
 }
 
 impl WorkflowResult {
@@ -81,6 +87,8 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
 pub fn run_workflow(workflow: &Workflow, params: &ExperimentParams) -> WorkflowResult {
     let config = SystemConfig::skylake();
     let cycles_to_us = 1.0 / (config.core.freq_ghz * 1000.0);
+    let mut replay_aborts = 0u64;
+    let mut dropped_prefetches = 0u64;
     let stages = workflow
         .scaled(params.scale)
         .stages
@@ -90,17 +98,34 @@ pub fn run_workflow(workflow: &Workflow, params: &ExperimentParams) -> WorkflowR
                 let s = run(&config, profile, kind, spec, params);
                 s.cycles as f64 / s.invocations.max(1) as f64 * cycles_to_us
             };
+            // The Jukebox configuration runs observed (event tracing off)
+            // so its replay-validation telemetry lands in the result; the
+            // observed summary is identical to a plain run's.
+            let obs = run_observed(
+                &config,
+                profile,
+                PrefetcherKind::Jukebox(config.jukebox),
+                RunSpec::lukewarm(),
+                params,
+                0,
+            );
+            replay_aborts += obs.registry.counter("replay.aborts");
+            dropped_prefetches += obs.registry.counter("replay.dropped_prefetches");
             StageLatency {
                 function: profile.name.clone(),
                 warm_us: mean_us(PrefetcherKind::None, RunSpec::reference()),
                 lukewarm_us: mean_us(PrefetcherKind::None, RunSpec::lukewarm()),
-                jukebox_us: mean_us(PrefetcherKind::Jukebox(config.jukebox), RunSpec::lukewarm()),
+                jukebox_us: obs.summary.cycles as f64
+                    / obs.summary.invocations.max(1) as f64
+                    * cycles_to_us,
             }
         })
         .collect();
     WorkflowResult {
         workflow: workflow.name.clone(),
         stages,
+        replay_aborts,
+        dropped_prefetches,
     }
 }
 
@@ -132,6 +157,56 @@ impl fmt::Display for Data {
             )?;
         }
         Ok(())
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut stages = luke_obs::Dataset::new(
+            "workflow_slo.stages",
+            &["workflow", "stage", "warm", "lukewarm", "lukewarm+JB"],
+        );
+        let mut summary = luke_obs::Dataset::new(
+            "workflow_slo.summary",
+            &[
+                "workflow",
+                "warm end-to-end us",
+                "lukewarm end-to-end us",
+                "jukebox end-to-end us",
+                "recovered fraction",
+                "replay aborts",
+                "dropped prefetches",
+            ],
+        );
+        for w in &self.workflows {
+            for s in &w.stages {
+                stages.push_row(vec![
+                    w.workflow.clone().into(),
+                    s.function.clone().into(),
+                    s.warm_us.into(),
+                    s.lukewarm_us.into(),
+                    s.jukebox_us.into(),
+                ]);
+            }
+            let (warm, lukewarm, jukebox) = w.end_to_end_us();
+            stages.push_row(vec![
+                w.workflow.clone().into(),
+                "END-TO-END".into(),
+                warm.into(),
+                lukewarm.into(),
+                jukebox.into(),
+            ]);
+            summary.push_row(vec![
+                w.workflow.clone().into(),
+                warm.into(),
+                lukewarm.into(),
+                jukebox.into(),
+                w.recovered_fraction().into(),
+                w.replay_aborts.into(),
+                w.dropped_prefetches.into(),
+            ]);
+        }
+        vec![stages, summary]
     }
 }
 

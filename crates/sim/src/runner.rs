@@ -267,9 +267,23 @@ impl RunSummary {
 
     /// Speedup of this run over `baseline` (cycles-per-work ratio;
     /// instruction counts can differ slightly across measured invocation
-    /// sets, so compare CPI).
+    /// sets, so compare CPI), or `None` when either run retired nothing
+    /// (a zero-cycle baseline would otherwise yield a silent `inf`/NaN).
+    pub fn try_speedup_over(&self, baseline: &RunSummary) -> Option<f64> {
+        if self.cpi() == 0.0 || baseline.cpi() == 0.0 {
+            None
+        } else {
+            Some(baseline.cpi() / self.cpi())
+        }
+    }
+
+    /// Like [`RunSummary::try_speedup_over`], but degrades to NaN on a
+    /// degenerate run. NaN propagates into [`luke_common::stats::geomean`],
+    /// which filters it out, so one dead sample cannot abort a sweep;
+    /// [`run_observed`] additionally surfaces it as the
+    /// `run.invalid_samples` counter.
     pub fn speedup_over(&self, baseline: &RunSummary) -> f64 {
-        baseline.cpi() / self.cpi()
+        self.try_speedup_over(baseline).unwrap_or(f64::NAN)
     }
 
     /// Total DRAM bytes moved (all categories).
@@ -360,6 +374,94 @@ pub fn run(
         summary.add(&m);
     }
     summary
+}
+
+/// Result of an observed run: the usual summary plus the full metrics
+/// snapshot and (when a trace capacity was given) the last measured
+/// invocation's lifecycle events.
+#[derive(Clone, Debug)]
+pub struct ObsRun {
+    /// The aggregate the plain [`run`] would have produced.
+    pub summary: RunSummary,
+    /// Deterministic metrics snapshot covering the measured invocations.
+    pub registry: luke_obs::Snapshot,
+    /// Lifecycle events of the last measured invocation (empty when
+    /// `trace_capacity` was 0).
+    pub events: Vec<luke_obs::Event>,
+}
+
+/// The measurement protocol of [`run`] with observability enabled: the
+/// per-invocation counters flow into a metrics registry, run-level gauges
+/// (CPI, MPKIs) and the prefetcher's internal telemetry are added at the
+/// end, and `trace_capacity > 0` additionally captures the last measured
+/// invocation's lifecycle event trace.
+pub fn run_observed(
+    config: &SystemConfig,
+    profile: &FunctionProfile,
+    prefetcher: PrefetcherKind,
+    spec: RunSpec,
+    params: &ExperimentParams,
+    trace_capacity: usize,
+) -> ObsRun {
+    let mut sim = SystemSim::new(*config, profile);
+    if prefetcher == PrefetcherKind::PerfectICache {
+        sim.set_perfect_icache(true);
+    }
+    let mut pf = prefetcher.build_bounded(Some(sim.function().layout().address_span()));
+    sim.enable_obs();
+    sim.set_event_capacity(trace_capacity);
+
+    let apply_state = |sim: &mut SystemSim| match spec.state {
+        CacheState::Reference => {}
+        CacheState::Lukewarm => sim.flush_microarch(),
+        CacheState::Decayed {
+            l2,
+            llc,
+            flush_core,
+        } => sim.decay(l2, llc, flush_core),
+        CacheState::Stressed {
+            code_lines,
+            data_lines,
+        } => sim.run_stressor(code_lines, data_lines),
+    };
+
+    // Warm-up runs are not measured: drop their counters and events.
+    for _ in 0..params.warmup {
+        apply_state(&mut sim);
+        sim.run_invocation(pf.as_mut());
+    }
+    sim.registry_mut().clear();
+    sim.take_events();
+
+    let mut summary = RunSummary::default();
+    for _ in 0..params.invocations {
+        apply_state(&mut sim);
+        // Keep only the last measured invocation's trace: a single
+        // invocation is what the timeline exporter visualizes.
+        sim.take_events();
+        let m = sim.run_invocation(pf.as_mut());
+        summary.add(&m);
+    }
+    let events = sim.take_events();
+
+    pf.fill_registry(sim.registry_mut());
+    let reg = sim.registry_mut();
+    if summary.cpi() == 0.0 {
+        reg.counter_inc("run.invalid_samples");
+    } else {
+        reg.counter_add("run.invalid_samples", 0);
+    }
+    reg.gauge_set("run.cpi", summary.cpi());
+    reg.gauge_set("run.l2_instr_mpki", summary.l2_instr_mpki());
+    reg.gauge_set("run.l2_data_mpki", summary.l2_data_mpki());
+    reg.gauge_set("run.llc_instr_mpki", summary.llc_instr_mpki());
+    reg.gauge_set("run.llc_data_mpki", summary.llc_data_mpki());
+
+    ObsRun {
+        summary,
+        registry: sim.registry().snapshot(),
+        events,
+    }
 }
 
 #[cfg(test)]
@@ -456,6 +558,94 @@ mod tests {
         ];
         let labels: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn speedup_over_guards_zero_cycle_baseline() {
+        let empty = RunSummary::default();
+        let real = RunSummary {
+            invocations: 1,
+            cycles: 100,
+            instructions: 50,
+            ..RunSummary::default()
+        };
+        assert_eq!(real.try_speedup_over(&empty), None);
+        assert!(real.speedup_over(&empty).is_nan());
+        assert_eq!(empty.try_speedup_over(&real), None);
+        assert!(empty.speedup_over(&real).is_nan());
+        let s = real.try_speedup_over(&real).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_fills_registry() {
+        let params = ExperimentParams::quick();
+        let p = quick_profile("Auth-G", &params);
+        let cfg = SystemConfig::skylake();
+        let plain = run(
+            &cfg,
+            &p,
+            PrefetcherKind::Jukebox(cfg.jukebox),
+            RunSpec::lukewarm(),
+            &params,
+        );
+        let observed = run_observed(
+            &cfg,
+            &p,
+            PrefetcherKind::Jukebox(cfg.jukebox),
+            RunSpec::lukewarm(),
+            &params,
+            4096,
+        );
+        // Observability must not perturb the simulation itself.
+        assert_eq!(plain, observed.summary);
+        let reg = &observed.registry;
+        assert_eq!(reg.counter("run.invocations"), params.invocations);
+        assert_eq!(reg.counter("core.instructions"), plain.instructions);
+        assert_eq!(
+            reg.counter("mem.l2.instr.misses"),
+            plain.mem.l2.instr.misses
+        );
+        assert_eq!(reg.counter("prefetch.issued"), plain.prefetch.issued);
+        assert_eq!(reg.counter("run.invalid_samples"), 0);
+        assert!(reg.gauge("run.cpi").unwrap() > 0.0);
+        assert_eq!(
+            reg.hist("invocation.cycles").unwrap().count(),
+            params.invocations
+        );
+        // Jukebox contributes its replay telemetry.
+        assert!(reg.counter("replay.entries") > 0);
+        if cfg!(feature = "obs_disabled") {
+            assert!(observed.events.is_empty());
+        } else {
+            use luke_obs::EventKind;
+            assert!(observed
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::Dispatch));
+            assert!(observed.events.iter().any(|e| e.kind == EventKind::Retire));
+        }
+    }
+
+    #[test]
+    fn observed_run_is_deterministic() {
+        let params = ExperimentParams::quick();
+        let p = quick_profile("Fib-G", &params);
+        let cfg = SystemConfig::skylake();
+        let go = || {
+            run_observed(
+                &cfg,
+                &p,
+                PrefetcherKind::None,
+                RunSpec::lukewarm(),
+                &params,
+                0,
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.registry.to_json(), b.registry.to_json());
+        assert!(a.events.is_empty(), "capacity 0 traces nothing");
     }
 
     #[test]

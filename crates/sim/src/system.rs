@@ -1,6 +1,7 @@
 //! One simulated system: core + memory + page table + function instance.
 
 use crate::config::SystemConfig;
+use luke_obs::{Event, Registry};
 use sim_cpu::{Core, InvocationResult};
 use sim_mem::hierarchy::HierarchySnapshot;
 use sim_mem::prefetch::{InstructionPrefetcher, NoPrefetcher};
@@ -30,6 +31,8 @@ pub struct SystemSim {
     function: SyntheticFunction,
     next_invocation: u64,
     stressor_runs: u64,
+    registry: Registry,
+    obs_enabled: bool,
 }
 
 impl SystemSim {
@@ -44,7 +47,39 @@ impl SystemSim {
             function: SyntheticFunction::build(profile),
             next_invocation: 0,
             stressor_runs: 0,
+            registry: Registry::new(),
+            obs_enabled: false,
         }
+    }
+
+    /// Enables per-invocation metrics collection into the registry.
+    /// Disabled by default so the plain measurement path carries no
+    /// observability cost.
+    pub fn enable_obs(&mut self) {
+        self.obs_enabled = true;
+    }
+
+    /// The metrics registry (empty unless [`SystemSim::enable_obs`] was
+    /// called).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access, for callers contributing their own
+    /// metrics (prefetcher telemetry, run-level gauges).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Enables core lifecycle event tracing with the given ring capacity
+    /// (0 disables; see [`Core::set_event_capacity`]).
+    pub fn set_event_capacity(&mut self, capacity: usize) {
+        self.core.set_event_capacity(capacity);
+    }
+
+    /// Drains the core's traced lifecycle events, oldest first.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.core.take_events()
     }
 
     /// The platform configuration.
@@ -111,10 +146,26 @@ impl SystemSim {
         let result =
             self.core
                 .run_invocation(trace, &mut self.mem, &mut self.page_table, prefetcher);
-        InvocationMetrics {
+        let metrics = InvocationMetrics {
             result,
             mem: self.mem.snapshot().delta(&before),
+        };
+        if self.obs_enabled {
+            self.registry.counter_inc("run.invocations");
+            self.registry
+                .hist_record("invocation.cycles", result.cycles);
+            metrics.mem.add_to_registry(&mut self.registry);
+            result.stats.add_to_registry(&mut self.registry);
+            self.registry
+                .counter_add("prefetch.issued", result.prefetch.issued);
+            self.registry
+                .counter_add("prefetch.redundant", result.prefetch.redundant);
+            self.registry
+                .counter_add("prefetch.metadata_written", result.prefetch.metadata_written);
+            self.registry
+                .counter_add("prefetch.metadata_read", result.prefetch.metadata_read);
         }
+        metrics
     }
 
     /// Number of invocations run so far.

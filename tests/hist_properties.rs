@@ -1,0 +1,93 @@
+//! Property-based tests for the observability histogram: bucket-boundary
+//! geometry, percentile ordering, and summary-statistic consistency.
+
+use luke_obs::hist::{bucket_bounds, bucket_index, Histogram, BUCKETS, LINEAR_CUTOFF};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Bucket geometry ---
+
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKETS, "index {idx} for value {v}");
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v, "value {v} below bucket [{lo}, {hi})");
+        // The top sub-bucket saturates at u64::MAX and is inclusive.
+        prop_assert!(v < hi || hi == u64::MAX, "value {v} above bucket [{lo}, {hi})");
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range_without_gaps(i in 0usize..BUCKETS) {
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo < hi, "bucket {i} is empty: [{lo}, {hi})");
+        if i + 1 < BUCKETS {
+            let (next_lo, _) = bucket_bounds(i + 1);
+            prop_assert_eq!(hi, next_lo, "gap or overlap after bucket {}", i);
+        } else {
+            prop_assert_eq!(hi, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn log_buckets_bound_relative_error(v in LINEAR_CUTOFF..(1u64 << 62)) {
+        // Above the linear cutoff each bucket spans one quarter-octave, so
+        // its width never exceeds a quarter of its lower bound (~25%
+        // worst-case relative error for percentile reporting).
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(hi - lo <= lo / 4, "bucket [{lo}, {hi}) wider than lo/4");
+    }
+
+    #[test]
+    fn linear_region_is_exact(v in 0u64..LINEAR_CUTOFF) {
+        prop_assert_eq!(bucket_bounds(bucket_index(v)), (v, v + 1));
+    }
+
+    // --- Histogram invariants ---
+
+    #[test]
+    fn percentiles_stay_within_recorded_range(
+        samples in prop::collection::vec(any::<u64>(), 1..100),
+        p in 0u64..101,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let v = h.percentile(p as f64);
+        prop_assert!(v >= h.min(), "P{p} = {v} below min {}", h.min());
+        prop_assert!(v <= h.max(), "P{p} = {v} above max {}", h.max());
+    }
+
+    #[test]
+    fn percentiles_are_monotone(samples in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert!(h.p50() <= h.p90());
+        prop_assert!(h.p90() <= h.p99());
+        prop_assert!(h.p99() <= h.max());
+    }
+
+    #[test]
+    fn summary_statistics_are_consistent(samples in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), samples.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(h.max(), samples.iter().copied().max().unwrap_or(0));
+        if !samples.is_empty() {
+            let mean = h.sum() as f64 / h.count() as f64;
+            prop_assert!((h.mean() - mean).abs() < 1e-9);
+            // Per-bucket occupancies must sum to the total count.
+            let total: u64 = (0..BUCKETS).map(|i| h.bucket_count(i)).sum();
+            prop_assert_eq!(total, h.count());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Integration tests for the observability layer: snapshot determinism,
+//! machine-readable CLI export round-trips, and Chrome-trace validity.
+
+use luke_obs::json::{parse, JsonValue};
+use lukewarm::prelude::*;
+use lukewarm::sim::runner::run_observed;
+use lukewarm_cli::run_cli;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn quick() -> ExperimentParams {
+    ExperimentParams::quick()
+}
+
+fn observed(trace_capacity: usize) -> lukewarm::sim::runner::ObsRun {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let profile = FunctionProfile::named("Auth-G")
+        .expect("suite function")
+        .scaled(params.scale);
+    run_observed(
+        &config,
+        &profile,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+        trace_capacity,
+    )
+}
+
+// --- Registry snapshot determinism ---
+
+#[test]
+fn identical_runs_export_byte_identical_snapshots() {
+    let a = observed(0);
+    let b = observed(0);
+    assert_eq!(a.registry.to_json(), b.registry.to_json());
+    assert_eq!(a.registry.to_csv(), b.registry.to_csv());
+    assert_eq!(a.registry.to_prometheus(), b.registry.to_prometheus());
+    // A snapshot diffed against itself must be all-zero counters.
+    let delta = a.registry.diff(&b.registry);
+    for name in delta.counter_names() {
+        assert_eq!(delta.counter(name), 0, "{name} changed between runs");
+    }
+}
+
+#[test]
+fn snapshot_json_round_trips_through_the_parser() {
+    let obs = observed(0);
+    let v = parse(&obs.registry.to_json()).expect("snapshot JSON parses");
+    let counters = v.get("counters").expect("counters object");
+    let invocations = counters
+        .get("run.invocations")
+        .and_then(JsonValue::as_f64)
+        .expect("run.invocations counter");
+    assert_eq!(invocations as u64, obs.summary.invocations);
+    // The zero-cycle guard surfaces as a counter even when nothing was
+    // invalid, so exports always carry the column.
+    assert_eq!(
+        counters
+            .get("run.invalid_samples")
+            .and_then(JsonValue::as_f64),
+        Some(0.0)
+    );
+    let cpi = v
+        .get("gauges")
+        .and_then(|g| g.get("run.cpi"))
+        .and_then(JsonValue::as_f64)
+        .expect("run.cpi gauge");
+    assert!((cpi - obs.summary.cpi()).abs() < 1e-9);
+    let hist = v
+        .get("histograms")
+        .and_then(|h| h.get("invocation.cycles"))
+        .expect("invocation.cycles histogram");
+    for field in ["count", "min", "max", "mean", "p50", "p90", "p99"] {
+        assert!(hist.get(field).is_some(), "histogram missing {field}");
+    }
+}
+
+#[test]
+fn observed_summary_matches_the_plain_runner() {
+    let params = quick();
+    let config = SystemConfig::skylake();
+    let profile = FunctionProfile::named("Auth-G")
+        .expect("suite function")
+        .scaled(params.scale);
+    let plain = run(
+        &config,
+        &profile,
+        PrefetcherKind::Jukebox(config.jukebox),
+        RunSpec::lukewarm(),
+        &params,
+    );
+    let obs = observed(0);
+    assert_eq!(obs.summary.cycles, plain.cycles);
+    assert_eq!(obs.summary.instructions, plain.instructions);
+    assert_eq!(
+        obs.registry.counter("core.instructions"),
+        plain.instructions,
+        "registry instruction counter disagrees with the summary"
+    );
+}
+
+// --- Golden CLI `--emit json` round-trip ---
+
+#[test]
+fn figure_emit_json_is_parseable_and_covers_the_table() {
+    let out = run_cli(&argv("figure fig10 --scale 0.02 --invocations 1 --emit json")).unwrap();
+    let v = parse(&out).expect("--emit json output parses");
+    let datasets = v
+        .get("datasets")
+        .and_then(JsonValue::as_arr)
+        .expect("datasets array");
+    let fig10 = datasets
+        .iter()
+        .find(|d| d.get("name").and_then(JsonValue::as_str) == Some("fig10.speedup"))
+        .expect("fig10.speedup dataset");
+    let columns: Vec<&str> = fig10
+        .get("columns")
+        .and_then(JsonValue::as_arr)
+        .expect("columns")
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .collect();
+    assert_eq!(columns, ["function", "jukebox", "perfect I-cache"]);
+    let rows = fig10
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .expect("rows");
+    assert!(!rows.is_empty());
+    for row in rows {
+        let cells = row.as_arr().expect("row array");
+        assert_eq!(cells.len(), columns.len(), "ragged row in export");
+        for cell in &cells[1..] {
+            let speedup = cell.as_f64().expect("numeric speedup");
+            assert!(speedup.is_finite() && speedup > 0.0, "speedup {speedup}");
+        }
+    }
+    let geomean = rows
+        .iter()
+        .any(|r| r.as_arr().unwrap()[0].as_str() == Some("GEOMEAN"));
+    assert!(geomean, "summary GEOMEAN row missing from export");
+}
+
+#[test]
+fn figure_emit_csv_matches_its_column_header() {
+    let out = run_cli(&argv("figure fig10 --scale 0.02 --invocations 1 --emit csv")).unwrap();
+    assert!(out.starts_with("# fig10.speedup\n"), "missing dataset header");
+    let mut lines = out.lines().skip(1);
+    let header = lines.next().expect("column header");
+    let width = header.split(',').count();
+    assert_eq!(width, 3);
+    let mut rows = 0;
+    for line in lines.take_while(|l| !l.is_empty()) {
+        assert_eq!(line.split(',').count(), width, "ragged CSV row: {line}");
+        rows += 1;
+    }
+    assert!(rows >= 2, "expected data rows plus GEOMEAN");
+}
+
+// --- Chrome trace validity ---
+
+#[test]
+fn trace_command_emits_valid_chrome_trace_json() {
+    let out = run_cli(&argv("trace Fib-G --scale 0.05 --invocations 1")).unwrap();
+    let v = parse(&out).expect("trace output parses as JSON");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ns")
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // First event is process-name metadata; every event carries a phase.
+    assert_eq!(events[0].get("ph").and_then(JsonValue::as_str), Some("M"));
+    for e in events {
+        assert!(e.get("ph").is_some(), "event without a phase");
+    }
+    // With instrumentation compiled in, the last invocation's lifecycle
+    // (dispatch through retire) is on the timeline.
+    if events.len() > 1 {
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+            .collect();
+        assert!(names.contains(&"dispatch"), "missing dispatch event");
+        assert!(names.contains(&"retire"), "missing retire event");
+    }
+}
+
+// --- Statistics guards (satellites a and b) ---
+
+#[test]
+fn geomean_tolerates_non_positive_inputs() {
+    use lukewarm::common::stats::geomean;
+    assert_eq!(geomean(&[]), 0.0);
+    assert!(geomean(&[0.0, -1.0]).is_nan());
+    // Non-positive samples are filtered, not propagated.
+    let g = geomean(&[2.0, 0.0, 8.0]);
+    assert!((g - 4.0).abs() < 1e-9, "geomean {g}");
+}
+
+#[test]
+fn invalid_sample_counter_flags_zero_cycle_runs() {
+    let obs = observed(0);
+    assert_eq!(obs.registry.counter("run.invalid_samples"), 0);
+    assert!(obs.summary.try_speedup_over(&obs.summary).is_some());
+    let empty = lukewarm::sim::runner::RunSummary::default();
+    assert!(obs.summary.speedup_over(&empty).is_nan());
+}
