@@ -1,0 +1,159 @@
+//! **Fleet scaling** — the cluster-scale routing-policy sweep (calibrated
+//! against the cycle-accurate runner), followed by a wall-clock scaling
+//! section showing that deterministic host sharding actually buys
+//! parallel speedup: the 64-host sweep's phases are timed separately at
+//! 1/2/4/8 worker threads and the merged telemetry is checked
+//! bit-identical along the way.
+
+use luke_fleet::{run_fleet, FleetConfig, FleetHost, RoutedInvocation, Router, ServiceModel};
+use luke_fleet::Population;
+use luke_obs::Registry;
+use lukewarm_sim::experiments::fleet_scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::paper_suite;
+
+/// Hosts in the thread-scaling section (matches the determinism test's
+/// sweep scale).
+const SCALING_HOSTS: usize = 64;
+/// Invocations per host — large enough that the parallel host-processing
+/// phase is worth measuring.
+const SCALING_INVOCATIONS_PER_HOST: usize = 20_000;
+
+/// Times the three phases of a fleet run separately, sweeping the worker
+/// count over the parallel phase. Returns the report.
+fn thread_scaling_report() -> String {
+    let model = ServiceModel::analytic(&paper_suite()).expect("paper suite is valid");
+    let config = FleetConfig {
+        hosts: SCALING_HOSTS,
+        invocations: SCALING_HOSTS * SCALING_INVOCATIONS_PER_HOST,
+        ..FleetConfig::default()
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    writeln!(
+        out,
+        "thread scaling — {} hosts, {} invocations, policy {}, {} core(s) available",
+        config.hosts, config.invocations, config.policy, cores
+    )
+    .unwrap();
+    if cores == 1 {
+        writeln!(
+            out,
+            "  (single-core machine: expect determinism but no wall-clock speedup)"
+        )
+        .unwrap();
+    }
+
+    // Phase 1 — route (sequential by design: the Amdahl floor).
+    let population = Population::synthesize(&config);
+    let mut generator = population.generator(config.seed).expect("config is valid");
+    let mut router = Router::new(config.policy, config.hosts);
+    let route_start = Instant::now();
+    let mut queues: Vec<Vec<RoutedInvocation>> = vec![Vec::new(); config.hosts];
+    for event in generator.by_ref().take(config.invocations) {
+        let function = event.instance;
+        let expected_ms = model.timing(function % model.functions()).warm_ms;
+        queues[router.route(function, expected_ms)].push(RoutedInvocation {
+            at_ms: event.at_ms,
+            function,
+        });
+    }
+    writeln!(
+        out,
+        "  route (sequential): {:.3}s",
+        route_start.elapsed().as_secs_f64()
+    )
+    .unwrap();
+
+    // Phase 2 — process, swept over worker counts. Each sweep rebuilds the
+    // hosts from scratch; phase 3's merged snapshot must never move.
+    writeln!(out, "  {:>7}  {:>9}  {:>8}", "threads", "process", "speedup").unwrap();
+    let mut reference: Option<(String, f64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut hosts: Vec<FleetHost> = (0..config.hosts)
+            .map(|id| FleetHost::new(&config, id))
+            .collect();
+        let shard_len = config.hosts.div_ceil(threads.min(config.hosts));
+        let process_start = Instant::now();
+        std::thread::scope(|scope| {
+            for (shard, shard_queues) in hosts.chunks_mut(shard_len).zip(queues.chunks(shard_len)) {
+                let model = &model;
+                let config = &config;
+                scope.spawn(move || {
+                    for (host, queue) in shard.iter_mut().zip(shard_queues) {
+                        for &routed in queue {
+                            host.process(config, model, false, routed);
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = process_start.elapsed().as_secs_f64();
+
+        let mut registry = Registry::new();
+        for host in &hosts {
+            host.fill_registry(&mut registry);
+        }
+        let snapshot = registry.snapshot().to_json();
+        let serial = match &reference {
+            None => {
+                reference = Some((snapshot, elapsed));
+                elapsed
+            }
+            Some((baseline, serial)) => {
+                assert_eq!(
+                    &snapshot, baseline,
+                    "{threads}-thread telemetry diverged from 1-thread"
+                );
+                *serial
+            }
+        };
+        writeln!(
+            out,
+            "  {:>7}  {:>8.3}s  {:>7.2}x",
+            threads,
+            elapsed,
+            serial / elapsed
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  (merged telemetry verified bit-identical across thread counts)"
+    )
+    .unwrap();
+
+    // End-to-end sanity: the monolithic entry point at 1 and 4 threads.
+    for threads in [1usize, 4] {
+        let start = Instant::now();
+        let run = run_fleet(
+            &FleetConfig {
+                threads,
+                ..config.clone()
+            },
+            &model,
+            false,
+        )
+        .expect("config is valid");
+        writeln!(
+            out,
+            "  end-to-end run_fleet, {} thread(s): {:.3}s ({} invocations)",
+            threads,
+            start.elapsed().as_secs_f64(),
+            run.invocations
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn main() {
+    luke_bench::harness("Fleet scaling", |params| {
+        let mut out = fleet_scale::run_experiment(params).to_string();
+        out.push('\n');
+        out.push_str(&thread_scaling_report());
+        out
+    });
+}

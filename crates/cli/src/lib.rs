@@ -89,6 +89,20 @@ pub enum Command {
         /// Output file for the Chrome trace (stdout if absent).
         out: Option<String>,
     },
+    /// `lukewarm fleet [--hosts N] [--threads T] [--policy P] ...`
+    Fleet {
+        /// Fleet size.
+        hosts: usize,
+        /// Worker threads the host shards run on. Results-neutral: the
+        /// output is bit-identical for any value (CI diffs 1 vs 4).
+        threads: usize,
+        /// Routing policy label.
+        policy: String,
+        /// Total invocations (defaults to 1000 per host).
+        invocations: Option<usize>,
+        /// Output format.
+        emit: Emit,
+    },
     /// `lukewarm help` or empty invocation.
     Help,
 }
@@ -296,6 +310,50 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 prefetcher,
                 state,
                 out,
+            })
+        }
+        "fleet" => {
+            let mut hosts = 8usize;
+            let mut threads = 1usize;
+            let mut policy = "keep-alive-aware".to_string();
+            let mut invocations = None;
+            let mut emit = Emit::Table;
+            let mut it = rest.iter();
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("option {key} needs a value")))?;
+                match key.as_str() {
+                    "--hosts" => {
+                        hosts = value
+                            .parse()
+                            .map_err(|_| CliError::usage(format!("bad --hosts {value:?}")))?;
+                    }
+                    "--threads" => {
+                        threads = value
+                            .parse()
+                            .map_err(|_| CliError::usage(format!("bad --threads {value:?}")))?;
+                    }
+                    "--policy" => policy = value.to_string(),
+                    "--invocations" => {
+                        invocations = Some(value.parse().map_err(|_| {
+                            CliError::usage(format!("bad --invocations {value:?}"))
+                        })?);
+                    }
+                    "--emit" => emit = parse_emit(value)?,
+                    other => {
+                        return Err(CliError::usage(format!("unknown option {other}")));
+                    }
+                }
+            }
+            // Validate eagerly so a typo'd policy fails before any work.
+            luke_fleet::RoutingPolicy::parse(&policy)?;
+            Ok(Command::Fleet {
+                hosts,
+                threads,
+                policy,
+                invocations,
+                emit,
             })
         }
         other => Err(CliError::usage(format!(
@@ -628,14 +686,15 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 "ablations" => render(&exp::ablations::run_experiment(&params), emit),
                 "related-work" => render(&exp::related_work::run_experiment(&params), emit),
                 "workflows" => render(&exp::workflow_slo::run_experiment(&params), emit),
-                "host" => render(&exp::host_interleaving::run_experiment(&params), emit),
+                "host" => render(&exp::host_interleaving::try_run_experiment(&params)?, emit),
                 "keep-alive" => render(&exp::keep_alive::run_experiment(&params), emit),
                 "resilience" => render(&exp::resilience::run_experiment(&params), emit),
+                "fleet" => render(&exp::fleet_scale::try_run_experiment(&params)?, emit),
                 other => {
                     return Err(CliError::usage(format!(
                         "unknown figure {other:?}; one of: table1 fig01 fig02 fig05 fig06 \
                          fig08 fig09 fig10 fig11 fig12 fig13 table3 ablations related-work \
-                         workflows host keep-alive resilience"
+                         workflows host keep-alive resilience fleet"
                     )))
                 }
             };
@@ -661,6 +720,27 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 workflows: vec![result],
             };
             Ok(render(&data, options.emit))
+        }
+        Command::Fleet {
+            hosts,
+            threads,
+            policy,
+            invocations,
+            emit,
+        } => {
+            let policy = luke_fleet::RoutingPolicy::parse(policy)?;
+            let config = luke_fleet::FleetConfig {
+                hosts: *hosts,
+                threads: *threads,
+                invocations: invocations.unwrap_or(hosts * 1000),
+                policy,
+                ..luke_fleet::FleetConfig::default()
+            };
+            // The CLI uses the closed-form service model; the calibrated
+            // (cycle-accurate) variant runs via `figure fleet`.
+            let model = luke_fleet::ServiceModel::analytic(&paper_suite())?;
+            let pair = luke_fleet::run_fleet_pair(&config, &model)?;
+            Ok(render(&pair, *emit))
         }
         Command::Trace {
             function,
@@ -727,8 +807,10 @@ fn help_text() -> String {
      \x20 lukewarm compare FUNCTION [--scale S] [--invocations N] [--platform P]\n\
      \x20 lukewarm figure NAME [--scale S] [--invocations N]\n\
      \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\
-     \x20 lukewarm trace FUNCTION [--prefetcher K] [--state ST] [--out FILE]\n\n\
-     All run/compare/figure/workflow/trace commands accept --emit table|json|csv\n\
+     \x20 lukewarm trace FUNCTION [--prefetcher K] [--state ST] [--out FILE]\n\
+     \x20 lukewarm fleet [--hosts N] [--threads T] [--policy rr|ll|kaa]\n\
+     \x20                [--invocations N]\n\n\
+     All run/compare/figure/workflow/trace/fleet commands accept --emit table|json|csv\n\
      (default table; trace always emits Chrome trace-event JSON).\n\
      See docs/OBSERVABILITY.md for the metric catalogue and export formats.\n\n\
      Run `cargo bench` in the repository for the full paper reproduction.\n"
@@ -845,9 +927,64 @@ mod tests {
     #[test]
     fn help_mentions_all_commands() {
         let h = help_text();
-        for cmd in ["list", "describe", "run", "compare", "figure", "workflow"] {
+        for cmd in ["list", "describe", "run", "compare", "figure", "workflow", "fleet"] {
             assert!(h.contains(cmd), "missing {cmd}");
         }
+    }
+
+    #[test]
+    fn fleet_parses_flags_and_rejects_bad_ones() {
+        let cmd = parse(&argv("fleet --hosts 4 --threads 2 --policy rr --emit json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fleet {
+                hosts: 4,
+                threads: 2,
+                policy: "rr".to_string(),
+                invocations: None,
+                emit: Emit::Json,
+            }
+        );
+        // Defaults.
+        assert_eq!(
+            parse(&argv("fleet")).unwrap(),
+            Command::Fleet {
+                hosts: 8,
+                threads: 1,
+                policy: "keep-alive-aware".to_string(),
+                invocations: None,
+                emit: Emit::Table,
+            }
+        );
+        // Unknown flag and unknown policy are caught at parse time.
+        assert_eq!(parse(&argv("fleet --bogus 3")).unwrap_err().code, 2);
+        assert_eq!(parse(&argv("fleet --policy random")).unwrap_err().code, 3);
+        assert_eq!(parse(&argv("fleet --hosts x")).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn fleet_output_is_identical_across_thread_counts() {
+        let one = run_cli(&argv(
+            "fleet --hosts 4 --threads 1 --invocations 2000 --emit json",
+        ))
+        .unwrap();
+        let four = run_cli(&argv(
+            "fleet --hosts 4 --threads 4 --invocations 2000 --emit json",
+        ))
+        .unwrap();
+        assert_eq!(one, four);
+        let v = luke_obs::json::parse(&one).unwrap();
+        let datasets = v.get("datasets").unwrap().as_arr().unwrap();
+        assert!(!datasets.is_empty());
+        // base + jukebox summaries, per-host tables, and the speedup.
+        assert_eq!(datasets.len(), 5);
+    }
+
+    #[test]
+    fn fleet_zero_hosts_is_a_config_error() {
+        let err = run_cli(&argv("fleet --hosts 0")).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("fleet.hosts"));
     }
 
     #[test]

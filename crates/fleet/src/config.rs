@@ -1,0 +1,218 @@
+//! Fleet-level configuration and validation.
+
+use crate::route::RoutingPolicy;
+use luke_common::SimError;
+use server::{FaultRates, InstancePool, RetryPolicy};
+
+/// Configuration of one fleet run.
+///
+/// `threads` controls only how many workers the host shards are spread
+/// across — it has **no effect on results**: a 1-thread run is
+/// bit-identical to an N-thread run with the same config (asserted by
+/// `tests/fleet_determinism.rs`).
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of hosts behind the load balancer.
+    pub hosts: usize,
+    /// Worker threads the hosts are sharded across (results-neutral).
+    pub threads: usize,
+    /// Total invocations synthesized fleet-wide.
+    pub invocations: usize,
+    /// Keep-alive window applied by every host's instance pool, ms.
+    pub keep_alive_ms: f64,
+    /// Front-end routing policy.
+    pub policy: RoutingPolicy,
+    /// Root seed; every random stream (traffic lanes, per-host fault
+    /// plans) is split from it, so the whole fleet is a pure function of
+    /// this value and the config.
+    pub seed: u64,
+    /// Number of *deployed* logical functions across the fleet. Each
+    /// maps onto one of the 20 paper-suite performance profiles
+    /// (`population % 20`); popularity follows the suite's Zipf-like
+    /// traffic weights with a deterministic heavy-tail spread.
+    pub population: usize,
+    /// Mean invocation rate per host, in invocations per second. The
+    /// fleet-wide arrival rate is `hosts × per_host_rate_per_sec`.
+    pub per_host_rate_per_sec: f64,
+    /// Fault-injection rates applied by every host (each host draws
+    /// from its own split stream). All-zero means no fault layer at all.
+    pub fault_rates: FaultRates,
+    /// Cold-start (spawn) overhead charged by the latency model, ms.
+    pub cold_start_ms: f64,
+    /// Deadline burned by a timed-out attempt, ms.
+    pub timeout_ms: f64,
+    /// Retry policy applied by every host.
+    pub retry: RetryPolicy,
+    /// Per-host event-ring capacity (0 disables lifecycle tracing).
+    pub events_capacity: usize,
+}
+
+impl Default for FleetConfig {
+    /// A 16-host fleet under keep-alive-aware routing: 20k invocations,
+    /// 10-minute keep-alive, 200 deployed functions, 20 invocations per
+    /// host-second, no faults, no event tracing.
+    fn default() -> Self {
+        FleetConfig {
+            hosts: 16,
+            threads: 1,
+            invocations: 20_000,
+            keep_alive_ms: 10.0 * 60_000.0,
+            policy: RoutingPolicy::KeepAliveAware,
+            seed: 0x6C75_6B65,
+            population: 200,
+            per_host_rate_per_sec: 20.0,
+            fault_rates: FaultRates::zero(),
+            cold_start_ms: 125.0,
+            timeout_ms: 250.0,
+            retry: RetryPolicy::default(),
+            events_capacity: 0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates every field, naming the offending one.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.hosts == 0 {
+            return Err(SimError::invalid_config(
+                "fleet.hosts",
+                "at least one host is required",
+            ));
+        }
+        if self.threads == 0 {
+            return Err(SimError::invalid_config(
+                "fleet.threads",
+                "at least one worker thread is required",
+            ));
+        }
+        if self.invocations == 0 {
+            return Err(SimError::invalid_config(
+                "fleet.invocations",
+                "at least one invocation is required",
+            ));
+        }
+        if self.population == 0 {
+            return Err(SimError::invalid_config(
+                "fleet.population",
+                "at least one deployed function is required",
+            ));
+        }
+        if !(self.per_host_rate_per_sec > 0.0 && self.per_host_rate_per_sec.is_finite()) {
+            return Err(SimError::invalid_config(
+                "fleet.per_host_rate_per_sec",
+                format!(
+                    "per-host rate must be positive and finite, got {}",
+                    self.per_host_rate_per_sec
+                ),
+            ));
+        }
+        for (field, value) in [
+            ("fleet.cold_start_ms", self.cold_start_ms),
+            ("fleet.timeout_ms", self.timeout_ms),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(SimError::invalid_config(
+                    field,
+                    format!("must be ≥ 0 and finite, got {value}"),
+                ));
+            }
+        }
+        // Reuse the pool's and fault layer's own validation.
+        InstancePool::try_new(self.keep_alive_ms)?;
+        server::FaultPlan::new(self.seed, self.fault_rates)?;
+        Ok(())
+    }
+
+    /// Fleet-wide arrival rate in invocations per second.
+    pub fn total_rate_per_sec(&self) -> f64 {
+        self.hosts as f64 * self.per_host_rate_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(FleetConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fields_are_named() {
+        let cases: Vec<(FleetConfig, &str)> = vec![
+            (
+                FleetConfig {
+                    hosts: 0,
+                    ..FleetConfig::default()
+                },
+                "fleet.hosts",
+            ),
+            (
+                FleetConfig {
+                    threads: 0,
+                    ..FleetConfig::default()
+                },
+                "fleet.threads",
+            ),
+            (
+                FleetConfig {
+                    invocations: 0,
+                    ..FleetConfig::default()
+                },
+                "fleet.invocations",
+            ),
+            (
+                FleetConfig {
+                    population: 0,
+                    ..FleetConfig::default()
+                },
+                "fleet.population",
+            ),
+            (
+                FleetConfig {
+                    per_host_rate_per_sec: 0.0,
+                    ..FleetConfig::default()
+                },
+                "fleet.per_host_rate_per_sec",
+            ),
+            (
+                FleetConfig {
+                    cold_start_ms: f64::NAN,
+                    ..FleetConfig::default()
+                },
+                "fleet.cold_start_ms",
+            ),
+            (
+                FleetConfig {
+                    keep_alive_ms: -5.0,
+                    ..FleetConfig::default()
+                },
+                "pool.keep_alive_ms",
+            ),
+            (
+                FleetConfig {
+                    fault_rates: FaultRates::uniform(1.5),
+                    ..FleetConfig::default()
+                },
+                "fault.crash",
+            ),
+        ];
+        for (config, field) in cases {
+            let err = config.validate().unwrap_err();
+            let msg = format!("{err}");
+            assert!(msg.contains(field), "expected {field} in {msg}");
+            assert_eq!(err.exit_code(), 3);
+        }
+    }
+
+    #[test]
+    fn total_rate_scales_with_hosts() {
+        let config = FleetConfig {
+            hosts: 32,
+            per_host_rate_per_sec: 10.0,
+            ..FleetConfig::default()
+        };
+        assert_eq!(config.total_rate_per_sec(), 320.0);
+    }
+}

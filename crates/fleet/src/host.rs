@@ -1,0 +1,415 @@
+//! One simulated host: an instance pool, a fault plan, and the
+//! interleaving-degree estimate that prices every warm hit.
+//!
+//! A host is deliberately self-contained — it owns its pool, fault
+//! stream, counters, histogram, and event ring, and consumes its
+//! pre-routed arrival queue with no shared state. That is what makes the
+//! fleet *embarrassingly deterministic*: hosts can be processed in any
+//! order, on any number of threads, and merging their state in host-id
+//! order reproduces the sequential run bit for bit.
+
+use luke_common::rng::DetRng;
+use luke_obs::{Event, EventKind, EventRing, Histogram, Registry};
+use server::{
+    fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultStats, InstancePool,
+};
+
+use crate::config::FleetConfig;
+use crate::timing::ServiceModel;
+
+/// Seed-space tag for per-host fault plans.
+const FAULT_STREAM: u64 = 0x66_6C_74; // "flt"
+
+/// A routed invocation waiting on a host's queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoutedInvocation {
+    /// Arrival time, ms since fleet start.
+    pub at_ms: f64,
+    /// Logical function id (`id % profiles` = suite profile).
+    pub function: usize,
+}
+
+/// One host's complete simulation state.
+#[derive(Clone, Debug)]
+pub struct FleetHost {
+    /// This host's index in the fleet (also its shard-merge position).
+    pub host_id: usize,
+    pool: InstancePool,
+    faults: FaultPlan,
+    /// Live instance id per logical function, if any.
+    live: Vec<Option<u64>>,
+    /// Invocations of each logical function seen by this host — the
+    /// "own rate" term of the interleaving estimate.
+    fn_invocations: Vec<u64>,
+    /// Total invocations processed.
+    pub invocations: u64,
+    /// Invocations that found no live instance (or lost it to a fault).
+    pub cold_starts: u64,
+    /// Warm hits below the lukewarm threshold.
+    pub warm_hits: u64,
+    /// Warm hits at or above the lukewarm threshold — the paper's
+    /// lukewarm invocations.
+    pub lukewarm_hits: u64,
+    /// Sum of interleaving degrees over all warm hits.
+    pub degree_sum: f64,
+    /// Sum of end-to-end latencies, ms.
+    pub latency_sum_ms: f64,
+    /// End-to-end latency distribution, µs.
+    pub latency_us: Histogram,
+    /// Fault-layer tallies.
+    pub fault_stats: FaultStats,
+    /// Lifecycle trace (empty ring when tracing is off).
+    pub events: EventRing,
+}
+
+impl FleetHost {
+    /// Builds host `host_id`. The fault stream is split from the fleet
+    /// seed per host; all-zero rates get the bit-transparent
+    /// [`FaultPlan::none`] so a fault-free fleet never touches fault
+    /// RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid — call `config.validate()` first
+    /// (run-level entry points do).
+    pub fn new(config: &FleetConfig, host_id: usize) -> Self {
+        let pool = InstancePool::try_new(config.keep_alive_ms)
+            .expect("config validated upstream: keep_alive_ms");
+        let faults = if config.fault_rates == server::FaultRates::zero() {
+            FaultPlan::none()
+        } else {
+            let seed = DetRng::new(config.seed)
+                .split(FAULT_STREAM)
+                .split(host_id as u64)
+                .seed();
+            FaultPlan::new(seed, config.fault_rates)
+                .expect("config validated upstream: fault_rates")
+        };
+        FleetHost {
+            host_id,
+            pool,
+            faults,
+            live: vec![None; config.population],
+            fn_invocations: vec![0; config.population],
+            invocations: 0,
+            cold_starts: 0,
+            warm_hits: 0,
+            lukewarm_hits: 0,
+            degree_sum: 0.0,
+            latency_sum_ms: 0.0,
+            latency_us: Histogram::new(),
+            fault_stats: FaultStats::default(),
+            events: EventRing::with_capacity(config.events_capacity),
+        }
+    }
+
+    /// Processes one routed invocation and returns its end-to-end
+    /// latency in milliseconds.
+    pub fn process(
+        &mut self,
+        config: &FleetConfig,
+        model: &ServiceModel,
+        jukebox: bool,
+        routed: RoutedInvocation,
+    ) -> f64 {
+        let at = routed.at_ms;
+        let function = routed.function;
+        let profile = function % model.functions();
+        let invocation = self.invocations;
+
+        self.pool.sweep(at);
+        // The pool may have expired this function's instance just now.
+        if let Some(id) = self.live[function] {
+            if self.pool.instance(id).is_none() {
+                self.live[function] = None;
+            }
+        }
+
+        // A memory-pressure eviction during the idle gap takes the warm
+        // instance away before the invocation lands. The fault plan only
+        // draws (and counts) this on warm starts, so when we act on it
+        // here — evicting from the pool and flipping to a cold start —
+        // we take over the bookkeeping it would have done.
+        let mut starts_cold = self.live[function].is_none();
+        if let Some(id) = self.live[function] {
+            if self.faults.evicted_before(invocation) {
+                self.pool.evict(id);
+                self.live[function] = None;
+                self.fault_stats.evictions += 1;
+                self.events.record(Event {
+                    ts: 0,
+                    dur: 0,
+                    kind: EventKind::FaultDraw,
+                    a: fault_kind_index(FaultKind::MemoryPressureEviction),
+                    b: 0,
+                });
+                starts_cold = true;
+            }
+        }
+
+        let service_ms = if starts_cold {
+            let id = self.pool.spawn(function, at);
+            self.pool.invoke(id, at);
+            self.live[function] = Some(id);
+            self.cold_starts += 1;
+            // A fresh container has nothing resident: full penalty, and
+            // Jukebox has no prior invocation to replay.
+            model.service_ms(profile, 1.0, false)
+        } else {
+            let id = self.live[function].expect("warm path has a live id");
+            let gap_ms = self.pool.invoke(id, at).expect("live id is in the pool");
+            let elapsed_sec = at / 1000.0;
+            let other_per_sec = if elapsed_sec > 0.0 {
+                let host_rate = self.invocations as f64 / elapsed_sec;
+                let own_rate = self.fn_invocations[function] as f64 / elapsed_sec;
+                (host_rate - own_rate).max(0.0)
+            } else {
+                0.0
+            };
+            let degree = model.degree(other_per_sec, gap_ms);
+            if degree >= model.lukewarm_threshold {
+                self.lukewarm_hits += 1;
+            } else {
+                self.warm_hits += 1;
+            }
+            self.degree_sum += degree;
+            model.service_ms(profile, degree, jukebox)
+        };
+
+        self.events.record(Event {
+            ts: (at * 1000.0) as u64,
+            dur: 0,
+            kind: EventKind::Dispatch,
+            a: function as u64,
+            b: self.host_id as u64,
+        });
+
+        let costs = AttemptCosts {
+            service_ms,
+            cold_start_ms: config.cold_start_ms,
+            timeout_ms: config.timeout_ms,
+            starts_cold,
+        };
+        let crashes_before = self.fault_stats.crashes;
+        let result = self.faults.run_invocation_traced(
+            &config.retry,
+            invocation,
+            &costs,
+            &mut self.fault_stats,
+            &mut self.events,
+        );
+
+        // Crashes tear the instance down. If the retry layer recovered,
+        // its final attempt ran on a fresh spawn; reflect that in the
+        // pool. If it gave up, the function has no live instance left.
+        let crashed = self.fault_stats.crashes > crashes_before;
+        if let Some(id) = self.live[function] {
+            if crashed || !result.completed {
+                self.pool.evict(id);
+                self.live[function] = None;
+            }
+            if crashed && result.completed {
+                let fresh = self.pool.spawn(function, at);
+                self.pool.invoke(fresh, at);
+                self.live[function] = Some(fresh);
+            }
+        }
+
+        self.invocations += 1;
+        self.fn_invocations[function] += 1;
+        self.latency_sum_ms += result.latency_ms;
+        self.latency_us.record((result.latency_ms * 1000.0).round() as u64);
+        self.events.record(Event {
+            ts: ((at + result.latency_ms) * 1000.0) as u64,
+            dur: (result.latency_ms * 1000.0) as u64,
+            kind: EventKind::Retire,
+            a: function as u64,
+            b: result.attempts,
+        });
+        result.latency_ms
+    }
+
+    /// Warm hits of either temperature.
+    pub fn hits(&self) -> u64 {
+        self.warm_hits + self.lukewarm_hits
+    }
+
+    /// Mean interleaving degree over warm hits (0 when there were none).
+    pub fn mean_degree(&self) -> f64 {
+        if self.hits() == 0 {
+            0.0
+        } else {
+            self.degree_sum / self.hits() as f64
+        }
+    }
+
+    /// Currently warm instances.
+    pub fn warm_instances(&self) -> usize {
+        self.pool.warm_count()
+    }
+
+    /// Contributes this host's telemetry: pool and fault counters,
+    /// `fleet.*` lifecycle counters, and the latency histogram. Safe to
+    /// call on per-shard registries that are later merged — everything
+    /// is additive.
+    pub fn fill_registry(&self, registry: &mut Registry) {
+        self.pool.fill_registry(registry);
+        self.fault_stats.fill_registry(registry);
+        registry.counter_add("fleet.invocations", self.invocations);
+        registry.counter_add("fleet.cold_starts", self.cold_starts);
+        registry.counter_add("fleet.warm_hits", self.warm_hits);
+        registry.counter_add("fleet.lukewarm_hits", self.lukewarm_hits);
+        registry.hist_merge("fleet.latency_us", &self.latency_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::ServiceModel;
+    use workloads::paper_suite;
+
+    fn setup() -> (FleetConfig, ServiceModel) {
+        let config = FleetConfig {
+            population: 10,
+            events_capacity: 64,
+            ..FleetConfig::default()
+        };
+        let model = ServiceModel::analytic(&paper_suite()).unwrap();
+        (config, model)
+    }
+
+    #[test]
+    fn first_touch_is_cold_then_warm() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        let cold = host.process(
+            &config,
+            &model,
+            false,
+            RoutedInvocation { at_ms: 0.0, function: 3 },
+        );
+        assert_eq!(host.cold_starts, 1);
+        assert_eq!(host.hits(), 0);
+        let warm = host.process(
+            &config,
+            &model,
+            false,
+            RoutedInvocation { at_ms: 10.0, function: 3 },
+        );
+        assert_eq!(host.hits(), 1);
+        assert!(cold > warm, "cold {cold} vs warm {warm}");
+        assert_eq!(host.invocations, 2);
+        assert_eq!(host.warm_instances(), 1);
+    }
+
+    #[test]
+    fn keep_alive_expiry_forces_a_new_cold_start() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        host.process(&config, &model, false, RoutedInvocation { at_ms: 0.0, function: 0 });
+        let later = config.keep_alive_ms + 1000.0;
+        host.process(&config, &model, false, RoutedInvocation { at_ms: later, function: 0 });
+        assert_eq!(host.cold_starts, 2);
+        assert_eq!(host.hits(), 0);
+    }
+
+    #[test]
+    fn long_gaps_classify_as_lukewarm_short_as_warm() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        // Foreign traffic so the interleaving estimate has pressure.
+        for i in 0..2000 {
+            let at = i as f64 * 2.0;
+            host.process(&config, &model, false, RoutedInvocation { at_ms: at, function: 1 + (i % 9) });
+        }
+        host.process(&config, &model, false, RoutedInvocation { at_ms: 4000.0, function: 0 });
+        let before = (host.warm_hits, host.lukewarm_hits);
+        // 1ms gap: caches still hot.
+        host.process(&config, &model, false, RoutedInvocation { at_ms: 4001.0, function: 0 });
+        assert_eq!(host.warm_hits, before.0 + 1, "short gap should stay warm");
+        // 10s gap inside keep-alive: lukewarm.
+        host.process(&config, &model, false, RoutedInvocation { at_ms: 14_001.0, function: 0 });
+        assert_eq!(host.lukewarm_hits, before.1 + 1, "long gap should be lukewarm");
+    }
+
+    #[test]
+    fn jukebox_only_speeds_up_warm_traffic() {
+        let (config, model) = setup();
+        let mut base = FleetHost::new(&config, 0);
+        let mut jb = FleetHost::new(&config, 0);
+        let mut base_sum = 0.0;
+        let mut jb_sum = 0.0;
+        for i in 0..500 {
+            let routed = RoutedInvocation {
+                at_ms: i as f64 * 50.0,
+                function: i % 5,
+            };
+            base_sum += base.process(&config, &model, false, routed);
+            jb_sum += jb.process(&config, &model, true, routed);
+        }
+        assert_eq!(base.cold_starts, jb.cold_starts);
+        assert!(jb_sum < base_sum, "jukebox {jb_sum} vs base {base_sum}");
+    }
+
+    #[test]
+    fn fault_free_hosts_share_no_fault_state() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..100 {
+            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+        }
+        assert_eq!(host.fault_stats.total_faults(), 0);
+        assert_eq!(host.fault_stats.completed, 100);
+        assert_eq!(host.latency_us.count(), 100);
+    }
+
+    #[test]
+    fn faulty_host_keeps_pool_and_liveness_consistent() {
+        let (mut config, model) = setup();
+        config.fault_rates = server::FaultRates {
+            crash: 0.2,
+            timeout: 0.1,
+            cold_start_failure: 0.1,
+            memory_pressure: 0.2,
+        };
+        config.validate().unwrap();
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..500 {
+            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+        }
+        assert!(host.fault_stats.total_faults() > 0, "faults should strike");
+        assert_eq!(
+            host.fault_stats.completed + host.fault_stats.abandoned,
+            500
+        );
+        // Every live entry must point at a real pool instance.
+        for (function, id) in host.live.iter().enumerate() {
+            if let Some(id) = id {
+                assert!(
+                    host.pool.instance(*id).is_some(),
+                    "function {function} maps to dead instance {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_contribution_is_additive() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..50 {
+            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 20.0, function: i % 10 });
+        }
+        let mut registry = Registry::new();
+        host.fill_registry(&mut registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("fleet.invocations"), 50);
+        assert_eq!(
+            snapshot.counter("fleet.cold_starts")
+                + snapshot.counter("fleet.warm_hits")
+                + snapshot.counter("fleet.lukewarm_hits"),
+            50
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Front-end load balancing: where an invocation lands decides how warm
+//! the instance that serves it is.
+//!
+//! The paper's core observation (§2) is that latency is governed not by
+//! cold starts but by *interleaving*: how many foreign invocations run
+//! on a host between two invocations of the same function. Routing
+//! controls exactly that. Spreading a function across many hosts
+//! ([`RoutingPolicy::RoundRobin`]) multiplies its per-host inter-arrival
+//! gap by the fleet size, pushing every hit into the lukewarm regime;
+//! pinning it to one host ([`RoutingPolicy::KeepAliveAware`]) keeps the
+//! per-host gap at the fleet-wide gap, the best case for cache residency
+//! — at the price of load imbalance, which
+//! [`RoutingPolicy::LeastLoaded`] optimizes for instead.
+
+use luke_common::rng::DetRng;
+use luke_common::SimError;
+
+/// Seed-space tag for the consistent-hash ring's virtual-node hashes.
+const RING_STREAM: u64 = 0x7269_6E67; // "ring"
+/// Seed-space tag for routing keys (function → ring position).
+const KEY_STREAM: u64 = 0x6B_65_79; // "key"
+/// Virtual nodes per host on the consistent-hash ring.
+const VNODES_PER_HOST: usize = 16;
+
+/// Front-end routing policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Cycle through hosts regardless of function identity: perfect
+    /// spatial balance, worst-case interleaving (every host sees every
+    /// function rarely).
+    RoundRobin,
+    /// Send each invocation to the host with the least assigned work so
+    /// far: balances temporal load, still scatters functions.
+    LeastLoaded,
+    /// Consistent-hash each *function* to a stable host so repeat
+    /// invocations find their warm instance: the keep-alive-friendly
+    /// policy the paper's characterization argues for.
+    KeepAliveAware,
+}
+
+impl RoutingPolicy {
+    /// Every policy, in sweep order.
+    pub const ALL: [RoutingPolicy; 3] = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::KeepAliveAware,
+    ];
+
+    /// Stable CLI/display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::KeepAliveAware => "keep-alive-aware",
+        }
+    }
+
+    /// Parses a CLI label (accepts the canonical labels plus short
+    /// aliases `rr`, `ll`, `kaa`).
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        match text {
+            "round-robin" | "rr" => Ok(RoutingPolicy::RoundRobin),
+            "least-loaded" | "ll" => Ok(RoutingPolicy::LeastLoaded),
+            "keep-alive-aware" | "kaa" => Ok(RoutingPolicy::KeepAliveAware),
+            other => Err(SimError::invalid_config(
+                "fleet.policy",
+                format!(
+                    "unknown routing policy '{other}' (expected round-robin, least-loaded, or keep-alive-aware)"
+                ),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Deterministic front-end router. One instance routes one run's entire
+/// arrival stream sequentially, so its internal state (round-robin
+/// cursor, assigned-work ledger) is a pure function of the arrival
+/// order.
+#[derive(Clone, Debug)]
+pub struct Router {
+    policy: RoutingPolicy,
+    hosts: usize,
+    rr_next: usize,
+    /// Expected service milliseconds assigned to each host so far.
+    assigned_ms: Vec<f64>,
+    /// Consistent-hash ring: (hash, host) sorted by hash. Built
+    /// eagerly for every policy (it is tiny) so switching policies
+    /// never changes struct layout.
+    ring: Vec<(u64, usize)>,
+}
+
+impl Router {
+    /// Builds a router over `hosts` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero (validated upstream by
+    /// `FleetConfig::validate`).
+    pub fn new(policy: RoutingPolicy, hosts: usize) -> Self {
+        assert!(hosts > 0, "router needs at least one host");
+        let mut ring = Vec::with_capacity(hosts * VNODES_PER_HOST);
+        for host in 0..hosts {
+            let host_stream = DetRng::new(RING_STREAM).split(host as u64);
+            for vnode in 0..VNODES_PER_HOST {
+                ring.push((host_stream.split(vnode as u64).seed(), host));
+            }
+        }
+        ring.sort_unstable();
+        Router {
+            policy,
+            hosts,
+            rr_next: 0,
+            assigned_ms: vec![0.0; hosts],
+            ring,
+        }
+    }
+
+    /// Routes one invocation of `function`, whose expected cost is
+    /// `expected_ms`, returning the target host index. `expected_ms`
+    /// feeds the least-loaded ledger (all policies maintain it, so
+    /// observability is policy-independent).
+    pub fn route(&mut self, function: usize, expected_ms: f64) -> usize {
+        let host = match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let host = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.hosts;
+                host
+            }
+            RoutingPolicy::LeastLoaded => {
+                // min_by with total_cmp is stable here: equal loads
+                // resolve to the lowest host index.
+                self.assigned_ms
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            }
+            RoutingPolicy::KeepAliveAware => {
+                let key = DetRng::new(KEY_STREAM).split(function as u64).seed();
+                // First vnode clockwise from the key; wrap to ring[0].
+                let at = self.ring.partition_point(|&(hash, _)| hash < key);
+                self.ring[at % self.ring.len()].1
+            }
+        };
+        self.assigned_ms[host] += expected_ms;
+        host
+    }
+
+    /// Expected-work ledger (ms per host), for imbalance reporting.
+    pub fn assigned_ms(&self) -> &[f64] {
+        &self.assigned_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for policy in RoutingPolicy::ALL {
+            assert_eq!(RoutingPolicy::parse(policy.label()).unwrap(), policy);
+        }
+        assert_eq!(
+            RoutingPolicy::parse("kaa").unwrap(),
+            RoutingPolicy::KeepAliveAware
+        );
+        let err = RoutingPolicy::parse("random").unwrap_err();
+        assert!(format!("{err}").contains("fleet.policy"));
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut router = Router::new(RoutingPolicy::RoundRobin, 4);
+        let targets: Vec<usize> = (0..8).map(|f| router.route(f, 1.0)).collect();
+        assert_eq!(targets, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn least_loaded_tracks_expected_work() {
+        let mut router = Router::new(RoutingPolicy::LeastLoaded, 3);
+        assert_eq!(router.route(0, 10.0), 0); // all tied → lowest index
+        assert_eq!(router.route(1, 1.0), 1);
+        assert_eq!(router.route(2, 1.0), 2);
+        // Host 0 carries 10ms; the cheap hosts absorb the next work.
+        assert_eq!(router.route(3, 1.0), 1);
+        assert_eq!(router.route(4, 1.0), 2);
+        assert_eq!(router.route(5, 1.0), 1);
+    }
+
+    #[test]
+    fn keep_alive_aware_is_sticky_per_function() {
+        let mut router = Router::new(RoutingPolicy::KeepAliveAware, 8);
+        for function in 0..50 {
+            let first = router.route(function, 1.0);
+            for _ in 0..5 {
+                assert_eq!(router.route(function, 1.0), first);
+            }
+        }
+    }
+
+    #[test]
+    fn keep_alive_aware_spreads_functions_across_hosts() {
+        let mut router = Router::new(RoutingPolicy::KeepAliveAware, 8);
+        let mut used = std::collections::BTreeSet::new();
+        for function in 0..200 {
+            used.insert(router.route(function, 1.0));
+        }
+        // 200 functions over 8 hosts with 16 vnodes each: every host
+        // should own a slice of the key space.
+        assert_eq!(used.len(), 8, "hosts used: {used:?}");
+    }
+
+    #[test]
+    fn consistent_hash_moves_few_keys_when_fleet_grows() {
+        let mut small = Router::new(RoutingPolicy::KeepAliveAware, 8);
+        let mut large = Router::new(RoutingPolicy::KeepAliveAware, 9);
+        let moved = (0..1000)
+            .filter(|&f| {
+                let a = small.route(f, 1.0);
+                let b = large.route(f, 1.0);
+                a != b
+            })
+            .count();
+        // Plain modulo hashing would move ~8/9 of keys; consistent
+        // hashing should move roughly 1/9. Allow generous slack.
+        assert!(moved < 350, "{moved} of 1000 keys moved");
+    }
+
+    #[test]
+    fn routers_are_deterministic() {
+        let mut a = Router::new(RoutingPolicy::KeepAliveAware, 16);
+        let mut b = Router::new(RoutingPolicy::KeepAliveAware, 16);
+        for f in 0..500 {
+            assert_eq!(a.route(f % 37, 1.0), b.route(f % 37, 1.0));
+        }
+    }
+}

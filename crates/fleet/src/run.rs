@@ -1,0 +1,547 @@
+//! Fleet orchestration: sequential routing, deterministically parallel
+//! host processing, ordered merge.
+//!
+//! The run has three phases with a sharp determinism argument each:
+//!
+//! 1. **Route** (sequential): the arrival stream is drawn lane-by-lane
+//!    from the traffic generator and pushed through the router in
+//!    arrival order, filling one queue per host. Router state
+//!    (round-robin cursor, load ledger) only ever sees this one
+//!    canonical order.
+//! 2. **Process** (parallel): hosts are split into contiguous shards
+//!    over `std::thread::scope` workers. Hosts share nothing — each owns
+//!    its pool, fault stream, counters, and event ring — so the schedule
+//!    cannot influence any host's state.
+//! 3. **Merge** (sequential): per-host state is folded into fleet
+//!    totals, one registry, one histogram, and one event ring *in host-id
+//!    order*, which is independent of which thread ran which shard.
+//!
+//! Consequence: `threads` never appears in any result, and
+//! `tests/fleet_determinism.rs` asserts a 1-thread and a 4-thread run
+//! export byte-identical JSON.
+
+use luke_common::SimError;
+use luke_obs::{Dataset, EventRing, Export, Histogram, Registry, Snapshot, Value};
+
+use crate::config::FleetConfig;
+use crate::host::{FleetHost, RoutedInvocation};
+use crate::route::{Router, RoutingPolicy};
+use crate::timing::ServiceModel;
+use crate::traffic::Population;
+
+/// Per-host slice of a [`FleetRun`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostSummary {
+    /// Host index.
+    pub host: usize,
+    /// Invocations this host served.
+    pub invocations: u64,
+    /// Cold starts (first touches, expiries, evictions, crash respawns).
+    pub cold_starts: u64,
+    /// Warm hits below the lukewarm threshold.
+    pub warm_hits: u64,
+    /// Warm hits at or above it.
+    pub lukewarm_hits: u64,
+    /// Mean interleaving degree over warm hits.
+    pub mean_degree: f64,
+    /// Mean end-to-end latency, ms.
+    pub mean_latency_ms: f64,
+    /// Instances still warm at the end of the run.
+    pub warm_instances: usize,
+}
+
+/// Result of one fleet run. Contains no trace of how many threads
+/// produced it.
+#[derive(Clone, Debug)]
+pub struct FleetRun {
+    /// Routing policy that shaped the run.
+    pub policy: RoutingPolicy,
+    /// Fleet size.
+    pub hosts: usize,
+    /// Whether warm service times used the Jukebox factor.
+    pub jukebox: bool,
+    /// Total invocations.
+    pub invocations: u64,
+    /// Fleet-wide cold starts.
+    pub cold_starts: u64,
+    /// Fleet-wide warm (non-lukewarm) hits.
+    pub warm_hits: u64,
+    /// Fleet-wide lukewarm hits.
+    pub lukewarm_hits: u64,
+    /// Invocations that completed (fault layer).
+    pub completed: u64,
+    /// Invocations abandoned by the retry policy.
+    pub abandoned: u64,
+    /// Sum of end-to-end latencies, ms.
+    pub latency_sum_ms: f64,
+    /// Merged latency distribution, µs.
+    pub latency_us: Histogram,
+    /// Per-host breakdown, in host order.
+    pub per_host: Vec<HostSummary>,
+    /// Merged telemetry snapshot (pool, fault, and fleet series).
+    pub snapshot: Snapshot,
+    /// Merged lifecycle trace, hosts concatenated in id order (empty
+    /// when `events_capacity` is 0).
+    pub events: EventRing,
+}
+
+impl FleetRun {
+    /// Mean end-to-end latency, ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms / self.invocations as f64
+        }
+    }
+
+    /// Median end-to-end latency, ms.
+    pub fn p50_ms(&self) -> f64 {
+        self.latency_us.percentile(50.0) as f64 / 1000.0
+    }
+
+    /// Tail end-to-end latency, ms.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency_us.percentile(99.0) as f64 / 1000.0
+    }
+
+    /// Fraction of invocations that found no warm instance.
+    pub fn cold_start_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / self.invocations as f64
+        }
+    }
+
+    /// Fraction of invocations served warm but microarchitecturally
+    /// cold — the paper's lukewarm share.
+    pub fn lukewarm_fraction(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.lukewarm_hits as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// Runs the fleet once. `model` prices service times; `jukebox` selects
+/// which lukewarm factor warm hits pay.
+pub fn run_fleet(
+    config: &FleetConfig,
+    model: &ServiceModel,
+    jukebox: bool,
+) -> Result<FleetRun, SimError> {
+    config.validate()?;
+
+    // Phase 1 — route (sequential).
+    let population = Population::synthesize(config);
+    let mut generator = population.generator(config.seed)?;
+    let mut router = Router::new(config.policy, config.hosts);
+    let mut queues: Vec<Vec<RoutedInvocation>> = vec![Vec::new(); config.hosts];
+    for event in generator.by_ref().take(config.invocations) {
+        let function = event.instance;
+        let expected_ms = model.timing(function % model.functions()).warm_ms;
+        let host = router.route(function, expected_ms);
+        queues[host].push(RoutedInvocation {
+            at_ms: event.at_ms,
+            function,
+        });
+    }
+
+    // Phase 2 — process (parallel over contiguous host shards). Worker
+    // count is capped by the host count; a shard is a chunk of
+    // consecutive hosts, so shard boundaries depend only on the config.
+    let mut hosts: Vec<FleetHost> = (0..config.hosts)
+        .map(|id| FleetHost::new(config, id))
+        .collect();
+    let threads = config.threads.min(config.hosts);
+    let shard_len = config.hosts.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (shard, shard_queues) in hosts.chunks_mut(shard_len).zip(queues.chunks(shard_len)) {
+            scope.spawn(move || {
+                for (host, queue) in shard.iter_mut().zip(shard_queues) {
+                    for &routed in queue {
+                        host.process(config, model, jukebox, routed);
+                    }
+                }
+            });
+        }
+    });
+
+    // Phase 3 — merge (sequential, host-id order).
+    let mut registry = Registry::new();
+    let mut latency_us = Histogram::new();
+    let mut events = EventRing::with_capacity(config.events_capacity * config.hosts);
+    let mut run = FleetRun {
+        policy: config.policy,
+        hosts: config.hosts,
+        jukebox,
+        invocations: 0,
+        cold_starts: 0,
+        warm_hits: 0,
+        lukewarm_hits: 0,
+        completed: 0,
+        abandoned: 0,
+        latency_sum_ms: 0.0,
+        latency_us: Histogram::new(),
+        per_host: Vec::with_capacity(config.hosts),
+        snapshot: Registry::new().snapshot(),
+        events: EventRing::disabled(),
+    };
+    for host in &hosts {
+        host.fill_registry(&mut registry);
+        latency_us.merge(&host.latency_us);
+        events.extend_from(&host.events);
+        run.invocations += host.invocations;
+        run.cold_starts += host.cold_starts;
+        run.warm_hits += host.warm_hits;
+        run.lukewarm_hits += host.lukewarm_hits;
+        run.completed += host.fault_stats.completed;
+        run.abandoned += host.fault_stats.abandoned;
+        run.latency_sum_ms += host.latency_sum_ms;
+        run.per_host.push(HostSummary {
+            host: host.host_id,
+            invocations: host.invocations,
+            cold_starts: host.cold_starts,
+            warm_hits: host.warm_hits,
+            lukewarm_hits: host.lukewarm_hits,
+            mean_degree: host.mean_degree(),
+            mean_latency_ms: if host.invocations == 0 {
+                0.0
+            } else {
+                host.latency_sum_ms / host.invocations as f64
+            },
+            warm_instances: host.warm_instances(),
+        });
+    }
+    registry.gauge_set("fleet.hosts", config.hosts as f64);
+    run.snapshot = registry.snapshot();
+    run.latency_us = latency_us;
+    run.events = events;
+    Ok(run)
+}
+
+/// A base-vs-Jukebox pair over identical traffic.
+#[derive(Clone, Debug)]
+pub struct FleetComparison {
+    /// Run without the prefetcher.
+    pub base: FleetRun,
+    /// Run with Jukebox pricing on warm hits.
+    pub jukebox: FleetRun,
+}
+
+impl FleetComparison {
+    /// Mean-latency speedup of Jukebox over base.
+    pub fn speedup(&self) -> f64 {
+        let jb = self.jukebox.mean_latency_ms();
+        if jb == 0.0 {
+            1.0
+        } else {
+            self.base.mean_latency_ms() / jb
+        }
+    }
+}
+
+/// Runs the same config twice — without and with Jukebox — over
+/// identical traffic, routing, and fault draws.
+pub fn run_fleet_pair(
+    config: &FleetConfig,
+    model: &ServiceModel,
+) -> Result<FleetComparison, SimError> {
+    Ok(FleetComparison {
+        base: run_fleet(config, model, false)?,
+        jukebox: run_fleet(config, model, true)?,
+    })
+}
+
+/// Hosts shown individually in the `Display` table before eliding.
+const DISPLAY_HOST_ROWS: usize = 12;
+
+impl std::fmt::Display for FleetRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} hosts, policy {}, jukebox {}",
+            self.hosts,
+            self.policy,
+            if self.jukebox { "on" } else { "off" }
+        )?;
+        writeln!(
+            f,
+            "  {} invocations | cold {:.1}% | lukewarm {:.1}% | mean {:.3}ms | p50 {:.3}ms | p99 {:.3}ms",
+            self.invocations,
+            100.0 * self.cold_start_rate(),
+            100.0 * self.lukewarm_fraction(),
+            self.mean_latency_ms(),
+            self.p50_ms(),
+            self.p99_ms(),
+        )?;
+        writeln!(
+            f,
+            "  {:>4}  {:>8}  {:>6}  {:>6}  {:>8}  {:>7}  {:>9}",
+            "host", "invocs", "cold", "warm", "lukewarm", "degree", "mean ms"
+        )?;
+        for summary in self.per_host.iter().take(DISPLAY_HOST_ROWS) {
+            writeln!(
+                f,
+                "  {:>4}  {:>8}  {:>6}  {:>6}  {:>8}  {:>7.3}  {:>9.3}",
+                summary.host,
+                summary.invocations,
+                summary.cold_starts,
+                summary.warm_hits,
+                summary.lukewarm_hits,
+                summary.mean_degree,
+                summary.mean_latency_ms,
+            )?;
+        }
+        if self.per_host.len() > DISPLAY_HOST_ROWS {
+            writeln!(
+                f,
+                "  ... {} more hosts",
+                self.per_host.len() - DISPLAY_HOST_ROWS
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Export for FleetRun {
+    fn datasets(&self) -> Vec<Dataset> {
+        let mut summary = Dataset::new(
+            "fleet.summary",
+            &[
+                "policy",
+                "hosts",
+                "jukebox",
+                "invocations",
+                "cold_start_rate",
+                "lukewarm_fraction",
+                "mean_ms",
+                "p50_ms",
+                "p99_ms",
+                "completed",
+                "abandoned",
+            ],
+        );
+        summary.push_row(vec![
+            Value::str(self.policy.label()),
+            Value::UInt(self.hosts as u64),
+            Value::UInt(u64::from(self.jukebox)),
+            Value::UInt(self.invocations),
+            Value::Float(self.cold_start_rate()),
+            Value::Float(self.lukewarm_fraction()),
+            Value::Float(self.mean_latency_ms()),
+            Value::Float(self.p50_ms()),
+            Value::Float(self.p99_ms()),
+            Value::UInt(self.completed),
+            Value::UInt(self.abandoned),
+        ]);
+        let mut hosts = Dataset::new(
+            "fleet.hosts",
+            &[
+                "host",
+                "invocations",
+                "cold_starts",
+                "warm_hits",
+                "lukewarm_hits",
+                "mean_degree",
+                "mean_latency_ms",
+                "warm_instances",
+            ],
+        );
+        for s in &self.per_host {
+            hosts.push_row(vec![
+                Value::UInt(s.host as u64),
+                Value::UInt(s.invocations),
+                Value::UInt(s.cold_starts),
+                Value::UInt(s.warm_hits),
+                Value::UInt(s.lukewarm_hits),
+                Value::Float(s.mean_degree),
+                Value::Float(s.mean_latency_ms),
+                Value::UInt(s.warm_instances as u64),
+            ]);
+        }
+        vec![summary, hosts]
+    }
+}
+
+impl std::fmt::Display for FleetComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.base)?;
+        write!(f, "{}", self.jukebox)?;
+        writeln!(f, "jukebox mean-latency speedup: {:.3}x", self.speedup())
+    }
+}
+
+impl Export for FleetComparison {
+    fn datasets(&self) -> Vec<Dataset> {
+        let mut out = Vec::new();
+        for (tag, run) in [("base", &self.base), ("jukebox", &self.jukebox)] {
+            for mut ds in run.datasets() {
+                ds.name = format!("{}.{tag}", ds.name);
+                out.push(ds);
+            }
+        }
+        let mut speedup = Dataset::new("fleet.speedup", &["policy", "hosts", "speedup"]);
+        speedup.push_row(vec![
+            Value::str(self.base.policy.label()),
+            Value::UInt(self.base.hosts as u64),
+            Value::Float(self.speedup()),
+        ]);
+        out.push(speedup);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::paper_suite;
+
+    fn quick_config() -> FleetConfig {
+        FleetConfig {
+            hosts: 4,
+            invocations: 4_000,
+            population: 40,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn model() -> ServiceModel {
+        ServiceModel::analytic(&paper_suite()).unwrap()
+    }
+
+    #[test]
+    fn conservation_every_invocation_is_accounted_for() {
+        let run = run_fleet(&quick_config(), &model(), false).unwrap();
+        assert_eq!(run.invocations, 4_000);
+        assert_eq!(
+            run.cold_starts + run.warm_hits + run.lukewarm_hits,
+            run.invocations
+        );
+        assert_eq!(run.completed, run.invocations); // no faults configured
+        assert_eq!(run.abandoned, 0);
+        assert_eq!(run.latency_us.count(), run.invocations);
+        let by_host: u64 = run.per_host.iter().map(|h| h.invocations).sum();
+        assert_eq!(by_host, run.invocations);
+        assert_eq!(run.snapshot.counter("fleet.invocations"), run.invocations);
+        assert_eq!(run.snapshot.gauge("fleet.hosts"), Some(4.0));
+    }
+
+    #[test]
+    fn keep_alive_aware_beats_round_robin_on_lukewarm_fraction() {
+        let m = model();
+        let kaa = run_fleet(
+            &FleetConfig {
+                policy: RoutingPolicy::KeepAliveAware,
+                ..quick_config()
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        let rr = run_fleet(
+            &FleetConfig {
+                policy: RoutingPolicy::RoundRobin,
+                ..quick_config()
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        // Scattering functions across hosts multiplies per-host gaps and
+        // first-touch cold starts.
+        assert!(
+            kaa.lukewarm_fraction() < rr.lukewarm_fraction(),
+            "kaa {} vs rr {}",
+            kaa.lukewarm_fraction(),
+            rr.lukewarm_fraction()
+        );
+        assert!(
+            kaa.cold_start_rate() < rr.cold_start_rate(),
+            "kaa {} vs rr {}",
+            kaa.cold_start_rate(),
+            rr.cold_start_rate()
+        );
+    }
+
+    #[test]
+    fn jukebox_pair_shows_speedup_over_identical_traffic() {
+        let pair = run_fleet_pair(&quick_config(), &model()).unwrap();
+        // Same traffic, same routing, same cold starts — only warm
+        // pricing differs.
+        assert_eq!(pair.base.cold_starts, pair.jukebox.cold_starts);
+        assert_eq!(pair.base.invocations, pair.jukebox.invocations);
+        assert!(pair.speedup() > 1.0, "speedup {}", pair.speedup());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_snapshot() {
+        let m = model();
+        let one = run_fleet(&quick_config(), &m, false).unwrap();
+        let four = run_fleet(
+            &FleetConfig {
+                threads: 4,
+                ..quick_config()
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        assert_eq!(one.snapshot.to_json(), four.snapshot.to_json());
+        assert_eq!(one.latency_us, four.latency_us);
+        assert_eq!(one.per_host, four.per_host);
+        assert_eq!(
+            luke_obs::export::to_json(&one.datasets()),
+            luke_obs::export::to_json(&four.datasets())
+        );
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped_to_hosts() {
+        let run = run_fleet(
+            &FleetConfig {
+                threads: 64,
+                ..quick_config()
+            },
+            &model(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(run.invocations, 4_000);
+    }
+
+    #[test]
+    fn events_merge_in_host_order() {
+        let config = FleetConfig {
+            events_capacity: 100_000,
+            ..quick_config()
+        };
+        let run = run_fleet(&config, &model(), false).unwrap();
+        assert!(!run.events.is_empty(), "tracing was enabled");
+        // Dispatch events carry the host id in `b`; host order must be
+        // non-decreasing across the merged ring.
+        let hosts: Vec<u64> = run
+            .events
+            .events()
+            .iter()
+            .filter(|e| e.kind == luke_obs::EventKind::Dispatch)
+            .map(|e| e.b)
+            .collect();
+        assert!(hosts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_any_work() {
+        let err = run_fleet(
+            &FleetConfig {
+                hosts: 0,
+                ..quick_config()
+            },
+            &model(),
+            false,
+        );
+        assert!(err.is_err());
+    }
+}

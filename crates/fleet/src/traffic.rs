@@ -1,0 +1,141 @@
+//! Fleet-wide traffic synthesis: the deployed function population and
+//! its Poisson arrival lanes.
+//!
+//! A production fleet serves far more *deployed functions* than the 20
+//! profiled suite entries, with wildly skewed popularity (Azure's
+//! production characterization, cited in §2.1). This module materializes
+//! a `population` of logical functions, maps each onto a paper-suite
+//! performance profile (`index % 20`), and assigns it an arrival rate:
+//! the suite's Zipf-like traffic weight for its profile, multiplied by a
+//! deterministic log-uniform spread so same-profile deployments still
+//! differ by orders of magnitude — the heavy tail that makes routing
+//! policy matter.
+
+use luke_common::rng::DetRng;
+use luke_common::SimError;
+use server::{IatDistribution, TrafficGenerator};
+use workloads::paper_traffic_weights;
+
+use crate::config::FleetConfig;
+
+/// Seed-space tag for the per-function popularity spread.
+const SPREAD_STREAM: u64 = 0x7370_7264; // "sprd"
+/// Seed-space tag for the arrival-lane RNGs.
+const LANE_STREAM: u64 = 0x6C61_6E65; // "lane"
+/// Log-uniform popularity spread: the least popular deployment of a
+/// profile gets 1/256 of the most popular one's weight.
+const SPREAD_DECADES: f64 = 256.0;
+
+/// The fleet's deployed-function population: per-function arrival lanes
+/// whose rates sum to the configured fleet-wide rate.
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// Per-function mean inter-arrival distributions; index = logical
+    /// function id, `id % 20` = suite profile.
+    pub lanes: Vec<IatDistribution>,
+    /// Per-function arrival rate, invocations per second.
+    pub rates_per_sec: Vec<f64>,
+}
+
+impl Population {
+    /// Builds the population for `config`: weights, spread, and
+    /// normalization are all pure functions of `config.seed`.
+    pub fn synthesize(config: &FleetConfig) -> Self {
+        let profile_weights = paper_traffic_weights();
+        let spread_rng = DetRng::new(config.seed).split(SPREAD_STREAM);
+        let mut weights = Vec::with_capacity(config.population);
+        for function in 0..config.population {
+            let base = profile_weights[function % profile_weights.len()];
+            // Log-uniform in [1/SPREAD_DECADES, 1]: u ~ U[0,1) mapped
+            // through SPREAD^-u.
+            let u = spread_rng.split(function as u64).unit();
+            weights.push(base * SPREAD_DECADES.powf(-u));
+        }
+        let total_weight: f64 = weights.iter().sum();
+        let total_rate = config.total_rate_per_sec();
+        let rates_per_sec: Vec<f64> = weights
+            .iter()
+            .map(|w| total_rate * w / total_weight)
+            .collect();
+        let lanes = rates_per_sec
+            .iter()
+            .map(|&rate| IatDistribution::Exponential {
+                mean_ms: 1000.0 / rate,
+            })
+            .collect();
+        Population {
+            lanes,
+            rates_per_sec,
+        }
+    }
+
+    /// The arrival-stream generator over this population. Each lane's
+    /// RNG is split from `seed`, so the stream is independent of lane
+    /// construction order.
+    pub fn generator(&self, seed: u64) -> Result<TrafficGenerator, SimError> {
+        TrafficGenerator::try_new(&self.lanes, DetRng::new(seed).split(LANE_STREAM).seed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> FleetConfig {
+        FleetConfig {
+            population: 100,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn rates_sum_to_fleet_rate_and_are_positive() {
+        let config = config();
+        let pop = Population::synthesize(&config);
+        assert_eq!(pop.lanes.len(), 100);
+        let total: f64 = pop.rates_per_sec.iter().sum();
+        assert!(
+            (total - config.total_rate_per_sec()).abs() < 1e-9,
+            "{total}"
+        );
+        assert!(pop.rates_per_sec.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let pop = Population::synthesize(&config());
+        let max = pop.rates_per_sec.iter().cloned().fold(0.0, f64::max);
+        let min = pop.rates_per_sec.iter().cloned().fold(f64::MAX, f64::min);
+        // Zipf head/tail ratio (~15×) times up to 256× spread: the
+        // extremes must differ by well over an order of magnitude.
+        assert!(max / min > 20.0, "max/min = {}", max / min);
+    }
+
+    #[test]
+    fn population_is_deterministic_in_the_seed() {
+        let a = Population::synthesize(&config());
+        let b = Population::synthesize(&config());
+        assert_eq!(a.rates_per_sec, b.rates_per_sec);
+        let other = Population::synthesize(&FleetConfig {
+            seed: 999,
+            ..config()
+        });
+        assert_ne!(a.rates_per_sec, other.rates_per_sec);
+    }
+
+    #[test]
+    fn generator_streams_ordered_events_over_the_population() {
+        let pop = Population::synthesize(&config());
+        let mut generator = pop.generator(7).unwrap();
+        let mut last = 0.0;
+        let mut seen = std::collections::BTreeSet::new();
+        for event in generator.by_ref().take(5_000) {
+            assert!(event.at_ms >= last);
+            last = event.at_ms;
+            seen.insert(event.instance);
+        }
+        // The popular head must appear; most of the population should
+        // show up within 5k events.
+        assert!(seen.len() > 50, "only {} functions seen", seen.len());
+    }
+}

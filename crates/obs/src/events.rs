@@ -133,6 +133,16 @@ impl EventRing {
     #[inline(always)]
     pub fn record(&mut self, _event: Event) {}
 
+    /// Replays every event held by `other` (oldest first) into this
+    /// ring, subject to this ring's own capacity and overwrite policy.
+    /// Used to merge per-shard rings in shard-index order after a
+    /// parallel fleet run.
+    pub fn extend_from(&mut self, other: &EventRing) {
+        for event in other.events() {
+            self.record(event);
+        }
+    }
+
     /// Discards all held events (capacity is retained).
     pub fn clear(&mut self) {
         self.buf.clear();
@@ -207,6 +217,26 @@ mod tests {
         assert_eq!(held[0].ts, 10);
         assert_eq!(held[1].ts, 20);
         assert!(ring.is_empty());
+    }
+
+    #[cfg(not(feature = "obs_disabled"))]
+    #[test]
+    fn extend_from_replays_in_order_and_respects_capacity() {
+        let mut a = EventRing::with_capacity(4);
+        a.record(ev(1, EventKind::Dispatch));
+        a.record(ev(2, EventKind::Retire));
+        let mut b = EventRing::with_capacity(4);
+        b.record(ev(3, EventKind::Dispatch));
+        b.record(ev(4, EventKind::Retire));
+        b.record(ev(5, EventKind::Retire));
+        a.extend_from(&b);
+        let held: Vec<u64> = a.events().iter().map(|e| e.ts).collect();
+        // Capacity 4: oldest event (ts=1) was overwritten.
+        assert_eq!(held, vec![2, 3, 4, 5]);
+        assert_eq!(a.total_recorded(), 5);
+        // Extending from an empty ring changes nothing.
+        a.extend_from(&EventRing::disabled());
+        assert_eq!(a.len(), 4);
     }
 
     #[cfg(feature = "obs_disabled")]

@@ -166,6 +166,21 @@ impl Histogram {
         self.percentile(99.0)
     }
 
+    /// Folds `other` into `self` bucket-wise: counts and sums add
+    /// (saturating), extremes combine. Merging histograms recorded on
+    /// disjoint shards is exactly equivalent to recording every sample
+    /// into one histogram, in any order — the property the fleet
+    /// simulator's deterministic parallel merge relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Bucket-wise difference `self - earlier` (saturating). `min`/`max`
     /// are kept from `self`: extremes are not invertible from deltas.
     pub fn delta(&self, earlier: &Histogram) -> Histogram {
@@ -253,6 +268,38 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let samples = [1u64, 7, 31, 32, 700, 5000, 1 << 30];
+        let mut whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
     }
 
     #[test]

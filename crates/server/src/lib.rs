@@ -28,7 +28,9 @@ pub mod interleave;
 pub mod pool;
 pub mod traffic;
 
-pub use fault::{AttemptCosts, FaultKind, FaultPlan, FaultRates, FaultStats, RetryPolicy};
+pub use fault::{
+    fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultRates, FaultStats, RetryPolicy,
+};
 pub use iat::IatDistribution;
 pub use interleave::InterleaveModel;
 pub use pool::{InstancePool, WarmInstance};

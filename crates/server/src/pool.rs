@@ -7,7 +7,7 @@
 //! policy on a sweep.
 
 use luke_common::SimError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One warm (memory-resident) function instance.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,10 +24,16 @@ pub struct WarmInstance {
 }
 
 /// The pool of warm instances (see module docs).
+///
+/// Instances live in a `BTreeMap` keyed by id so every iteration —
+/// sweeps, warm lookups, telemetry — happens in id order. With a hashed
+/// container the tie-break among equally idle instances depended on
+/// `RandomState`, so two identical runs could expire instances in
+/// different orders; id order makes the pool bit-reproducible.
 #[derive(Clone, Debug)]
 pub struct InstancePool {
     keep_alive_ms: f64,
-    instances: HashMap<u64, WarmInstance>,
+    instances: BTreeMap<u64, WarmInstance>,
     next_id: u64,
     cold_starts: u64,
     expirations: u64,
@@ -59,7 +65,7 @@ impl InstancePool {
         }
         Ok(InstancePool {
             keep_alive_ms,
-            instances: HashMap::new(),
+            instances: BTreeMap::new(),
             next_id: 1,
             cold_starts: 0,
             expirations: 0,
@@ -119,6 +125,23 @@ impl InstancePool {
             .retain(|_, inst| now_ms - inst.last_invoked_ms <= keep_alive);
         let expired = before - self.instances.len();
         self.expirations += expired as u64;
+        expired
+    }
+
+    /// Like [`InstancePool::sweep`], but returns the expired instance
+    /// ids in ascending order. Because the pool iterates in id order,
+    /// two identical runs expire identical id sequences.
+    pub fn sweep_expired_ids(&mut self, now_ms: f64) -> Vec<u64> {
+        let keep_alive = self.keep_alive_ms;
+        let mut expired = Vec::new();
+        self.instances.retain(|&id, inst| {
+            let keep = now_ms - inst.last_invoked_ms <= keep_alive;
+            if !keep {
+                expired.push(id);
+            }
+            keep
+        });
+        self.expirations += expired.len() as u64;
         expired
     }
 
@@ -260,6 +283,63 @@ mod tests {
         assert!(pool.instance(b).is_some());
         assert_eq!(pool.evictions(), 1);
         assert_eq!(pool.expirations(), 0, "evictions are not expirations");
+    }
+
+    /// Spawns a population, idles some of it out, and returns the exact
+    /// eviction order observed.
+    fn eviction_sequence() -> Vec<u64> {
+        let mut pool = InstancePool::new(10_000.0);
+        let mut evicted = Vec::new();
+        // 64 instances, all idle past the window at t=20s.
+        for f in 0..64 {
+            pool.spawn(f % 8, (f % 3) as f64 * 100.0);
+        }
+        evicted.extend(pool.sweep_expired_ids(20_000.0));
+        // A second wave with staggered last-invocation times.
+        let ids: Vec<u64> = (0..32).map(|f| pool.spawn(f % 8, 20_000.0)).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.invoke(id, 20_000.0 + (i % 4) as f64 * 1_000.0);
+        }
+        evicted.extend(pool.sweep_expired_ids(32_500.0));
+        evicted
+    }
+
+    #[test]
+    fn identical_sweeps_evict_identical_instance_ids() {
+        // Regression: with a `HashMap<u64, _, RandomState>` the sweep
+        // visited instances in a per-process random order, so the
+        // eviction sequence differed run to run. The BTreeMap container
+        // makes it a pure function of the invocation history.
+        let first = eviction_sequence();
+        let second = eviction_sequence();
+        assert_eq!(first, second);
+        assert!(!first.is_empty());
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(first, sorted, "expiries must come back in id order");
+    }
+
+    #[test]
+    fn sweep_expired_ids_matches_sweep_counts() {
+        let mut a = InstancePool::new(5_000.0);
+        let mut b = InstancePool::new(5_000.0);
+        for f in 0..10 {
+            a.spawn(f, f as f64 * 400.0);
+            b.spawn(f, f as f64 * 400.0);
+        }
+        let ids = a.sweep_expired_ids(6_000.0);
+        let n = b.sweep(6_000.0);
+        assert_eq!(ids.len(), n);
+        assert_eq!(a.expirations(), b.expirations());
+        assert_eq!(a.warm_count(), b.warm_count());
+    }
+
+    #[test]
+    fn find_warm_tie_break_is_deterministic() {
+        // Equal last-invocation times: the highest id wins, every run.
+        let mut pool = InstancePool::new(60_000.0);
+        let ids: Vec<u64> = (0..8).map(|_| pool.spawn(3, 500.0)).collect();
+        assert_eq!(pool.find_warm(3).unwrap().id, *ids.last().unwrap());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 use crate::iat::IatDistribution;
 use luke_common::rng::DetRng;
 use luke_common::SimError;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 /// One invocation arrival.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -17,11 +19,42 @@ pub struct InvocationEvent {
     pub instance: usize,
 }
 
+/// The next pending arrival of one lane, ordered by time then lane
+/// index — the same tie-break a linear scan over lanes in index order
+/// produces, so the heap-based merge is event-for-event identical to
+/// the original O(lanes) implementation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct NextArrival {
+    at_ms: f64,
+    lane: usize,
+}
+
+impl Eq for NextArrival {}
+
+impl Ord for NextArrival {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at_ms
+            .total_cmp(&other.at_ms)
+            .then(self.lane.cmp(&other.lane))
+    }
+}
+
+impl PartialOrd for NextArrival {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Generates merged Poisson/fixed arrival streams for many instances.
+///
+/// Pending arrivals sit in a min-heap, so producing the next event is
+/// O(log lanes) rather than a linear scan — the fleet simulator drives
+/// this with hundreds of lanes and millions of events.
 #[derive(Clone, Debug)]
 pub struct TrafficGenerator {
-    // Per-instance: (distribution, next arrival time, rng).
-    lanes: Vec<(IatDistribution, f64, DetRng)>,
+    // Per-instance: (distribution, rng).
+    lanes: Vec<(IatDistribution, DetRng)>,
+    queue: BinaryHeap<Reverse<NextArrival>>,
     generated: u64,
 }
 
@@ -54,17 +87,23 @@ impl TrafficGenerator {
             })?;
         }
         let root = DetRng::new(seed);
+        let mut queue = BinaryHeap::with_capacity(distributions.len());
         let lanes = distributions
             .iter()
             .enumerate()
             .map(|(i, &dist)| {
                 let mut rng = root.split(i as u64);
                 let first = dist.sample(&mut rng);
-                (dist, first, rng)
+                queue.push(Reverse(NextArrival {
+                    at_ms: first,
+                    lane: i,
+                }));
+                (dist, rng)
             })
             .collect();
         Ok(TrafficGenerator {
             lanes,
+            queue,
             generated: 0,
         })
     }
@@ -99,19 +138,18 @@ impl TrafficGenerator {
     }
 
     fn next_event(&mut self) -> Option<InvocationEvent> {
-        let (idx, _) = self
-            .lanes
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1))?;
-        let (dist, at, rng) = &mut self.lanes[idx];
-        let event = InvocationEvent {
-            at_ms: *at,
-            instance: idx,
-        };
-        *at += dist.sample(rng).max(f64::MIN_POSITIVE);
+        let Reverse(next) = self.queue.pop()?;
+        let (dist, rng) = &mut self.lanes[next.lane];
+        let gap = dist.sample(rng).max(f64::MIN_POSITIVE);
+        self.queue.push(Reverse(NextArrival {
+            at_ms: next.at_ms + gap,
+            lane: next.lane,
+        }));
         self.generated += 1;
-        Some(event)
+        Some(InvocationEvent {
+            at_ms: next.at_ms,
+            instance: next.lane,
+        })
     }
 }
 
@@ -181,6 +219,82 @@ mod tests {
         let msg = format!("{err}");
         assert!(msg.contains("traffic.lane[1]"), "{msg}");
         assert!(TrafficGenerator::try_new(&dists[..1], 0).is_ok());
+    }
+
+    /// A straight port of the original O(lanes) linear-scan merge, kept
+    /// as the behavioral reference for the heap implementation.
+    struct NaiveMerge {
+        lanes: Vec<(IatDistribution, f64, DetRng)>,
+    }
+
+    impl NaiveMerge {
+        fn new(distributions: &[IatDistribution], seed: u64) -> Self {
+            let root = DetRng::new(seed);
+            let lanes = distributions
+                .iter()
+                .enumerate()
+                .map(|(i, &dist)| {
+                    let mut rng = root.split(i as u64);
+                    let first = dist.sample(&mut rng);
+                    (dist, first, rng)
+                })
+                .collect();
+            NaiveMerge { lanes }
+        }
+
+        fn next_event(&mut self) -> Option<InvocationEvent> {
+            let (idx, _) = self
+                .lanes
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1))?;
+            let (dist, at, rng) = &mut self.lanes[idx];
+            let event = InvocationEvent {
+                at_ms: *at,
+                instance: idx,
+            };
+            *at += dist.sample(rng).max(f64::MIN_POSITIVE);
+            Some(event)
+        }
+    }
+
+    #[test]
+    fn heap_merge_matches_linear_scan_reference() {
+        // Fixed lanes with equal periods force repeated exact-time ties;
+        // the heap must resolve them to the lowest lane index, exactly
+        // like the linear scan did.
+        let dists = vec![
+            IatDistribution::Fixed(50.0),
+            IatDistribution::Fixed(50.0),
+            IatDistribution::Exponential { mean_ms: 40.0 },
+            IatDistribution::Fixed(75.0),
+            IatDistribution::Exponential { mean_ms: 250.0 },
+        ];
+        let mut heap = TrafficGenerator::new(&dists, 11);
+        let mut naive = NaiveMerge::new(&dists, 11);
+        for i in 0..2_000 {
+            let h = heap.next_event().unwrap();
+            let n = naive.next_event().unwrap();
+            assert_eq!(h, n, "event {i} diverged");
+        }
+    }
+
+    #[test]
+    fn scales_to_many_lanes() {
+        // The fleet simulator runs hundreds of lanes for millions of
+        // events; O(log lanes) per event keeps that tractable.
+        let dists: Vec<_> = (0..500)
+            .map(|i| IatDistribution::Exponential {
+                mean_ms: 10.0 + i as f64,
+            })
+            .collect();
+        let mut g = TrafficGenerator::new(&dists, 5);
+        let events = g.take_events(20_000);
+        assert_eq!(events.len(), 20_000);
+        for pair in events.windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
+        assert_eq!(g.events_generated(), 20_000);
     }
 
     #[test]

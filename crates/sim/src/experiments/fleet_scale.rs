@@ -1,0 +1,409 @@
+//! **Fleet-scale sweep** — routing policy × fleet size × keep-alive
+//! window, with the fleet's service model calibrated from the
+//! cycle-accurate simulator.
+//!
+//! The paper characterizes one lukewarm host; this experiment asks what
+//! its findings imply at cluster scale. The bridge is calibration: for
+//! every suite function the cycle-accurate core measures warm CPI,
+//! lukewarm (flush-model) CPI, and lukewarm+Jukebox CPI, and those
+//! ratios become the fleet simulator's per-function latency factors
+//! ([`luke_fleet::ServiceModel::from_timings`]). The fleet then sweeps
+//! the knobs only a cluster has — how the load balancer spreads
+//! functions over hosts, how many hosts there are, how long instances
+//! are kept alive — and reports cold-start rate, lukewarm fraction,
+//! latency percentiles, and the Jukebox speedup for each point.
+//!
+//! The headline result mirrors §2's argument: locality-blind routing
+//! (round-robin) multiplies per-host inter-arrival gaps by the fleet
+//! size, so *almost every* warm hit turns lukewarm, while
+//! keep-alive-aware routing keeps functions pinned and caches warm —
+//! and Jukebox's benefit is largest exactly where routing is worst.
+
+use crate::config::SystemConfig;
+use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use luke_common::table::TextTable;
+use luke_common::SimError;
+use luke_fleet::{
+    run_fleet_pair, FleetConfig, FunctionTiming, RoutingPolicy, ServiceModel, FREQ_GHZ,
+};
+use std::fmt;
+use workloads::paper_suite;
+
+/// Fleet invocations simulated per host in each sweep point. At the
+/// default 20 invocations per host-second every run spans ~100 seconds
+/// of fleet time, so the short keep-alive window below actually binds.
+const INVOCATIONS_PER_HOST: usize = 2_000;
+/// Deployed logical functions across the fleet.
+const POPULATION: usize = 200;
+/// Keep-alive windows swept, minutes: 15 seconds (tail functions
+/// expire and pay fresh cold starts) vs the Azure-style 10 minutes
+/// (nothing expires within the run).
+const KEEP_ALIVE_MINUTES: [f64; 2] = [0.25, 10.0];
+
+/// One sweep point: a routing policy on a fleet of a given size and
+/// keep-alive window, base vs Jukebox over identical traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Routing policy label.
+    pub policy: &'static str,
+    /// Fleet size.
+    pub hosts: usize,
+    /// Keep-alive window, minutes.
+    pub keep_alive_min: f64,
+    /// Fraction of invocations with no warm instance.
+    pub cold_start_rate: f64,
+    /// Fraction of invocations served warm but microarchitecturally
+    /// cold.
+    pub lukewarm_fraction: f64,
+    /// Lukewarm share *of warm hits* — the policy-comparable number
+    /// (the total fraction above is deflated by cold starts, which
+    /// locality-blind policies produce far more of).
+    pub lukewarm_of_hits: f64,
+    /// Mean end-to-end latency without Jukebox, ms.
+    pub mean_ms: f64,
+    /// Median latency without Jukebox, ms.
+    pub p50_ms: f64,
+    /// Tail latency without Jukebox, ms.
+    pub p99_ms: f64,
+    /// Mean-latency speedup of Jukebox at this point.
+    pub speedup: f64,
+}
+
+/// The sweep plus the calibrated per-function timings that priced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Data {
+    /// Simulator-calibrated per-function timings.
+    pub timings: Vec<FunctionTiming>,
+    /// One row per (policy, fleet size, keep-alive) point.
+    pub rows: Vec<Row>,
+}
+
+/// Calibrates the fleet's service model from the cycle-accurate core:
+/// per suite function, warm CPI (back-to-back, no prefetcher), lukewarm
+/// CPI (flush model), and lukewarm+Jukebox CPI. Service times use the
+/// *unscaled* instruction counts so fleet latencies stay paper-sized
+/// even in quick runs.
+pub fn calibrate_model(params: &ExperimentParams) -> Result<ServiceModel, SimError> {
+    let config = SystemConfig::skylake();
+    let full = paper_suite();
+    let timings = full
+        .iter()
+        .map(|full_profile| {
+            let p = full_profile.scaled(params.scale);
+            let warm = run(&config, &p, PrefetcherKind::None, RunSpec::reference(), params);
+            let lukewarm = run(&config, &p, PrefetcherKind::None, RunSpec::lukewarm(), params);
+            let jukebox = run(
+                &config,
+                &p,
+                PrefetcherKind::Jukebox(config.jukebox),
+                RunSpec::lukewarm(),
+                params,
+            );
+            let warm_cpi = warm.cpi();
+            let lukewarm_factor = (lukewarm.cpi() / warm_cpi).max(1.0);
+            let jukebox_factor = (jukebox.cpi() / warm_cpi).clamp(1.0, lukewarm_factor);
+            FunctionTiming {
+                name: full_profile.name.clone(),
+                warm_ms: full_profile.instructions as f64 * warm_cpi / (FREQ_GHZ * 1e6),
+                lukewarm_factor,
+                jukebox_factor,
+            }
+        })
+        .collect();
+    ServiceModel::from_timings(timings)
+}
+
+/// Fleet sizes for the sweep: cluster-scale when `params` is at paper
+/// scale, small when quick.
+fn fleet_sizes(params: &ExperimentParams) -> &'static [usize] {
+    if params.scale >= 0.5 {
+        &[8, 32, 128]
+    } else {
+        &[4, 16]
+    }
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+///
+/// Panics on invalid configuration; see [`try_run_experiment`].
+pub fn run_experiment(params: &ExperimentParams) -> Data {
+    match try_run_experiment(params) {
+        Ok(data) => data,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_experiment`] for callers that map
+/// [`SimError`] to exit codes (the CLI).
+pub fn try_run_experiment(params: &ExperimentParams) -> Result<Data, SimError> {
+    let model = calibrate_model(params)?;
+    let mut rows = Vec::new();
+    for &hosts in fleet_sizes(params) {
+        for keep_alive_min in KEEP_ALIVE_MINUTES {
+            for policy in RoutingPolicy::ALL {
+                let config = FleetConfig {
+                    hosts,
+                    invocations: hosts * INVOCATIONS_PER_HOST,
+                    keep_alive_ms: keep_alive_min * 60_000.0,
+                    policy,
+                    population: POPULATION,
+                    ..FleetConfig::default()
+                };
+                let pair = run_fleet_pair(&config, &model)?;
+                let hits = pair.base.warm_hits + pair.base.lukewarm_hits;
+                rows.push(Row {
+                    policy: policy.label(),
+                    hosts,
+                    keep_alive_min,
+                    cold_start_rate: pair.base.cold_start_rate(),
+                    lukewarm_fraction: pair.base.lukewarm_fraction(),
+                    lukewarm_of_hits: if hits == 0 {
+                        0.0
+                    } else {
+                        pair.base.lukewarm_hits as f64 / hits as f64
+                    },
+                    mean_ms: pair.base.mean_latency_ms(),
+                    p50_ms: pair.base.p50_ms(),
+                    p99_ms: pair.base.p99_ms(),
+                    speedup: pair.speedup(),
+                });
+            }
+        }
+    }
+    Ok(Data {
+        timings: model_timings(&model),
+        rows,
+    })
+}
+
+fn model_timings(model: &ServiceModel) -> Vec<FunctionTiming> {
+    (0..model.functions()).map(|i| model.timing(i).clone()).collect()
+}
+
+impl Data {
+    /// Rows for one policy, in sweep order.
+    pub fn rows_for(&self, policy: RoutingPolicy) -> Vec<&Row> {
+        self.rows.iter().filter(|r| r.policy == policy.label()).collect()
+    }
+
+    /// Worst lukewarm fraction across the sweep for `policy`.
+    pub fn peak_lukewarm_fraction(&self, policy: RoutingPolicy) -> f64 {
+        self.rows_for(policy)
+            .iter()
+            .map(|r| r.lukewarm_fraction)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean lukewarm share of warm hits across the sweep for `policy`.
+    pub fn mean_lukewarm_of_hits(&self, policy: RoutingPolicy) -> f64 {
+        let rows = self.rows_for(policy);
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.lukewarm_of_hits).sum::<f64>() / rows.len() as f64
+    }
+}
+
+impl fmt::Display for Data {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fleet scale: routing policy x fleet size x keep-alive, \
+             {} simulator-calibrated functions",
+            self.timings.len()
+        )?;
+        let mut t = TextTable::new(&[
+            "policy",
+            "hosts",
+            "keep-alive",
+            "cold %",
+            "lukewarm %",
+            "lw/hits %",
+            "mean ms",
+            "p50 ms",
+            "p99 ms",
+            "JB speedup",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                r.policy.to_string(),
+                r.hosts.to_string(),
+                format!("{:.2}min", r.keep_alive_min),
+                format!("{:.1}", r.cold_start_rate * 100.0),
+                format!("{:.1}", r.lukewarm_fraction * 100.0),
+                format!("{:.1}", r.lukewarm_of_hits * 100.0),
+                format!("{:.3}", r.mean_ms),
+                format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p99_ms),
+                format!("{:+.1}%", (r.speedup - 1.0) * 100.0),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "Mean lukewarm share of warm hits: round-robin {:.1}% vs keep-alive-aware {:.1}%",
+            self.mean_lukewarm_of_hits(RoutingPolicy::RoundRobin) * 100.0,
+            self.mean_lukewarm_of_hits(RoutingPolicy::KeepAliveAware) * 100.0,
+        )
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut sweep = luke_obs::Dataset::new(
+            "fleet_scale.sweep",
+            &[
+                "policy",
+                "hosts",
+                "keep_alive_min",
+                "cold_start_rate",
+                "lukewarm_fraction",
+                "lukewarm_of_hits",
+                "mean_ms",
+                "p50_ms",
+                "p99_ms",
+                "speedup",
+            ],
+        );
+        for r in &self.rows {
+            sweep.push_row(vec![
+                r.policy.into(),
+                (r.hosts as u64).into(),
+                r.keep_alive_min.into(),
+                r.cold_start_rate.into(),
+                r.lukewarm_fraction.into(),
+                r.lukewarm_of_hits.into(),
+                r.mean_ms.into(),
+                r.p50_ms.into(),
+                r.p99_ms.into(),
+                r.speedup.into(),
+            ]);
+        }
+        let mut calibration = luke_obs::Dataset::new(
+            "fleet_scale.calibration",
+            &["function", "warm_ms", "lukewarm_factor", "jukebox_factor"],
+        );
+        for t in &self.timings {
+            calibration.push_row(vec![
+                t.name.clone().into(),
+                t.warm_ms.into(),
+                t.lukewarm_factor.into(),
+                t.jukebox_factor.into(),
+            ]);
+        }
+        vec![sweep, calibration]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Data {
+        run_experiment(&ExperimentParams::quick())
+    }
+
+    #[test]
+    fn calibrated_timings_are_ordered_and_paper_sized() {
+        let model = calibrate_model(&ExperimentParams::quick()).unwrap();
+        for i in 0..model.functions() {
+            let t = model.timing(i);
+            assert!(t.warm_ms > 0.05 && t.warm_ms < 10.0, "{}: {}", t.name, t.warm_ms);
+            assert!(t.lukewarm_factor > 1.0, "{}: flush model must cost", t.name);
+            assert!(
+                t.jukebox_factor < t.lukewarm_factor,
+                "{}: jukebox must recover some penalty",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn routing_policy_changes_the_lukewarm_fraction() {
+        let d = data();
+        // Hit-normalized: scattering functions makes essentially every
+        // warm hit lukewarm; pinning them keeps a visible share truly
+        // warm. (The total fraction is policy-dependent too, but in the
+        // opposite-looking direction: locality-blind policies convert
+        // would-be lukewarm hits into cold starts.)
+        let rr = d.mean_lukewarm_of_hits(RoutingPolicy::RoundRobin);
+        let kaa = d.mean_lukewarm_of_hits(RoutingPolicy::KeepAliveAware);
+        assert!(kaa < rr, "keep-alive-aware {kaa} vs round-robin {rr}");
+        // And every sweep point agrees on cold starts and latency.
+        let largest = *fleet_sizes(&ExperimentParams::quick()).last().unwrap();
+        let rr_row = d
+            .rows
+            .iter()
+            .find(|r| r.policy == "round-robin" && r.hosts == largest)
+            .unwrap();
+        let kaa_row = d
+            .rows
+            .iter()
+            .find(|r| r.policy == "keep-alive-aware" && r.hosts == largest)
+            .unwrap();
+        assert!(kaa_row.cold_start_rate < rr_row.cold_start_rate);
+        assert!(kaa_row.mean_ms < rr_row.mean_ms);
+        assert!(kaa_row.lukewarm_fraction != rr_row.lukewarm_fraction);
+    }
+
+    #[test]
+    fn short_keep_alive_raises_cold_starts() {
+        let d = data();
+        for policy in RoutingPolicy::ALL {
+            let rows = d.rows_for(policy);
+            let short: f64 = rows
+                .iter()
+                .filter(|r| r.keep_alive_min < 1.0)
+                .map(|r| r.cold_start_rate)
+                .sum();
+            let long: f64 = rows
+                .iter()
+                .filter(|r| r.keep_alive_min >= 1.0)
+                .map(|r| r.cold_start_rate)
+                .sum();
+            assert!(
+                short > long,
+                "{}: 15s keep-alive cold {short} vs 10min {long}",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn jukebox_speeds_up_every_policy() {
+        let d = data();
+        for policy in RoutingPolicy::ALL {
+            for r in d.rows_for(policy) {
+                assert!(
+                    r.speedup > 1.0,
+                    "{} at {} hosts: speedup {}",
+                    r.policy,
+                    r.hosts,
+                    r.speedup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid() {
+        let d = data();
+        let points = fleet_sizes(&ExperimentParams::quick()).len()
+            * KEEP_ALIVE_MINUTES.len()
+            * RoutingPolicy::ALL.len();
+        assert_eq!(d.rows.len(), points);
+    }
+
+    #[test]
+    fn render_reports_policies_and_calibration() {
+        let d = data();
+        let s = d.to_string();
+        assert!(s.contains("keep-alive-aware"));
+        assert!(s.contains("Mean lukewarm share of warm hits"));
+        let datasets = luke_obs::Export::datasets(&d);
+        assert_eq!(datasets.len(), 2);
+        assert_eq!(datasets[1].rows.len(), 20);
+    }
+}

@@ -16,6 +16,7 @@ use crate::host::HostSim;
 use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::{geomean, mean};
 use luke_common::table::TextTable;
+use luke_common::SimError;
 use std::fmt;
 use workloads::paper_suite;
 
@@ -53,15 +54,40 @@ pub struct Data {
 /// interleaving pushes instruction working sets to DRAM — the regime the
 /// paper describes (§2.2, with thousands of instances).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    match try_run_experiment(params) {
+        Ok(data) => data,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_experiment`] for callers that map
+/// [`SimError`] to exit codes (the CLI).
+pub fn try_run_experiment(params: &ExperimentParams) -> Result<Data, SimError> {
     let profiles: Vec<_> = paper_suite()
         .into_iter()
         .map(|p| p.scaled(params.scale))
         .collect();
-    run_with(&profiles, params)
+    try_run_with(&profiles, params)
 }
 
 /// Runs the validation on an explicit instance set.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty; see [`try_run_with`].
 pub fn run_with(profiles: &[workloads::FunctionProfile], params: &ExperimentParams) -> Data {
+    match try_run_with(profiles, params) {
+        Ok(data) => data,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs the validation on an explicit instance set, rejecting an empty
+/// one with [`SimError`] instead of panicking.
+pub fn try_run_with(
+    profiles: &[workloads::FunctionProfile],
+    params: &ExperimentParams,
+) -> Result<Data, SimError> {
     let config = SystemConfig::skylake();
 
     let warmup_rounds = params.warmup.max(1) as usize;
@@ -70,18 +96,23 @@ pub fn run_with(profiles: &[workloads::FunctionProfile], params: &ExperimentPara
         |rounds: usize| -> Vec<usize> { (0..rounds).flat_map(|_| 0..profiles.len()).collect() };
 
     // True co-run, without and with Jukebox.
-    let corun = |jukebox: bool| -> Vec<f64> {
-        let mut host = HostSim::new(config, profiles, jukebox);
+    let corun = |jukebox: bool| -> Result<Vec<f64>, SimError> {
+        let mut host = HostSim::try_new(config, profiles, jukebox)?;
         host.run_schedule(&schedule(warmup_rounds));
         host.reset_stats();
         host.run_schedule(&schedule(measure_rounds));
-        host.all_stats()
+        Ok(host
+            .all_stats()
             .iter()
-            .map(super::super::host::InstanceStats::cpi)
-            .collect()
+            // Every instance in the round-robin schedule retires
+            // instructions; a `None` CPI would mean the schedule broke,
+            // so degrade it to NaN (filtered by the geomean) rather
+            // than panic.
+            .map(|s| s.cpi().unwrap_or(f64::NAN))
+            .collect())
     };
-    let corun_base = corun(false);
-    let corun_jukebox = corun(true);
+    let corun_base = corun(false)?;
+    let corun_jukebox = corun(true)?;
 
     // Solo and flush-model references per function.
     let rows = profiles
@@ -111,7 +142,7 @@ pub fn run_with(profiles: &[workloads::FunctionProfile], params: &ExperimentPara
             }
         })
         .collect();
-    Data { rows }
+    Ok(Data { rows })
 }
 
 impl Data {
@@ -262,6 +293,20 @@ mod tests {
         let d = data();
         let fidelity = d.flush_model_fidelity();
         assert!((0.25..=1.15).contains(&fidelity), "fidelity {fidelity}");
+    }
+
+    #[test]
+    fn empty_instance_set_is_an_error_not_a_panic() {
+        let err = try_run_with(
+            &[],
+            &ExperimentParams {
+                scale: 0.1,
+                invocations: 1,
+                warmup: 0,
+            },
+        );
+        assert!(err.is_err());
+        assert_eq!(err.err().map(|e| e.exit_code()), Some(3));
     }
 
     #[test]

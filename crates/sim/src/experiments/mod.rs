@@ -18,6 +18,7 @@ pub mod fig10_speedup;
 pub mod fig11_coverage;
 pub mod fig12_bandwidth;
 pub mod fig13_pif;
+pub mod fleet_scale;
 pub mod host_interleaving;
 pub mod keep_alive;
 pub mod related_work;

@@ -18,6 +18,7 @@
 
 use crate::config::SystemConfig;
 use jukebox::os::JukeboxRuntime;
+use luke_common::SimError;
 use sim_cpu::Core;
 use sim_mem::prefetch::NoPrefetcher;
 use sim_mem::{MemoryHierarchy, PageTable};
@@ -35,12 +36,18 @@ pub struct InstanceStats {
 }
 
 impl InstanceStats {
-    /// Mean cycles per instruction across this instance's invocations.
-    pub fn cpi(&self) -> f64 {
+    /// Mean cycles per instruction across this instance's invocations,
+    /// or `None` if no instructions retired — a 0/0 here used to come
+    /// back as `0.0`, which silently skewed downstream geomeans.
+    /// Callers that need a sentinel use `.unwrap_or(f64::NAN)`, matching
+    /// the `RunSummary::try_speedup_over` convention; such degenerate
+    /// samples are surfaced via the `run.invalid_samples` counter in
+    /// [`HostSim::fill_registry`].
+    pub fn cpi(&self) -> Option<f64> {
         if self.instructions == 0 {
-            0.0
+            None
         } else {
-            self.cycles as f64 / self.instructions as f64
+            Some(self.cycles as f64 / self.instructions as f64)
         }
     }
 }
@@ -67,9 +74,29 @@ impl HostSim {
     ///
     /// # Panics
     ///
-    /// Panics if `profiles` is empty.
+    /// Panics if `profiles` is empty. Use [`HostSim::try_new`] to get an
+    /// error instead.
     pub fn new(config: SystemConfig, profiles: &[FunctionProfile], jukebox_enabled: bool) -> Self {
-        assert!(!profiles.is_empty(), "host needs at least one instance");
+        match Self::try_new(config, profiles, jukebox_enabled) {
+            Ok(host) => host,
+            Err(e) => panic!("host needs at least one instance: {e}"),
+        }
+    }
+
+    /// Creates a host, returning an error instead of panicking when
+    /// `profiles` is empty (matching the `InstancePool::try_new`
+    /// pattern; the CLI maps this to its invalid-config exit code).
+    pub fn try_new(
+        config: SystemConfig,
+        profiles: &[FunctionProfile],
+        jukebox_enabled: bool,
+    ) -> Result<Self, SimError> {
+        if profiles.is_empty() {
+            return Err(SimError::invalid_config(
+                "host.profiles",
+                "a host needs at least one warm instance",
+            ));
+        }
         let instances = profiles
             .iter()
             .enumerate()
@@ -88,12 +115,12 @@ impl HostSim {
             }
             rt
         });
-        HostSim {
+        Ok(HostSim {
             core: Core::new(config.core),
             mem: MemoryHierarchy::new(config.mem),
             instances,
             jukebox,
-        }
+        })
     }
 
     /// Number of warm instances.
@@ -167,6 +194,25 @@ impl HostSim {
             .as_ref()
             .map_or(0, |rt| rt.metadata_bytes_total())
     }
+
+    /// Contributes host telemetry to `registry`: instance and
+    /// invocation counts under `host.*`, plus one `run.invalid_samples`
+    /// tick per instance whose statistics cannot yield a CPI (zero
+    /// retired instructions) — the same counter `runner::run_observed`
+    /// uses for degenerate run summaries.
+    pub fn fill_registry(&self, registry: &mut luke_obs::Registry) {
+        registry.gauge_set("host.instances", self.instances.len() as f64);
+        let mut invocations = 0u64;
+        let mut invalid = 0u64;
+        for i in &self.instances {
+            invocations += i.stats.invocations;
+            if i.stats.cpi().is_none() {
+                invalid += 1;
+            }
+        }
+        registry.counter_add("host.invocations", invocations);
+        registry.counter_add("run.invalid_samples", invalid);
+    }
 }
 
 #[cfg(test)]
@@ -197,14 +243,14 @@ mod tests {
         solo.run_schedule(&[0, 0]);
         solo.reset_stats();
         solo.run_schedule(&[0]);
-        let solo_cpi = solo.stats(0).cpi();
+        let solo_cpi = solo.stats(0).cpi().expect("instance retired instructions");
 
         // Co-run: five other instances interleave between its invocations.
         let mut host = HostSim::new(SystemConfig::skylake(), &profiles(6, scale), false);
         host.run_schedule(&round_robin(6, 2));
         host.reset_stats();
         host.run_schedule(&round_robin(6, 1));
-        let co_cpi = host.stats(0).cpi();
+        let co_cpi = host.stats(0).cpi().expect("instance retired instructions");
 
         assert!(
             co_cpi > solo_cpi * 1.1,
@@ -228,8 +274,8 @@ mod tests {
         jb.reset_stats();
         jb.run_schedule(&round_robin(6, 1));
 
-        let base_cpi: f64 = base.all_stats().iter().map(InstanceStats::cpi).sum();
-        let jb_cpi: f64 = jb.all_stats().iter().map(InstanceStats::cpi).sum();
+        let base_cpi: f64 = base.all_stats().iter().filter_map(InstanceStats::cpi).sum();
+        let jb_cpi: f64 = jb.all_stats().iter().filter_map(InstanceStats::cpi).sum();
         assert!(
             jb_cpi < base_cpi * 0.99,
             "jukebox should help under true interleaving: {jb_cpi:.2} vs {base_cpi:.2}"
@@ -252,5 +298,39 @@ mod tests {
     #[should_panic(expected = "at least one instance")]
     fn empty_host_rejected() {
         HostSim::new(SystemConfig::skylake(), &[], false);
+    }
+
+    #[test]
+    fn try_new_reports_empty_profiles_without_panicking() {
+        let err = match HostSim::try_new(SystemConfig::skylake(), &[], false) {
+            Err(e) => e,
+            Ok(_) => panic!("empty profile list must be rejected"),
+        };
+        assert!(format!("{err}").contains("host.profiles"));
+        assert_eq!(err.exit_code(), 3, "invalid config maps to exit 3");
+        assert!(HostSim::try_new(SystemConfig::skylake(), &profiles(1, 0.02), false).is_ok());
+    }
+
+    #[test]
+    fn zero_instruction_stats_have_no_cpi() {
+        let fresh = InstanceStats::default();
+        assert_eq!(fresh.cpi(), None);
+        let real = InstanceStats {
+            invocations: 1,
+            cycles: 300,
+            instructions: 200,
+        };
+        assert_eq!(real.cpi(), Some(1.5));
+    }
+
+    #[test]
+    fn fill_registry_counts_idle_instances_as_invalid_samples() {
+        let mut host = HostSim::new(SystemConfig::skylake(), &profiles(3, 0.02), false);
+        host.run_schedule(&[0, 1]); // instance 2 never runs
+        let mut reg = luke_obs::Registry::new();
+        host.fill_registry(&mut reg);
+        assert_eq!(reg.counter("run.invalid_samples"), 1);
+        assert_eq!(reg.counter("host.invocations"), 2);
+        assert_eq!(reg.gauge("host.instances"), Some(3.0));
     }
 }

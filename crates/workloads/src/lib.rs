@@ -52,4 +52,4 @@ pub mod workflow;
 
 pub use function::SyntheticFunction;
 pub use language::Language;
-pub use profile::{paper_suite, FunctionProfile, InstructionMix};
+pub use profile::{paper_suite, paper_traffic_weights, FunctionProfile, InstructionMix};

@@ -221,9 +221,35 @@ pub fn paper_suite() -> Vec<FunctionProfile> {
     ]
 }
 
+/// Relative invocation popularity of the [`paper_suite`] functions, in
+/// suite order: a Zipf-like rank distribution (exponent 0.9), the shape
+/// of the Azure trace's per-function invocation skew the paper cites in
+/// §2.1 — a few chatty functions carry most of the traffic while the
+/// tail is invoked rarely. Weights are unnormalized; divide by their sum
+/// for probabilities.
+pub fn paper_traffic_weights() -> Vec<f64> {
+    (0..paper_suite().len())
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(0.9))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traffic_weights_are_positive_skewed_and_suite_aligned() {
+        let w = paper_traffic_weights();
+        assert_eq!(w.len(), paper_suite().len());
+        assert!(w.iter().all(|&x| x > 0.0));
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1], "weights must decay with rank");
+        }
+        // Zipf skew: the top 4 functions carry over a third of traffic.
+        let total: f64 = w.iter().sum();
+        let head: f64 = w[..4].iter().sum();
+        assert!(head / total > 0.35, "head share {:.2}", head / total);
+    }
 
     #[test]
     fn suite_has_twenty_functions() {

@@ -1,0 +1,152 @@
+//! Proof of the fleet simulator's headline property: the worker-thread
+//! count is results-neutral. A 1-thread run and a 4-thread run of the
+//! same config produce bit-identical telemetry snapshots, latency
+//! histograms, per-host summaries, lifecycle traces, and exported
+//! JSON/CSV — with and without fault injection, and for every routing
+//! policy.
+
+use lukewarm::fleet::{run_fleet, run_fleet_pair, FleetConfig, RoutingPolicy, ServiceModel};
+use lukewarm::server::FaultRates;
+use lukewarm::workloads::paper_suite;
+use luke_obs::export::{to_csv, to_json};
+use luke_obs::Export;
+
+/// A 64-host sweep config — the same scale the `fleet_scale` bench uses
+/// to demonstrate the parallel speedup.
+fn sweep_config() -> FleetConfig {
+    FleetConfig {
+        hosts: 64,
+        invocations: 64 * 500,
+        population: 200,
+        events_capacity: 256,
+        ..FleetConfig::default()
+    }
+}
+
+fn model() -> ServiceModel {
+    ServiceModel::analytic(&paper_suite()).expect("paper suite is valid")
+}
+
+/// Asserts every observable surface of two runs is identical.
+fn assert_bit_identical(a: &lukewarm::fleet::FleetRun, b: &lukewarm::fleet::FleetRun) {
+    assert_eq!(a.snapshot.to_json(), b.snapshot.to_json(), "snapshot");
+    assert_eq!(a.latency_us, b.latency_us, "latency histogram");
+    assert_eq!(a.per_host, b.per_host, "per-host summaries");
+    assert_eq!(a.events.events(), b.events.events(), "lifecycle trace");
+    assert_eq!(to_json(&a.datasets()), to_json(&b.datasets()), "JSON export");
+    assert_eq!(to_csv(&a.datasets()), to_csv(&b.datasets()), "CSV export");
+}
+
+#[test]
+fn four_threads_are_bit_identical_to_one_on_a_64_host_sweep() {
+    let m = model();
+    let one = run_fleet(&sweep_config(), &m, false).expect("1-thread run");
+    let four = run_fleet(
+        &FleetConfig {
+            threads: 4,
+            ..sweep_config()
+        },
+        &m,
+        false,
+    )
+    .expect("4-thread run");
+    assert!(one.invocations > 0);
+    assert_bit_identical(&one, &four);
+}
+
+#[test]
+fn every_policy_is_thread_count_neutral() {
+    let m = model();
+    for policy in RoutingPolicy::ALL {
+        let base = FleetConfig {
+            policy,
+            hosts: 16,
+            invocations: 8_000,
+            ..sweep_config()
+        };
+        let one = run_fleet(&base, &m, false).expect("1-thread run");
+        let four = run_fleet(
+            &FleetConfig {
+                threads: 4,
+                ..base.clone()
+            },
+            &m,
+            false,
+        )
+        .expect("4-thread run");
+        assert_bit_identical(&one, &four);
+    }
+}
+
+#[test]
+fn fault_injection_stays_deterministic_across_thread_counts() {
+    // Each host draws from its own seed-split fault stream, so the fault
+    // layer must be exactly as schedule-independent as the happy path.
+    let m = model();
+    let base = FleetConfig {
+        fault_rates: FaultRates {
+            crash: 0.01,
+            timeout: 0.01,
+            cold_start_failure: 0.02,
+            memory_pressure: 0.02,
+        },
+        ..sweep_config()
+    };
+    let one = run_fleet(&base, &m, false).expect("1-thread run");
+    let four = run_fleet(
+        &FleetConfig {
+            threads: 4,
+            ..base.clone()
+        },
+        &m,
+        false,
+    )
+    .expect("4-thread run");
+    let faults = one.snapshot.counter("fault.crashes")
+        + one.snapshot.counter("fault.timeouts")
+        + one.snapshot.counter("fault.cold_start_failures")
+        + one.snapshot.counter("fault.evictions");
+    assert!(faults > 0, "fault plan actually drew faults");
+    assert_bit_identical(&one, &four);
+}
+
+#[test]
+fn uneven_and_oversubscribed_shards_are_results_neutral() {
+    // 64 hosts over 3 threads leaves a ragged final shard; 64 threads
+    // puts one host per shard. Neither may shift a single bit.
+    let m = model();
+    let one = run_fleet(&sweep_config(), &m, false).expect("1-thread run");
+    for threads in [3, 64, 200] {
+        let run = run_fleet(
+            &FleetConfig {
+                threads,
+                ..sweep_config()
+            },
+            &m,
+            false,
+        )
+        .expect("sharded run");
+        assert_bit_identical(&one, &run);
+    }
+}
+
+#[test]
+fn jukebox_pair_summaries_match_across_thread_counts() {
+    let m = model();
+    let one = run_fleet_pair(&sweep_config(), &m).expect("1-thread pair");
+    let four = run_fleet_pair(
+        &FleetConfig {
+            threads: 4,
+            ..sweep_config()
+        },
+        &m,
+    )
+    .expect("4-thread pair");
+    assert_eq!(
+        to_json(&one.datasets()),
+        to_json(&four.datasets()),
+        "pair export (base + jukebox + speedup)"
+    );
+    assert_eq!(one.speedup(), four.speedup());
+    assert!(one.speedup() > 1.0, "speedup {}", one.speedup());
+}

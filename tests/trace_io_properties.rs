@@ -1,0 +1,122 @@
+//! Property-based tests for the binary trace codec: round-trip identity
+//! over arbitrary instruction mixes (including the empty and
+//! single-record traces), exact encoded-size accounting, and rejection
+//! of every strict prefix of a valid stream.
+
+use lukewarm::common::addr::VirtAddr;
+use lukewarm::cpu::{BranchKind, Instr, InstrKind};
+use lukewarm::workloads::trace_io::{read_trace, write_trace};
+use proptest::prelude::*;
+
+/// A strategy over every instruction kind the codec can carry.
+fn instr() -> impl Strategy<Value = Instr> {
+    (
+        any::<u64>(), // pc
+        1u8..16,      // size
+        0u8..4,       // kind tag
+        any::<u64>(), // data address / branch target
+        0u8..5,       // branch kind
+        any::<bool>(),
+    )
+        .prop_map(|(pc, size, tag, addr, branch, taken)| {
+            let pc = VirtAddr::new(pc);
+            let addr = VirtAddr::new(addr);
+            match tag {
+                0 => Instr::alu(pc, size),
+                1 => Instr::load(pc, size, addr),
+                2 => Instr::store(pc, size, addr),
+                _ => Instr::branch(pc, size, branch_kind(branch), taken, addr),
+            }
+        })
+}
+
+fn branch_kind(tag: u8) -> BranchKind {
+    match tag {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        _ => BranchKind::Indirect,
+    }
+}
+
+/// The codec's documented layout: 16-byte header, then 10 bytes per
+/// record plus a kind-dependent payload.
+fn encoded_len(trace: &[Instr]) -> usize {
+    16 + trace
+        .iter()
+        .map(|i| {
+            10 + match i.kind {
+                InstrKind::Alu => 0,
+                InstrKind::Load(_) | InstrKind::Store(_) => 8,
+                InstrKind::Branch { .. } => 10,
+            }
+        })
+        .sum::<usize>()
+}
+
+#[test]
+fn empty_trace_round_trips() {
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &[]).unwrap();
+    assert_eq!(bytes.len(), 16, "header only");
+    assert_eq!(read_trace(bytes.as_slice()).unwrap(), Vec::<Instr>::new());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_record_round_trips(i in instr()) {
+        let trace = vec![i];
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        prop_assert_eq!(read_trace(bytes.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn arbitrary_traces_round_trip(trace in prop::collection::vec(instr(), 0..200)) {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        prop_assert_eq!(read_trace(bytes.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn encoding_is_canonical(trace in prop::collection::vec(instr(), 0..100)) {
+        // write ∘ read ∘ write = write: re-encoding a decoded trace
+        // reproduces the original bytes exactly.
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        let decoded = read_trace(bytes.as_slice()).unwrap();
+        let mut again = Vec::new();
+        write_trace(&mut again, &decoded).unwrap();
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn encoded_size_matches_the_documented_layout(
+        trace in prop::collection::vec(instr(), 0..100),
+    ) {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        prop_assert_eq!(bytes.len(), encoded_len(&trace));
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected(
+        trace in prop::collection::vec(instr(), 1..50),
+        cut in any::<u64>(),
+    ) {
+        // The header carries the record count, so no strict prefix of a
+        // non-empty stream can decode cleanly.
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).unwrap();
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(
+            read_trace(&bytes[..cut]).is_err(),
+            "prefix of {} / {} bytes parsed",
+            cut,
+            bytes.len()
+        );
+    }
+}
