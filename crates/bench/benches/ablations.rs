@@ -2,10 +2,6 @@
 //! replay temporal order, CRRB depth, and snapshot-accelerated cold boot
 //! (§3.4.2).
 
-use lukewarm_sim::experiments::ablations;
-
 fn main() {
-    luke_bench::harness("Ablations: Jukebox design choices", |params| {
-        ablations::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("ablations");
 }

@@ -1,0 +1,82 @@
+//! **Engine scaling** — the shared experiment engine at 1/2/4/8 worker
+//! threads over a representative figure subset (including the fig11/fig12
+//! shared grid, so the cache gets real cross-figure hits). Each sweep
+//! verifies its JSON export byte-identical to the single-threaded run and
+//! reports cells simulated, cache hit rate and wall-clock speedup.
+
+use lukewarm_sim::engine::{find, Experiment};
+use lukewarm_sim::Engine;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Figures in the sweep: the Top-Down and MPKI characterizations, the
+/// headline speedup, and the coverage/bandwidth pair that shares a plan.
+const FIGURES: [&str; 5] = ["fig02", "fig05", "fig10", "fig11", "fig12"];
+
+fn main() {
+    luke_bench::harness("Engine scaling", |params| {
+        let experiments: Vec<&dyn Experiment> = FIGURES
+            .iter()
+            .map(|name| find(name).expect("figure is registered"))
+            .collect();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut out = String::new();
+        writeln!(
+            out,
+            "figures: {} ({} core(s) available)",
+            FIGURES.join(" "),
+            cores
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:>7}  {:>9}  {:>8}  {:>6}  {:>9}",
+            "threads", "elapsed", "speedup", "cells", "hit rate"
+        )
+        .unwrap();
+        let mut reference: Option<(String, f64)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let engine = Engine::new(threads);
+            let start = Instant::now();
+            let mut json = String::new();
+            for experiment in &experiments {
+                let data = engine
+                    .execute(*experiment, params)
+                    .expect("experiment completes");
+                json.push_str(&luke_obs::export::to_json(&data.datasets()));
+                json.push('\n');
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let serial = match &reference {
+                None => {
+                    reference = Some((json, elapsed));
+                    elapsed
+                }
+                Some((baseline, serial)) => {
+                    assert_eq!(
+                        &json, baseline,
+                        "{threads}-thread export diverged from 1-thread"
+                    );
+                    *serial
+                }
+            };
+            let planned = engine.cells_simulated() + engine.cache_hits();
+            writeln!(
+                out,
+                "  {:>7}  {:>8.3}s  {:>7.2}x  {:>6}  {:>8.1}%",
+                threads,
+                elapsed,
+                serial / elapsed,
+                engine.cells_simulated(),
+                100.0 * engine.cache_hits() as f64 / planned as f64,
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "  (exports verified byte-identical across thread counts)"
+        )
+        .unwrap();
+        out
+    });
+}

@@ -3,10 +3,6 @@
 //! host. Paper: CPI climbs with IAT and saturates around 250–270% past
 //! one-second IATs.
 
-use lukewarm_sim::experiments::fig01;
-
 fn main() {
-    luke_bench::harness("Figure 1: CPI vs IAT", |params| {
-        fig01::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig01");
 }

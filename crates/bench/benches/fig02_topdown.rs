@@ -3,10 +3,6 @@
 //! aggregated means. Paper: interleaving raises CPI 31–114% (70% average);
 //! fetch latency is 56% of the extra stall cycles.
 
-use lukewarm_sim::experiments::fig02;
-
 fn main() {
-    luke_bench::harness("Figures 2-4: Top-Down characterization", |params| {
-        fig02::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig02");
 }

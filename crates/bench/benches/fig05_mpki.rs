@@ -3,10 +3,6 @@
 //! (ref/interleaved); LLC instruction misses ≈0 in reference, >10 when
 //! interleaved, mostly instructions.
 
-use lukewarm_sim::experiments::fig05;
-
 fn main() {
-    luke_bench::harness("Figure 5: cache-miss characterization", |params| {
-        fig05::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig05");
 }

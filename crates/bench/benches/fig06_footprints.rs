@@ -3,10 +3,6 @@
 //! functions. Paper: footprints 300–800KB with low variance; mean
 //! commonality ≥0.9 for 17 of 20 functions.
 
-use lukewarm_sim::experiments::fig06;
-
 fn main() {
-    luke_bench::harness("Figure 6: footprints and commonality", |params| {
-        fig06::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig06");
 }

@@ -2,10 +2,6 @@
 //! 16-entry CRRB). Paper: minimum near 1KB regions, 9.6–29.5KB across the
 //! suite, Go functions at the small end.
 
-use lukewarm_sim::experiments::fig08;
-
 fn main() {
-    luke_bench::harness("Figure 8: metadata vs region size", |params| {
-        fig08::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig08");
 }

@@ -3,10 +3,6 @@
 //! beyond 16KB on average; large-working-set functions are the most
 //! sensitive.
 
-use lukewarm_sim::experiments::fig09;
-
 fn main() {
-    luke_bench::harness("Figure 9: speedup vs metadata budget", |params| {
-        fig09::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig09");
 }

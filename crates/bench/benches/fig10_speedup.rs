@@ -2,10 +2,6 @@
 //! speedups over the interleaved baseline on the Skylake-like platform,
 //! all 20 functions. Paper: Jukebox ≈18.7% geomean, Perfect ≈31%.
 
-use lukewarm_sim::experiments::fig10;
-
 fn main() {
-    luke_bench::harness("Figure 10: Jukebox speedup", |params| {
-        fig10::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig10");
 }

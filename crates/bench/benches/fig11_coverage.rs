@@ -2,10 +2,6 @@
 //! normalized to baseline misses. Paper: Go 75–90% coverage,
 //! Python/NodeJS 48–74% (metadata overflow), ≈10% overprediction.
 
-use lukewarm_sim::experiments::fig11;
-
 fn main() {
-    luke_bench::harness("Figure 11: miss coverage", |params| {
-        fig11::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig11");
 }

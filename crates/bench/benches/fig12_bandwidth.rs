@@ -2,10 +2,6 @@
 //! overpredicted prefetches and metadata record/replay traffic.
 //! Paper: ≈14% average, ≤23% worst case.
 
-use lukewarm_sim::experiments::fig12;
-
 fn main() {
-    luke_bench::harness("Figure 12: bandwidth overhead", |params| {
-        fig12::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig12");
 }

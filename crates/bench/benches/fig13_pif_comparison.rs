@@ -2,10 +2,6 @@
 //! Jukebox, Jukebox+PIF-ideal. Paper: PIF ≈2.4%, PIF-ideal ≈6.7%,
 //! Jukebox ≈18.7%.
 
-use lukewarm_sim::experiments::fig13;
-
 fn main() {
-    luke_bench::harness("Figure 13: PIF comparison", |params| {
-        fig13::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("fig13");
 }

@@ -2,10 +2,6 @@
 //! model (§5.2) against true multi-instance interleaving on a shared core
 //! and hierarchy, and Jukebox's benefit under the real thing.
 
-use lukewarm_sim::experiments::host_interleaving;
-
 fn main() {
-    luke_bench::harness("Host interleaving validation", |params| {
-        host_interleaving::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("host");
 }

@@ -2,10 +2,6 @@
 //! the provider keep-alive window, over a heavy-tailed function
 //! population. The supply side of the lukewarm phenomenon.
 
-use lukewarm_sim::experiments::keep_alive;
-
 fn main() {
-    luke_bench::harness("Keep-alive economics", |params| {
-        keep_alive::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("keep-alive");
 }

@@ -2,10 +2,6 @@
 //! (Daly & Cain / RECAP) vs BTB-directed prefetching (FDIP/Boomerang):
 //! speedup, metadata traffic and bandwidth on the same harness.
 
-use lukewarm_sim::experiments::related_work;
-
 fn main() {
-    luke_bench::harness("Related work: prior-art families", |params| {
-        related_work::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("related-work");
 }

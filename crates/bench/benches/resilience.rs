@@ -2,10 +2,6 @@
 //! and SLO attainment under seeded fault injection, for warm vs lukewarm
 //! vs lukewarm+Jukebox at a sweep of fault rates.
 
-use lukewarm_sim::experiments::resilience;
-
 fn main() {
-    luke_bench::harness("Resilience: workflows under fault injection", |params| {
-        resilience::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("resilience");
 }

@@ -2,10 +2,6 @@
 //! instruction-MPKI reduction on both platforms and the Broadwell geomean
 //! speedup. Paper: LLC −86%/−91%, L2 −74%/−15%, Broadwell ≈12% speedup.
 
-use lukewarm_sim::experiments::table3;
-
 fn main() {
-    luke_bench::harness("Table 3: Broadwell-like platform", |params| {
-        table3::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("table3");
 }

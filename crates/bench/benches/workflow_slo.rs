@@ -2,10 +2,6 @@
 //! Boutique request chains (the SLO framing of the paper's introduction):
 //! warm vs lukewarm vs lukewarm+Jukebox, per stage and end-to-end.
 
-use lukewarm_sim::experiments::workflow_slo;
-
 fn main() {
-    luke_bench::harness("Workflows: end-to-end SLO impact", |params| {
-        workflow_slo::run_experiment(params).to_string()
-    });
+    luke_bench::harness_experiment("workflows");
 }

@@ -47,6 +47,28 @@ pub fn harness<F: FnOnce(&ExperimentParams) -> String>(name: &str, body: F) {
     println!("[{name} completed in {:.1?}]", start.elapsed());
 }
 
+/// Runs one registered experiment through a single-threaded
+/// [`Engine`](lukewarm_sim::Engine), with the banner taken from the
+/// registry entry and the engine's cache summary appended — the body of
+/// every per-figure `[[bench]]` target.
+///
+/// # Panics
+///
+/// Panics when `name` is not registered or the experiment reports an
+/// integrity error (benches should fail loudly).
+pub fn harness_experiment(name: &str) {
+    let experiment = lukewarm_sim::engine::find(name)
+        .unwrap_or_else(|| panic!("{name} is not a registered experiment"));
+    let banner = format!("{}: {}", experiment.name(), experiment.description());
+    harness(&banner, |params| {
+        let engine = lukewarm_sim::Engine::single();
+        let data = engine
+            .execute(experiment, params)
+            .expect("experiment completes");
+        format!("{data}\n{}", engine.summary_line())
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

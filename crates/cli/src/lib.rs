@@ -30,7 +30,7 @@ use luke_common::SimError;
 use luke_obs::{Dataset, Export};
 use lukewarm_sim::experiments as exp;
 use lukewarm_sim::runner::{run, run_observed, RunSpec};
-use lukewarm_sim::{ExperimentParams, PrefetcherKind, SystemConfig};
+use lukewarm_sim::{Engine, ExperimentParams, PrefetcherKind, SystemConfig};
 use workloads::workflow::Workflow;
 use workloads::{paper_suite, FunctionProfile};
 
@@ -62,12 +62,17 @@ pub enum Command {
         /// Common options.
         options: Options,
     },
-    /// `lukewarm figure NAME ...`
+    /// `lukewarm figure NAME ...` or `lukewarm figure --all ...`
     Figure {
-        /// Figure/table name (e.g. `fig10`).
+        /// Figure/table name (e.g. `fig10`); empty when `all` is set.
         name: String,
         /// Common options.
         options: Options,
+        /// Worker threads for the experiment engine. Results-neutral:
+        /// the output is bit-identical for any value (CI diffs 1 vs 4).
+        threads: usize,
+        /// Run every registered experiment through one shared engine.
+        all: bool,
     },
     /// `lukewarm workflow NAME ...`
     Workflow {
@@ -162,12 +167,15 @@ impl Default for Options {
 }
 
 impl Options {
-    fn params(&self) -> ExperimentParams {
-        ExperimentParams {
-            scale: self.scale,
-            invocations: self.invocations,
-            warmup: 2,
-        }
+    /// Validated experiment parameters. Nonsense values (`--scale -1`,
+    /// `--invocations 0`) surface as [`SimError::InvalidConfig`] with its
+    /// exit code 3, like every other invalid-configuration error.
+    fn try_params(&self) -> Result<ExperimentParams, CliError> {
+        Ok(ExperimentParams::try_new(
+            self.scale,
+            self.invocations,
+            2,
+        )?)
     }
 }
 
@@ -268,13 +276,38 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "figure" => {
-            let (name, opts, extras) = parse_function_and_options(&rest)?;
-            if let Some((k, _)) = extras.first() {
-                return Err(CliError::usage(format!("unknown option {k}")));
+            // `figure --all` has no NAME argument; feed the option parser
+            // the remaining pairs only.
+            let all = rest.first().map(|s| s.as_str()) == Some("--all");
+            let (name, opts, extras) = if all {
+                let mut padded: Vec<&String> = Vec::with_capacity(rest.len());
+                let placeholder = String::new();
+                // The parser's NAME slot; dropped below.
+                padded.push(&placeholder);
+                padded.extend(rest.iter().skip(1).copied());
+                let (_, opts, extras) = parse_function_and_options(&padded)?;
+                (String::new(), opts, extras)
+            } else {
+                parse_function_and_options(&rest)?
+            };
+            let mut threads = 1usize;
+            for (key, value) in &extras {
+                match key.as_str() {
+                    "--threads" => {
+                        threads = value
+                            .parse()
+                            .map_err(|_| CliError::usage(format!("bad --threads {value:?}")))?;
+                    }
+                    other => {
+                        return Err(CliError::usage(format!("unknown option {other}")));
+                    }
+                }
             }
             Ok(Command::Figure {
                 name,
                 options: opts,
+                threads,
+                all,
             })
         }
         "workflow" => {
@@ -380,21 +413,18 @@ fn parse_function_and_options(
             .next()
             .ok_or_else(|| CliError::usage(format!("option {key} needs a value")))?;
         match key.as_str() {
+            // Range checks happen at execute time via
+            // [`ExperimentParams::try_new`] (exit code 3); parsing only
+            // rejects non-numeric values.
             "--scale" => {
                 opts.scale = value
                     .parse()
                     .map_err(|_| CliError::usage(format!("bad --scale {value:?}")))?;
-                if opts.scale <= 0.0 {
-                    return Err(CliError::usage("--scale must be positive"));
-                }
             }
             "--invocations" => {
                 opts.invocations = value
                     .parse()
                     .map_err(|_| CliError::usage(format!("bad --invocations {value:?}")))?;
-                if opts.invocations == 0 {
-                    return Err(CliError::usage("--invocations must be positive"));
-                }
             }
             "--platform" => opts.platform = parse_platform(value)?,
             "--emit" => opts.emit = parse_emit(value)?,
@@ -471,6 +501,15 @@ fn render<T: std::fmt::Display + Export>(data: &T, emit: Emit) -> String {
     }
 }
 
+/// [`render`] for registry-produced trait objects.
+fn render_dyn(data: &dyn lukewarm_sim::engine::ExperimentData, emit: Emit) -> String {
+    match emit {
+        Emit::Table => data.to_string(),
+        Emit::Json => luke_obs::export::to_json(&data.datasets()),
+        Emit::Csv => luke_obs::export::to_csv(&data.datasets()),
+    }
+}
+
 /// Renders already-built datasets (for results assembled in the CLI).
 fn render_datasets(datasets: &[Dataset], emit: Emit, table: impl FnOnce() -> String) -> String {
     match emit {
@@ -518,6 +557,10 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 let stages: Vec<&str> = w.stages.iter().map(|s| s.name.as_str()).collect();
                 out.push_str(&format!("  {:<18} {}\n", w.name, stages.join(" -> ")));
             }
+            out.push_str("\nExperiments (lukewarm figure NAME):\n");
+            for e in lukewarm_sim::engine::registry() {
+                out.push_str(&format!("  {:<14} {}\n", e.name(), e.description()));
+            }
             Ok(out)
         }
         Command::Describe { platform } => Ok(platform.config().describe()),
@@ -526,7 +569,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         Command::Run { function, options, .. } if function == "resilience" => {
             options.platform.config().validate()?;
             Ok(render(
-                &exp::resilience::run_experiment(&options.params()),
+                &exp::resilience::run_experiment(&options.try_params()?),
                 options.emit,
             ))
         }
@@ -536,6 +579,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             prefetcher,
             state,
         } => {
+            let params = options.try_params()?;
             let profile = lookup_function(function)?.scaled(options.scale);
             let config = options.platform.config();
             config.validate()?;
@@ -544,13 +588,13 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             // JSON/CSV export the full metrics-registry snapshot — a
             // strict superset of the text summary below.
             if options.emit != Emit::Table {
-                let obs = run_observed(&config, &profile, kind, spec, &options.params(), 0);
+                let obs = run_observed(&config, &profile, kind, spec, &params, 0);
                 return Ok(match options.emit {
                     Emit::Json => obs.registry.to_json(),
                     _ => obs.registry.to_csv(),
                 });
             }
-            let s = run(&config, &profile, kind, spec, &options.params());
+            let s = run(&config, &profile, kind, spec, &params);
             let td = s.cpi_stack();
             Ok(format!(
                 "{} on {} ({} x{} invocations, {state})\n\
@@ -584,10 +628,10 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             ))
         }
         Command::Compare { function, options } => {
+            let params = options.try_params()?;
             let profile = lookup_function(function)?.scaled(options.scale);
             let config = options.platform.config();
             config.validate()?;
-            let params = options.params();
             let reference = run(
                 &config,
                 &profile,
@@ -661,44 +705,66 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 (perfect.speedup_over(&baseline) - 1.0) * 100.0,
             ))
         }
-        Command::Figure { name, options } => {
-            let params = options.params();
+        Command::Figure {
+            name,
+            options,
+            threads,
+            all,
+        } => {
+            let params = options.try_params()?;
             let emit = options.emit;
-            let rendered = match name.as_str() {
-                "table1" => render_datasets(&table1_datasets(), emit, || {
+            let engine = Engine::new(*threads);
+            if *all {
+                // Every registered experiment through one shared engine:
+                // cells duplicated across figures simulate exactly once.
+                let mut sections = Vec::new();
+                let mut datasets = Vec::new();
+                for experiment in lukewarm_sim::engine::registry() {
+                    let data = engine.execute(*experiment, &params)?;
+                    match emit {
+                        Emit::Table => {
+                            sections.push(format!("=== {} ===\n{data}", experiment.name()));
+                        }
+                        _ => datasets.extend(data.datasets()),
+                    }
+                }
+                return Ok(match emit {
+                    Emit::Table => {
+                        sections.push(engine.summary_line());
+                        sections.join("\n")
+                    }
+                    _ => {
+                        datasets.push(engine.dataset());
+                        render_datasets(&datasets, emit, String::new)
+                    }
+                });
+            }
+            if name == "table1" {
+                // Table 1 is configuration description, not an experiment.
+                return Ok(render_datasets(&table1_datasets(), emit, || {
                     format!(
                         "{}\n{}",
                         SystemConfig::skylake().describe(),
                         SystemConfig::broadwell().describe()
                     )
-                }),
-                "fig01" => render(&exp::fig01::run_experiment(&params), emit),
-                "fig02" | "fig03" | "fig04" => render(&exp::fig02::run_experiment(&params), emit),
-                "fig05" => render(&exp::fig05::run_experiment(&params), emit),
-                "fig06" => render(&exp::fig06::run_experiment(&params), emit),
-                "fig08" => render(&exp::fig08::run_experiment(&params), emit),
-                "fig09" => render(&exp::fig09::run_experiment(&params), emit),
-                "fig10" => render(&exp::fig10::run_experiment(&params), emit),
-                "fig11" => render(&exp::fig11::run_experiment(&params), emit),
-                "fig12" => render(&exp::fig12::run_experiment(&params), emit),
-                "fig13" => render(&exp::fig13::run_experiment(&params), emit),
-                "table3" => render(&exp::table3::run_experiment(&params), emit),
-                "ablations" => render(&exp::ablations::run_experiment(&params), emit),
-                "related-work" => render(&exp::related_work::run_experiment(&params), emit),
-                "workflows" => render(&exp::workflow_slo::run_experiment(&params), emit),
-                "host" => render(&exp::host_interleaving::try_run_experiment(&params)?, emit),
-                "keep-alive" => render(&exp::keep_alive::run_experiment(&params), emit),
-                "resilience" => render(&exp::resilience::run_experiment(&params), emit),
-                "fleet" => render(&exp::fleet_scale::try_run_experiment(&params)?, emit),
-                other => {
-                    return Err(CliError::usage(format!(
-                        "unknown figure {other:?}; one of: table1 fig01 fig02 fig05 fig06 \
-                         fig08 fig09 fig10 fig11 fig12 fig13 table3 ablations related-work \
-                         workflows host keep-alive resilience fleet"
+                }));
+            }
+            match lukewarm_sim::engine::find(name) {
+                Some(experiment) => {
+                    let data = engine.execute(experiment, &params)?;
+                    Ok(render_dyn(data.as_ref(), emit))
+                }
+                None => {
+                    let names: Vec<&str> = lukewarm_sim::engine::registry()
+                        .iter()
+                        .map(|e| e.name())
+                        .collect();
+                    Err(CliError::usage(format!(
+                        "unknown figure {name:?}; one of: table1 {}",
+                        names.join(" ")
                     )))
                 }
-            };
-            Ok(rendered)
+            }
         }
         Command::Workflow { name, options } => {
             let workflow = Workflow::paper_workflows()
@@ -715,7 +781,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                     ))
                 })?;
             let result =
-                exp::workflow_slo::run_workflow(&workflow, &options.params());
+                exp::workflow_slo::run_workflow(&workflow, &options.try_params()?);
             let data = exp::workflow_slo::Data {
                 workflows: vec![result],
             };
@@ -749,19 +815,13 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             state,
             ..
         } => {
+            let params = options.try_params()?;
             let profile = lookup_function(function)?.scaled(options.scale);
             let config = options.platform.config();
             config.validate()?;
             let kind = parse_prefetcher(prefetcher, options.platform)?;
             let spec = parse_state(state)?;
-            let obs = run_observed(
-                &config,
-                &profile,
-                kind,
-                spec,
-                &options.params(),
-                TRACE_CAPACITY,
-            );
+            let obs = run_observed(&config, &profile, kind, spec, &params, TRACE_CAPACITY);
             Ok(luke_obs::trace::chrome_trace(
                 &format!("{} on {} ({})", profile.name, config.name, kind.label()),
                 &obs.events,
@@ -805,7 +865,8 @@ fn help_text() -> String {
      \x20                       [--prefetcher K] [--state lukewarm|reference]\n\
      \x20 lukewarm run resilience [--scale S] [--invocations N]\n\
      \x20 lukewarm compare FUNCTION [--scale S] [--invocations N] [--platform P]\n\
-     \x20 lukewarm figure NAME [--scale S] [--invocations N]\n\
+     \x20 lukewarm figure NAME [--scale S] [--invocations N] [--threads T]\n\
+     \x20 lukewarm figure --all [--scale S] [--invocations N] [--threads T]\n\
      \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\
      \x20 lukewarm trace FUNCTION [--prefetcher K] [--state ST] [--out FILE]\n\
      \x20 lukewarm fleet [--hosts N] [--threads T] [--policy rr|ll|kaa]\n\
@@ -871,13 +932,15 @@ mod tests {
     #[test]
     fn bad_values_are_rejected() {
         assert!(parse(&argv("run Auth-G --scale zero")).is_err());
-        assert!(parse(&argv("run Auth-G --scale -1")).is_err());
-        assert!(parse(&argv("run Auth-G --invocations 0")).is_err());
         assert!(parse(&argv("run Auth-G --prefetcher warp-drive")).is_err());
         assert!(parse(&argv("run Auth-G --state tepid")).is_err());
         assert!(parse(&argv("run")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("compare Auth-G --bogus 1")).is_err());
+        // Out-of-range (but numeric) values parse; they are rejected at
+        // execute time as InvalidConfig (exit code 3).
+        assert!(parse(&argv("run Auth-G --scale -1")).is_ok());
+        assert!(parse(&argv("run Auth-G --invocations 0")).is_ok());
     }
 
     #[test]
@@ -922,6 +985,43 @@ mod tests {
     fn unknown_figure_lists_options() {
         let err = run_cli(&argv("figure fig99")).unwrap_err();
         assert!(err.message.contains("fig10"));
+    }
+
+    #[test]
+    fn figure_parses_threads_and_all() {
+        match parse(&argv("figure fig10 --threads 2")).unwrap() {
+            Command::Figure { name, threads, all, .. } => {
+                assert_eq!(name, "fig10");
+                assert_eq!(threads, 2);
+                assert!(!all);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("figure --all --threads 4 --scale 0.02 --emit json")).unwrap() {
+            Command::Figure { options, threads, all, .. } => {
+                assert_eq!(threads, 4);
+                assert!(all);
+                assert_eq!(options.scale, 0.02);
+                assert_eq!(options.emit, Emit::Json);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert_eq!(parse(&argv("figure fig10 --threads x")).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn figure_all_shares_cells_across_experiments() {
+        // One shared engine per invocation: at least one figure replans a
+        // cell another already simulated (e.g. fig12 reuses fig11's grid).
+        let out = run_cli(&argv("figure --all --scale 0.02 --invocations 1")).unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("engine: "))
+            .expect("table output ends with the engine summary");
+        assert!(!line.contains(" 0 cache hits"), "{line}");
+        for e in lukewarm_sim::engine::registry() {
+            assert!(out.contains(&format!("=== {} ===", e.name())), "{}", e.name());
+        }
     }
 
     #[test]
@@ -990,7 +1090,17 @@ mod tests {
     #[test]
     fn usage_errors_exit_with_code_two() {
         assert_eq!(run_cli(&argv("frobnicate")).unwrap_err().code, 2);
-        assert_eq!(run_cli(&argv("run Auth-G --scale -1")).unwrap_err().code, 2);
+        assert_eq!(run_cli(&argv("run Auth-G --scale x2")).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn out_of_range_params_are_config_errors() {
+        let err = run_cli(&argv("run Auth-G --scale -1")).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("params.scale"));
+        let err = run_cli(&argv("figure fig10 --invocations 0")).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("params.invocations"));
     }
 
     #[test]

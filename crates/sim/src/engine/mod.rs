@@ -1,0 +1,325 @@
+//! The shared experiment engine: a registry of every experiment, a
+//! deterministic parallel executor for their simulation cells, and a
+//! memoized cell cache shared across experiments.
+//!
+//! # Model
+//!
+//! An experiment is a *plan* plus a *fold*. The plan ([`Experiment::plan`])
+//! enumerates the [`Cell`]s — (platform, function, prefetcher, state)
+//! points — the experiment will measure; the fold ([`Experiment::run`])
+//! calls [`Engine::run`] per cell and aggregates the summaries into the
+//! experiment's typed `Data` struct exactly as the hand-rolled loops did.
+//!
+//! # Determinism
+//!
+//! [`runner::run`](crate::runner::run) is a pure function of the cell key:
+//! the simulator seeds its RNG from the configuration, so equal cells
+//! produce bit-identical [`RunSummary`]s. The engine exploits this twice:
+//!
+//! * **Memoization** — a cell simulated once is served from the cache
+//!   forever after; since a cache hit returns the exact value a fresh
+//!   simulation would, memoization cannot change any experiment's output.
+//! * **Parallelism** — [`Engine::prefetch`] plans sequentially (dedup in
+//!   plan order), executes the missing cells shard-parallel over
+//!   [`std::thread::scope`] workers that share nothing and write results
+//!   into disjoint slots, then merges into the cache in plan order. The
+//!   fold itself stays sequential and reads only cached values, so
+//!   `--threads N` is byte-identical to `--threads 1`.
+//!
+//! Cache hit/miss counters are deterministic too: they are accounted in
+//! the sequential plan phase and on sequential inline misses, never from
+//! worker threads.
+
+mod cell;
+mod registry;
+
+pub use cell::Cell;
+pub use registry::{find, registry, Experiment, ExperimentData};
+
+use crate::config::SystemConfig;
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec, RunSummary};
+use luke_common::SimError;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use workloads::FunctionProfile;
+
+/// Execution context shared by every experiment in one invocation: the
+/// memoized cell cache, the worker-thread budget, and the cache counters.
+pub struct Engine {
+    threads: usize,
+    cache: Mutex<HashMap<String, RunSummary>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// An engine that shards planned cells across up to `threads` workers.
+    /// `0` is treated as `1`.
+    pub fn new(threads: usize) -> Engine {
+        Engine {
+            threads: threads.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-threaded engine — the default context behind every
+    /// `run_experiment(params)` compatibility wrapper.
+    pub fn single() -> Engine {
+        Engine::new(1)
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cells served from the cache so far (plan-time requests that an
+    /// earlier simulation already covers, including duplicates within one
+    /// plan).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells that required a fresh simulation — equivalently, the number
+    /// of unique cells simulated so far.
+    pub fn cells_simulated(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Simulates every not-yet-cached cell of a plan, sharding the missing
+    /// cells across scoped worker threads (sequential plan → shared-nothing
+    /// execute → merge in plan order, the fleet pattern).
+    ///
+    /// Each planned cell is accounted exactly once: a cache hit (already
+    /// simulated, or duplicated earlier in this plan) or a miss (simulated
+    /// now). Both phases that touch the counters and the cache run on the
+    /// calling thread, so the counts are independent of the thread budget.
+    pub fn prefetch(&self, cells: &[Cell]) {
+        let mut queue: Vec<&Cell> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            let mut queued: HashSet<String> = HashSet::new();
+            for cell in cells {
+                let key = cell.key();
+                if cache.contains_key(&key) || queued.contains(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    queued.insert(key);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    queue.push(cell);
+                }
+            }
+        }
+        if queue.is_empty() {
+            return;
+        }
+
+        let mut results: Vec<Option<RunSummary>> = vec![None; queue.len()];
+        let workers = self.threads.min(queue.len());
+        let shard_len = queue.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (cells, out) in queue.chunks(shard_len).zip(results.chunks_mut(shard_len)) {
+                scope.spawn(move || {
+                    for (cell, slot) in cells.iter().zip(out.iter_mut()) {
+                        *slot = Some(cell.simulate());
+                    }
+                });
+            }
+        });
+
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        for (cell, summary) in queue.iter().zip(results) {
+            let summary = summary.expect("worker filled every slot");
+            cache.insert(cell.key(), summary);
+        }
+    }
+
+    /// Memoized drop-in for [`runner::run`](crate::runner::run): serves the
+    /// cell from the cache when present, simulates (and caches) it inline
+    /// otherwise.
+    ///
+    /// Inline lookups of planned cells are not re-counted — each planned
+    /// cell was already accounted by [`Engine::prefetch`]. An *unplanned*
+    /// cell counts as one more simulated cell.
+    pub fn run(
+        &self,
+        config: &SystemConfig,
+        profile: &FunctionProfile,
+        prefetcher: PrefetcherKind,
+        spec: RunSpec,
+        params: &ExperimentParams,
+    ) -> RunSummary {
+        let cell = Cell::new(config, profile, prefetcher, spec, params);
+        let key = cell.key();
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("engine cache poisoned")
+            .get(&key)
+            .copied()
+        {
+            return hit;
+        }
+        let summary = cell.simulate();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("engine cache poisoned")
+            .insert(key, summary);
+        summary
+    }
+
+    /// Plans and runs one registered experiment: `prefetch(plan)` then the
+    /// experiment's fold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the experiment's own validation/integrity errors.
+    pub fn execute(
+        &self,
+        experiment: &dyn Experiment,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn ExperimentData>, SimError> {
+        self.prefetch(&experiment.plan(params));
+        experiment.run(self, params)
+    }
+
+    /// Writes the engine counters into a metrics registry under the
+    /// `engine.*` namespace (see `docs/OBSERVABILITY.md`).
+    pub fn fill_registry(&self, registry: &mut luke_obs::Registry) {
+        registry.counter_add("engine.cache.hits", self.cache_hits());
+        registry.counter_add("engine.cache.misses", self.cells_simulated());
+        registry.counter_add("engine.cells.simulated", self.cells_simulated());
+        registry.gauge_set("engine.threads", self.threads as f64);
+    }
+
+    /// The engine counters as an exportable dataset (appended to
+    /// `figure --all` emissions). Deliberately excludes the thread budget:
+    /// the counters are thread-independent, so this dataset is too — which
+    /// keeps `--threads N` emissions byte-identical to `--threads 1`.
+    pub fn dataset(&self) -> luke_obs::Dataset {
+        let mut ds = luke_obs::Dataset::new(
+            "engine.cells",
+            &["cells simulated", "cache hits", "cache misses"],
+        );
+        ds.push_row(vec![
+            self.cells_simulated().into(),
+            self.cache_hits().into(),
+            self.cells_simulated().into(),
+        ]);
+        ds
+    }
+
+    /// One-line human-readable cache report for `--emit table` output and
+    /// the bench harness.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "engine: {} cells simulated, {} cache hits, {} thread(s)",
+            self.cells_simulated(),
+            self.cache_hits(),
+            self.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite_cells(names: &[&str]) -> Vec<Cell> {
+        let params = ExperimentParams::quick();
+        let cfg = SystemConfig::skylake();
+        names
+            .iter()
+            .map(|name| {
+                let profile = FunctionProfile::named(name).unwrap().scaled(params.scale);
+                Cell::new(
+                    &cfg,
+                    &profile,
+                    PrefetcherKind::None,
+                    RunSpec::lukewarm(),
+                    &params,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefetch_counts_hits_and_misses_deterministically() {
+        let cells = suite_cells(&["Auth-G", "Fib-G", "Auth-G"]);
+        for threads in [1, 4] {
+            let engine = Engine::new(threads);
+            engine.prefetch(&cells);
+            assert_eq!(engine.cells_simulated(), 2, "threads={threads}");
+            assert_eq!(engine.cache_hits(), 1, "threads={threads}");
+            // Replanning the same cells is pure hits.
+            engine.prefetch(&cells);
+            assert_eq!(engine.cells_simulated(), 2);
+            assert_eq!(engine.cache_hits(), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_prefetch_matches_serial_runs() {
+        let cells = suite_cells(&["Auth-G", "Fib-G", "AES-N", "Pay-N"]);
+        let engine = Engine::new(4);
+        engine.prefetch(&cells);
+        let params = ExperimentParams::quick();
+        for cell in &cells {
+            let cached = engine.run(
+                &cell.config,
+                &cell.profile,
+                cell.prefetcher,
+                cell.spec,
+                &params,
+            );
+            assert_eq!(cached, cell.simulate(), "{}", cell.profile.name);
+        }
+        // Serving those four cells must not have simulated anything new.
+        assert_eq!(engine.cells_simulated(), 4);
+    }
+
+    #[test]
+    fn inline_miss_simulates_and_caches() {
+        let engine = Engine::single();
+        let params = ExperimentParams::quick();
+        let profile = FunctionProfile::named("Fib-G").unwrap().scaled(params.scale);
+        let cfg = SystemConfig::skylake();
+        let first = engine.run(
+            &cfg,
+            &profile,
+            PrefetcherKind::None,
+            RunSpec::reference(),
+            &params,
+        );
+        assert_eq!(engine.cells_simulated(), 1);
+        let second = engine.run(
+            &cfg,
+            &profile,
+            PrefetcherKind::None,
+            RunSpec::reference(),
+            &params,
+        );
+        assert_eq!(first, second);
+        assert_eq!(engine.cells_simulated(), 1, "second call must be a hit");
+    }
+
+    #[test]
+    fn metrics_surface_through_obs_registry() {
+        let engine = Engine::new(2);
+        engine.prefetch(&suite_cells(&["Auth-G", "Auth-G"]));
+        let mut reg = luke_obs::Registry::new();
+        engine.fill_registry(&mut reg);
+        assert_eq!(reg.counter("engine.cells.simulated"), 1);
+        assert_eq!(reg.counter("engine.cache.hits"), 1);
+        assert_eq!(reg.counter("engine.cache.misses"), 1);
+        assert_eq!(reg.gauge("engine.threads"), Some(2.0));
+        let ds = engine.dataset();
+        assert_eq!(ds.name, "engine.cells");
+        assert_eq!(ds.rows.len(), 1);
+        assert!(engine.summary_line().contains("1 cells simulated"));
+    }
+}

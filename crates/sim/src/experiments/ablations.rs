@@ -15,7 +15,8 @@
 //!   of a freshly restored instance.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use crate::system::SystemSim;
 use jukebox::metadata::MetadataBuffer;
 use jukebox::{JukeboxConfig, JukeboxPrefetcher};
@@ -91,33 +92,94 @@ impl Data {
     }
 }
 
+/// The default function studied.
+const DEFAULT_FUNCTION: &str = "Auth-G";
+
+/// Cell grid: the memoizable runner cells (baseline, Jukebox, CRRB sweep).
+/// The reversed-replay and snapshot-boot parts drive [`SystemSim`]
+/// directly with custom prefetchers and stay outside the cache.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    let profile = FunctionProfile::named(DEFAULT_FUNCTION)
+        .expect("suite function")
+        .scaled(params.scale);
+    let mut kinds = vec![
+        PrefetcherKind::None,
+        PrefetcherKind::Jukebox(config.jukebox),
+    ];
+    kinds.extend(
+        CRRB_ENTRIES
+            .iter()
+            .map(|&entries| PrefetcherKind::Jukebox(config.jukebox.with_crrb_entries(entries))),
+    );
+    kinds
+        .into_iter()
+        .map(|kind| Cell::new(&config, &profile, kind, RunSpec::lukewarm(), params))
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+    fn description(&self) -> &'static str {
+        "Replay-order, CRRB-depth and snapshot-boot ablations of Jukebox"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
+/// The CRRB depths swept (§5.1).
+pub const CRRB_ENTRIES: [usize; 3] = [8, 16, 32];
+
 /// Runs the ablation suite on one function (default: `Auth-G`).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs the ablation suite on the default function through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     run_for(
-        &FunctionProfile::named("Auth-G").expect("suite function"),
+        engine,
+        &FunctionProfile::named(DEFAULT_FUNCTION).expect("suite function"),
         params,
     )
 }
 
 /// Runs the ablation suite on the given function.
-pub fn run_for(profile: &FunctionProfile, params: &ExperimentParams) -> Data {
+pub fn run_for(engine: &Engine, profile: &FunctionProfile, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let profile = profile.scaled(params.scale);
-    let baseline = run(
+    let baseline = engine.run(
         &config,
         &profile,
         PrefetcherKind::None,
         RunSpec::lukewarm(),
         params,
     );
-    let jukebox = run(
-        &config,
-        &profile,
-        PrefetcherKind::Jukebox(config.jukebox),
-        RunSpec::lukewarm(),
-        params,
-    )
-    .speedup_over(&baseline);
+    let jukebox = engine
+        .run(
+            &config,
+            &profile,
+            PrefetcherKind::Jukebox(config.jukebox),
+            RunSpec::lukewarm(),
+            params,
+        )
+        .speedup_over(&baseline);
 
     // Reversed replay: same protocol, custom prefetcher.
     let reversed_replay = {
@@ -139,11 +201,11 @@ pub fn run_for(profile: &FunctionProfile, params: &ExperimentParams) -> Data {
     };
 
     // CRRB depth sweep.
-    let crrb_sweep = [8usize, 16, 32]
+    let crrb_sweep = CRRB_ENTRIES
         .iter()
         .map(|&entries| {
             let jb = config.jukebox.with_crrb_entries(entries);
-            let s = run(
+            let s = engine.run(
                 &config,
                 &profile,
                 PrefetcherKind::Jukebox(jb),
@@ -254,6 +316,7 @@ mod tests {
 
     fn data() -> Data {
         run_for(
+            &Engine::single(),
             &FunctionProfile::named("Auth-G").unwrap(),
             &ExperimentParams::quick(),
         )

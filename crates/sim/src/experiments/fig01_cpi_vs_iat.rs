@@ -9,7 +9,8 @@
 //! rise from 100% and saturate around 250–270% past one-second IATs.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, CacheState, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{CacheState, ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::table::TextTable;
 use luke_obs::{Dataset, Export, Value};
 use server::InterleaveModel;
@@ -39,13 +40,87 @@ pub struct Data {
     pub curves: Vec<Curve>,
 }
 
-/// Runs the Figure 1 experiment.
-pub fn run_experiment(params: &ExperimentParams) -> Data {
-    let config = SystemConfig::broadwell(); // characterization platform
+/// The `(iat_ms, RunSpec)` sweep points: IAT 0 is back-to-back reference
+/// execution; longer gaps partially decay the hierarchy according to the
+/// high-occupancy interleave model. Shared by [`plan`] and [`run_with`] so
+/// the plan always matches what the fold requests.
+fn iat_specs(config: &SystemConfig) -> Vec<(f64, RunSpec)> {
     let model = InterleaveModel::high_occupancy();
     let l2_lines = config.mem.l2.lines();
     let llc_lines = config.mem.llc.lines();
+    IATS_MS
+        .iter()
+        .map(|&iat| {
+            let spec = if iat == 0.0 {
+                RunSpec::reference()
+            } else {
+                let l2 = model.decay_fraction(l2_lines, iat);
+                let llc = model.llc_decay_fraction(llc_lines, iat);
+                RunSpec {
+                    state: CacheState::Decayed {
+                        l2,
+                        llc,
+                        flush_core: l2 > 0.5,
+                    },
+                }
+            };
+            (iat, spec)
+        })
+        .collect()
+}
 
+/// Cell grid: one decay point per (function, IAT).
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::broadwell();
+    FUNCTIONS
+        .iter()
+        .flat_map(|name| {
+            let profile = FunctionProfile::named(name)
+                .expect("figure 1 function in suite")
+                .scaled(params.scale);
+            iat_specs(&config)
+                .into_iter()
+                .map(move |(_, spec)| {
+                    Cell::new(&config, &profile, PrefetcherKind::None, spec, params)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig01"
+    }
+    fn description(&self) -> &'static str {
+        "Normalized CPI vs invocation inter-arrival time (Broadwell)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
+/// Runs the Figure 1 experiment (fresh single-threaded engine).
+pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs the Figure 1 experiment through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
+    let config = SystemConfig::broadwell(); // characterization platform
     let curves = FUNCTIONS
         .iter()
         .map(|name| {
@@ -54,21 +129,8 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
                 .scaled(params.scale);
             let mut points = Vec::new();
             let mut base_cpi = None;
-            for iat in IATS_MS {
-                let spec = if iat == 0.0 {
-                    RunSpec::reference()
-                } else {
-                    let l2 = model.decay_fraction(l2_lines, iat);
-                    let llc = model.llc_decay_fraction(llc_lines, iat);
-                    RunSpec {
-                        state: CacheState::Decayed {
-                            l2,
-                            llc,
-                            flush_core: l2 > 0.5,
-                        },
-                    }
-                };
-                let summary = run(&config, &profile, PrefetcherKind::None, spec, params);
+            for (iat, spec) in iat_specs(&config) {
+                let summary = engine.run(&config, &profile, PrefetcherKind::None, spec, params);
                 let cpi = summary.cpi();
                 let base = *base_cpi.get_or_insert(cpi);
                 points.push((iat, cpi / base));

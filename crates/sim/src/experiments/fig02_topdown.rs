@@ -11,7 +11,8 @@
 //! cycles.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::mean;
 use luke_common::table::TextTable;
 use luke_obs::{Dataset, Export};
@@ -54,21 +55,42 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
-/// Runs reference + interleaved Top-Down for the whole suite.
+/// Cell grid: (reference, interleaved) × suite, no prefetcher.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            [RunSpec::reference(), RunSpec::lukewarm()]
+                .into_iter()
+                .map(move |spec| Cell::new(&config, &profile, PrefetcherKind::None, spec, params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Runs reference + interleaved Top-Down for the whole suite (fresh
+/// single-threaded engine).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs reference + interleaved Top-Down through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let rows = paper_suite()
         .into_iter()
         .map(|p| {
             let profile = p.scaled(params.scale);
-            let reference = run(
+            let reference = engine.run(
                 &config,
                 &profile,
                 PrefetcherKind::None,
                 RunSpec::reference(),
                 params,
             );
-            let interleaved = run(
+            let interleaved = engine.run(
                 &config,
                 &profile,
                 PrefetcherKind::None,
@@ -83,6 +105,34 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
         })
         .collect();
     Data { rows }
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig02"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig03", "fig04"]
+    }
+    fn description(&self) -> &'static str {
+        "Top-Down CPI stacks, reference vs interleaved execution (Figures 2-4)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
 }
 
 impl Data {
@@ -278,20 +328,21 @@ mod tests {
     fn subset_data() -> Data {
         let params = tiny_params();
         let config = SystemConfig::skylake();
+        let engine = Engine::single();
         let rows = ["Fib-G", "Auth-P", "Pay-N"]
             .iter()
             .map(|name| {
                 let profile = workloads::FunctionProfile::named(name)
                     .unwrap()
                     .scaled(params.scale);
-                let reference = run(
+                let reference = engine.run(
                     &config,
                     &profile,
                     PrefetcherKind::None,
                     RunSpec::reference(),
                     &params,
                 );
-                let interleaved = run(
+                let interleaved = engine.run(
                     &config,
                     &profile,
                     PrefetcherKind::None,

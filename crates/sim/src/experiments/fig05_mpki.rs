@@ -8,7 +8,8 @@
 //! execution but >10 MPKI (mostly instructions) when interleaved.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::mean;
 use luke_common::table::TextTable;
 use std::fmt;
@@ -45,15 +46,60 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
-/// Runs the MPKI study over the suite.
+/// Cell grid: (reference, interleaved) × suite on the Broadwell platform.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::broadwell();
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            [RunSpec::reference(), RunSpec::lukewarm()]
+                .into_iter()
+                .map(move |spec| Cell::new(&config, &profile, PrefetcherKind::None, spec, params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig05"
+    }
+    fn description(&self) -> &'static str {
+        "L2/LLC MPKI breakdowns, reference vs interleaved (Broadwell)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
+/// Runs the MPKI study over the suite (fresh single-threaded engine).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs the MPKI study through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let config = SystemConfig::broadwell();
     let rows = paper_suite()
         .into_iter()
         .map(|p| {
             let profile = p.scaled(params.scale);
             let collect = |spec: RunSpec| {
-                let s = run(&config, &profile, PrefetcherKind::None, spec, params);
+                let s = engine.run(&config, &profile, PrefetcherKind::None, spec, params);
                 Mpki {
                     l2_instr: s.l2_instr_mpki(),
                     l2_data: s.l2_data_mpki(),
@@ -199,12 +245,13 @@ mod tests {
             warmup: 2,
         };
         let config = SystemConfig::broadwell();
+        let engine = Engine::single();
         let rows = ["Auth-G", "Email-P"]
             .iter()
             .map(|name| {
                 let profile = FunctionProfile::named(name).unwrap().scaled(params.scale);
                 let collect = |spec: RunSpec| {
-                    let s = run(&config, &profile, PrefetcherKind::None, spec, &params);
+                    let s = engine.run(&config, &profile, PrefetcherKind::None, spec, &params);
                     Mpki {
                         l2_instr: s.l2_instr_mpki(),
                         l2_data: s.l2_data_mpki(),

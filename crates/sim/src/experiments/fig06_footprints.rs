@@ -5,6 +5,7 @@
 //! Paper shape: footprints range from just over 300KB to ≈800KB with low
 //! variance; mean commonality exceeds 0.9 for all but three functions.
 
+use crate::engine::{Cell, Engine};
 use crate::runner::ExperimentParams;
 use luke_common::size::ByteSize;
 use luke_common::table::TextTable;
@@ -28,6 +29,33 @@ pub struct Data {
     pub rows: Vec<Row>,
     /// Invocations measured per function (paper: 25).
     pub invocations: u64,
+}
+
+/// Registry entry: see [`crate::engine::registry`]. The footprint study
+/// traces L1-I accesses directly (no cycle-accurate runner cells), so the
+/// plan is empty and the run ignores the engine.
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig06"
+    }
+    fn description(&self) -> &'static str {
+        "Instruction footprints and cross-invocation Jaccard commonality"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, _params: &ExperimentParams) -> Vec<Cell> {
+        Vec::new()
+    }
+    fn run(
+        &self,
+        _engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_experiment(params)))
+    }
 }
 
 /// Runs the footprint/commonality study over the suite.

@@ -8,6 +8,7 @@
 //! ≈29.5KB, with Go functions at the small end.
 
 use crate::config::SystemConfig;
+use crate::engine::{Cell, Engine};
 use crate::runner::ExperimentParams;
 use crate::system::SystemSim;
 use jukebox::{JukeboxConfig, JukeboxPrefetcher};
@@ -70,6 +71,34 @@ pub fn required_metadata_bytes(
     sim.flush_microarch();
     sim.run_invocation(&mut jb);
     jb.replay_buffer().map_or(0, |b| b.bytes_used())
+}
+
+/// Registry entry: see [`crate::engine::registry`]. The sweep measures
+/// record-only metadata sizes by driving [`SystemSim`] with a custom
+/// prefetcher setup, not through the cycle-accurate runner — the plan is
+/// empty and the run ignores the engine.
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig08"
+    }
+    fn description(&self) -> &'static str {
+        "Jukebox metadata size vs code-region size (record-only sweep)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, _params: &ExperimentParams) -> Vec<Cell> {
+        Vec::new()
+    }
+    fn run(
+        &self,
+        _engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_experiment(params)))
+    }
 }
 
 /// Runs the Figure 8 sweep over the suite.

@@ -7,7 +7,8 @@
 //! the average gains little — which is why 16KB is the default.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::size::ByteSize;
 use luke_common::stats::geomean;
 use luke_common::table::TextTable;
@@ -46,13 +47,64 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
+/// The prefetcher configurations swept per function: the baseline plus
+/// one Jukebox per metadata capacity.
+fn kinds(config: &SystemConfig) -> Vec<PrefetcherKind> {
+    std::iter::once(PrefetcherKind::None)
+        .chain(CAPACITIES_KB.iter().map(|&kb| {
+            PrefetcherKind::Jukebox(config.jukebox.with_metadata_capacity(ByteSize::kib(kb)))
+        }))
+        .collect()
+}
+
+/// Cell grid: (baseline + 4 capacity-limited Jukeboxes) × suite.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            kinds(&config)
+                .into_iter()
+                .map(move |kind| Cell::new(&config, &profile, kind, RunSpec::lukewarm(), params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig09"
+    }
+    fn description(&self) -> &'static str {
+        "Jukebox speedup vs metadata storage capacity (8/12/16/32KB)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
 /// Measures `function`'s Jukebox speedup across the capacity sweep.
 fn sweep_function(
+    engine: &Engine,
     config: &SystemConfig,
     profile: &workloads::FunctionProfile,
     params: &ExperimentParams,
 ) -> Vec<(u64, f64)> {
-    let baseline = run(
+    let baseline = engine.run(
         config,
         profile,
         PrefetcherKind::None,
@@ -63,7 +115,7 @@ fn sweep_function(
         .iter()
         .map(|&kb| {
             let jb = config.jukebox.with_metadata_capacity(ByteSize::kib(kb));
-            let s = run(
+            let s = engine.run(
                 config,
                 profile,
                 PrefetcherKind::Jukebox(jb),
@@ -76,14 +128,19 @@ fn sweep_function(
 }
 
 /// Runs the Figure 9 sweep: representatives individually, geomean over
-/// the full suite.
+/// the full suite (fresh single-threaded engine).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs the Figure 9 sweep through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let mut rows = Vec::new();
     let mut all: Vec<Vec<(u64, f64)>> = Vec::new();
     for p in paper_suite() {
         let profile = p.scaled(params.scale);
-        let speedups = sweep_function(&config, &profile, params);
+        let speedups = sweep_function(engine, &config, &profile, params);
         if REPRESENTATIVES.contains(&profile.name.as_str()) {
             rows.push(Row {
                 function: profile.name.clone(),
@@ -157,7 +214,7 @@ mod tests {
         let profile = FunctionProfile::named("Pay-N")
             .unwrap()
             .scaled(params.scale);
-        let speedups = sweep_function(&config, &profile, &params);
+        let speedups = sweep_function(&Engine::single(), &config, &profile, &params);
         let at_8 = speedups[0].1;
         let at_32 = speedups[3].1;
         assert!(
@@ -173,7 +230,7 @@ mod tests {
         let profile = FunctionProfile::named("ProdL-G")
             .unwrap()
             .scaled(params.scale);
-        let speedups = sweep_function(&config, &profile, &params);
+        let speedups = sweep_function(&Engine::single(), &config, &profile, &params);
         let at_16 = speedups[2].1;
         assert!(at_16 > 1.0, "16KB speedup {at_16}");
     }

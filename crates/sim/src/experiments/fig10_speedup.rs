@@ -7,11 +7,61 @@
 //! ≈29.5%), small where it is small (AES-P ≈6.2%).
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::geomean;
 use luke_common::table::TextTable;
 use std::fmt;
 use workloads::paper_suite;
+
+/// The three prefetcher configurations each function is measured under.
+fn kinds(config: &SystemConfig) -> [PrefetcherKind; 3] {
+    [
+        PrefetcherKind::None,
+        PrefetcherKind::Jukebox(config.jukebox),
+        PrefetcherKind::PerfectICache,
+    ]
+}
+
+/// Cell grid: (baseline, Jukebox, Perfect-I-cache) × suite, all lukewarm.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            kinds(&config)
+                .into_iter()
+                .map(move |kind| Cell::new(&config, &profile, kind, RunSpec::lukewarm(), params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+    fn description(&self) -> &'static str {
+        "Jukebox and Perfect-I-cache speedup over the interleaved baseline (Skylake)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
 
 /// Speedups for one function.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,31 +83,13 @@ pub struct Data {
 
 /// Runs the speedup study for one function.
 pub fn measure_function(
+    engine: &Engine,
     config: &SystemConfig,
     profile: &workloads::FunctionProfile,
     params: &ExperimentParams,
 ) -> Row {
-    let baseline = run(
-        config,
-        profile,
-        PrefetcherKind::None,
-        RunSpec::lukewarm(),
-        params,
-    );
-    let jukebox = run(
-        config,
-        profile,
-        PrefetcherKind::Jukebox(config.jukebox),
-        RunSpec::lukewarm(),
-        params,
-    );
-    let perfect = run(
-        config,
-        profile,
-        PrefetcherKind::PerfectICache,
-        RunSpec::lukewarm(),
-        params,
-    );
+    let [baseline, jukebox, perfect] =
+        kinds(config).map(|kind| engine.run(config, profile, kind, RunSpec::lukewarm(), params));
     Row {
         function: profile.name.clone(),
         jukebox: jukebox.speedup_over(&baseline),
@@ -65,12 +97,17 @@ pub fn measure_function(
     }
 }
 
-/// Runs Figure 10 over the whole suite.
+/// Runs Figure 10 over the whole suite (fresh single-threaded engine).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs Figure 10 over the whole suite through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let rows = paper_suite()
         .into_iter()
-        .map(|p| measure_function(&config, &p.scaled(params.scale), params))
+        .map(|p| measure_function(engine, &config, &p.scaled(params.scale), params))
         .collect();
     Data { rows }
 }
@@ -154,7 +191,14 @@ mod tests {
         let params = ExperimentParams::quick();
         let config = SystemConfig::skylake();
         let profile = FunctionProfile::named(name).unwrap().scaled(params.scale);
-        measure_function(&config, &profile, &params)
+        measure_function(&Engine::single(), &config, &profile, &params)
+    }
+
+    #[test]
+    fn plan_covers_three_cells_per_function() {
+        let params = ExperimentParams::quick();
+        let cells = plan(&params);
+        assert_eq!(cells.len(), workloads::paper_suite().len() * 3);
     }
 
     #[test]

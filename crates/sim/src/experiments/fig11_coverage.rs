@@ -7,7 +7,8 @@
 //! reflecting the high cross-invocation commonality.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::mean;
 use luke_common::table::TextTable;
 use std::fmt;
@@ -34,20 +35,70 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
+/// Cell grid: (baseline, Jukebox) × suite, all lukewarm.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    baseline_jukebox_plan(&SystemConfig::skylake(), params)
+}
+
+/// The shared (baseline, Jukebox) × suite grid — fig11, fig12 and the
+/// per-platform halves of table3 all request exactly these cells, which
+/// is where the cross-figure cache earns its keep.
+pub fn baseline_jukebox_plan(config: &SystemConfig, params: &ExperimentParams) -> Vec<Cell> {
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            [
+                PrefetcherKind::None,
+                PrefetcherKind::Jukebox(config.jukebox),
+            ]
+            .into_iter()
+            .map(move |kind| Cell::new(config, &profile, kind, RunSpec::lukewarm(), params))
+            .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+    fn description(&self) -> &'static str {
+        "L2 instruction-miss coverage, uncovered misses and overprediction"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
 /// Measures coverage for one function.
 pub fn measure_function(
+    engine: &Engine,
     config: &SystemConfig,
     profile: &workloads::FunctionProfile,
     params: &ExperimentParams,
 ) -> Row {
-    let baseline = run(
+    let baseline = engine.run(
         config,
         profile,
         PrefetcherKind::None,
         RunSpec::lukewarm(),
         params,
     );
-    let jukebox = run(
+    let jukebox = engine.run(
         config,
         profile,
         PrefetcherKind::Jukebox(config.jukebox),
@@ -69,12 +120,17 @@ pub fn measure_function(
     }
 }
 
-/// Runs Figure 11 over the whole suite.
+/// Runs Figure 11 over the whole suite (fresh single-threaded engine).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs Figure 11 through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let rows = paper_suite()
         .into_iter()
-        .map(|p| measure_function(&config, &p.scaled(params.scale), params))
+        .map(|p| measure_function(engine, &config, &p.scaled(params.scale), params))
         .collect();
     Data { rows }
 }
@@ -168,7 +224,7 @@ mod tests {
         let params = ExperimentParams::quick();
         let config = SystemConfig::skylake();
         let profile = FunctionProfile::named(name).unwrap().scaled(params.scale);
-        measure_function(&config, &profile, &params)
+        measure_function(&Engine::single(), &config, &profile, &params)
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! demand miss would have moved.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::addr::LINE_BYTES;
 use luke_common::stats::mean;
 use luke_common::table::TextTable;
@@ -43,20 +44,52 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
+/// Cell grid: identical to fig11's (baseline, Jukebox) × suite — every
+/// cell here is a cache hit when fig11 ran first in the same engine.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    super::fig11_coverage::baseline_jukebox_plan(&SystemConfig::skylake(), params)
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+    fn description(&self) -> &'static str {
+        "Jukebox memory-bandwidth overhead: overprediction and metadata traffic"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
 /// Measures bandwidth overhead for one function.
 pub fn measure_function(
+    engine: &Engine,
     config: &SystemConfig,
     profile: &workloads::FunctionProfile,
     params: &ExperimentParams,
 ) -> Row {
-    let baseline = run(
+    let baseline = engine.run(
         config,
         profile,
         PrefetcherKind::None,
         RunSpec::lukewarm(),
         params,
     );
-    let jukebox = run(
+    let jukebox = engine.run(
         config,
         profile,
         PrefetcherKind::Jukebox(config.jukebox),
@@ -78,12 +111,17 @@ pub fn measure_function(
     }
 }
 
-/// Runs Figure 12 over the whole suite.
+/// Runs Figure 12 over the whole suite (fresh single-threaded engine).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs Figure 12 through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let rows = paper_suite()
         .into_iter()
-        .map(|p| measure_function(&config, &p.scaled(params.scale), params))
+        .map(|p| measure_function(engine, &config, &p.scaled(params.scale), params))
         .collect();
     Data { rows }
 }
@@ -167,7 +205,7 @@ mod tests {
         let params = ExperimentParams::quick();
         let config = SystemConfig::skylake();
         let profile = FunctionProfile::named(name).unwrap().scaled(params.scale);
-        measure_function(&config, &profile, &params)
+        measure_function(&Engine::single(), &config, &profile, &params)
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! therefore actually hides main-memory latency.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::geomean;
 use luke_common::table::TextTable;
 use std::fmt;
@@ -40,13 +41,65 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
+/// The five configurations each function is measured under.
+fn kinds(config: &SystemConfig) -> [PrefetcherKind; 5] {
+    [
+        PrefetcherKind::None,
+        PrefetcherKind::Pif,
+        PrefetcherKind::PifIdeal,
+        PrefetcherKind::Jukebox(config.jukebox),
+        PrefetcherKind::JukeboxPlusPifIdeal(config.jukebox),
+    ]
+}
+
+/// Cell grid: (baseline, PIF, PIF-ideal, Jukebox, JB+PIF-ideal) × suite.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            kinds(&config)
+                .into_iter()
+                .map(move |kind| Cell::new(&config, &profile, kind, RunSpec::lukewarm(), params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+    fn description(&self) -> &'static str {
+        "PIF vs PIF-ideal vs Jukebox vs the combination, speedup over baseline"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
 /// Measures all four configurations for one function.
 pub fn measure_function(
+    engine: &Engine,
     config: &SystemConfig,
     profile: &workloads::FunctionProfile,
     params: &ExperimentParams,
 ) -> Row {
-    let baseline = run(
+    let baseline = engine.run(
         config,
         profile,
         PrefetcherKind::None,
@@ -54,7 +107,9 @@ pub fn measure_function(
         params,
     );
     let speedup = |kind: PrefetcherKind| {
-        run(config, profile, kind, RunSpec::lukewarm(), params).speedup_over(&baseline)
+        engine
+            .run(config, profile, kind, RunSpec::lukewarm(), params)
+            .speedup_over(&baseline)
     };
     Row {
         function: profile.name.clone(),
@@ -68,12 +123,17 @@ pub fn measure_function(
 /// Runs Figure 13: all 20 functions contribute to the geomean;
 /// representatives are reported individually.
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs Figure 13 through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let mut rows = Vec::new();
     let mut all = Vec::new();
     for p in paper_suite() {
         let profile = p.scaled(params.scale);
-        let row = measure_function(&config, &profile, params);
+        let row = measure_function(engine, &config, &profile, params);
         if REPRESENTATIVES.contains(&profile.name.as_str()) {
             rows.push(row.clone());
         }
@@ -146,7 +206,7 @@ mod tests {
         let profile = FunctionProfile::named("Auth-G")
             .unwrap()
             .scaled(params.scale);
-        let row = measure_function(&config, &profile, &params);
+        let row = measure_function(&Engine::single(), &config, &profile, &params);
         assert!(
             row.jukebox > row.pif,
             "jukebox {} should beat PIF {}",
@@ -168,7 +228,7 @@ mod tests {
         let profile = FunctionProfile::named("ProdL-G")
             .unwrap()
             .scaled(params.scale);
-        let row = measure_function(&config, &profile, &params);
+        let row = measure_function(&Engine::single(), &config, &profile, &params);
         assert!(
             row.pif_ideal >= row.pif * 0.99,
             "pif-ideal {} vs pif {}",

@@ -20,7 +20,8 @@
 //! and Jukebox's benefit is largest exactly where routing is worst.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::table::TextTable;
 use luke_common::SimError;
 use luke_fleet::{
@@ -78,27 +79,83 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
+/// The calibration configurations per function: warm reference, flush-
+/// model lukewarm, and lukewarm+Jukebox.
+fn calibration_points(config: &SystemConfig) -> [(PrefetcherKind, RunSpec); 3] {
+    [
+        (PrefetcherKind::None, RunSpec::reference()),
+        (PrefetcherKind::None, RunSpec::lukewarm()),
+        (PrefetcherKind::Jukebox(config.jukebox), RunSpec::lukewarm()),
+    ]
+}
+
+/// Cell grid: the calibration runs (the fleet sweep itself is pool-level
+/// and stays outside the cache).
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            calibration_points(&config)
+                .into_iter()
+                .map(move |(kind, spec)| Cell::new(&config, &profile, kind, spec, params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "fleet"
+    }
+    fn description(&self) -> &'static str {
+        "Cluster sweep: routing policy x fleet size x keep-alive, calibrated from the core"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(try_run_experiment_with(engine, params)?))
+    }
+}
+
 /// Calibrates the fleet's service model from the cycle-accurate core:
 /// per suite function, warm CPI (back-to-back, no prefetcher), lukewarm
 /// CPI (flush model), and lukewarm+Jukebox CPI. Service times use the
 /// *unscaled* instruction counts so fleet latencies stay paper-sized
 /// even in quick runs.
 pub fn calibrate_model(params: &ExperimentParams) -> Result<ServiceModel, SimError> {
+    calibrate_model_with(&Engine::single(), params)
+}
+
+/// Like [`calibrate_model`], but the calibration runs go through a
+/// shared engine.
+pub fn calibrate_model_with(
+    engine: &Engine,
+    params: &ExperimentParams,
+) -> Result<ServiceModel, SimError> {
     let config = SystemConfig::skylake();
     let full = paper_suite();
     let timings = full
         .iter()
         .map(|full_profile| {
             let p = full_profile.scaled(params.scale);
-            let warm = run(&config, &p, PrefetcherKind::None, RunSpec::reference(), params);
-            let lukewarm = run(&config, &p, PrefetcherKind::None, RunSpec::lukewarm(), params);
-            let jukebox = run(
-                &config,
-                &p,
-                PrefetcherKind::Jukebox(config.jukebox),
-                RunSpec::lukewarm(),
-                params,
-            );
+            let [(warm_kind, warm_spec), (lw_kind, lw_spec), (jb_kind, jb_spec)] =
+                calibration_points(&config);
+            let warm = engine.run(&config, &p, warm_kind, warm_spec, params);
+            let lukewarm = engine.run(&config, &p, lw_kind, lw_spec, params);
+            let jukebox = engine.run(&config, &p, jb_kind, jb_spec, params);
             let warm_cpi = warm.cpi();
             let lukewarm_factor = (lukewarm.cpi() / warm_cpi).max(1.0);
             let jukebox_factor = (jukebox.cpi() / warm_cpi).clamp(1.0, lukewarm_factor);
@@ -138,7 +195,12 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
 /// Fallible variant of [`run_experiment`] for callers that map
 /// [`SimError`] to exit codes (the CLI).
 pub fn try_run_experiment(params: &ExperimentParams) -> Result<Data, SimError> {
-    let model = calibrate_model(params)?;
+    try_run_experiment_with(&Engine::single(), params)
+}
+
+/// Fallible run whose calibration goes through a shared engine.
+pub fn try_run_experiment_with(engine: &Engine, params: &ExperimentParams) -> Result<Data, SimError> {
+    let model = calibrate_model_with(engine, params)?;
     let mut rows = Vec::new();
     for &hosts in fleet_sizes(params) {
         for keep_alive_min in KEEP_ALIVE_MINUTES {

@@ -12,8 +12,9 @@
 //! carry over.
 
 use crate::config::SystemConfig;
+use crate::engine::{Cell, Engine};
 use crate::host::HostSim;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::{geomean, mean};
 use luke_common::table::TextTable;
 use luke_common::SimError;
@@ -49,6 +50,49 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
+/// Cell grid: the solo (reference) and flush-model (lukewarm) reference
+/// points per suite function. The true co-run drives [`HostSim`] directly
+/// — multi-instance state is not a per-cell quantity — and stays outside
+/// the cache.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    paper_suite()
+        .into_iter()
+        .flat_map(|p| {
+            let profile = p.scaled(params.scale);
+            [RunSpec::reference(), RunSpec::lukewarm()]
+                .into_iter()
+                .map(move |spec| Cell::new(&config, &profile, PrefetcherKind::None, spec, params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "host"
+    }
+    fn description(&self) -> &'static str {
+        "True multi-instance host interleaving vs the flush-between-invocations model"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(try_run_experiment_with(engine, params)?))
+    }
+}
+
 /// Runs the validation with the full 20-function suite co-resident: at
 /// paper scale their combined footprints (~9MB) exceed the LLC, so true
 /// interleaving pushes instruction working sets to DRAM — the regime the
@@ -63,11 +107,19 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
 /// Fallible variant of [`run_experiment`] for callers that map
 /// [`SimError`] to exit codes (the CLI).
 pub fn try_run_experiment(params: &ExperimentParams) -> Result<Data, SimError> {
+    try_run_experiment_with(&Engine::single(), params)
+}
+
+/// Fallible full-suite run through a shared engine.
+pub fn try_run_experiment_with(
+    engine: &Engine,
+    params: &ExperimentParams,
+) -> Result<Data, SimError> {
     let profiles: Vec<_> = paper_suite()
         .into_iter()
         .map(|p| p.scaled(params.scale))
         .collect();
-    try_run_with(&profiles, params)
+    try_run_with_engine(engine, &profiles, params)
 }
 
 /// Runs the validation on an explicit instance set.
@@ -85,6 +137,16 @@ pub fn run_with(profiles: &[workloads::FunctionProfile], params: &ExperimentPara
 /// Runs the validation on an explicit instance set, rejecting an empty
 /// one with [`SimError`] instead of panicking.
 pub fn try_run_with(
+    profiles: &[workloads::FunctionProfile],
+    params: &ExperimentParams,
+) -> Result<Data, SimError> {
+    try_run_with_engine(&Engine::single(), profiles, params)
+}
+
+/// Runs the validation on an explicit instance set through a shared
+/// engine (which memoizes the solo and flush-model reference points).
+pub fn try_run_with_engine(
+    engine: &Engine,
     profiles: &[workloads::FunctionProfile],
     params: &ExperimentParams,
 ) -> Result<Data, SimError> {
@@ -119,14 +181,14 @@ pub fn try_run_with(
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            let solo = run(
+            let solo = engine.run(
                 &config,
                 p,
                 PrefetcherKind::None,
                 RunSpec::reference(),
                 params,
             );
-            let flush = run(
+            let flush = engine.run(
                 &config,
                 p,
                 PrefetcherKind::None,

@@ -13,6 +13,7 @@
 //! This is a pool-level simulation (no cycle-accurate timing), so it runs
 //! a large population cheaply.
 
+use crate::engine::{Cell, Engine};
 use crate::runner::ExperimentParams;
 use luke_common::rng::DetRng;
 use luke_common::table::TextTable;
@@ -66,6 +67,33 @@ fn population(functions: usize, seed: u64) -> Vec<IatDistribution> {
             IatDistribution::Exponential { mean_ms }
         })
         .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`]. The pool-level
+/// simulation has no cycle-accurate runner cells, so the plan is empty
+/// and the run ignores the engine.
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "keep-alive"
+    }
+    fn description(&self) -> &'static str {
+        "Keep-alive economics: warm-hit rate vs warm-pool memory cost (§2.1)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, _params: &ExperimentParams) -> Vec<Cell> {
+        Vec::new()
+    }
+    fn run(
+        &self,
+        _engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_experiment(params)))
+    }
 }
 
 /// Runs the sweep. `params.scale` scales the population size; the default

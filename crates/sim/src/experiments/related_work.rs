@@ -12,7 +12,8 @@
 //!   therefore *cold* at every lukewarm invocation — near-zero benefit.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::size::ByteSize;
 use luke_common::table::TextTable;
 use std::fmt;
@@ -40,19 +41,73 @@ pub struct Data {
     pub rows: Vec<Row>,
 }
 
+/// The configurations compared, baseline first.
+fn kinds(config: &SystemConfig) -> [PrefetcherKind; 4] {
+    [
+        PrefetcherKind::None,
+        PrefetcherKind::Jukebox(config.jukebox),
+        PrefetcherKind::FootprintRestore,
+        PrefetcherKind::FetchDirected,
+    ]
+}
+
+/// Cell grid: Auth-G under (baseline, Jukebox, footprint-restore,
+/// fetch-directed).
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    let profile = FunctionProfile::named("Auth-G")
+        .expect("suite function")
+        .scaled(params.scale);
+    kinds(&config)
+        .into_iter()
+        .map(|kind| Cell::new(&config, &profile, kind, RunSpec::lukewarm(), params))
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "related-work"
+    }
+    fn description(&self) -> &'static str {
+        "Jukebox vs cache restoration and BTB-directed prefetching (§6)"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
 /// Runs the §6 comparison on one function (default Auth-G).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs the §6 comparison on the default function through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     run_for(
+        engine,
         &FunctionProfile::named("Auth-G").expect("suite function"),
         params,
     )
 }
 
 /// Runs the §6 comparison on the given function.
-pub fn run_for(profile: &FunctionProfile, params: &ExperimentParams) -> Data {
+pub fn run_for(engine: &Engine, profile: &FunctionProfile, params: &ExperimentParams) -> Data {
     let config = SystemConfig::skylake();
     let profile = profile.scaled(params.scale);
-    let baseline = run(
+    let baseline = engine.run(
         &config,
         &profile,
         PrefetcherKind::None,
@@ -66,7 +121,7 @@ pub fn run_for(profile: &FunctionProfile, params: &ExperimentParams) -> Data {
     ]
     .iter()
     .map(|&kind| {
-        let s = run(&config, &profile, kind, RunSpec::lukewarm(), params);
+        let s = engine.run(&config, &profile, kind, RunSpec::lukewarm(), params);
         Row {
             prefetcher: kind.label(),
             speedup: s.speedup_over(&baseline),
@@ -147,6 +202,7 @@ mod tests {
 
     fn data() -> Data {
         run_for(
+            &Engine::single(),
             &FunctionProfile::named("Auth-G").unwrap(),
             &ExperimentParams::quick(),
         )

@@ -23,6 +23,7 @@
 //! completed within [`SLO_MS`]; requests abandoned by the retry policy
 //! count as misses).
 
+use crate::engine::{Cell, Engine};
 use crate::experiments::workflow_slo::{self, WorkflowResult};
 use crate::runner::ExperimentParams;
 use luke_common::stats::percentile;
@@ -93,11 +94,44 @@ pub struct Data {
     pub workflows: Vec<WorkflowResilience>,
 }
 
+/// Registry entry: see [`crate::engine::registry`]. The fault sweep
+/// itself is pool-level; its cycle-accurate input is the workflow stage
+/// latencies, so the plan is exactly [`workflow_slo::plan`]'s grid — the
+/// two experiments share every cached cell.
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "resilience"
+    }
+    fn description(&self) -> &'static str {
+        "Workflow latency distributions under seeded fault injection"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        workflow_slo::plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
 /// Runs the study on both paper workflows.
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs the study on both paper workflows through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let workflows = Workflow::paper_workflows()
         .iter()
-        .map(|w| run_workflow_resilience(w, params))
+        .map(|w| run_workflow_resilience_with(engine, w, params))
         .collect();
     Data { workflows }
 }
@@ -107,7 +141,17 @@ pub fn run_workflow_resilience(
     workflow: &Workflow,
     params: &ExperimentParams,
 ) -> WorkflowResilience {
-    let latency = workflow_slo::run_workflow(workflow, params);
+    run_workflow_resilience_with(&Engine::single(), workflow, params)
+}
+
+/// Like [`run_workflow_resilience`], but the stage-latency measurement
+/// goes through a shared engine.
+pub fn run_workflow_resilience_with(
+    engine: &Engine,
+    workflow: &Workflow,
+    params: &ExperimentParams,
+) -> WorkflowResilience {
+    let latency = workflow_slo::run_workflow_with(engine, workflow, params);
     let stage_ms = |f: fn(&workflow_slo::StageLatency) -> f64| -> Vec<f64> {
         latency.stages.iter().map(|s| f(s) / 1000.0).collect()
     };

@@ -8,7 +8,8 @@
 //! prefetches before use — hence the smaller 12% geomean speedup there.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::stats::geomean;
 use luke_common::table::TextTable;
 use std::fmt;
@@ -35,7 +36,47 @@ pub struct Data {
     pub broadwell: PlatformResult,
 }
 
-fn measure_platform(config: &SystemConfig, params: &ExperimentParams) -> PlatformResult {
+/// Cell grid: (baseline, Jukebox) × suite on both platforms — the Skylake
+/// half is identical to fig11/fig12's grid.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let mut cells = super::fig11_coverage::baseline_jukebox_plan(&SystemConfig::skylake(), params);
+    cells.extend(super::fig11_coverage::baseline_jukebox_plan(
+        &SystemConfig::broadwell(),
+        params,
+    ));
+    cells
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+    fn description(&self) -> &'static str {
+        "Instruction-MPKI reduction and speedup with Jukebox on both platforms"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
+fn measure_platform(
+    engine: &Engine,
+    config: &SystemConfig,
+    params: &ExperimentParams,
+) -> PlatformResult {
     let mut base_l2 = 0.0;
     let mut base_llc = 0.0;
     let mut jb_l2 = 0.0;
@@ -43,14 +84,14 @@ fn measure_platform(config: &SystemConfig, params: &ExperimentParams) -> Platfor
     let mut speedups = Vec::new();
     for p in paper_suite() {
         let profile = p.scaled(params.scale);
-        let baseline = run(
+        let baseline = engine.run(
             config,
             &profile,
             PrefetcherKind::None,
             RunSpec::lukewarm(),
             params,
         );
-        let jukebox = run(
+        let jukebox = engine.run(
             config,
             &profile,
             PrefetcherKind::Jukebox(config.jukebox),
@@ -70,11 +111,16 @@ fn measure_platform(config: &SystemConfig, params: &ExperimentParams) -> Platfor
     }
 }
 
-/// Runs Table 3 on both platforms.
+/// Runs Table 3 on both platforms (fresh single-threaded engine).
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs Table 3 through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     Data {
-        skylake: measure_platform(&SystemConfig::skylake(), params),
-        broadwell: measure_platform(&SystemConfig::broadwell(), params),
+        skylake: measure_platform(engine, &SystemConfig::skylake(), params),
+        broadwell: measure_platform(engine, &SystemConfig::broadwell(), params),
     }
 }
 
@@ -124,16 +170,17 @@ mod tests {
     /// in the bench harness).
     fn compare_one(name: &str) -> (f64, f64, f64, f64) {
         let params = ExperimentParams::quick();
+        let engine = Engine::single();
         let measure = |config: &SystemConfig| {
             let profile = FunctionProfile::named(name).unwrap().scaled(params.scale);
-            let baseline = run(
+            let baseline = engine.run(
                 config,
                 &profile,
                 PrefetcherKind::None,
                 RunSpec::lukewarm(),
                 &params,
             );
-            let jukebox = run(
+            let jukebox = engine.run(
                 config,
                 &profile,
                 PrefetcherKind::Jukebox(config.jukebox),

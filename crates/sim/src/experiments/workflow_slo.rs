@@ -11,7 +11,8 @@
 //! lukewarm+Jukebox execution.
 
 use crate::config::SystemConfig;
-use crate::runner::{run, run_observed, ExperimentParams, PrefetcherKind, RunSpec};
+use crate::engine::{Cell, Engine};
+use crate::runner::{run_observed, ExperimentParams, PrefetcherKind, RunSpec};
 use luke_common::table::TextTable;
 use std::fmt;
 use workloads::workflow::Workflow;
@@ -74,17 +75,74 @@ pub struct Data {
     pub workflows: Vec<WorkflowResult>,
 }
 
+/// Cell grid: the warm (reference) and lukewarm baseline points of every
+/// stage of both workflows. The Jukebox stage runs observed — its
+/// replay-validation telemetry is part of the result — so it stays
+/// outside the cell cache.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    let config = SystemConfig::skylake();
+    Workflow::paper_workflows()
+        .into_iter()
+        .flat_map(|w| w.scaled(params.scale).stages)
+        .flat_map(|profile| {
+            [RunSpec::reference(), RunSpec::lukewarm()]
+                .into_iter()
+                .map(move |spec| Cell::new(&config, &profile, PrefetcherKind::None, spec, params))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "workflows"
+    }
+    fn description(&self) -> &'static str {
+        "End-to-end workflow latency: warm vs lukewarm vs lukewarm+Jukebox"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(run_with(engine, params)))
+    }
+}
+
 /// Runs the study on both paper workflows.
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    run_with(&Engine::single(), params)
+}
+
+/// Runs the study on both paper workflows through a shared engine.
+pub fn run_with(engine: &Engine, params: &ExperimentParams) -> Data {
     let workflows = Workflow::paper_workflows()
         .into_iter()
-        .map(|w| run_workflow(&w, params))
+        .map(|w| run_workflow_with(engine, &w, params))
         .collect();
     Data { workflows }
 }
 
 /// Measures one workflow.
 pub fn run_workflow(workflow: &Workflow, params: &ExperimentParams) -> WorkflowResult {
+    run_workflow_with(&Engine::single(), workflow, params)
+}
+
+/// Measures one workflow through a shared engine.
+pub fn run_workflow_with(
+    engine: &Engine,
+    workflow: &Workflow,
+    params: &ExperimentParams,
+) -> WorkflowResult {
     let config = SystemConfig::skylake();
     let cycles_to_us = 1.0 / (config.core.freq_ghz * 1000.0);
     let mut replay_aborts = 0u64;
@@ -95,7 +153,7 @@ pub fn run_workflow(workflow: &Workflow, params: &ExperimentParams) -> WorkflowR
         .iter()
         .map(|profile| {
             let mean_us = |kind: PrefetcherKind, spec: RunSpec| {
-                let s = run(&config, profile, kind, spec, params);
+                let s = engine.run(&config, profile, kind, spec, params);
                 s.cycles as f64 / s.invocations.max(1) as f64 * cycles_to_us
             };
             // The Jukebox configuration runs observed (event tracing off)

@@ -12,7 +12,10 @@
 //!   Jukebox metadata, mirroring the paper's post-checkpoint setup) then
 //!   measured invocations, aggregated into a [`runner::RunSummary`];
 //! * [`experiments`] — one module per paper figure/table, each returning
-//!   typed rows and rendering the same series the paper reports.
+//!   typed rows and rendering the same series the paper reports;
+//! * [`engine`] — the shared experiment engine: the experiment registry,
+//!   a deterministic parallel cell executor, and a memoized cell cache
+//!   shared across experiments (see `docs/ENGINE.md`).
 //!
 //! # Examples
 //!
@@ -37,11 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod host;
 pub mod runner;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use engine::Engine;
 pub use runner::{ExperimentParams, PrefetcherKind};
 pub use system::SystemSim;

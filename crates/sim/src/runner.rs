@@ -31,6 +31,40 @@ pub struct ExperimentParams {
 }
 
 impl ExperimentParams {
+    /// Validated constructor: rejects parameter combinations that would
+    /// produce NaN-prone summaries (`invocations == 0` leaves every
+    /// aggregate empty, so CPI/MPKI divide zero by zero) or meaningless
+    /// workloads (non-finite or non-positive `scale`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`](luke_common::SimError) naming
+    /// the offending field; the CLI maps it to exit code 3.
+    pub fn try_new(
+        scale: f64,
+        invocations: u64,
+        warmup: u64,
+    ) -> Result<Self, luke_common::SimError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(luke_common::SimError::invalid_config(
+                "params.scale",
+                format!("must be a positive finite number, got {scale}"),
+            ));
+        }
+        if invocations == 0 {
+            return Err(luke_common::SimError::invalid_config(
+                "params.invocations",
+                "must be at least 1 (a warmup-only run measures nothing and \
+                 yields NaN-prone summaries)",
+            ));
+        }
+        Ok(ExperimentParams {
+            scale,
+            invocations,
+            warmup,
+        })
+    }
+
     /// Paper-scale runs for the benchmark harness.
     pub fn paper() -> Self {
         ExperimentParams {
@@ -646,6 +680,35 @@ mod tests {
         let b = go();
         assert_eq!(a.registry.to_json(), b.registry.to_json());
         assert!(a.events.is_empty(), "capacity 0 traces nothing");
+    }
+
+    #[test]
+    fn try_new_validates_params() {
+        let ok = ExperimentParams::try_new(0.5, 4, 2).expect("valid params");
+        assert_eq!(
+            ok,
+            ExperimentParams {
+                scale: 0.5,
+                invocations: 4,
+                warmup: 2,
+            }
+        );
+        // Warmup-free runs are legitimate (several unit tests use them).
+        assert!(ExperimentParams::try_new(1.0, 1, 0).is_ok());
+
+        for bad_scale in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ExperimentParams::try_new(bad_scale, 4, 2).unwrap_err();
+            assert!(
+                matches!(err, luke_common::SimError::InvalidConfig { ref field, .. } if field == "params.scale"),
+                "scale {bad_scale}: {err}"
+            );
+        }
+        // Warmup-only runs measure nothing and must be rejected.
+        let err = ExperimentParams::try_new(1.0, 0, 2).unwrap_err();
+        assert!(
+            matches!(err, luke_common::SimError::InvalidConfig { ref field, .. } if field == "params.invocations"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Registry completeness: every experiment module in `src/experiments/`
+//! must be registered in `engine::registry()`. Adding a module without
+//! registering it fails here, not months later when someone notices the
+//! CLI cannot run it.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+#[test]
+fn every_experiment_module_is_registered() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/experiments");
+    let registered: Vec<&str> = lukewarm_sim::engine::registry()
+        .iter()
+        .map(|e| e.module())
+        .collect();
+
+    let mut missing = Vec::new();
+    let mut stems = HashSet::new();
+    for entry in std::fs::read_dir(&dir).expect("experiments dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        let stem = match (path.extension(), path.file_stem()) {
+            (Some(ext), Some(stem)) if ext == "rs" => {
+                stem.to_str().expect("utf-8 filename").to_string()
+            }
+            _ => continue,
+        };
+        if stem == "mod" {
+            continue;
+        }
+        if !registered
+            .iter()
+            .any(|module| module.ends_with(&format!("::{stem}")))
+        {
+            missing.push(stem.clone());
+        }
+        stems.insert(stem);
+    }
+
+    assert!(
+        missing.is_empty(),
+        "experiment modules missing from engine::registry(): {missing:?}"
+    );
+    // And the converse: nothing registered from a module that is gone.
+    for module in registered {
+        let stem = module.rsplit("::").next().unwrap();
+        assert!(
+            stems.contains(stem),
+            "{module} registered but src/experiments/{stem}.rs does not exist"
+        );
+    }
+}
