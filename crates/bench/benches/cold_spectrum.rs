@@ -1,0 +1,8 @@
+//! **Cold-start spectrum (beyond the paper)** — end-to-end cost of a
+//! cold start under a full boot, a lazily-paged snapshot restore, a
+//! REAP-style working-set prefetch, and REAP stacked with Jukebox,
+//! across keep-alive windows and metadata-corruption rates.
+
+fn main() {
+    luke_bench::harness_experiment("cold-spectrum");
+}

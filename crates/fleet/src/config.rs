@@ -2,6 +2,7 @@
 
 use crate::route::RoutingPolicy;
 use luke_common::SimError;
+use luke_snapshot::{ColdStartModel, SnapshotTimings};
 use server::{FaultRates, InstancePool, RetryPolicy};
 
 /// Configuration of one fleet run.
@@ -38,7 +39,16 @@ pub struct FleetConfig {
     /// from its own split stream). All-zero means no fault layer at all.
     pub fault_rates: FaultRates,
     /// Cold-start (spawn) overhead charged by the latency model, ms.
+    /// Only used when `cold_start_model` is `Instant` (no snapshots: a
+    /// cold start is a full boot); the snapshot models price restores
+    /// from the working set instead.
     pub cold_start_ms: f64,
+    /// How cold starts bring memory up: `Instant` (flat boot cost,
+    /// pre-snapshot behavior), `LazyPaging` (snapshot restore, one
+    /// fault per page) or `ReapPrefetch` (record-and-prefetch).
+    pub cold_start_model: ColdStartModel,
+    /// Restore-path latency parameters for the snapshot models.
+    pub snapshot_timings: SnapshotTimings,
     /// Deadline burned by a timed-out attempt, ms.
     pub timeout_ms: f64,
     /// Retry policy applied by every host.
@@ -63,6 +73,8 @@ impl Default for FleetConfig {
             per_host_rate_per_sec: 20.0,
             fault_rates: FaultRates::zero(),
             cold_start_ms: 125.0,
+            cold_start_model: ColdStartModel::Instant,
+            snapshot_timings: SnapshotTimings::default(),
             timeout_ms: 250.0,
             retry: RetryPolicy::default(),
             events_capacity: 0,
@@ -117,9 +129,11 @@ impl FleetConfig {
                 ));
             }
         }
-        // Reuse the pool's and fault layer's own validation.
+        // Reuse the pool's, fault layer's and snapshot layer's own
+        // validation.
         InstancePool::try_new(self.keep_alive_ms)?;
         server::FaultPlan::new(self.seed, self.fault_rates)?;
+        self.snapshot_timings.validate()?;
         Ok(())
     }
 
@@ -182,6 +196,16 @@ mod tests {
                     ..FleetConfig::default()
                 },
                 "fleet.cold_start_ms",
+            ),
+            (
+                FleetConfig {
+                    snapshot_timings: SnapshotTimings {
+                        page_fault_us: f64::NAN,
+                        ..SnapshotTimings::default()
+                    },
+                    ..FleetConfig::default()
+                },
+                "snapshot.page_fault_us",
             ),
             (
                 FleetConfig {

@@ -10,6 +10,7 @@
 
 use luke_common::rng::DetRng;
 use luke_obs::{Event, EventKind, EventRing, Histogram, Registry};
+use luke_snapshot::{ColdStartModel, SnapshotStore};
 use server::{
     fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultStats, InstancePool,
 };
@@ -73,8 +74,21 @@ impl FleetHost {
     /// Panics if `config` is invalid — call `config.validate()` first
     /// (run-level entry points do).
     pub fn new(config: &FleetConfig, host_id: usize) -> Self {
-        let pool = InstancePool::try_new(config.keep_alive_ms)
+        let mut pool = InstancePool::try_new(config.keep_alive_ms)
             .expect("config validated upstream: keep_alive_ms");
+        // Snapshot models price each routed cold start as a restore of
+        // the suite profile's page working set; `Instant` leaves the
+        // pool untouched so the pre-snapshot numbers reproduce bit for
+        // bit.
+        if config.cold_start_model != ColdStartModel::Instant {
+            let store = SnapshotStore::for_profiles(
+                config.cold_start_model,
+                config.snapshot_timings,
+                &workloads::paper_suite(),
+            )
+            .expect("config validated upstream: snapshot_timings");
+            pool = pool.with_snapshots(store);
+        }
         let faults = if config.fault_rates == server::FaultRates::zero() {
             FaultPlan::none()
         } else {
@@ -147,8 +161,16 @@ impl FleetHost {
             }
         }
 
+        // Under `Instant` the cold start is a full boot priced by the
+        // flat config knob; the snapshot models replace it with the
+        // restore cost of bringing the working set back (lazy faults or
+        // a REAP prefetch of the recorded pages).
+        let mut cold_start_ms = config.cold_start_ms;
         let service_ms = if starts_cold {
-            let id = self.pool.spawn(function, at);
+            let (id, restore_ms) = self.pool.spawn_restored(function, at);
+            if self.pool.snapshots().is_some() {
+                cold_start_ms = restore_ms;
+            }
             self.pool.invoke(id, at);
             self.live[function] = Some(id);
             self.cold_starts += 1;
@@ -186,7 +208,7 @@ impl FleetHost {
 
         let costs = AttemptCosts {
             service_ms,
-            cold_start_ms: config.cold_start_ms,
+            cold_start_ms,
             timeout_ms: config.timeout_ms,
             starts_cold,
         };
@@ -392,6 +414,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn reap_restores_are_cheaper_than_lazy_paging() {
+        let (config, model) = setup();
+        let lazy_config = FleetConfig {
+            cold_start_model: ColdStartModel::LazyPaging,
+            ..config.clone()
+        };
+        let reap_config = FleetConfig {
+            cold_start_model: ColdStartModel::ReapPrefetch,
+            ..config.clone()
+        };
+        let mut lazy = FleetHost::new(&lazy_config, 0);
+        let mut reap = FleetHost::new(&reap_config, 0);
+        let mut lazy_sum = 0.0;
+        let mut reap_sum = 0.0;
+        // Space invocations past keep-alive so every one restarts cold;
+        // REAP has metadata from the second restore on.
+        for i in 0..8 {
+            let routed = RoutedInvocation {
+                at_ms: i as f64 * (config.keep_alive_ms + 1000.0),
+                function: 0,
+            };
+            lazy_sum += lazy.process(&lazy_config, &model, false, routed);
+            reap_sum += reap.process(&reap_config, &model, false, routed);
+        }
+        assert_eq!(lazy.cold_starts, 8);
+        assert_eq!(reap.cold_starts, 8);
+        assert!(
+            reap_sum < lazy_sum,
+            "reap {reap_sum} should beat lazy {lazy_sum}"
+        );
+    }
+
+    #[test]
+    fn instant_model_exports_no_snapshot_series() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..20 {
+            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+        }
+        let mut registry = Registry::new();
+        host.fill_registry(&mut registry);
+        assert!(
+            !registry.snapshot().to_json().contains("snapshot."),
+            "Instant hosts must not grow snapshot.* series"
+        );
+    }
+
+    #[test]
+    fn snapshot_hosts_export_restore_telemetry() {
+        let (config, model) = setup();
+        let config = FleetConfig {
+            cold_start_model: ColdStartModel::ReapPrefetch,
+            ..config
+        };
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..20 {
+            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+        }
+        let mut registry = Registry::new();
+        host.fill_registry(&mut registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("snapshot.restores"), host.cold_starts);
+        assert!(snapshot.counter("snapshot.pages_recorded") > 0);
     }
 
     #[test]

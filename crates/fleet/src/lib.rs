@@ -9,7 +9,10 @@
 //! routing ([`RoutingPolicy`]): round-robin, least-loaded, or
 //! keep-alive-aware consistent hashing. Traffic is a Zipf-skewed
 //! population of deployed functions mapped onto the 20-function paper
-//! suite, driven as Poisson arrival lanes.
+//! suite, driven as Poisson arrival lanes. Cold starts are priced by a
+//! pluggable [`ColdStartModel`]: a flat boot cost (`Instant`), a
+//! lazily-paged snapshot restore, or a REAP-style prefetch of the
+//! recorded page working set (see the `luke-snapshot` crate).
 //!
 //! The headline property is **deterministic parallelism**: host shards
 //! run across `std::thread::scope` workers, yet a 1-thread run is
@@ -47,6 +50,7 @@ pub mod traffic;
 
 pub use config::FleetConfig;
 pub use host::{FleetHost, RoutedInvocation};
+pub use luke_snapshot::{ColdStartModel, SnapshotTimings};
 pub use route::{Router, RoutingPolicy};
 pub use run::{run_fleet, run_fleet_pair, FleetComparison, FleetRun, HostSummary};
 pub use timing::{FunctionTiming, ServiceModel, FREQ_GHZ};

@@ -7,6 +7,7 @@
 //! policy on a sweep.
 
 use luke_common::SimError;
+use luke_snapshot::SnapshotStore;
 use std::collections::BTreeMap;
 
 /// One warm (memory-resident) function instance.
@@ -38,6 +39,9 @@ pub struct InstancePool {
     cold_starts: u64,
     expirations: u64,
     evictions: u64,
+    /// Pluggable cold-start pricing ([`luke_snapshot::ColdStartModel`]):
+    /// `None` keeps the pre-snapshot behavior where spawns are free.
+    snapshots: Option<SnapshotStore>,
 }
 
 impl InstancePool {
@@ -70,7 +74,23 @@ impl InstancePool {
             cold_starts: 0,
             expirations: 0,
             evictions: 0,
+            snapshots: None,
         })
+    }
+
+    /// Attaches a snapshot store so cold starts are priced by its
+    /// [`luke_snapshot::ColdStartModel`] via
+    /// [`InstancePool::spawn_restored`]. Without one (or with
+    /// `ColdStartModel::Instant`), restores are free and the pool
+    /// behaves bit-for-bit as before.
+    pub fn with_snapshots(mut self, snapshots: SnapshotStore) -> Self {
+        self.snapshots = Some(snapshots);
+        self
+    }
+
+    /// The attached snapshot store, if any.
+    pub fn snapshots(&self) -> Option<&SnapshotStore> {
+        self.snapshots.as_ref()
     }
 
     /// The keep-alive window in milliseconds.
@@ -96,6 +116,18 @@ impl InstancePool {
         id
     }
 
+    /// Like [`InstancePool::spawn`], but also prices the cold start's
+    /// memory bring-up through the attached snapshot store: returns the
+    /// new instance id and the restore latency in milliseconds (0 with
+    /// no store, or under `ColdStartModel::Instant`).
+    pub fn spawn_restored(&mut self, function: usize, now_ms: f64) -> (u64, f64) {
+        let restore_ms = self
+            .snapshots
+            .as_mut()
+            .map_or(0.0, |s| s.restore_ms(function));
+        (self.spawn(function, now_ms), restore_ms)
+    }
+
     /// Records an invocation dispatched to `id` at `now_ms`. Returns the
     /// idle gap since the previous invocation, or `None` if the instance
     /// is unknown (expired).
@@ -118,14 +150,11 @@ impl InstancePool {
 
     /// Applies the keep-alive policy at time `now_ms`: tears down
     /// instances idle longer than the window. Returns how many expired.
+    ///
+    /// Delegates to [`InstancePool::sweep_expired_ids`] — both
+    /// expiration paths share one `retain` so they cannot drift.
     pub fn sweep(&mut self, now_ms: f64) -> usize {
-        let keep_alive = self.keep_alive_ms;
-        let before = self.instances.len();
-        self.instances
-            .retain(|_, inst| now_ms - inst.last_invoked_ms <= keep_alive);
-        let expired = before - self.instances.len();
-        self.expirations += expired as u64;
-        expired
+        self.sweep_expired_ids(now_ms).len()
     }
 
     /// Like [`InstancePool::sweep`], but returns the expired instance
@@ -182,12 +211,17 @@ impl InstancePool {
     }
 
     /// Contributes pool telemetry to `registry`: lifecycle counters under
-    /// `pool.*` and the current warm population as a gauge.
+    /// `pool.*`, the current warm population as a gauge, and — only when
+    /// a snapshot store is attached — the `snapshot.*` restore series
+    /// (so snapshot-free pools export exactly the pre-snapshot keys).
     pub fn fill_registry(&self, registry: &mut luke_obs::Registry) {
         registry.counter_add("pool.cold_starts", self.cold_starts);
         registry.counter_add("pool.expirations", self.expirations);
         registry.counter_add("pool.evictions", self.evictions);
         registry.gauge_set("pool.warm_instances", self.instances.len() as f64);
+        if let Some(snapshots) = &self.snapshots {
+            snapshots.fill_registry(registry);
+        }
     }
 }
 
@@ -317,6 +351,82 @@ mod tests {
         let mut sorted = first.clone();
         sorted.sort_unstable();
         assert_eq!(first, sorted, "expiries must come back in id order");
+    }
+
+    #[test]
+    fn sweep_delegates_so_the_two_expiration_paths_cannot_drift() {
+        // Regression for the formerly duplicated `retain` bodies: run
+        // the same schedule through both entry points and pin that the
+        // eviction order (and therefore the surviving state) is
+        // identical round after round.
+        let mut by_ids = InstancePool::new(8_000.0);
+        let mut by_count = InstancePool::new(8_000.0);
+        for f in 0..48 {
+            let at = (f % 7) as f64 * 900.0;
+            by_ids.spawn(f, at);
+            by_count.spawn(f, at);
+        }
+        for round in 1..=6 {
+            let now = round as f64 * 4_000.0;
+            let ids = by_ids.sweep_expired_ids(now);
+            let n = by_count.sweep(now);
+            assert_eq!(ids.len(), n, "round {round}");
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "round {round}: id-order eviction");
+            assert_eq!(by_ids.expirations(), by_count.expirations());
+            let left_a: Vec<u64> = by_ids.instances.keys().copied().collect();
+            let left_b: Vec<u64> = by_count.instances.keys().copied().collect();
+            assert_eq!(left_a, left_b, "round {round}: survivors diverged");
+            // Refill a little so later rounds have work to do.
+            let f = 100 + round;
+            by_ids.spawn(f, now);
+            by_count.spawn(f, now);
+        }
+    }
+
+    #[test]
+    fn spawn_restored_without_a_store_is_free() {
+        let mut pool = InstancePool::new(60_000.0);
+        let (id, restore_ms) = pool.spawn_restored(3, 10.0);
+        assert_eq!(restore_ms, 0.0);
+        assert_eq!(pool.instance(id).unwrap().function, 3);
+        assert_eq!(pool.cold_starts(), 1);
+        assert!(pool.snapshots().is_none());
+    }
+
+    #[test]
+    fn spawn_restored_prices_cold_starts_through_the_store() {
+        use luke_snapshot::{ColdStartModel, SnapshotStore, SnapshotTimings};
+        let store = SnapshotStore::for_profiles(
+            ColdStartModel::ReapPrefetch,
+            SnapshotTimings::default(),
+            &workloads::paper_suite(),
+        )
+        .unwrap();
+        let mut pool = InstancePool::new(60_000.0).with_snapshots(store);
+        let (_, record_ms) = pool.spawn_restored(0, 0.0);
+        let (_, prefetch_ms) = pool.spawn_restored(0, 1.0);
+        assert!(
+            prefetch_ms < record_ms,
+            "REAP replay {prefetch_ms}ms vs record {record_ms}ms"
+        );
+        let mut registry = luke_obs::Registry::new();
+        pool.fill_registry(&mut registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("snapshot.restores"), 2);
+        assert_eq!(snap.counter("snapshot.replay_aborts"), 0);
+    }
+
+    #[test]
+    fn snapshot_free_pools_export_no_snapshot_series() {
+        let mut pool = InstancePool::new(60_000.0);
+        pool.spawn(0, 0.0);
+        let mut registry = luke_obs::Registry::new();
+        pool.fill_registry(&mut registry);
+        let json = registry.snapshot().to_json();
+        assert!(!json.contains("snapshot."), "pre-snapshot keys only");
+        assert!(json.contains("pool.cold_starts"));
     }
 
     #[test]

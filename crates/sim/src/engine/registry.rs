@@ -54,7 +54,7 @@ use crate::experiments::*;
 
 /// Every experiment, in paper order: figures, Table 3, then the
 /// beyond-the-paper studies.
-static REGISTRY: [&dyn Experiment; 18] = [
+static REGISTRY: [&dyn Experiment; 19] = [
     &fig01_cpi_vs_iat::Entry,
     &fig02_topdown::Entry,
     &fig05_mpki::Entry,
@@ -73,6 +73,7 @@ static REGISTRY: [&dyn Experiment; 18] = [
     &keep_alive::Entry,
     &resilience::Entry,
     &fleet_scale::Entry,
+    &cold_spectrum::Entry,
 ];
 
 /// All registered experiments, in paper order.
@@ -109,6 +110,7 @@ mod tests {
         assert_eq!(find("fig10").unwrap().name(), "fig10");
         assert_eq!(find("fig03").unwrap().name(), "fig02");
         assert_eq!(find("fleet").unwrap().name(), "fleet");
+        assert_eq!(find("cold_spectrum").unwrap().name(), "cold-spectrum");
         assert!(find("fig99").is_none());
     }
 

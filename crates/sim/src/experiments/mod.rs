@@ -8,6 +8,7 @@
 //! qualitative shape.
 
 pub mod ablations;
+pub mod cold_spectrum;
 pub mod fig01_cpi_vs_iat;
 pub mod fig02_topdown;
 pub mod fig05_mpki;

@@ -1,0 +1,63 @@
+//! luke-snapshot: page-level snapshot/restore with REAP-style
+//! working-set record-and-prefetch.
+//!
+//! The paper motivates lukewarm optimization because providers keep
+//! instances memory-resident to dodge cold starts — but the repo so far
+//! modeled a cold start as a flat boot penalty. Ustiugov et al.
+//! (*Benchmarking, Analysis, and Optimization of Serverless Function
+//! Snapshots*, ASPLOS '21) show that restoring an instance from a
+//! snapshot is dominated by lazy page faults over the guest's working
+//! set, and that **REAP** — Record-and-Prefetch — recovers most of that
+//! loss by recording the page working set on the first invocation and
+//! bulk-prefetching it on every later restore. That is the data-plane
+//! analogue of Jukebox's instruction-level record-and-replay, and this
+//! crate models it with the same discipline:
+//!
+//! * [`working_set`] — per-function page working sets (code + data
+//!   pages in deterministic first-touch order), derived in closed form
+//!   from a [`workloads::FunctionProfile`] or bridged from
+//!   `workloads::footprint` line sets;
+//! * [`metadata`] — the recorded working set, guarded by an
+//!   order-sensitive integrity tag exactly like Jukebox's
+//!   `MetadataBuffer`: corrupt, truncated, reordered or out-of-bounds
+//!   metadata is *detected*, never trusted;
+//! * [`restore`] — the restore timing model: [`ColdStartModel`] selects
+//!   instant (the pre-snapshot flat boot cost), lazy paging (one fault
+//!   per first-touched page) or REAP prefetch (record on first restore,
+//!   batched prefetch afterwards, **validate-or-degrade** to lazy paging
+//!   when the metadata fails its tag — counted in
+//!   `snapshot.replay_aborts`, never a panic).
+//!
+//! Everything is a pure function of profile seeds and restore counts —
+//! no wall clock, no hashing randomness — so fleets that charge restore
+//! latencies per routed cold start stay bit-identical across worker
+//! thread counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use luke_snapshot::{ColdStartModel, PageWorkingSet, SnapshotStore, SnapshotTimings};
+//!
+//! let suite = workloads::paper_suite();
+//! let mut store = SnapshotStore::for_profiles(
+//!     ColdStartModel::ReapPrefetch,
+//!     SnapshotTimings::default(),
+//!     &suite,
+//! )
+//! .expect("suite working sets are non-empty");
+//! let first = store.restore_ms(0); // records the working set, pays lazy faults
+//! let second = store.restore_ms(0); // replays it as one batched prefetch
+//! assert!(second < first);
+//! assert_eq!(store.stats().replay_aborts, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metadata;
+pub mod restore;
+pub mod working_set;
+
+pub use metadata::SnapshotMetadata;
+pub use restore::{ColdStartModel, SnapshotStats, SnapshotStore, SnapshotTimings};
+pub use working_set::{PageKind, PageWorkingSet, SnapshotPage, PAGE_BYTES};

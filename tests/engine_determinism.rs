@@ -29,6 +29,13 @@ fn exports_are_byte_identical_across_thread_counts() {
     let serial = emit(1);
     let parallel = emit(4);
     assert_eq!(serial.len(), parallel.len());
+    // The registry drives the suite, so new experiments are covered the
+    // moment they register; pin the snapshot subsystem's sweep to catch
+    // an accidental deregistration.
+    assert!(
+        serial.iter().any(|(name, _)| name == "cold-spectrum"),
+        "golden suite must cover cold-spectrum"
+    );
     for ((name, one), (name4, four)) in serial.iter().zip(&parallel) {
         assert_eq!(name, name4);
         assert_eq!(one, four, "{name}: 4-thread export diverged from 1-thread");

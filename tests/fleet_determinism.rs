@@ -5,7 +5,9 @@
 //! JSON/CSV — with and without fault injection, and for every routing
 //! policy.
 
-use lukewarm::fleet::{run_fleet, run_fleet_pair, FleetConfig, RoutingPolicy, ServiceModel};
+use lukewarm::fleet::{
+    run_fleet, run_fleet_pair, ColdStartModel, FleetConfig, RoutingPolicy, ServiceModel,
+};
 use lukewarm::server::FaultRates;
 use lukewarm::workloads::paper_suite;
 use luke_obs::export::{to_csv, to_json};
@@ -128,6 +130,48 @@ fn uneven_and_oversubscribed_shards_are_results_neutral() {
         .expect("sharded run");
         assert_bit_identical(&one, &run);
     }
+}
+
+#[test]
+fn snapshot_restore_models_are_thread_count_neutral() {
+    // REAP restores mutate per-pool snapshot metadata as they record and
+    // prefetch, so the snapshot layer must be exactly as shard-local as
+    // the pool itself.
+    let m = model();
+    for cold_start_model in [ColdStartModel::LazyPaging, ColdStartModel::ReapPrefetch] {
+        let base = FleetConfig {
+            cold_start_model,
+            hosts: 16,
+            invocations: 8_000,
+            ..sweep_config()
+        };
+        let one = run_fleet(&base, &m, false).expect("1-thread run");
+        let four = run_fleet(
+            &FleetConfig {
+                threads: 4,
+                ..base.clone()
+            },
+            &m,
+            false,
+        )
+        .expect("4-thread run");
+        assert!(one.snapshot.counter("snapshot.restores") > 0, "restores drawn");
+        assert_bit_identical(&one, &four);
+    }
+}
+
+#[test]
+fn instant_model_reproduces_the_pre_snapshot_fleet_bit_for_bit() {
+    // `ColdStartModel::Instant` with no faults must leave every exported
+    // surface untouched by the snapshot subsystem: no snapshot.* series,
+    // and the flat cold_start_ms pricing of the original fleet.
+    let m = model();
+    let run = run_fleet(&sweep_config(), &m, false).expect("instant run");
+    assert!(run.cold_starts > 0);
+    assert!(
+        !run.snapshot.to_json().contains("snapshot."),
+        "Instant fleets must not export snapshot.* series"
+    );
 }
 
 #[test]

@@ -192,6 +192,48 @@ fn trace_command_emits_valid_chrome_trace_json() {
     }
 }
 
+// --- Pool lifecycle counters ---
+
+#[test]
+fn pool_lifecycle_counters_all_reach_the_export() {
+    // A fleet run with a short keep-alive and memory-pressure faults
+    // exercises all three pool lifecycle paths: cold starts (spawns),
+    // keep-alive expirations (sweeps) and explicit evictions. All three
+    // counters must reach the exported registry snapshot.
+    use lukewarm::fleet::{run_fleet, FleetConfig, ServiceModel};
+    use lukewarm::server::FaultRates;
+    use lukewarm::workloads::paper_suite;
+
+    let config = FleetConfig {
+        hosts: 4,
+        invocations: 4_000,
+        population: 80,
+        keep_alive_ms: 2_000.0,
+        fault_rates: FaultRates {
+            memory_pressure: 0.05,
+            ..FaultRates::zero()
+        },
+        ..FleetConfig::default()
+    };
+    let model = ServiceModel::analytic(&paper_suite()).expect("paper suite is valid");
+    let run = run_fleet(&config, &model, false).expect("valid config");
+
+    let v = parse(&run.snapshot.to_json()).expect("fleet snapshot JSON parses");
+    let counters = v.get("counters").expect("counters object");
+    for name in ["pool.cold_starts", "pool.expirations", "pool.evictions"] {
+        let value = counters
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{name} missing from export"));
+        assert!(value > 0.0, "{name} never incremented");
+    }
+    assert_eq!(
+        run.snapshot.counter("pool.cold_starts"),
+        run.cold_starts,
+        "pool and fleet disagree on cold starts"
+    );
+}
+
 // --- Statistics guards (satellites a and b) ---
 
 #[test]

@@ -1,0 +1,204 @@
+//! Snapshot-subsystem properties: metadata must round-trip bit-exactly,
+//! any corruption — truncation, page flips, reordering, a stale tag —
+//! must be caught by validation, and a REAP restore presented with
+//! invalid metadata must degrade to lazy paging (counting a replay
+//! abort) instead of panicking or prefetching outside the layout.
+
+use lukewarm::snapshot::{
+    ColdStartModel, PageKind, SnapshotMetadata, SnapshotPage, SnapshotStore, SnapshotTimings,
+};
+use proptest::prelude::*;
+
+/// Arbitrary (page, kind) pairs → a `SnapshotPage` list.
+fn pages(raw: &[(u64, bool)]) -> Vec<SnapshotPage> {
+    raw.iter()
+        .map(|&(page, code)| SnapshotPage {
+            page,
+            kind: if code { PageKind::Code } else { PageKind::Data },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // --- Metadata round-trip ---
+
+    #[test]
+    fn recorded_metadata_round_trips_through_raw_parts(
+        raw in prop::collection::vec((0u64..(1u64 << 40), any::<bool>()), 0..64),
+        generation in 0u64..(1u64 << 32),
+    ) {
+        // Covers the empty, single-page and arbitrary working sets: a
+        // record serialized to its raw parts and rebuilt (the snapshot
+        // file read back from disk) must stay consistent and equal.
+        let mut md = SnapshotMetadata::new();
+        for page in pages(&raw) {
+            md.push(page);
+        }
+        let rebuilt = SnapshotMetadata::from_raw_parts(
+            md.pages().to_vec(),
+            md.tag(),
+            generation,
+        );
+        prop_assert!(md.is_consistent());
+        prop_assert!(rebuilt.is_consistent());
+        prop_assert_eq!(md.pages(), rebuilt.pages());
+        prop_assert_eq!(md.tag(), rebuilt.tag());
+    }
+
+    #[test]
+    fn any_truncation_or_page_flip_breaks_the_tag(
+        raw in prop::collection::vec((0u64..(1u64 << 40), any::<bool>()), 1..64),
+        cut in 0usize..64,
+        flip_bit in 0u32..40,
+    ) {
+        let mut md = SnapshotMetadata::new();
+        for page in pages(&raw) {
+            md.push(page);
+        }
+        // Torn write: drop a suffix but keep the original tag.
+        let keep = cut % md.len();
+        let truncated = SnapshotMetadata::from_raw_parts(
+            md.pages()[..keep].to_vec(),
+            md.tag(),
+            md.generation(),
+        );
+        prop_assert!(!truncated.is_consistent());
+        // Bit-flip on the medium: one page index changes under the tag.
+        let mut flipped = md.pages().to_vec();
+        let victim = cut % flipped.len();
+        flipped[victim].page ^= 1 << flip_bit;
+        let corrupt = SnapshotMetadata::from_raw_parts(flipped, md.tag(), md.generation());
+        prop_assert!(!corrupt.is_consistent());
+    }
+
+    // --- Validate-or-degrade on restore ---
+
+    #[test]
+    fn invalid_metadata_degrades_to_lazy_paging(
+        raw in prop::collection::vec((0u64..(1u64 << 40), any::<bool>()), 1..32),
+        function in 0usize..40,
+    ) {
+        // Arbitrary pages under a guaranteed-wrong tag (the true fold
+        // with one bit flipped): the restore must price exactly the
+        // lazy-paging path, count one replay abort, prefetch nothing,
+        // and re-record valid metadata.
+        let suite = lukewarm::workloads::paper_suite();
+        let timings = SnapshotTimings::default();
+        let mut store =
+            SnapshotStore::for_profiles(ColdStartModel::ReapPrefetch, timings, &suite).unwrap();
+        let mut honest = SnapshotMetadata::new();
+        for page in pages(&raw) {
+            honest.push(page);
+        }
+        let untrusted = SnapshotMetadata::from_raw_parts(
+            honest.pages().to_vec(),
+            honest.tag() ^ 1,
+            honest.generation(),
+        );
+        prop_assert!(!untrusted.is_consistent());
+        store.install(function, untrusted);
+
+        let ms = store.restore_ms(function);
+        let lazy_ms = timings.lazy_restore_us(store.working_set(function).len()) / 1000.0;
+        prop_assert!((ms - lazy_ms).abs() < 1e-12, "degraded restore must be lazy: {} vs {}", ms, lazy_ms);
+        prop_assert_eq!(store.stats().replay_aborts, 1);
+        prop_assert_eq!(store.stats().pages_prefetched, 0);
+        prop_assert!(store.metadata(function).unwrap().is_consistent(), "degraded pass re-records");
+    }
+
+    #[test]
+    fn restores_never_prefetch_outside_the_working_set(
+        raw in prop::collection::vec((0u64..(1u64 << 40), any::<bool>()), 0..32),
+        keep_tag_consistent in any::<bool>(),
+        tag in 0u64..(1u64 << 62),
+        function in 0usize..40,
+    ) {
+        // Whatever metadata is installed — consistent or not — the pages
+        // a restore prefetches are bounded by the function's working set:
+        // a prefetch happens only when every recorded page is in-layout.
+        let suite = lukewarm::workloads::paper_suite();
+        let mut store = SnapshotStore::for_profiles(
+            ColdStartModel::ReapPrefetch,
+            SnapshotTimings::default(),
+            &suite,
+        )
+        .unwrap();
+        let untrusted = if keep_tag_consistent {
+            let mut md = SnapshotMetadata::new();
+            for page in pages(&raw) {
+                md.push(page);
+            }
+            md
+        } else {
+            SnapshotMetadata::from_raw_parts(pages(&raw), tag, 0)
+        };
+        let in_layout = untrusted.is_consistent()
+            && untrusted.covered_by(store.working_set(function));
+        store.install(function, untrusted);
+        store.restore_ms(function);
+        if in_layout {
+            prop_assert_eq!(store.stats().replay_aborts, 0);
+        } else {
+            prop_assert_eq!(store.stats().pages_prefetched, 0, "wild pages must never prefetch");
+            prop_assert_eq!(store.stats().replay_aborts, 1);
+        }
+    }
+
+    #[test]
+    fn working_sets_and_restores_are_deterministic(
+        function in 0usize..60,
+        restores in 1usize..6,
+    ) {
+        let suite = lukewarm::workloads::paper_suite();
+        let run = || {
+            let mut store = SnapshotStore::for_profiles(
+                ColdStartModel::ReapPrefetch,
+                SnapshotTimings::default(),
+                &suite,
+            )
+            .unwrap();
+            let costs: Vec<f64> = (0..restores).map(|_| store.restore_ms(function)).collect();
+            let md = store.metadata(function).unwrap().clone();
+            (costs, md.tag(), store.stats().pages_prefetched)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Acceptance check: a restore loop whose metadata is tampered with
+/// before every restore never panics, aborts every replay, and lands
+/// exactly on the lazy-paging baseline — the snapshot analogue of the
+/// Jukebox corrupt-snapshot degradation test.
+#[test]
+fn fully_corrupt_restore_loop_degrades_to_the_lazy_baseline() {
+    let suite = lukewarm::workloads::paper_suite();
+    let timings = SnapshotTimings::default();
+    let mut lazy =
+        SnapshotStore::for_profiles(ColdStartModel::LazyPaging, timings, &suite).unwrap();
+    let mut reap =
+        SnapshotStore::for_profiles(ColdStartModel::ReapPrefetch, timings, &suite).unwrap();
+
+    let rounds = 24;
+    let mut lazy_sum = 0.0;
+    let mut reap_sum = 0.0;
+    for round in 0..rounds {
+        let function = round % 7;
+        lazy_sum += lazy.restore_ms(function);
+        // Tamper after the record pass so every replay sees corruption.
+        if reap.metadata(function).is_some() {
+            assert!(reap.tamper(function));
+        }
+        reap_sum += reap.restore_ms(function);
+    }
+
+    assert_eq!(
+        reap_sum, lazy_sum,
+        "every degraded restore must price the lazy path exactly"
+    );
+    // Every restore after each function's first record pass aborted.
+    assert_eq!(reap.stats().replay_aborts, (rounds - 7) as u64);
+    assert_eq!(reap.stats().pages_prefetched, 0);
+    assert_eq!(reap.stats().restores, rounds as u64);
+}
