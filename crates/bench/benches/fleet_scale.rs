@@ -55,10 +55,8 @@ fn thread_scaling_report() -> String {
     for event in generator.by_ref().take(config.invocations) {
         let function = event.instance;
         let expected_ms = model.timing(function % model.functions()).warm_ms;
-        queues[router.route(function, expected_ms)].push(RoutedInvocation {
-            at_ms: event.at_ms,
-            function,
-        });
+        queues[router.route(function, expected_ms)]
+            .push(RoutedInvocation::new(event.at_ms, function));
     }
     writeln!(
         out,

@@ -1,0 +1,8 @@
+//! **Surge (beyond the paper)** — fleet resilience under a flash crowd:
+//! routing policy x chaos level x admission control, reporting
+//! SLO-violation rate, shed arrivals, failovers, host crashes, retry
+//! amplification and the cold/lukewarm/warm mix.
+
+fn main() {
+    luke_bench::harness_experiment("surge");
+}

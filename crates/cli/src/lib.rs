@@ -105,6 +105,10 @@ pub enum Command {
         policy: String,
         /// Total invocations (defaults to 1000 per host).
         invocations: Option<usize>,
+        /// Chaos preset: `off`, `light` or `heavy`. Anything but `off`
+        /// turns on the whole resilience stack (fault domains, failover,
+        /// hedging, retry budgets, admission control, surge traffic).
+        chaos: String,
         /// Output format.
         emit: Emit,
     },
@@ -350,6 +354,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 1usize;
             let mut policy = "keep-alive-aware".to_string();
             let mut invocations = None;
+            let mut chaos = "off".to_string();
             let mut emit = Emit::Table;
             let mut it = rest.iter();
             while let Some(key) = it.next() {
@@ -373,19 +378,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             CliError::usage(format!("bad --invocations {value:?}"))
                         })?);
                     }
+                    "--chaos" => chaos = value.to_string(),
                     "--emit" => emit = parse_emit(value)?,
                     other => {
                         return Err(CliError::usage(format!("unknown option {other}")));
                     }
                 }
             }
-            // Validate eagerly so a typo'd policy fails before any work.
+            // Validate eagerly so a typo'd policy or preset fails before
+            // any work.
             luke_fleet::RoutingPolicy::parse(&policy)?;
+            chaos_preset(&chaos)?;
             Ok(Command::Fleet {
                 hosts,
                 threads,
                 policy,
                 invocations,
+                chaos,
                 emit,
             })
         }
@@ -792,16 +801,20 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             threads,
             policy,
             invocations,
+            chaos,
             emit,
         } => {
             let policy = luke_fleet::RoutingPolicy::parse(policy)?;
-            let config = luke_fleet::FleetConfig {
+            let mut config = luke_fleet::FleetConfig {
                 hosts: *hosts,
                 threads: *threads,
                 invocations: invocations.unwrap_or(hosts * 1000),
                 policy,
                 ..luke_fleet::FleetConfig::default()
             };
+            if let Some(resilience) = chaos_preset(chaos)? {
+                resilience.apply(&mut config);
+            }
             // The CLI uses the closed-form service model; the calibrated
             // (cycle-accurate) variant runs via `figure fleet`.
             let model = luke_fleet::ServiceModel::analytic(&paper_suite())?;
@@ -828,6 +841,66 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             ))
         }
     }
+}
+
+/// A resolved `--chaos` preset: a seeded fault timeline plus the rest of
+/// the resilience stack (hedging, retry budgets, admission control and a
+/// flash-crowd surge) at fixed, documented knobs.
+struct ResiliencePreset {
+    chaos: luke_fleet::ChaosConfig,
+}
+
+impl ResiliencePreset {
+    fn apply(&self, config: &mut luke_fleet::FleetConfig) {
+        config.chaos = self.chaos;
+        config.hedge = luke_fleet::HedgeConfig {
+            enabled: true,
+            max_fraction: 0.05,
+        };
+        config.retry_budget =
+            luke_fleet::RetryBudget::new(10.0, 0.1).expect("preset knobs are valid");
+        config.admission = luke_fleet::AdmissionConfig {
+            enabled: true,
+            reserved_concurrency: 2,
+            burst_concurrency: 4,
+            host_concurrency: 32,
+            memory_pressure_instances: 60,
+        };
+        config.surge = luke_fleet::SurgeConfig {
+            diurnal_amplitude: 0.3,
+            diurnal_period_ms: 60_000.0,
+            flash_multiplier: 6.0,
+            flash_start_ms: 10_000.0,
+            flash_duration_ms: 15_000.0,
+        };
+    }
+}
+
+/// Resolves a `--chaos` preset name (`off` means no preset).
+fn chaos_preset(name: &str) -> Result<Option<ResiliencePreset>, CliError> {
+    let chaos = match name {
+        "off" => return Ok(None),
+        "light" => luke_fleet::ChaosConfig {
+            host_mtbf_ms: 30_000.0,
+            crash_downtime_ms: 2_000.0,
+            degrade_mtbf_ms: 25_000.0,
+            degrade_duration_ms: 3_000.0,
+            degrade_slowdown: 5.0,
+        },
+        "heavy" => luke_fleet::ChaosConfig {
+            host_mtbf_ms: 10_000.0,
+            crash_downtime_ms: 2_500.0,
+            degrade_mtbf_ms: 10_000.0,
+            degrade_duration_ms: 4_000.0,
+            degrade_slowdown: 30.0,
+        },
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown --chaos preset {other:?}; try off, light or heavy"
+            )));
+        }
+    };
+    Ok(Some(ResiliencePreset { chaos }))
 }
 
 /// Event-ring capacity for `lukewarm trace`: large enough to hold every
@@ -870,7 +943,10 @@ fn help_text() -> String {
      \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\
      \x20 lukewarm trace FUNCTION [--prefetcher K] [--state ST] [--out FILE]\n\
      \x20 lukewarm fleet [--hosts N] [--threads T] [--policy rr|ll|kaa]\n\
-     \x20                [--invocations N]\n\n\
+     \x20                [--invocations N] [--chaos off|light|heavy]\n\n\
+     \x20 --chaos light|heavy crashes and degrades hosts on a seeded timeline and\n\
+     \x20 enables failover, hedging, retry budgets, admission control and a flash\n\
+     \x20 crowd; output stays bit-identical across --threads (see docs/RESILIENCE.md).\n\n\
      All run/compare/figure/workflow/trace/fleet commands accept --emit table|json|csv\n\
      (default table; trace always emits Chrome trace-event JSON).\n\
      See docs/OBSERVABILITY.md for the metric catalogue and export formats.\n\n\
@@ -1034,7 +1110,10 @@ mod tests {
 
     #[test]
     fn fleet_parses_flags_and_rejects_bad_ones() {
-        let cmd = parse(&argv("fleet --hosts 4 --threads 2 --policy rr --emit json")).unwrap();
+        let cmd = parse(&argv(
+            "fleet --hosts 4 --threads 2 --policy rr --chaos heavy --emit json",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Fleet {
@@ -1042,6 +1121,7 @@ mod tests {
                 threads: 2,
                 policy: "rr".to_string(),
                 invocations: None,
+                chaos: "heavy".to_string(),
                 emit: Emit::Json,
             }
         );
@@ -1053,13 +1133,15 @@ mod tests {
                 threads: 1,
                 policy: "keep-alive-aware".to_string(),
                 invocations: None,
+                chaos: "off".to_string(),
                 emit: Emit::Table,
             }
         );
-        // Unknown flag and unknown policy are caught at parse time.
+        // Unknown flag, policy and chaos preset are caught at parse time.
         assert_eq!(parse(&argv("fleet --bogus 3")).unwrap_err().code, 2);
         assert_eq!(parse(&argv("fleet --policy random")).unwrap_err().code, 3);
         assert_eq!(parse(&argv("fleet --hosts x")).unwrap_err().code, 2);
+        assert_eq!(parse(&argv("fleet --chaos earthquake")).unwrap_err().code, 2);
     }
 
     #[test]
@@ -1078,6 +1160,24 @@ mod tests {
         assert!(!datasets.is_empty());
         // base + jukebox summaries, per-host tables, and the speedup.
         assert_eq!(datasets.len(), 5);
+    }
+
+    #[test]
+    fn fleet_chaos_output_is_identical_across_thread_counts() {
+        let one = run_cli(&argv(
+            "fleet --hosts 4 --threads 1 --invocations 4000 --chaos heavy --emit json",
+        ))
+        .unwrap();
+        let four = run_cli(&argv(
+            "fleet --hosts 4 --threads 4 --invocations 4000 --chaos heavy --emit json",
+        ))
+        .unwrap();
+        assert_eq!(one, four);
+        let v = luke_obs::json::parse(&one).unwrap();
+        let datasets = v.get("datasets").unwrap().as_arr().unwrap();
+        // The 5 baseline datasets plus one fleet.resilience per run.
+        assert_eq!(datasets.len(), 7);
+        assert!(one.contains("fleet.resilience"));
     }
 
     #[test]

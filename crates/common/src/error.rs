@@ -30,6 +30,19 @@ pub enum SimError {
         /// What the validator found (truncation, out-of-bounds region, …).
         reason: String,
     },
+    /// Admission control shed every invocation of a fleet run — the
+    /// configured reserved/burst limits left no capacity at all, so the
+    /// run produced nothing but rejections.
+    AdmissionRejected {
+        /// How many invocations were shed (the whole arrival stream).
+        shed: u64,
+    },
+    /// Every host in the fleet was inside a chaos down-window when an
+    /// invocation arrived: there is no host left to fail over to.
+    AllHostsDown {
+        /// Arrival time of the unroutable invocation, whole milliseconds.
+        at_ms: u64,
+    },
 }
 
 impl SimError {
@@ -48,14 +61,27 @@ impl SimError {
         }
     }
 
+    /// Convenience constructor for a fully shed fleet run.
+    pub fn admission_rejected(shed: u64) -> Self {
+        SimError::AdmissionRejected { shed }
+    }
+
+    /// Convenience constructor for a fleet-wide outage.
+    pub fn all_hosts_down(at_ms: u64) -> Self {
+        SimError::AllHostsDown { at_ms }
+    }
+
     /// Process exit code the CLI uses for this error class.
     ///
     /// `2` is reserved for usage errors (unknown flags); configuration
-    /// validation gets `3`, metadata corruption `4`.
+    /// validation gets `3`, metadata corruption `4`, total admission
+    /// rejection `5`, and a fleet-wide outage `6`.
     pub fn exit_code(&self) -> i32 {
         match self {
             SimError::InvalidConfig { .. } => 3,
             SimError::CorruptMetadata { .. } => 4,
+            SimError::AdmissionRejected { .. } => 5,
+            SimError::AllHostsDown { .. } => 6,
         }
     }
 }
@@ -68,6 +94,18 @@ impl fmt::Display for SimError {
             }
             SimError::CorruptMetadata { reason } => {
                 write!(f, "corrupt metadata: {reason}")
+            }
+            SimError::AdmissionRejected { shed } => {
+                write!(
+                    f,
+                    "admission rejected: all {shed} invocations were shed (no reserved or burst capacity admitted anything)"
+                )
+            }
+            SimError::AllHostsDown { at_ms } => {
+                write!(
+                    f,
+                    "all hosts down: every host was inside a chaos down-window at t={at_ms}ms; nothing left to fail over to"
+                )
             }
         }
     }
@@ -89,11 +127,30 @@ mod tests {
 
     #[test]
     fn exit_codes_are_distinct_and_nonzero() {
-        let cfg = SimError::invalid_config("x", "y");
-        let meta = SimError::corrupt_metadata("tag mismatch");
-        assert_ne!(cfg.exit_code(), 0);
-        assert_ne!(meta.exit_code(), 0);
-        assert_ne!(cfg.exit_code(), meta.exit_code());
+        let errors = [
+            SimError::invalid_config("x", "y"),
+            SimError::corrupt_metadata("tag mismatch"),
+            SimError::admission_rejected(100),
+            SimError::all_hosts_down(1234),
+        ];
+        let codes: Vec<i32> = errors.iter().map(SimError::exit_code).collect();
+        for (i, &a) in codes.iter().enumerate() {
+            assert_ne!(a, 0);
+            assert_ne!(a, 2, "2 is reserved for CLI usage errors");
+            for &b in &codes[i + 1..] {
+                assert_ne!(a, b, "exit codes must be distinct: {codes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resilience_errors_display_one_line_with_context() {
+        let shed = SimError::admission_rejected(500);
+        let s = format!("{shed}");
+        assert!(s.contains("500") && !s.contains('\n'), "{s}");
+        let down = SimError::all_hosts_down(9_000);
+        let s = format!("{down}");
+        assert!(s.contains("9000ms") && !s.contains('\n'), "{s}");
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Fleet-level configuration and validation.
 
-use crate::route::RoutingPolicy;
+use crate::chaos::ChaosConfig;
+use crate::health::HealthConfig;
+use crate::route::{HedgeConfig, RoutingPolicy};
+use crate::traffic::SurgeConfig;
 use luke_common::SimError;
 use luke_snapshot::{ColdStartModel, SnapshotTimings};
-use server::{FaultRates, InstancePool, RetryPolicy};
+use server::{AdmissionConfig, FaultRates, InstancePool, RetryBudget, RetryPolicy};
 
 /// Configuration of one fleet run.
 ///
@@ -55,6 +58,24 @@ pub struct FleetConfig {
     pub retry: RetryPolicy,
     /// Per-host event-ring capacity (0 disables lifecycle tracing).
     pub events_capacity: usize,
+    /// Host fault domains: seeded crash/degrade schedules.
+    /// [`ChaosConfig::none`] (the default) is bit-transparent.
+    pub chaos: ChaosConfig,
+    /// Health-probe knobs driving failover routing (only consulted when
+    /// chaos is enabled).
+    pub health: HealthConfig,
+    /// Hedged re-dispatch toward half-open hosts.
+    /// [`HedgeConfig::disabled`] (the default) is bit-transparent.
+    pub hedge: HedgeConfig,
+    /// Token-bucket retry budget per function, applied host-locally.
+    /// [`RetryBudget::unlimited`] (the default) is bit-transparent.
+    pub retry_budget: RetryBudget,
+    /// SLO-driven admission control (reserved/burst concurrency and the
+    /// load-shedding ladder). Disabled by default — bit-transparent.
+    pub admission: AdmissionConfig,
+    /// Non-stationary traffic shape (diurnal ramp + flash crowd).
+    /// [`SurgeConfig::none`] (the default) is bit-transparent.
+    pub surge: SurgeConfig,
 }
 
 impl Default for FleetConfig {
@@ -78,6 +99,12 @@ impl Default for FleetConfig {
             timeout_ms: 250.0,
             retry: RetryPolicy::default(),
             events_capacity: 0,
+            chaos: ChaosConfig::none(),
+            health: HealthConfig::default(),
+            hedge: HedgeConfig::disabled(),
+            retry_budget: RetryBudget::unlimited(),
+            admission: AdmissionConfig::disabled(),
+            surge: SurgeConfig::none(),
         }
     }
 }
@@ -134,12 +161,29 @@ impl FleetConfig {
         InstancePool::try_new(self.keep_alive_ms)?;
         server::FaultPlan::new(self.seed, self.fault_rates)?;
         self.snapshot_timings.validate()?;
+        self.chaos.validate()?;
+        self.health.validate()?;
+        self.hedge.validate()?;
+        self.retry_budget.validate()?;
+        self.admission.validate()?;
+        self.surge.validate()?;
         Ok(())
     }
 
     /// Fleet-wide arrival rate in invocations per second.
     pub fn total_rate_per_sec(&self) -> f64 {
         self.hosts as f64 * self.per_host_rate_per_sec
+    }
+
+    /// Whether any resilience machinery is switched on. When false, the
+    /// run takes the exact pre-resilience code path and exports
+    /// byte-identical output — disabled features don't exist.
+    pub fn resilience_enabled(&self) -> bool {
+        !self.chaos.is_none()
+            || self.hedge.enabled
+            || self.retry_budget.is_limited()
+            || self.admission.enabled
+            || !self.surge.is_none()
     }
 }
 
@@ -221,12 +265,121 @@ mod tests {
                 },
                 "fault.crash",
             ),
+            (
+                FleetConfig {
+                    chaos: ChaosConfig {
+                        host_mtbf_ms: -1.0,
+                        ..ChaosConfig::none()
+                    },
+                    ..FleetConfig::default()
+                },
+                "chaos.host_mtbf_ms",
+            ),
+            (
+                FleetConfig {
+                    health: HealthConfig {
+                        probe_interval_ms: 0.0,
+                        ..HealthConfig::default()
+                    },
+                    ..FleetConfig::default()
+                },
+                "health.probe_interval_ms",
+            ),
+            (
+                FleetConfig {
+                    hedge: HedgeConfig {
+                        enabled: true,
+                        max_fraction: 2.0,
+                    },
+                    ..FleetConfig::default()
+                },
+                "hedge.max_fraction",
+            ),
+            (
+                FleetConfig {
+                    retry_budget: RetryBudget {
+                        max_tokens: f64::NAN,
+                        token_ratio: 0.1,
+                    },
+                    ..FleetConfig::default()
+                },
+                "retry_budget.max_tokens",
+            ),
+            (
+                FleetConfig {
+                    admission: AdmissionConfig {
+                        enabled: true,
+                        host_concurrency: 0,
+                        ..AdmissionConfig::disabled()
+                    },
+                    ..FleetConfig::default()
+                },
+                "admission.host_concurrency",
+            ),
+            (
+                FleetConfig {
+                    surge: SurgeConfig {
+                        diurnal_amplitude: 1.5,
+                        ..SurgeConfig::none()
+                    },
+                    ..FleetConfig::default()
+                },
+                "surge.diurnal_amplitude",
+            ),
         ];
         for (config, field) in cases {
             let err = config.validate().unwrap_err();
             let msg = format!("{err}");
             assert!(msg.contains(field), "expected {field} in {msg}");
             assert_eq!(err.exit_code(), 3);
+        }
+    }
+
+    #[test]
+    fn resilience_is_off_by_default_and_each_knob_flips_it() {
+        assert!(!FleetConfig::default().resilience_enabled());
+        let flipped = [
+            FleetConfig {
+                chaos: ChaosConfig {
+                    host_mtbf_ms: 10_000.0,
+                    crash_downtime_ms: 1_000.0,
+                    ..ChaosConfig::none()
+                },
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                hedge: HedgeConfig {
+                    enabled: true,
+                    max_fraction: 0.1,
+                },
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                retry_budget: RetryBudget::new(10.0, 0.1).unwrap(),
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                admission: AdmissionConfig {
+                    enabled: true,
+                    reserved_concurrency: 1,
+                    burst_concurrency: 4,
+                    host_concurrency: 64,
+                    memory_pressure_instances: 0,
+                },
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                surge: SurgeConfig {
+                    flash_multiplier: 5.0,
+                    flash_duration_ms: 1_000.0,
+                    ..SurgeConfig::none()
+                },
+                ..FleetConfig::default()
+            },
+        ];
+        for config in flipped {
+            assert!(config.resilience_enabled());
+            assert!(config.validate().is_ok());
         }
     }
 

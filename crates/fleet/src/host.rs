@@ -12,14 +12,22 @@ use luke_common::rng::DetRng;
 use luke_obs::{Event, EventKind, EventRing, Histogram, Registry};
 use luke_snapshot::{ColdStartModel, SnapshotStore};
 use server::{
-    fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultStats, InstancePool,
+    fault_kind_index, AdmissionControl, AdmissionDecision, AttemptCosts, FaultKind, FaultPlan,
+    FaultStats, InstancePool, RetryPolicy,
 };
 
+use crate::chaos::{HostSchedule, HostState};
 use crate::config::FleetConfig;
 use crate::timing::ServiceModel;
+use crate::traffic::Population;
 
 /// Seed-space tag for per-host fault plans.
 const FAULT_STREAM: u64 = 0x66_6C_74; // "flt"
+/// Seed-space tag for down-host reconnect backoff jitter.
+const DOWN_STREAM: u64 = 0x646F_776E; // "down"
+/// `FaultDraw` event tag for a whole-host chaos crash — one past the
+/// per-invocation fault kinds (which occupy 0..4).
+const HOST_CRASH_EVENT: u64 = 4;
 
 /// A routed invocation waiting on a host's queue.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -28,6 +36,36 @@ pub struct RoutedInvocation {
     pub at_ms: f64,
     /// Logical function id (`id % profiles` = suite profile).
     pub function: usize,
+    /// Fleet-wide dispatch sequence number (hedge copies share it; the
+    /// merge joins them back together).
+    pub dispatch: u64,
+    /// Whether this is one copy of a hedged dispatch. Hedged copies are
+    /// real load but report through [`FleetHost::hedge_outcomes`] so the
+    /// merge can keep only the faster completion.
+    pub hedge: bool,
+}
+
+impl RoutedInvocation {
+    /// A plain (non-hedged) routed invocation.
+    pub fn new(at_ms: f64, function: usize) -> Self {
+        RoutedInvocation {
+            at_ms,
+            function,
+            dispatch: 0,
+            hedge: false,
+        }
+    }
+}
+
+/// The fate of one hedged copy, joined across hosts at merge time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeOutcome {
+    /// The dispatch id both copies share.
+    pub dispatch: u64,
+    /// This copy's end-to-end latency, ms.
+    pub latency_ms: f64,
+    /// Whether this copy completed.
+    pub completed: bool,
 }
 
 /// One host's complete simulation state.
@@ -61,6 +99,30 @@ pub struct FleetHost {
     pub fault_stats: FaultStats,
     /// Lifecycle trace (empty ring when tracing is off).
     pub events: EventRing,
+    /// This host's chaos timeline (empty without chaos).
+    schedule: HostSchedule,
+    /// Next crash boundary to apply (index into the schedule).
+    next_crash: usize,
+    /// Whole-host crashes applied: pool wiped, keep-alive state gone.
+    pub host_crashes: u64,
+    /// Reconnect retries burned against down-windows.
+    pub down_retries: u64,
+    /// Invocations abandoned because the host stayed down past the
+    /// retry budget.
+    pub down_failures: u64,
+    /// Fault-layer retries (attempts beyond the first), accumulated.
+    pub retries: u64,
+    /// Outcomes of hedged copies, joined fleet-wide at merge time.
+    pub hedge_outcomes: Vec<HedgeOutcome>,
+    /// Admission controller (present only when enabled).
+    admission: Option<AdmissionControl>,
+    /// Per-function retry-budget token buckets (empty when unlimited).
+    retry_tokens: Vec<f64>,
+    /// Seed for down-host reconnect backoff jitter.
+    chaos_seed: u64,
+    /// Whether any resilience knob is on — gates the resilience series
+    /// so disabled runs export byte-identical telemetry.
+    resilient: bool,
 }
 
 impl FleetHost {
@@ -99,6 +161,21 @@ impl FleetHost {
             FaultPlan::new(seed, config.fault_rates)
                 .expect("config validated upstream: fault_rates")
         };
+        let admission = if config.admission.enabled {
+            // Priorities are a pure function of the config, so every
+            // host derives the same classes the router would.
+            Some(AdmissionControl::new(
+                config.admission,
+                Population::synthesize(config).priorities(),
+            ))
+        } else {
+            None
+        };
+        let retry_tokens = if config.retry_budget.is_limited() {
+            vec![config.retry_budget.initial_tokens(); config.population]
+        } else {
+            Vec::new()
+        };
         FleetHost {
             host_id,
             pool,
@@ -114,7 +191,74 @@ impl FleetHost {
             latency_us: Histogram::new(),
             fault_stats: FaultStats::default(),
             events: EventRing::with_capacity(config.events_capacity),
+            schedule: HostSchedule::synthesize(config, host_id),
+            next_crash: 0,
+            host_crashes: 0,
+            down_retries: 0,
+            down_failures: 0,
+            retries: 0,
+            hedge_outcomes: Vec::new(),
+            admission,
+            retry_tokens,
+            chaos_seed: DetRng::new(config.seed)
+                .split(DOWN_STREAM)
+                .split(host_id as u64)
+                .seed(),
+            resilient: config.resilience_enabled(),
         }
+    }
+
+    /// Applies every chaos crash boundary at or before `at`: the pool is
+    /// wiped (in-flight work fails, snapshots-in-memory and keep-alive
+    /// state are gone) and every function starts cold afterwards.
+    fn apply_crash_boundaries(&mut self, at: f64) {
+        while self.next_crash < self.schedule.crash_count()
+            && self.schedule.crash_start(self.next_crash) <= at
+        {
+            let died = self.pool.evict_all();
+            self.live.fill(None);
+            self.host_crashes += 1;
+            self.events.record(Event {
+                ts: (self.schedule.crash_start(self.next_crash) * 1000.0) as u64,
+                dur: 0,
+                kind: EventKind::FaultDraw,
+                a: HOST_CRASH_EVENT,
+                b: died as u64,
+            });
+            self.next_crash += 1;
+        }
+    }
+
+    /// Records one invocation's terminal accounting: totals, histogram
+    /// or hedge-outcome side list, and the retire event.
+    fn retire(
+        &mut self,
+        routed: RoutedInvocation,
+        function: usize,
+        latency_ms: f64,
+        attempts: u64,
+        completed: bool,
+    ) -> f64 {
+        self.invocations += 1;
+        self.fn_invocations[function] += 1;
+        if routed.hedge {
+            self.hedge_outcomes.push(HedgeOutcome {
+                dispatch: routed.dispatch,
+                latency_ms,
+                completed,
+            });
+        } else {
+            self.latency_sum_ms += latency_ms;
+            self.latency_us.record((latency_ms * 1000.0).round() as u64);
+        }
+        self.events.record(Event {
+            ts: ((routed.at_ms + latency_ms) * 1000.0) as u64,
+            dur: (latency_ms * 1000.0) as u64,
+            kind: EventKind::Retire,
+            a: function as u64,
+            b: attempts,
+        });
+        latency_ms
     }
 
     /// Processes one routed invocation and returns its end-to-end
@@ -131,11 +275,64 @@ impl FleetHost {
         let profile = function % model.functions();
         let invocation = self.invocations;
 
+        self.apply_crash_boundaries(at);
+
+        // The retry budget caps how many attempts this invocation may
+        // spend in total — reconnects against a down host and fault-layer
+        // retries draw from the same allowance.
+        let budget = &config.retry_budget;
+        let tokens = if budget.is_limited() {
+            self.retry_tokens[function]
+        } else {
+            0.0
+        };
+        let allowed_attempts = budget.allowed_attempts(tokens, config.retry.max_attempts);
+
+        // Down-window: the connection fails outright. Retry with bounded
+        // exponential backoff until the host is back or the allowance is
+        // spent. Jitter comes from a per-invocation split stream, so the
+        // wait is a pure function of (seed, host, invocation).
+        let mut down_wait_ms = 0.0;
+        let mut down_retries = 0u64;
+        if !self.schedule.is_none() && self.schedule.state_at(at) == HostState::Down {
+            let mut rng = DetRng::new(self.chaos_seed).split(invocation);
+            while down_retries + 1 < allowed_attempts
+                && self.schedule.state_at(at + down_wait_ms) == HostState::Down
+            {
+                down_retries += 1;
+                down_wait_ms += config.retry.bounded_backoff_ms(down_retries, &mut rng);
+            }
+            if self.schedule.state_at(at + down_wait_ms) == HostState::Down {
+                // Still down with nothing left to spend: abandoned
+                // without ever executing.
+                self.down_retries += down_retries;
+                self.down_failures += 1;
+                self.fault_stats.abandoned += 1;
+                if budget.is_limited() {
+                    let mut t = tokens;
+                    budget.settle(&mut t, down_retries, false);
+                    self.retry_tokens[function] = t;
+                }
+                return self.retire(routed, function, down_wait_ms, down_retries, false);
+            }
+            self.down_retries += down_retries;
+        }
+
         self.pool.sweep(at);
         // The pool may have expired this function's instance just now.
         if let Some(id) = self.live[function] {
             if self.pool.instance(id).is_none() {
                 self.live[function] = None;
+            }
+        }
+
+        // Admission ladder: shed before any pool state is touched.
+        let mut degrade_restore = false;
+        if let Some(ctl) = self.admission.as_mut() {
+            match ctl.decide(at, function, self.pool.warm_count()) {
+                AdmissionDecision::Admit => {}
+                AdmissionDecision::AdmitDegraded => degrade_restore = true,
+                AdmissionDecision::Shed => return 0.0,
             }
         }
 
@@ -166,8 +363,18 @@ impl FleetHost {
         // restore cost of bringing the working set back (lazy faults or
         // a REAP prefetch of the recorded pages).
         let mut cold_start_ms = config.cold_start_ms;
-        let service_ms = if starts_cold {
-            let (id, restore_ms) = self.pool.spawn_restored(function, at);
+        let mut service_ms = if starts_cold {
+            let (id, restore_ms) = if degrade_restore && self.pool.snapshots().is_some() {
+                // Memory-pressure rung: restore by lazy paging instead
+                // of a prefetch burst the pressured host can't afford.
+                let spawned = self.pool.spawn_restored_degraded(function, at);
+                if let Some(ctl) = self.admission.as_mut() {
+                    ctl.note_degraded_restore();
+                }
+                spawned
+            } else {
+                self.pool.spawn_restored(function, at)
+            };
             if self.pool.snapshots().is_some() {
                 cold_start_ms = restore_ms;
             }
@@ -198,6 +405,12 @@ impl FleetHost {
             model.service_ms(profile, degree, jukebox)
         };
 
+        // A degraded host is up but slow: thermal throttling or a noisy
+        // neighbour stretches execution, not queueing or restores.
+        if !self.schedule.is_none() && self.schedule.state_at(at) == HostState::Degraded {
+            service_ms *= config.chaos.degrade_slowdown;
+        }
+
         self.events.record(Event {
             ts: (at * 1000.0) as u64,
             dur: 0,
@@ -212,9 +425,15 @@ impl FleetHost {
             timeout_ms: config.timeout_ms,
             starts_cold,
         };
+        // Reconnect retries already spent their share of the allowance;
+        // the fault layer gets what is left (always ≥ 1 attempt here).
+        let policy = RetryPolicy {
+            max_attempts: allowed_attempts - down_retries,
+            ..config.retry
+        };
         let crashes_before = self.fault_stats.crashes;
         let result = self.faults.run_invocation_traced(
-            &config.retry,
+            &policy,
             invocation,
             &costs,
             &mut self.fault_stats,
@@ -237,18 +456,24 @@ impl FleetHost {
             }
         }
 
-        self.invocations += 1;
-        self.fn_invocations[function] += 1;
-        self.latency_sum_ms += result.latency_ms;
-        self.latency_us.record((result.latency_ms * 1000.0).round() as u64);
-        self.events.record(Event {
-            ts: ((at + result.latency_ms) * 1000.0) as u64,
-            dur: (result.latency_ms * 1000.0) as u64,
-            kind: EventKind::Retire,
-            a: function as u64,
-            b: result.attempts,
-        });
-        result.latency_ms
+        let fault_retries = result.attempts.saturating_sub(1);
+        self.retries += fault_retries;
+        if budget.is_limited() {
+            let mut t = tokens;
+            budget.settle(&mut t, down_retries + fault_retries, result.completed);
+            self.retry_tokens[function] = t;
+        }
+        let latency_ms = down_wait_ms + result.latency_ms;
+        if let Some(ctl) = self.admission.as_mut() {
+            ctl.commit(at, function, latency_ms);
+        }
+        self.retire(
+            routed,
+            function,
+            latency_ms,
+            down_retries + result.attempts,
+            result.completed,
+        )
     }
 
     /// Warm hits of either temperature.
@@ -270,6 +495,11 @@ impl FleetHost {
         self.pool.warm_count()
     }
 
+    /// The admission controller, when admission control is enabled.
+    pub fn admission(&self) -> Option<&AdmissionControl> {
+        self.admission.as_ref()
+    }
+
     /// Contributes this host's telemetry: pool and fault counters,
     /// `fleet.*` lifecycle counters, and the latency histogram. Safe to
     /// call on per-shard registries that are later merged — everything
@@ -282,6 +512,18 @@ impl FleetHost {
         registry.counter_add("fleet.warm_hits", self.warm_hits);
         registry.counter_add("fleet.lukewarm_hits", self.lukewarm_hits);
         registry.hist_merge("fleet.latency_us", &self.latency_us);
+        // The resilience series only exist when some resilience knob is
+        // on — a disabled run must export byte-identical telemetry.
+        if self.resilient {
+            registry.counter_add("fleet.host_crashes", self.host_crashes);
+            registry.counter_add("fleet.retries", self.retries + self.down_retries);
+            registry.counter_add("fleet.down_failures", self.down_failures);
+        }
+        if let Some(ctl) = &self.admission {
+            registry.counter_add("admission.admitted", ctl.admitted());
+            registry.counter_add("admission.degraded_restores", ctl.degraded_restores());
+            registry.counter_add("admission.shed", ctl.shed());
+        }
     }
 }
 
@@ -309,7 +551,7 @@ mod tests {
             &config,
             &model,
             false,
-            RoutedInvocation { at_ms: 0.0, function: 3 },
+            RoutedInvocation::new(0.0, 3),
         );
         assert_eq!(host.cold_starts, 1);
         assert_eq!(host.hits(), 0);
@@ -317,7 +559,7 @@ mod tests {
             &config,
             &model,
             false,
-            RoutedInvocation { at_ms: 10.0, function: 3 },
+            RoutedInvocation::new(10.0, 3),
         );
         assert_eq!(host.hits(), 1);
         assert!(cold > warm, "cold {cold} vs warm {warm}");
@@ -329,9 +571,9 @@ mod tests {
     fn keep_alive_expiry_forces_a_new_cold_start() {
         let (config, model) = setup();
         let mut host = FleetHost::new(&config, 0);
-        host.process(&config, &model, false, RoutedInvocation { at_ms: 0.0, function: 0 });
+        host.process(&config, &model, false, RoutedInvocation::new(0.0, 0));
         let later = config.keep_alive_ms + 1000.0;
-        host.process(&config, &model, false, RoutedInvocation { at_ms: later, function: 0 });
+        host.process(&config, &model, false, RoutedInvocation::new(later, 0));
         assert_eq!(host.cold_starts, 2);
         assert_eq!(host.hits(), 0);
     }
@@ -343,15 +585,15 @@ mod tests {
         // Foreign traffic so the interleaving estimate has pressure.
         for i in 0..2000 {
             let at = i as f64 * 2.0;
-            host.process(&config, &model, false, RoutedInvocation { at_ms: at, function: 1 + (i % 9) });
+            host.process(&config, &model, false, RoutedInvocation::new(at, 1 + (i % 9)));
         }
-        host.process(&config, &model, false, RoutedInvocation { at_ms: 4000.0, function: 0 });
+        host.process(&config, &model, false, RoutedInvocation::new(4000.0, 0));
         let before = (host.warm_hits, host.lukewarm_hits);
         // 1ms gap: caches still hot.
-        host.process(&config, &model, false, RoutedInvocation { at_ms: 4001.0, function: 0 });
+        host.process(&config, &model, false, RoutedInvocation::new(4001.0, 0));
         assert_eq!(host.warm_hits, before.0 + 1, "short gap should stay warm");
         // 10s gap inside keep-alive: lukewarm.
-        host.process(&config, &model, false, RoutedInvocation { at_ms: 14_001.0, function: 0 });
+        host.process(&config, &model, false, RoutedInvocation::new(14_001.0, 0));
         assert_eq!(host.lukewarm_hits, before.1 + 1, "long gap should be lukewarm");
     }
 
@@ -363,10 +605,7 @@ mod tests {
         let mut base_sum = 0.0;
         let mut jb_sum = 0.0;
         for i in 0..500 {
-            let routed = RoutedInvocation {
-                at_ms: i as f64 * 50.0,
-                function: i % 5,
-            };
+            let routed = RoutedInvocation::new(i as f64 * 50.0, i % 5);
             base_sum += base.process(&config, &model, false, routed);
             jb_sum += jb.process(&config, &model, true, routed);
         }
@@ -379,7 +618,7 @@ mod tests {
         let (config, model) = setup();
         let mut host = FleetHost::new(&config, 0);
         for i in 0..100 {
-            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 10.0, i % 10));
         }
         assert_eq!(host.fault_stats.total_faults(), 0);
         assert_eq!(host.fault_stats.completed, 100);
@@ -398,7 +637,7 @@ mod tests {
         config.validate().unwrap();
         let mut host = FleetHost::new(&config, 0);
         for i in 0..500 {
-            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 10.0, i % 10));
         }
         assert!(host.fault_stats.total_faults() > 0, "faults should strike");
         assert_eq!(
@@ -434,10 +673,7 @@ mod tests {
         // Space invocations past keep-alive so every one restarts cold;
         // REAP has metadata from the second restore on.
         for i in 0..8 {
-            let routed = RoutedInvocation {
-                at_ms: i as f64 * (config.keep_alive_ms + 1000.0),
-                function: 0,
-            };
+            let routed = RoutedInvocation::new(i as f64 * (config.keep_alive_ms + 1000.0), 0);
             lazy_sum += lazy.process(&lazy_config, &model, false, routed);
             reap_sum += reap.process(&reap_config, &model, false, routed);
         }
@@ -454,7 +690,7 @@ mod tests {
         let (config, model) = setup();
         let mut host = FleetHost::new(&config, 0);
         for i in 0..20 {
-            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 10.0, i % 10));
         }
         let mut registry = Registry::new();
         host.fill_registry(&mut registry);
@@ -473,7 +709,7 @@ mod tests {
         };
         let mut host = FleetHost::new(&config, 0);
         for i in 0..20 {
-            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 10.0, function: i % 10 });
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 10.0, i % 10));
         }
         let mut registry = Registry::new();
         host.fill_registry(&mut registry);
@@ -487,7 +723,7 @@ mod tests {
         let (config, model) = setup();
         let mut host = FleetHost::new(&config, 0);
         for i in 0..50 {
-            host.process(&config, &model, false, RoutedInvocation { at_ms: i as f64 * 20.0, function: i % 10 });
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 20.0, i % 10));
         }
         let mut registry = Registry::new();
         host.fill_registry(&mut registry);

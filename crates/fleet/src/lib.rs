@@ -41,17 +41,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
+pub mod health;
 pub mod host;
 pub mod route;
 pub mod run;
 pub mod timing;
 pub mod traffic;
 
+pub use chaos::{ChaosConfig, ChaosPlan, HostSchedule, HostState};
 pub use config::FleetConfig;
-pub use host::{FleetHost, RoutedInvocation};
+pub use health::{HealthConfig, HealthStatus, HealthView};
+pub use host::{FleetHost, HedgeOutcome, RoutedInvocation};
 pub use luke_snapshot::{ColdStartModel, SnapshotTimings};
-pub use route::{Router, RoutingPolicy};
+pub use route::{HedgeConfig, RouteDecision, Router, RoutingPolicy};
 pub use run::{run_fleet, run_fleet_pair, FleetComparison, FleetRun, HostSummary};
+pub use server::{AdmissionConfig, RetryBudget};
 pub use timing::{FunctionTiming, ServiceModel, FREQ_GHZ};
-pub use traffic::Population;
+pub use traffic::{ArrivalStream, Population, SurgeConfig, SurgeTraffic};

@@ -11,9 +11,18 @@
 //! per-host gap at the fleet-wide gap, the best case for cache residency
 //! — at the price of load imbalance, which
 //! [`RoutingPolicy::LeastLoaded`] optimizes for instead.
+//!
+//! Under chaos, every policy composes with *failover*: the router
+//! consults the deterministic [`HealthView`](crate::health::HealthView)
+//! and walks past hosts whose breaker is open, and can *hedge* an
+//! invocation toward a half-open host by dispatching a second copy
+//! elsewhere ([`HedgeConfig`]). Both decisions happen in the sequential
+//! routing phase, so they preserve the 1-thread ≡ N-thread contract.
 
 use luke_common::rng::DetRng;
 use luke_common::SimError;
+
+use crate::health::{HealthStatus, HealthView};
 
 /// Seed-space tag for the consistent-hash ring's virtual-node hashes.
 const RING_STREAM: u64 = 0x7269_6E67; // "ring"
@@ -78,6 +87,57 @@ impl std::fmt::Display for RoutingPolicy {
     }
 }
 
+/// Hedged-request knobs. [`HedgeConfig::disabled`] (the default) is
+/// bit-transparent: no hedge copies, no extra counters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Cap on hedged dispatches as a fraction of all dispatches — the
+    /// hedge *budget* (e.g. 0.05 = at most 5% extra load).
+    pub max_fraction: f64,
+}
+
+impl HedgeConfig {
+    /// The disabled sentinel.
+    pub fn disabled() -> Self {
+        HedgeConfig {
+            enabled: false,
+            max_fraction: 0.0,
+        }
+    }
+
+    /// Validates the knobs, naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.enabled && !(self.max_fraction > 0.0 && self.max_fraction <= 1.0) {
+            return Err(SimError::invalid_config(
+                "hedge.max_fraction",
+                format!("must be in (0, 1] when enabled, got {}", self.max_fraction),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Where one invocation goes under failover routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The primary target host.
+    pub host: usize,
+    /// Whether the policy's preferred host was skipped because its
+    /// breaker was open.
+    pub failed_over: bool,
+    /// A second host to dispatch a hedge copy to (the primary is
+    /// half-open and the hedge budget has room).
+    pub hedge: Option<usize>,
+}
+
 /// Deterministic front-end router. One instance routes one run's entire
 /// arrival stream sequentially, so its internal state (round-robin
 /// cursor, assigned-work ledger) is a pure function of the arrival
@@ -93,6 +153,12 @@ pub struct Router {
     /// eagerly for every policy (it is tiny) so switching policies
     /// never changes struct layout.
     ring: Vec<(u64, usize)>,
+    /// Dispatches routed so far (hedge copies not included).
+    dispatches: u64,
+    /// Dispatches that skipped an unhealthy preferred host.
+    failovers: u64,
+    /// Hedge copies issued.
+    hedges: u64,
 }
 
 impl Router {
@@ -118,15 +184,16 @@ impl Router {
             rr_next: 0,
             assigned_ms: vec![0.0; hosts],
             ring,
+            dispatches: 0,
+            failovers: 0,
+            hedges: 0,
         }
     }
 
-    /// Routes one invocation of `function`, whose expected cost is
-    /// `expected_ms`, returning the target host index. `expected_ms`
-    /// feeds the least-loaded ledger (all policies maintain it, so
-    /// observability is policy-independent).
-    pub fn route(&mut self, function: usize, expected_ms: f64) -> usize {
-        let host = match self.policy {
+    /// The host the policy would pick, advancing policy-internal state
+    /// (the round-robin cursor) but not charging the work ledger.
+    fn preferred(&mut self, function: usize) -> usize {
+        match self.policy {
             RoutingPolicy::RoundRobin => {
                 let host = self.rr_next;
                 self.rr_next = (self.rr_next + 1) % self.hosts;
@@ -148,14 +215,94 @@ impl Router {
                 let at = self.ring.partition_point(|&(hash, _)| hash < key);
                 self.ring[at % self.ring.len()].1
             }
-        };
+        }
+    }
+
+    /// Routes one invocation of `function`, whose expected cost is
+    /// `expected_ms`, returning the target host index. `expected_ms`
+    /// feeds the least-loaded ledger (all policies maintain it, so
+    /// observability is policy-independent).
+    pub fn route(&mut self, function: usize, expected_ms: f64) -> usize {
+        let host = self.preferred(function);
         self.assigned_ms[host] += expected_ms;
+        self.dispatches += 1;
         host
+    }
+
+    /// Routes one invocation around open breakers: the preferred host is
+    /// used unless `health` marks it `Unhealthy`, in which case the
+    /// walk `preferred+1, preferred+2, …` (mod hosts) lands on the first
+    /// routable host. If *every* breaker is open the router fails open
+    /// back to the preferred host — the caller's all-down check decides
+    /// whether that is a hard error.
+    ///
+    /// When the chosen host is `HalfOpen` and `hedge` is enabled with
+    /// budget to spare, a hedge target (the next routable host) is
+    /// returned too; the caller dispatches both copies and keeps the
+    /// faster completion.
+    pub fn route_resilient(
+        &mut self,
+        function: usize,
+        expected_ms: f64,
+        health: &HealthView,
+        hedge: &HedgeConfig,
+    ) -> RouteDecision {
+        let preferred = self.preferred(function);
+        let mut host = preferred;
+        let mut failed_over = false;
+        if health.status(preferred) == HealthStatus::Unhealthy {
+            for step in 1..self.hosts {
+                let candidate = (preferred + step) % self.hosts;
+                if health.status(candidate) != HealthStatus::Unhealthy {
+                    host = candidate;
+                    failed_over = true;
+                    break;
+                }
+            }
+        }
+        self.assigned_ms[host] += expected_ms;
+        self.dispatches += 1;
+        if failed_over {
+            self.failovers += 1;
+        }
+        let mut hedge_target = None;
+        if hedge.enabled
+            && health.status(host) == HealthStatus::HalfOpen
+            && (self.hedges + 1) as f64 <= hedge.max_fraction * self.dispatches as f64
+        {
+            // Hedge toward the next routable host after the primary.
+            for step in 1..self.hosts {
+                let candidate = (host + step) % self.hosts;
+                if health.status(candidate) != HealthStatus::Unhealthy {
+                    hedge_target = Some(candidate);
+                    break;
+                }
+            }
+            if let Some(h) = hedge_target {
+                self.assigned_ms[h] += expected_ms;
+                self.hedges += 1;
+            }
+        }
+        RouteDecision {
+            host,
+            failed_over,
+            hedge: hedge_target,
+        }
     }
 
     /// Expected-work ledger (ms per host), for imbalance reporting.
     pub fn assigned_ms(&self) -> &[f64] {
         &self.assigned_ms
+    }
+
+    /// Dispatches that skipped an unhealthy preferred host.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Hedge copies issued so far.
+    pub fn hedges(&self) -> u64 {
+        self.hedges
     }
 }
 
@@ -241,6 +388,121 @@ mod tests {
         let mut b = Router::new(RoutingPolicy::KeepAliveAware, 16);
         for f in 0..500 {
             assert_eq!(a.route(f % 37, 1.0), b.route(f % 37, 1.0));
+        }
+    }
+
+    mod resilient {
+        use super::*;
+        use crate::chaos::{ChaosPlan, HostSchedule};
+        use crate::health::HealthConfig;
+
+        /// A health view over `hosts` hosts with host 0 in the given
+        /// breaker state, derived the real way: probes against an
+        /// explicit chaos window.
+        fn view_with_host0(hosts: usize, status: HealthStatus) -> HealthView {
+            let mut schedules = vec![HostSchedule::none(); hosts];
+            schedules[0] = HostSchedule::explicit(&[(0.0, 5_000.0)], &[]);
+            let plan = ChaosPlan::from_schedules(schedules);
+            let mut view = HealthView::new(hosts, HealthConfig::default());
+            match status {
+                HealthStatus::Healthy => {}
+                // Probes at 500…4500 fail; the 5000 one succeeds.
+                HealthStatus::Unhealthy => view.advance_to(4_500.0, &plan),
+                HealthStatus::HalfOpen => view.advance_to(5_000.0, &plan),
+            }
+            assert_eq!(view.status(0), status);
+            view
+        }
+
+        #[test]
+        fn healthy_fleet_routes_exactly_like_the_plain_path() {
+            let view = view_with_host0(4, HealthStatus::Healthy);
+            for policy in RoutingPolicy::ALL {
+                let mut plain = Router::new(policy, 4);
+                let mut resilient = Router::new(policy, 4);
+                for f in 0..200 {
+                    let d = resilient.route_resilient(f % 31, 1.0, &view, &HedgeConfig::disabled());
+                    assert_eq!(d.host, plain.route(f % 31, 1.0));
+                    assert!(!d.failed_over);
+                    assert_eq!(d.hedge, None);
+                }
+                assert_eq!(resilient.failovers(), 0);
+                assert_eq!(plain.assigned_ms(), resilient.assigned_ms());
+            }
+        }
+
+        #[test]
+        fn open_breaker_diverts_to_the_next_routable_host() {
+            let view = view_with_host0(3, HealthStatus::Unhealthy);
+            let mut router = Router::new(RoutingPolicy::RoundRobin, 3);
+            // Round-robin wants 0, 1, 2, 0, … — every host-0 slot lands
+            // on host 1 instead.
+            let hosts: Vec<usize> = (0..6)
+                .map(|f| {
+                    router
+                        .route_resilient(f, 1.0, &view, &HedgeConfig::disabled())
+                        .host
+                })
+                .collect();
+            assert_eq!(hosts, vec![1, 1, 2, 1, 1, 2]);
+            assert_eq!(router.failovers(), 2);
+            assert_eq!(router.assigned_ms()[0], 0.0);
+        }
+
+        #[test]
+        fn every_breaker_open_fails_open_to_the_preferred_host() {
+            let plan = ChaosPlan::from_schedules(vec![
+                HostSchedule::explicit(&[(0.0, 1e6)], &[]),
+                HostSchedule::explicit(&[(0.0, 1e6)], &[]),
+            ]);
+            let mut view = HealthView::new(2, HealthConfig::default());
+            view.advance_to(10_000.0, &plan);
+            assert_eq!(view.routable_count(), 0);
+            let mut router = Router::new(RoutingPolicy::RoundRobin, 2);
+            let d = router.route_resilient(0, 1.0, &view, &HedgeConfig::disabled());
+            assert_eq!(d.host, 0, "nothing to fail over to — keep the preference");
+            assert!(!d.failed_over);
+        }
+
+        #[test]
+        fn half_open_primary_hedges_within_budget() {
+            let view = view_with_host0(3, HealthStatus::HalfOpen);
+            let hedge = HedgeConfig {
+                enabled: true,
+                max_fraction: 0.4,
+            };
+            let mut router = Router::new(RoutingPolicy::RoundRobin, 3);
+            let mut hedged = 0u64;
+            for f in 0..30 {
+                let d = router.route_resilient(f, 1.0, &view, &hedge);
+                if let Some(h) = d.hedge {
+                    assert_eq!(d.host, 0, "only the half-open host is hedged");
+                    assert_ne!(h, 0, "the hedge copy goes elsewhere");
+                    hedged += 1;
+                }
+            }
+            assert!(hedged > 0, "some host-0 dispatches must hedge");
+            assert_eq!(hedged, router.hedges());
+            // 30 dispatches at max_fraction 0.4 → at most 12 hedges.
+            assert!(hedged <= 12, "{hedged} hedges blew the budget");
+            // Disabled hedging never hedges, even when half-open.
+            let mut plain = Router::new(RoutingPolicy::RoundRobin, 3);
+            for f in 0..30 {
+                let d = plain.route_resilient(f, 1.0, &view, &HedgeConfig::disabled());
+                assert_eq!(d.hedge, None);
+            }
+        }
+
+        #[test]
+        fn bad_hedge_fraction_is_named() {
+            assert!(HedgeConfig::disabled().validate().is_ok());
+            let err = HedgeConfig {
+                enabled: true,
+                max_fraction: 0.0,
+            }
+            .validate()
+            .unwrap_err();
+            assert!(format!("{err}").contains("hedge.max_fraction"), "{err}");
         }
     }
 }

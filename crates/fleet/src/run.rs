@@ -20,14 +20,18 @@
 //! `tests/fleet_determinism.rs` asserts a 1-thread and a 4-thread run
 //! export byte-identical JSON.
 
+use std::collections::BTreeMap;
+
 use luke_common::SimError;
 use luke_obs::{Dataset, EventRing, Export, Histogram, Registry, Snapshot, Value};
 
+use crate::chaos::ChaosPlan;
 use crate::config::FleetConfig;
-use crate::host::{FleetHost, RoutedInvocation};
+use crate::health::HealthView;
+use crate::host::{FleetHost, HedgeOutcome, RoutedInvocation};
 use crate::route::{Router, RoutingPolicy};
 use crate::timing::ServiceModel;
-use crate::traffic::Population;
+use crate::traffic::{ArrivalStream, Population};
 
 /// Per-host slice of a [`FleetRun`].
 #[derive(Clone, Debug, PartialEq)]
@@ -83,15 +87,44 @@ pub struct FleetRun {
     /// Merged lifecycle trace, hosts concatenated in id order (empty
     /// when `events_capacity` is 0).
     pub events: EventRing,
+    /// Whole-host chaos crashes applied across the fleet.
+    pub host_crashes: u64,
+    /// Dispatches routed around an unhealthy preferred host.
+    pub failovers: u64,
+    /// Hedged dispatches issued (each added one extra copy of load).
+    pub hedges: u64,
+    /// Retries spent fleet-wide: fault-layer re-attempts plus down-host
+    /// reconnects.
+    pub retries: u64,
+    /// Arrivals rejected by the admission ladder.
+    pub shed: u64,
+    /// Cold starts degraded to lazy-paging restores under memory
+    /// pressure.
+    pub degraded_restores: u64,
+    /// Whether any resilience knob was on (gates the resilience
+    /// dataset so disabled runs export byte-identical output).
+    pub resilient: bool,
 }
 
 impl FleetRun {
-    /// Mean end-to-end latency, ms.
+    /// Mean end-to-end latency, ms, over the invocations the latency
+    /// histogram tracked (hedged pairs count once, shed arrivals not at
+    /// all; without resilience this is exactly `invocations`).
     pub fn mean_latency_ms(&self) -> f64 {
-        if self.invocations == 0 {
+        if self.latency_us.count() == 0 {
             0.0
         } else {
-            self.latency_sum_ms / self.invocations as f64
+            self.latency_sum_ms / self.latency_us.count() as f64
+        }
+    }
+
+    /// Retry amplification: dispatched attempts per admitted arrival
+    /// (1.0 when nothing ever retried).
+    pub fn retry_amplification(&self) -> f64 {
+        if self.invocations == 0 {
+            1.0
+        } else {
+            1.0 + self.retries as f64 / self.invocations as f64
         }
     }
 
@@ -134,19 +167,50 @@ pub fn run_fleet(
 ) -> Result<FleetRun, SimError> {
     config.validate()?;
 
-    // Phase 1 — route (sequential).
+    // Phase 1 — route (sequential). Under chaos the router consults a
+    // health view advanced to each arrival — probe rounds, breaker
+    // transitions, failover walks, and hedge decisions all happen here,
+    // in the one canonical arrival order, which is what keeps them
+    // thread-count-independent.
     let population = Population::synthesize(config);
-    let mut generator = population.generator(config.seed)?;
+    let mut stream = ArrivalStream::synthesize(config, &population)?;
     let mut router = Router::new(config.policy, config.hosts);
     let mut queues: Vec<Vec<RoutedInvocation>> = vec![Vec::new(); config.hosts];
-    for event in generator.by_ref().take(config.invocations) {
+    let chaos_plan = ChaosPlan::synthesize(config);
+    let mut health = HealthView::new(config.hosts, config.health);
+    for (dispatch, event) in (0_u64..).zip(stream.by_ref().take(config.invocations)) {
         let function = event.instance;
         let expected_ms = model.timing(function % model.functions()).warm_ms;
-        let host = router.route(function, expected_ms);
-        queues[host].push(RoutedInvocation {
-            at_ms: event.at_ms,
-            function,
-        });
+        if chaos_plan.is_none() {
+            let host = router.route(function, expected_ms);
+            queues[host].push(RoutedInvocation {
+                at_ms: event.at_ms,
+                function,
+                dispatch,
+                hedge: false,
+            });
+        } else {
+            health.advance_to(event.at_ms, &chaos_plan);
+            if chaos_plan.all_down_at(event.at_ms) {
+                return Err(SimError::all_hosts_down(event.at_ms as u64));
+            }
+            let decision = router.route_resilient(function, expected_ms, &health, &config.hedge);
+            let hedge = decision.hedge.is_some();
+            queues[decision.host].push(RoutedInvocation {
+                at_ms: event.at_ms,
+                function,
+                dispatch,
+                hedge,
+            });
+            if let Some(second) = decision.hedge {
+                queues[second].push(RoutedInvocation {
+                    at_ms: event.at_ms,
+                    function,
+                    dispatch,
+                    hedge: true,
+                });
+            }
+        }
     }
 
     // Phase 2 — process (parallel over contiguous host shards). Worker
@@ -188,7 +252,15 @@ pub fn run_fleet(
         per_host: Vec::with_capacity(config.hosts),
         snapshot: Registry::new().snapshot(),
         events: EventRing::disabled(),
+        host_crashes: 0,
+        failovers: router.failovers(),
+        hedges: router.hedges(),
+        retries: 0,
+        shed: 0,
+        degraded_restores: 0,
+        resilient: config.resilience_enabled(),
     };
+    let mut hedge_pairs: BTreeMap<u64, HedgeOutcome> = BTreeMap::new();
     for host in &hosts {
         host.fill_registry(&mut registry);
         latency_us.merge(&host.latency_us);
@@ -200,6 +272,27 @@ pub fn run_fleet(
         run.completed += host.fault_stats.completed;
         run.abandoned += host.fault_stats.abandoned;
         run.latency_sum_ms += host.latency_sum_ms;
+        run.host_crashes += host.host_crashes;
+        run.retries += host.retries + host.down_retries;
+        if let Some(ctl) = host.admission() {
+            run.shed += ctl.shed();
+            run.degraded_restores += ctl.degraded_restores();
+        }
+        // Hedge copies share a dispatch id: keep the better fate (a
+        // completion beats a failure, then the faster latency wins).
+        for &outcome in &host.hedge_outcomes {
+            hedge_pairs
+                .entry(outcome.dispatch)
+                .and_modify(|best| {
+                    let better = (outcome.completed, !best.completed) == (true, true)
+                        || (outcome.completed == best.completed
+                            && outcome.latency_ms < best.latency_ms);
+                    if better {
+                        *best = outcome;
+                    }
+                })
+                .or_insert(outcome);
+        }
         run.per_host.push(HostSummary {
             host: host.host_id,
             invocations: host.invocations,
@@ -207,18 +300,32 @@ pub fn run_fleet(
             warm_hits: host.warm_hits,
             lukewarm_hits: host.lukewarm_hits,
             mean_degree: host.mean_degree(),
-            mean_latency_ms: if host.invocations == 0 {
+            mean_latency_ms: if host.latency_us.count() == 0 {
                 0.0
             } else {
-                host.latency_sum_ms / host.invocations as f64
+                host.latency_sum_ms / host.latency_us.count() as f64
             },
             warm_instances: host.warm_instances(),
         });
     }
+    // Each hedged dispatch lands in the fleet histogram exactly once,
+    // as its joined (faster) outcome — in dispatch order, which is
+    // host-schedule-independent.
+    for outcome in hedge_pairs.values() {
+        latency_us.record((outcome.latency_ms * 1000.0).round() as u64);
+        run.latency_sum_ms += outcome.latency_ms;
+    }
     registry.gauge_set("fleet.hosts", config.hosts as f64);
+    if run.resilient {
+        registry.counter_add("fleet.failovers", run.failovers);
+        registry.counter_add("fleet.hedges", run.hedges);
+    }
     run.snapshot = registry.snapshot();
     run.latency_us = latency_us;
     run.events = events;
+    if config.admission.enabled && run.invocations == 0 && run.shed > 0 {
+        return Err(SimError::admission_rejected(run.shed));
+    }
     Ok(run)
 }
 
@@ -277,6 +384,18 @@ impl std::fmt::Display for FleetRun {
             self.p50_ms(),
             self.p99_ms(),
         )?;
+        if self.resilient {
+            writeln!(
+                f,
+                "  resilience: {} host crashes | {} failovers | {} hedges | {} retries | {} shed | {} degraded restores",
+                self.host_crashes,
+                self.failovers,
+                self.hedges,
+                self.retries,
+                self.shed,
+                self.degraded_restores,
+            )?;
+        }
         writeln!(
             f,
             "  {:>4}  {:>8}  {:>6}  {:>6}  {:>8}  {:>7}  {:>9}",
@@ -362,7 +481,36 @@ impl Export for FleetRun {
                 Value::UInt(s.warm_instances as u64),
             ]);
         }
-        vec![summary, hosts]
+        let mut out = vec![summary, hosts];
+        // Resilience is a third dataset only when some knob was on —
+        // default runs keep their exact pre-resilience export shape.
+        if self.resilient {
+            let mut resilience = Dataset::new(
+                "fleet.resilience",
+                &[
+                    "host_crashes",
+                    "failovers",
+                    "hedges",
+                    "retries",
+                    "retry_amplification",
+                    "shed",
+                    "degraded_restores",
+                    "abandoned",
+                ],
+            );
+            resilience.push_row(vec![
+                Value::UInt(self.host_crashes),
+                Value::UInt(self.failovers),
+                Value::UInt(self.hedges),
+                Value::UInt(self.retries),
+                Value::Float(self.retry_amplification()),
+                Value::UInt(self.shed),
+                Value::UInt(self.degraded_restores),
+                Value::UInt(self.abandoned),
+            ]);
+            out.push(resilience);
+        }
+        out
     }
 }
 
@@ -543,5 +691,127 @@ mod tests {
             false,
         );
         assert!(err.is_err());
+    }
+
+    use crate::chaos::ChaosConfig;
+    use crate::route::HedgeConfig;
+    use crate::traffic::SurgeConfig;
+    use server::{AdmissionConfig, RetryBudget};
+
+    fn chaotic_config() -> FleetConfig {
+        FleetConfig {
+            chaos: ChaosConfig {
+                host_mtbf_ms: 15_000.0,
+                crash_downtime_ms: 3_000.0,
+                degrade_mtbf_ms: 20_000.0,
+                degrade_duration_ms: 4_000.0,
+                degrade_slowdown: 2.0,
+            },
+            hedge: HedgeConfig {
+                enabled: true,
+                max_fraction: 0.1,
+            },
+            retry_budget: RetryBudget::new(10.0, 0.1).unwrap(),
+            ..quick_config()
+        }
+    }
+
+    #[test]
+    fn chaos_crashes_hosts_and_routing_fails_over() {
+        let run = run_fleet(&chaotic_config(), &model(), false).unwrap();
+        assert!(run.resilient);
+        assert!(run.host_crashes > 0, "15s MTBF over ~50s must crash");
+        assert!(run.failovers > 0, "open breakers must divert traffic");
+        assert_eq!(run.snapshot.counter("fleet.host_crashes"), run.host_crashes);
+        assert_eq!(run.snapshot.counter("fleet.failovers"), run.failovers);
+        let datasets = run.datasets();
+        assert_eq!(datasets.len(), 3, "resilience dataset must appear");
+        assert_eq!(datasets[2].name, "fleet.resilience");
+        // Hedged pairs collapse to one histogram entry each; shed
+        // arrivals to none. Served = non-hedged + joined pairs.
+        assert!(run.latency_us.count() <= run.invocations);
+    }
+
+    #[test]
+    fn default_run_exports_no_resilience_series() {
+        let run = run_fleet(&quick_config(), &model(), false).unwrap();
+        assert!(!run.resilient);
+        assert_eq!(run.datasets().len(), 2);
+        let json = run.snapshot.to_json();
+        for key in ["fleet.host_crashes", "fleet.failovers", "admission.", "fleet.retries"] {
+            assert!(!json.contains(key), "{key} leaked into a default run");
+        }
+    }
+
+    #[test]
+    fn tight_admission_sheds_and_survives() {
+        let run = run_fleet(
+            &FleetConfig {
+                admission: AdmissionConfig {
+                    enabled: true,
+                    reserved_concurrency: 1,
+                    burst_concurrency: 0,
+                    host_concurrency: 2,
+                    memory_pressure_instances: 0,
+                },
+                surge: SurgeConfig {
+                    flash_multiplier: 30.0,
+                    flash_start_ms: 0.0,
+                    flash_duration_ms: 60_000.0,
+                    ..SurgeConfig::none()
+                },
+                ..quick_config()
+            },
+            &model(),
+            false,
+        )
+        .unwrap();
+        assert!(run.shed > 0, "a 30x flash crowd over 1-deep limits must shed");
+        assert_eq!(run.snapshot.counter("admission.shed"), run.shed);
+        assert_eq!(run.invocations + run.shed, 4_000, "shed + served = arrivals");
+    }
+
+    #[test]
+    fn permanently_down_fleet_is_a_typed_error() {
+        let err = run_fleet(
+            &FleetConfig {
+                hosts: 1,
+                chaos: ChaosConfig {
+                    // Crash almost immediately, stay down for the whole
+                    // run: every arrival lands inside the outage.
+                    host_mtbf_ms: 0.001,
+                    crash_downtime_ms: 1e9,
+                    ..ChaosConfig::none()
+                },
+                ..quick_config()
+            },
+            &model(),
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        assert!(format!("{err}").contains("all hosts down"), "{err}");
+    }
+
+    #[test]
+    fn chaos_thread_count_still_does_not_change_results() {
+        let m = model();
+        let one = run_fleet(&chaotic_config(), &m, false).unwrap();
+        let four = run_fleet(
+            &FleetConfig {
+                threads: 4,
+                ..chaotic_config()
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        assert_eq!(one.snapshot.to_json(), four.snapshot.to_json());
+        assert_eq!(one.latency_us, four.latency_us);
+        assert_eq!(one.per_host, four.per_host);
+        assert_eq!(
+            luke_obs::export::to_json(&one.datasets()),
+            luke_obs::export::to_json(&four.datasets())
+        );
     }
 }

@@ -13,7 +13,9 @@
 
 use luke_common::rng::DetRng;
 use luke_common::SimError;
-use server::{IatDistribution, TrafficGenerator};
+use server::{IatDistribution, InvocationEvent, TrafficGenerator};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 use workloads::paper_traffic_weights;
 
 use crate::config::FleetConfig;
@@ -22,6 +24,10 @@ use crate::config::FleetConfig;
 const SPREAD_STREAM: u64 = 0x7370_7264; // "sprd"
 /// Seed-space tag for the arrival-lane RNGs.
 const LANE_STREAM: u64 = 0x6C61_6E65; // "lane"
+/// Seed-space tag for the non-stationary (surge) arrival lanes —
+/// distinct from [`LANE_STREAM`] so enabling the surge shape reshuffles
+/// arrivals instead of aliasing the stationary stream.
+const SURGE_STREAM: u64 = 0x7375_7267; // "surg"
 /// Log-uniform popularity spread: the least popular deployment of a
 /// profile gets 1/256 of the most popular one's weight.
 const SPREAD_DECADES: f64 = 256.0;
@@ -74,6 +80,293 @@ impl Population {
     /// construction order.
     pub fn generator(&self, seed: u64) -> Result<TrafficGenerator, SimError> {
         TrafficGenerator::try_new(&self.lanes, DetRng::new(seed).split(LANE_STREAM).seed())
+    }
+
+    /// Per-function shedding priorities derived from arrival rates: the
+    /// busiest third of the population is priority 2, the middle third 1,
+    /// the long tail 0 — so admission control sheds the functions the
+    /// fewest callers will miss first.
+    pub fn priorities(&self) -> Vec<u8> {
+        let n = self.rates_per_sec.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Busiest first; ties broken toward the lower function id.
+        order.sort_by(|&a, &b| {
+            self.rates_per_sec[b]
+                .total_cmp(&self.rates_per_sec[a])
+                .then(a.cmp(&b))
+        });
+        let mut priorities = vec![0u8; n];
+        for (rank, &function) in order.iter().enumerate() {
+            priorities[function] = if rank * 3 < n {
+                2
+            } else if rank * 3 < 2 * n {
+                1
+            } else {
+                0
+            };
+        }
+        priorities
+    }
+
+    /// The most popular function — the one a flash crowd piles onto.
+    /// Ties resolve to the lowest function id.
+    pub fn hot_function(&self) -> usize {
+        self.rates_per_sec
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// A non-stationary generator over this population: the stationary
+    /// Poisson lanes reshaped by `surge` (diurnal ramp plus a flash
+    /// crowd on [`Population::hot_function`]).
+    pub fn surge_generator(&self, seed: u64, surge: &SurgeConfig) -> SurgeTraffic {
+        SurgeTraffic::new(self, seed, *surge)
+    }
+}
+
+/// Non-stationary traffic shape: a diurnal sinusoid over every lane plus
+/// a flash-crowd window that multiplies the hot function's rate.
+///
+/// [`SurgeConfig::none`] (the default) is bit-transparent: the fleet
+/// falls back to the stationary [`Population::generator`] stream and no
+/// surge RNG is ever drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurgeConfig {
+    /// Diurnal modulation depth in [0, 1): rates swing between
+    /// `(1−a)` and `(1+a)` times their mean (0 disables the ramp).
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal sinusoid, ms.
+    pub diurnal_period_ms: f64,
+    /// Rate multiplier applied to the hot function inside the flash
+    /// window (≤ 1 disables the flash crowd).
+    pub flash_multiplier: f64,
+    /// Flash-crowd window start, ms.
+    pub flash_start_ms: f64,
+    /// Flash-crowd window length, ms.
+    pub flash_duration_ms: f64,
+}
+
+impl SurgeConfig {
+    /// The disabled sentinel: flat rates, no flash crowd, no RNG draws.
+    pub fn none() -> Self {
+        SurgeConfig {
+            diurnal_amplitude: 0.0,
+            diurnal_period_ms: 0.0,
+            flash_multiplier: 1.0,
+            flash_start_ms: 0.0,
+            flash_duration_ms: 0.0,
+        }
+    }
+
+    /// Whether this shape changes nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.diurnal_amplitude == 0.0 && self.flash_multiplier <= 1.0
+    }
+
+    /// Validates the knobs, naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.diurnal_amplitude >= 0.0 && self.diurnal_amplitude < 1.0) {
+            return Err(SimError::invalid_config(
+                "surge.diurnal_amplitude",
+                format!("must be in [0, 1), got {}", self.diurnal_amplitude),
+            ));
+        }
+        if self.diurnal_amplitude > 0.0
+            && !(self.diurnal_period_ms > 0.0 && self.diurnal_period_ms.is_finite())
+        {
+            return Err(SimError::invalid_config(
+                "surge.diurnal_period_ms",
+                format!(
+                    "a diurnal ramp needs a positive finite period, got {}",
+                    self.diurnal_period_ms
+                ),
+            ));
+        }
+        if !(self.flash_multiplier >= 0.0 && self.flash_multiplier.is_finite()) {
+            return Err(SimError::invalid_config(
+                "surge.flash_multiplier",
+                format!("must be ≥ 0 and finite, got {}", self.flash_multiplier),
+            ));
+        }
+        if self.flash_multiplier > 1.0
+            && !(self.flash_duration_ms > 0.0 && self.flash_duration_ms.is_finite())
+        {
+            return Err(SimError::invalid_config(
+                "surge.flash_duration_ms",
+                format!(
+                    "a flash crowd needs a positive finite window, got {}",
+                    self.flash_duration_ms
+                ),
+            ));
+        }
+        if !(self.flash_start_ms >= 0.0 && self.flash_start_ms.is_finite()) {
+            return Err(SimError::invalid_config(
+                "surge.flash_start_ms",
+                format!("must be ≥ 0 and finite, got {}", self.flash_start_ms),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SurgeConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The next pending candidate of one surge lane, ordered by time then
+/// lane index — the same tie-break as the stationary generator's merge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct NextCandidate {
+    at_ms: f64,
+    lane: usize,
+}
+
+impl Eq for NextCandidate {}
+
+impl Ord for NextCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at_ms
+            .total_cmp(&other.at_ms)
+            .then(self.lane.cmp(&other.lane))
+    }
+}
+
+impl PartialOrd for NextCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Non-stationary arrival stream by thinning: each lane draws candidate
+/// arrivals at its *peak* rate, then accepts each with probability
+/// `rate(t) / peak` — the standard construction for an inhomogeneous
+/// Poisson process, and deterministic because every lane owns a split
+/// RNG.
+#[derive(Clone, Debug)]
+pub struct SurgeTraffic {
+    /// Per-lane `(candidate mean gap at peak rate, rng)`.
+    lanes: Vec<(f64, DetRng)>,
+    queue: BinaryHeap<Reverse<NextCandidate>>,
+    config: SurgeConfig,
+    hot: usize,
+}
+
+impl SurgeTraffic {
+    fn new(population: &Population, seed: u64, config: SurgeConfig) -> Self {
+        let hot = population.hot_function();
+        let root = DetRng::new(seed).split(SURGE_STREAM);
+        let mut queue = BinaryHeap::with_capacity(population.rates_per_sec.len());
+        let lanes = population
+            .rates_per_sec
+            .iter()
+            .enumerate()
+            .map(|(lane, &rate)| {
+                let peak = peak_factor(&config, lane == hot);
+                let mean_ms = 1000.0 / (rate * peak);
+                let mut rng = root.split(lane as u64);
+                let first = rng.exponential(mean_ms);
+                queue.push(Reverse(NextCandidate { at_ms: first, lane }));
+                (mean_ms, rng)
+            })
+            .collect();
+        SurgeTraffic {
+            lanes,
+            queue,
+            config,
+            hot,
+        }
+    }
+
+    /// The rate multiplier lane `lane` experiences at `t_ms`, relative
+    /// to its stationary mean.
+    fn rate_factor(&self, lane: usize, t_ms: f64) -> f64 {
+        let mut factor = 1.0;
+        if self.config.diurnal_amplitude > 0.0 {
+            let phase = std::f64::consts::TAU * t_ms / self.config.diurnal_period_ms;
+            factor *= 1.0 + self.config.diurnal_amplitude * phase.sin();
+        }
+        if lane == self.hot
+            && self.config.flash_multiplier > 1.0
+            && t_ms >= self.config.flash_start_ms
+            && t_ms < self.config.flash_start_ms + self.config.flash_duration_ms
+        {
+            factor *= self.config.flash_multiplier;
+        }
+        factor
+    }
+}
+
+/// A lane's worst-case rate multiplier — the thinning envelope.
+fn peak_factor(config: &SurgeConfig, is_hot: bool) -> f64 {
+    let mut peak = 1.0 + config.diurnal_amplitude;
+    if is_hot && config.flash_multiplier > 1.0 {
+        peak *= config.flash_multiplier;
+    }
+    peak
+}
+
+impl Iterator for SurgeTraffic {
+    type Item = InvocationEvent;
+
+    fn next(&mut self) -> Option<InvocationEvent> {
+        loop {
+            let Reverse(next) = self.queue.pop()?;
+            let peak = peak_factor(&self.config, next.lane == self.hot);
+            let accept_p = self.rate_factor(next.lane, next.at_ms) / peak;
+            let (mean_ms, rng) = &mut self.lanes[next.lane];
+            let gap = rng.exponential(*mean_ms).max(f64::MIN_POSITIVE);
+            let accepted = rng.chance(accept_p);
+            self.queue.push(Reverse(NextCandidate {
+                at_ms: next.at_ms + gap,
+                lane: next.lane,
+            }));
+            if accepted {
+                return Some(InvocationEvent {
+                    at_ms: next.at_ms,
+                    instance: next.lane,
+                });
+            }
+        }
+    }
+}
+
+/// The fleet's arrival stream: stationary Poisson lanes, or the same
+/// population reshaped by a [`SurgeConfig`]. The stationary arm is the
+/// *exact* pre-surge generator, so a disabled surge is bit-transparent.
+#[derive(Clone, Debug)]
+pub enum ArrivalStream {
+    /// The stationary per-function Poisson merge.
+    Stationary(TrafficGenerator),
+    /// The thinned non-stationary stream.
+    Surging(SurgeTraffic),
+}
+
+impl ArrivalStream {
+    /// Builds the stream `config` asks for over `population`.
+    pub fn synthesize(config: &FleetConfig, population: &Population) -> Result<Self, SimError> {
+        if config.surge.is_none() {
+            Ok(ArrivalStream::Stationary(population.generator(config.seed)?))
+        } else {
+            Ok(ArrivalStream::Surging(
+                population.surge_generator(config.seed, &config.surge),
+            ))
+        }
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = InvocationEvent;
+
+    fn next(&mut self) -> Option<InvocationEvent> {
+        match self {
+            ArrivalStream::Stationary(g) => g.next(),
+            ArrivalStream::Surging(g) => g.next(),
+        }
     }
 }
 
@@ -137,5 +430,156 @@ mod tests {
         // The popular head must appear; most of the population should
         // show up within 5k events.
         assert!(seen.len() > 50, "only {} functions seen", seen.len());
+    }
+
+    #[test]
+    fn surge_none_is_default_and_bad_knobs_are_named() {
+        assert!(SurgeConfig::none().is_none());
+        assert_eq!(SurgeConfig::default(), SurgeConfig::none());
+        assert!(SurgeConfig::none().validate().is_ok());
+        let cases = [
+            (
+                SurgeConfig {
+                    diurnal_amplitude: 1.5,
+                    ..SurgeConfig::none()
+                },
+                "surge.diurnal_amplitude",
+            ),
+            (
+                SurgeConfig {
+                    diurnal_amplitude: 0.3,
+                    diurnal_period_ms: 0.0,
+                    ..SurgeConfig::none()
+                },
+                "surge.diurnal_period_ms",
+            ),
+            (
+                SurgeConfig {
+                    flash_multiplier: f64::NAN,
+                    ..SurgeConfig::none()
+                },
+                "surge.flash_multiplier",
+            ),
+            (
+                SurgeConfig {
+                    flash_multiplier: 8.0,
+                    flash_duration_ms: 0.0,
+                    ..SurgeConfig::none()
+                },
+                "surge.flash_duration_ms",
+            ),
+            (
+                SurgeConfig {
+                    flash_start_ms: -1.0,
+                    ..SurgeConfig::none()
+                },
+                "surge.flash_start_ms",
+            ),
+        ];
+        for (config, field) in cases {
+            let err = config.validate().unwrap_err();
+            assert!(format!("{err}").contains(field), "{err}");
+        }
+    }
+
+    #[test]
+    fn priorities_follow_rate_rank_in_thirds() {
+        let pop = Population::synthesize(&config());
+        let priorities = pop.priorities();
+        assert_eq!(priorities.len(), 100);
+        assert_eq!(priorities[pop.hot_function()], 2);
+        let coldest = pop
+            .rates_per_sec
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(priorities[coldest], 0);
+        for p in [0u8, 1, 2] {
+            let n = priorities.iter().filter(|&&x| x == p).count();
+            assert!((30..=36).contains(&n), "priority {p} covers {n} functions");
+        }
+    }
+
+    #[test]
+    fn hot_function_is_the_rate_argmax() {
+        let pop = Population::synthesize(&config());
+        let hot = pop.hot_function();
+        let max = pop.rates_per_sec.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(pop.rates_per_sec[hot], max);
+    }
+
+    #[test]
+    fn surge_stream_is_ordered_and_deterministic() {
+        let pop = Population::synthesize(&config());
+        let surge = SurgeConfig {
+            diurnal_amplitude: 0.4,
+            diurnal_period_ms: 60_000.0,
+            flash_multiplier: 10.0,
+            flash_start_ms: 5_000.0,
+            flash_duration_ms: 10_000.0,
+        };
+        let a: Vec<_> = pop.surge_generator(7, &surge).take(3_000).collect();
+        let b: Vec<_> = pop.surge_generator(7, &surge).take(3_000).collect();
+        assert_eq!(a, b);
+        for pair in a.windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
+        assert_ne!(a, pop.surge_generator(8, &surge).take(3_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flash_window_concentrates_the_hot_function() {
+        let pop = Population::synthesize(&config());
+        let surge = SurgeConfig {
+            flash_multiplier: 20.0,
+            flash_start_ms: 10_000.0,
+            flash_duration_ms: 10_000.0,
+            ..SurgeConfig::none()
+        };
+        let hot = pop.hot_function();
+        let events: Vec<_> = pop
+            .surge_generator(3, &surge)
+            .take_while(|e| e.at_ms < 30_000.0)
+            .collect();
+        let inside = events
+            .iter()
+            .filter(|e| e.instance == hot && (10_000.0..20_000.0).contains(&e.at_ms))
+            .count() as f64;
+        let outside = events
+            .iter()
+            .filter(|e| e.instance == hot && !(10_000.0..20_000.0).contains(&e.at_ms))
+            .count() as f64;
+        // The window is a third of the span but 20× the rate: the hot
+        // function's arrivals must pile up inside it.
+        assert!(
+            inside > 4.0 * outside,
+            "inside {inside} vs outside {outside}"
+        );
+    }
+
+    #[test]
+    fn disabled_surge_routes_through_the_stationary_generator() {
+        let config = config();
+        let pop = Population::synthesize(&config);
+        let mut stream = ArrivalStream::synthesize(&config, &pop).unwrap();
+        assert!(matches!(stream, ArrivalStream::Stationary(_)));
+        let from_stream: Vec<_> = stream.by_ref().take(500).collect();
+        let direct: Vec<_> = pop.generator(config.seed).unwrap().take(500).collect();
+        assert_eq!(from_stream, direct, "disabled surge must be transparent");
+        let surging = ArrivalStream::synthesize(
+            &FleetConfig {
+                surge: SurgeConfig {
+                    diurnal_amplitude: 0.5,
+                    diurnal_period_ms: 30_000.0,
+                    ..SurgeConfig::none()
+                },
+                ..config
+            },
+            &pop,
+        )
+        .unwrap();
+        assert!(matches!(surging, ArrivalStream::Surging(_)));
     }
 }

@@ -494,6 +494,19 @@ impl RetryPolicy {
     pub fn allows(&self, attempts_so_far: u64, projected_latency_ms: f64) -> bool {
         attempts_so_far < self.max_attempts && projected_latency_ms <= self.deadline_ms
     }
+
+    /// Like [`RetryPolicy::backoff_ms`] but clamped into
+    /// `[base_backoff_ms, max_backoff_ms]` after jitter, so a sleep can
+    /// never undershoot the base or overshoot the cap. The fleet's
+    /// resilience layer uses this variant for its down-host reconnect
+    /// backoff, where the bounds are part of the SLO contract.
+    pub fn bounded_backoff_ms(&self, retry: u64, rng: &mut DetRng) -> f64 {
+        if retry == 0 || self.base_backoff_ms == 0.0 {
+            return 0.0;
+        }
+        self.backoff_ms(retry, rng)
+            .clamp(self.base_backoff_ms, self.max_backoff_ms)
+    }
 }
 
 impl Default for RetryPolicy {
@@ -508,6 +521,100 @@ impl Default for RetryPolicy {
             jitter: 0.3,
             deadline_ms: 10_000.0,
         }
+    }
+}
+
+/// A per-function retry *budget* (the Finagle/gRPC token-bucket scheme):
+/// each retry spends one token, each completion refunds `token_ratio`
+/// tokens, and retries are only allowed while whole tokens remain. Under
+/// a surge the bucket drains and retries stop amplifying load; in steady
+/// state completions keep it topped up and occasional retries are free.
+///
+/// The budget only *caps* the [`RetryPolicy`]: the effective attempt
+/// limit for an invocation whose bucket holds `tokens` is
+/// `min(policy.max_attempts, 1 + floor(tokens))`. A budget built with
+/// [`RetryBudget::unlimited`] never caps anything and draws no state —
+/// the bit-transparent disabled form.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryBudget {
+    /// Bucket capacity in tokens; `0` disables the budget entirely.
+    pub max_tokens: f64,
+    /// Tokens refunded per completed invocation.
+    pub token_ratio: f64,
+}
+
+impl RetryBudget {
+    /// A budget that never limits retries (the disabled sentinel).
+    pub fn unlimited() -> Self {
+        RetryBudget {
+            max_tokens: 0.0,
+            token_ratio: 0.0,
+        }
+    }
+
+    /// Creates a limited budget, validating both knobs.
+    pub fn new(max_tokens: f64, token_ratio: f64) -> Result<Self, SimError> {
+        let budget = RetryBudget {
+            max_tokens,
+            token_ratio,
+        };
+        budget.validate()?;
+        Ok(budget)
+    }
+
+    /// Validates the knobs, naming the offending field. The unlimited
+    /// sentinel is always valid.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.max_tokens == 0.0 && self.token_ratio == 0.0 {
+            return Ok(());
+        }
+        if !(self.max_tokens > 0.0 && self.max_tokens.is_finite()) {
+            return Err(SimError::invalid_config(
+                "retry_budget.max_tokens",
+                format!("must be positive and finite, got {}", self.max_tokens),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.token_ratio) {
+            return Err(SimError::invalid_config(
+                "retry_budget.token_ratio",
+                format!("must be in [0, 1], got {}", self.token_ratio),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether this budget actually limits retries.
+    pub fn is_limited(&self) -> bool {
+        self.max_tokens > 0.0
+    }
+
+    /// Bucket fill level a fresh function starts with (full).
+    pub fn initial_tokens(&self) -> f64 {
+        self.max_tokens
+    }
+
+    /// The attempt limit a bucket holding `tokens` allows under
+    /// `policy_max` (the retry policy's own cap). Unlimited budgets pass
+    /// `policy_max` through untouched.
+    pub fn allowed_attempts(&self, tokens: f64, policy_max: u64) -> u64 {
+        if !self.is_limited() {
+            return policy_max;
+        }
+        policy_max.min(1 + tokens.max(0.0).floor() as u64)
+    }
+
+    /// Settles one invocation against the bucket: `retries` tokens are
+    /// spent, a completion refunds `token_ratio`, and the level is
+    /// clamped into `[0, max_tokens]`. A no-op for unlimited budgets.
+    pub fn settle(&self, tokens: &mut f64, retries: u64, completed: bool) {
+        if !self.is_limited() {
+            return;
+        }
+        *tokens -= retries as f64;
+        if completed {
+            *tokens += self.token_ratio;
+        }
+        *tokens = tokens.clamp(0.0, self.max_tokens);
     }
 }
 

@@ -10,8 +10,10 @@
 //! * [`iat`] — inter-arrival-time distributions (fixed and exponential,
 //!   the Azure-trace-like traffic of §2.1);
 //! * [`fault`] — seeded, deterministic fault injection (instance crashes,
-//!   timeouts, cold-start failures, memory-pressure evictions) and bounded
-//!   retry with exponential backoff;
+//!   timeouts, cold-start failures, memory-pressure evictions), bounded
+//!   retry with exponential backoff, and token-bucket retry budgets;
+//! * [`admission`] — SLO-driven admission control: reserved/burst
+//!   concurrency per function and a graceful load-shedding ladder;
 //! * [`pool`] — the warm-instance pool with a provider keep-alive policy;
 //! * [`interleave`] — the state-decay model: how much of each cache level
 //!   survives an idle gap, given the host's invocation rate and footprint
@@ -22,14 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod fault;
 pub mod iat;
 pub mod interleave;
 pub mod pool;
 pub mod traffic;
 
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionDecision};
 pub use fault::{
-    fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultRates, FaultStats, RetryPolicy,
+    fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultRates, FaultStats, RetryBudget,
+    RetryPolicy,
 };
 pub use iat::IatDistribution;
 pub use interleave::InterleaveModel;

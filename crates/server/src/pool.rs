@@ -128,6 +128,17 @@ impl InstancePool {
         (self.spawn(function, now_ms), restore_ms)
     }
 
+    /// Like [`InstancePool::spawn_restored`], but forces the restore onto
+    /// the lazy-paging path — the admission ladder's memory-pressure rung
+    /// skips the prefetch burst on an already-pressured host.
+    pub fn spawn_restored_degraded(&mut self, function: usize, now_ms: f64) -> (u64, f64) {
+        let restore_ms = self
+            .snapshots
+            .as_mut()
+            .map_or(0.0, |s| s.restore_ms_degraded(function));
+        (self.spawn(function, now_ms), restore_ms)
+    }
+
     /// Records an invocation dispatched to `id` at `now_ms`. Returns the
     /// idle gap since the previous invocation, or `None` if the instance
     /// is unknown (expired).
@@ -193,6 +204,16 @@ impl InstancePool {
             self.evictions += 1;
         }
         existed
+    }
+
+    /// Evicts every warm instance at once — a host crash wipes the whole
+    /// pool. Each loss counts as a forced eviction. Returns how many
+    /// instances died.
+    pub fn evict_all(&mut self) -> usize {
+        let died = self.instances.len();
+        self.instances.clear();
+        self.evictions += died as u64;
+        died
     }
 
     /// Cold starts since pool creation.

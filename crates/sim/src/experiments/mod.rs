@@ -24,6 +24,7 @@ pub mod host_interleaving;
 pub mod keep_alive;
 pub mod related_work;
 pub mod resilience;
+pub mod surge;
 pub mod table3_broadwell;
 pub mod workflow_slo;
 

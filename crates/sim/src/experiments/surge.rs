@@ -1,0 +1,502 @@
+//! **Surge** — fleet resilience under flash crowds and host faults.
+//!
+//! The fleet sweep ([`fleet_scale`]) assumes stationary traffic and
+//! perfectly reliable hosts. This experiment drops both assumptions at
+//! once: traffic follows a diurnal ramp with an 8x flash crowd on the
+//! hottest function ([`luke_fleet::SurgeConfig`]), while a seeded chaos
+//! timeline crashes and degrades whole hosts
+//! ([`luke_fleet::ChaosConfig`]). The resilience stack responds —
+//! probe-driven circuit breakers fail traffic over, half-open hosts get
+//! hedged dispatches, down-host reconnects burn a per-function retry
+//! budget, and (when enabled) SLO-driven admission control walks its
+//! shedding ladder: revoke burst for the long tail, degrade restores to
+//! lazy paging under memory pressure, shed only as the last rung.
+//!
+//! The sweep is routing policy x chaos level (fault-free / moderate /
+//! heavy) x admission control (off / on), over identical surge traffic.
+//! Service times are calibrated from the cycle-accurate core exactly as
+//! in [`fleet_scale`] (same cells, so a shared engine simulates them
+//! once). Reported per point: SLO-violation rate at [`SLO_MS`], shed
+//! arrivals, degraded restores, failovers, host crashes, retry
+//! amplification, and the cold/lukewarm/warm mix.
+
+use crate::engine::{Cell, Engine};
+use crate::experiments::fleet_scale;
+use crate::runner::ExperimentParams;
+use luke_common::table::TextTable;
+use luke_common::SimError;
+use luke_fleet::{
+    run_fleet, AdmissionConfig, ChaosConfig, FleetConfig, FleetRun, HedgeConfig, RetryBudget,
+    RoutingPolicy, ServiceModel, SurgeConfig,
+};
+use luke_obs::hist::{bucket_index, BUCKETS};
+use server::RetryPolicy;
+use std::fmt;
+
+/// End-to-end latency SLO, ms. Above the 125ms instant cold start, so a
+/// plain cold start does not violate; chaos-driven reconnect backoffs
+/// and degraded-host slowdowns do.
+pub const SLO_MS: f64 = 150.0;
+
+/// Fleet size for the sweep — small enough that the 18-point grid stays
+/// test-speed, large enough that even heavy chaos (each host down ~20%
+/// of the time) leaves somewhere to fail over to.
+const HOSTS: usize = 6;
+/// Invocations per host per point (~60–80 surge-seconds of fleet time:
+/// several heavy-chaos MTBFs and the whole flash window).
+const INVOCATIONS_PER_HOST: usize = 2_000;
+/// Deployed functions — smaller than the fleet default so per-function
+/// admission limits bind during the flash crowd.
+const POPULATION: usize = 60;
+
+/// Chaos severity swept against every policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosLevel {
+    /// No host faults: the surge-only baseline.
+    None,
+    /// Occasional crashes, mild degradation.
+    Moderate,
+    /// Frequent crashes, severe (thrashing-host) degradation.
+    Heavy,
+}
+
+impl ChaosLevel {
+    /// Sweep order.
+    pub const ALL: [ChaosLevel; 3] = [ChaosLevel::None, ChaosLevel::Moderate, ChaosLevel::Heavy];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosLevel::None => "none",
+            ChaosLevel::Moderate => "moderate",
+            ChaosLevel::Heavy => "heavy",
+        }
+    }
+
+    /// The chaos timeline this level seeds.
+    pub fn chaos(self) -> ChaosConfig {
+        match self {
+            ChaosLevel::None => ChaosConfig::none(),
+            ChaosLevel::Moderate => ChaosConfig {
+                host_mtbf_ms: 30_000.0,
+                crash_downtime_ms: 2_000.0,
+                degrade_mtbf_ms: 25_000.0,
+                degrade_duration_ms: 3_000.0,
+                degrade_slowdown: 5.0,
+            },
+            ChaosLevel::Heavy => ChaosConfig {
+                host_mtbf_ms: 10_000.0,
+                crash_downtime_ms: 2_500.0,
+                degrade_mtbf_ms: 10_000.0,
+                degrade_duration_ms: 4_000.0,
+                degrade_slowdown: 30.0,
+            },
+        }
+    }
+}
+
+/// The non-stationary traffic every point replays: a diurnal ramp plus
+/// an 8x flash crowd on the hottest function.
+fn surge() -> SurgeConfig {
+    SurgeConfig {
+        diurnal_amplitude: 0.3,
+        diurnal_period_ms: 60_000.0,
+        flash_multiplier: 8.0,
+        flash_start_ms: 15_000.0,
+        flash_duration_ms: 20_000.0,
+    }
+}
+
+/// Admission knobs when the sweep point enables the controller: tight
+/// per-function limits (so the flash crowd actually sheds) and a
+/// memory-pressure rung that degrades restores first.
+fn admission_on() -> AdmissionConfig {
+    AdmissionConfig {
+        enabled: true,
+        reserved_concurrency: 1,
+        burst_concurrency: 2,
+        host_concurrency: 24,
+        memory_pressure_instances: 40,
+    }
+}
+
+/// One sweep point's fleet configuration.
+fn fleet_config(policy: RoutingPolicy, level: ChaosLevel, admission: bool) -> FleetConfig {
+    FleetConfig {
+        hosts: HOSTS,
+        invocations: HOSTS * INVOCATIONS_PER_HOST,
+        population: POPULATION,
+        policy,
+        chaos: level.chaos(),
+        hedge: HedgeConfig {
+            enabled: true,
+            max_fraction: 0.05,
+        },
+        retry_budget: RetryBudget::new(10.0, 0.1).expect("budget knobs are valid"),
+        admission: if admission {
+            admission_on()
+        } else {
+            AdmissionConfig::disabled()
+        },
+        surge: surge(),
+        // Heavier backoff than the platform default so waiting out a
+        // host outage is visible at the SLO (60ms doubling to 500ms).
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 60.0,
+            backoff_multiplier: 2.0,
+            max_backoff_ms: 500.0,
+            jitter: 0.3,
+            deadline_ms: 10_000.0,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+/// Served requests slower than `slo_ms`, by histogram bucket walk (the
+/// bucket containing the threshold counts as violating, so the rate is
+/// a conservative upper bound — consistent with the histogram's
+/// `P99 >= actual` convention).
+fn over_slo(run: &FleetRun, slo_ms: f64) -> u64 {
+    let first = bucket_index((slo_ms * 1_000.0) as u64);
+    (first..BUCKETS).map(|i| run.latency_us.bucket_count(i)).sum()
+}
+
+/// One sweep point: a routing policy under a chaos level, admission on
+/// or off, over identical surge traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Routing policy label.
+    pub policy: &'static str,
+    /// Chaos level label.
+    pub chaos: &'static str,
+    /// Whether admission control was enabled.
+    pub admission: bool,
+    /// Fraction of served requests exceeding [`SLO_MS`] (abandoned
+    /// requests count as violations).
+    pub slo_violation_rate: f64,
+    /// Arrivals rejected by the admission ladder's last rung.
+    pub shed: u64,
+    /// Cold starts degraded to lazy-paging restores under memory
+    /// pressure.
+    pub degraded_restores: u64,
+    /// Arrivals re-routed around an open breaker.
+    pub failovers: u64,
+    /// Hedged dispatches to half-open hosts.
+    pub hedges: u64,
+    /// Whole-host crashes over the run.
+    pub host_crashes: u64,
+    /// Mean dispatch attempts per served invocation (1.0 = no retries).
+    pub retry_amplification: f64,
+    /// Fraction of served invocations with no warm instance.
+    pub cold_start_rate: f64,
+    /// Fraction served warm but microarchitecturally cold.
+    pub lukewarm_fraction: f64,
+    /// Fraction served truly warm.
+    pub warm_fraction: f64,
+    /// Mean end-to-end latency, ms.
+    pub mean_ms: f64,
+    /// Tail latency, ms.
+    pub p99_ms: f64,
+}
+
+/// The full sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Data {
+    /// One row per (policy, chaos level, admission) point.
+    pub rows: Vec<Row>,
+}
+
+/// Cell grid: the same calibration runs as the fleet sweep, so a shared
+/// engine simulates them once for both experiments.
+pub fn plan(params: &ExperimentParams) -> Vec<Cell> {
+    fleet_scale::plan(params)
+}
+
+/// Registry entry: see [`crate::engine::registry`].
+pub struct Entry;
+
+impl crate::engine::Experiment for Entry {
+    fn name(&self) -> &'static str {
+        "surge"
+    }
+    fn description(&self) -> &'static str {
+        "Resilience sweep: policy x chaos level x admission under a flash crowd"
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn plan(&self, params: &ExperimentParams) -> Vec<Cell> {
+        plan(params)
+    }
+    fn run(
+        &self,
+        engine: &Engine,
+        params: &ExperimentParams,
+    ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
+        Ok(Box::new(try_run_experiment_with(engine, params)?))
+    }
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+///
+/// Panics on invalid configuration; see [`try_run_experiment`].
+pub fn run_experiment(params: &ExperimentParams) -> Data {
+    match try_run_experiment(params) {
+        Ok(data) => data,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_experiment`] for callers that map
+/// [`SimError`] to exit codes (the CLI).
+pub fn try_run_experiment(params: &ExperimentParams) -> Result<Data, SimError> {
+    try_run_experiment_with(&Engine::single(), params)
+}
+
+/// Fallible run whose calibration goes through a shared engine.
+pub fn try_run_experiment_with(
+    engine: &Engine,
+    params: &ExperimentParams,
+) -> Result<Data, SimError> {
+    let model = fleet_scale::calibrate_model_with(engine, params)?;
+    let mut rows = Vec::new();
+    for level in ChaosLevel::ALL {
+        for admission in [false, true] {
+            for policy in RoutingPolicy::ALL {
+                rows.push(run_point(&model, policy, level, admission)?);
+            }
+        }
+    }
+    Ok(Data { rows })
+}
+
+fn run_point(
+    model: &ServiceModel,
+    policy: RoutingPolicy,
+    level: ChaosLevel,
+    admission: bool,
+) -> Result<Row, SimError> {
+    let run = run_fleet(&fleet_config(policy, level, admission), model, false)?;
+    let served = run.latency_us.count();
+    Ok(Row {
+        policy: policy.label(),
+        chaos: level.label(),
+        admission,
+        slo_violation_rate: if served == 0 {
+            0.0
+        } else {
+            (over_slo(&run, SLO_MS) + run.abandoned).min(served) as f64 / served as f64
+        },
+        shed: run.shed,
+        degraded_restores: run.degraded_restores,
+        failovers: run.failovers,
+        hedges: run.hedges,
+        host_crashes: run.host_crashes,
+        retry_amplification: run.retry_amplification(),
+        cold_start_rate: run.cold_start_rate(),
+        lukewarm_fraction: run.lukewarm_fraction(),
+        warm_fraction: if run.invocations == 0 {
+            0.0
+        } else {
+            run.warm_hits as f64 / run.invocations as f64
+        },
+        mean_ms: run.mean_latency_ms(),
+        p99_ms: run.p99_ms(),
+    })
+}
+
+impl Data {
+    /// Rows at one chaos level, in sweep order.
+    pub fn rows_at(&self, level: ChaosLevel) -> Vec<&Row> {
+        self.rows.iter().filter(|r| r.chaos == level.label()).collect()
+    }
+
+    /// Mean SLO-violation rate over the rows at `level`.
+    pub fn mean_violation_rate(&self, level: ChaosLevel) -> f64 {
+        let rows = self.rows_at(level);
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.slo_violation_rate).sum::<f64>() / rows.len() as f64
+    }
+}
+
+impl fmt::Display for Data {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Surge: policy x chaos x admission under a flash crowd, SLO {SLO_MS}ms"
+        )?;
+        let mut t = TextTable::new(&[
+            "policy",
+            "chaos",
+            "admission",
+            "SLO viol %",
+            "shed",
+            "degraded",
+            "failovers",
+            "hedges",
+            "crashes",
+            "retry amp",
+            "cold %",
+            "lukewarm %",
+            "warm %",
+            "mean ms",
+            "p99 ms",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                r.policy.to_string(),
+                r.chaos.to_string(),
+                if r.admission { "on" } else { "off" }.to_string(),
+                format!("{:.2}", r.slo_violation_rate * 100.0),
+                r.shed.to_string(),
+                r.degraded_restores.to_string(),
+                r.failovers.to_string(),
+                r.hedges.to_string(),
+                r.host_crashes.to_string(),
+                format!("{:.3}", r.retry_amplification),
+                format!("{:.1}", r.cold_start_rate * 100.0),
+                format!("{:.1}", r.lukewarm_fraction * 100.0),
+                format!("{:.1}", r.warm_fraction * 100.0),
+                format!("{:.3}", r.mean_ms),
+                format!("{:.3}", r.p99_ms),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "Mean SLO violations: fault-free {:.2}% vs heavy chaos {:.2}%",
+            self.mean_violation_rate(ChaosLevel::None) * 100.0,
+            self.mean_violation_rate(ChaosLevel::Heavy) * 100.0,
+        )
+    }
+}
+
+impl luke_obs::Export for Data {
+    fn datasets(&self) -> Vec<luke_obs::Dataset> {
+        let mut sweep = luke_obs::Dataset::new(
+            "surge.sweep",
+            &[
+                "policy",
+                "chaos",
+                "admission",
+                "slo_violation_rate",
+                "shed",
+                "degraded_restores",
+                "failovers",
+                "hedges",
+                "host_crashes",
+                "retry_amplification",
+                "cold_start_rate",
+                "lukewarm_fraction",
+                "warm_fraction",
+                "mean_ms",
+                "p99_ms",
+            ],
+        );
+        for r in &self.rows {
+            sweep.push_row(vec![
+                r.policy.into(),
+                r.chaos.into(),
+                u64::from(r.admission).into(),
+                r.slo_violation_rate.into(),
+                r.shed.into(),
+                r.degraded_restores.into(),
+                r.failovers.into(),
+                r.hedges.into(),
+                r.host_crashes.into(),
+                r.retry_amplification.into(),
+                r.cold_start_rate.into(),
+                r.lukewarm_fraction.into(),
+                r.warm_fraction.into(),
+                r.mean_ms.into(),
+                r.p99_ms.into(),
+            ]);
+        }
+        vec![sweep]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Data {
+        run_experiment(&ExperimentParams::quick())
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid() {
+        let d = data();
+        assert_eq!(
+            d.rows.len(),
+            RoutingPolicy::ALL.len() * ChaosLevel::ALL.len() * 2
+        );
+    }
+
+    #[test]
+    fn fault_free_points_see_no_resilience_activity() {
+        let d = data();
+        for r in d.rows_at(ChaosLevel::None) {
+            assert_eq!(r.host_crashes, 0, "{}: crashes without chaos", r.policy);
+            assert_eq!(r.failovers, 0, "{}: failovers without chaos", r.policy);
+            assert_eq!(r.hedges, 0, "{}: hedges without half-open hosts", r.policy);
+            if !r.admission {
+                assert_eq!(r.shed, 0, "{}: shed without admission", r.policy);
+                assert!(
+                    (r.retry_amplification - 1.0).abs() < 1e-12,
+                    "{}: retries without faults",
+                    r.policy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_chaos_crashes_hosts_and_fails_over_everywhere() {
+        let d = data();
+        for r in d.rows_at(ChaosLevel::Heavy) {
+            assert!(r.host_crashes > 0, "{} adm={}: no crashes", r.policy, r.admission);
+            assert!(r.failovers > 0, "{} adm={}: no failovers", r.policy, r.admission);
+            assert!(
+                r.retry_amplification > 1.0,
+                "{} adm={}: down-host reconnects must retry",
+                r.policy,
+                r.admission
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_raises_the_slo_violation_rate() {
+        let d = data();
+        let none = d.mean_violation_rate(ChaosLevel::None);
+        let heavy = d.mean_violation_rate(ChaosLevel::Heavy);
+        assert!(heavy > none, "heavy {heavy} vs fault-free {none}");
+    }
+
+    #[test]
+    fn admission_sheds_the_flash_crowd() {
+        let d = data();
+        let shed_on: u64 = d.rows.iter().filter(|r| r.admission).map(|r| r.shed).sum();
+        let shed_off: u64 = d.rows.iter().filter(|r| !r.admission).map(|r| r.shed).sum();
+        assert!(shed_on > 0, "tight limits under an 8x flash must shed");
+        assert_eq!(shed_off, 0, "no controller, no shedding");
+    }
+
+    #[test]
+    fn render_reports_the_sweep_and_exports_one_dataset() {
+        let d = data();
+        let s = d.to_string();
+        assert!(s.contains("Mean SLO violations"));
+        assert!(s.contains("heavy"));
+        let datasets = luke_obs::Export::datasets(&d);
+        assert_eq!(datasets.len(), 1);
+        assert_eq!(datasets[0].name, "surge.sweep");
+        assert_eq!(datasets[0].rows.len(), d.rows.len());
+    }
+}

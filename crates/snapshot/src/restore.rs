@@ -315,6 +315,24 @@ impl SnapshotStore {
         us / 1000.0
     }
 
+    /// Prices one restore of `function` *forced onto the lazy-paging
+    /// path*, regardless of the configured model — the admission ladder's
+    /// memory-pressure rung: a pressured host skips the prefetch burst
+    /// and lets every page fault on demand. Metadata is left untouched
+    /// (the REAP record stays valid for the next unpressured restore).
+    /// Returns 0 and records nothing under `Instant`.
+    pub fn restore_ms_degraded(&mut self, function: usize) -> f64 {
+        if self.model == ColdStartModel::Instant {
+            return 0.0;
+        }
+        let ws = &self.working_sets[function % self.working_sets.len()];
+        self.stats.pages_faulted += ws.len() as u64;
+        let us = self.timings.lazy_restore_us(ws.len());
+        self.stats.restores += 1;
+        self.stats.restore_latency_us.record(us.round() as u64);
+        us / 1000.0
+    }
+
     /// Contributes the `snapshot.*` series to `registry`.
     pub fn fill_registry(&self, registry: &mut Registry) {
         self.stats.fill_registry(registry);

@@ -6,7 +6,8 @@
 //! policy.
 
 use lukewarm::fleet::{
-    run_fleet, run_fleet_pair, ColdStartModel, FleetConfig, RoutingPolicy, ServiceModel,
+    run_fleet, run_fleet_pair, AdmissionConfig, ChaosConfig, ColdStartModel, FleetConfig,
+    HedgeConfig, RetryBudget, RoutingPolicy, ServiceModel, SurgeConfig,
 };
 use lukewarm::server::FaultRates;
 use lukewarm::workloads::paper_suite;
@@ -172,6 +173,115 @@ fn instant_model_reproduces_the_pre_snapshot_fleet_bit_for_bit() {
         !run.snapshot.to_json().contains("snapshot."),
         "Instant fleets must not export snapshot.* series"
     );
+}
+
+/// The sweep config with the whole resilience stack turned on: seeded
+/// host crashes and degradation, hedged failover routing, a per-function
+/// retry budget, tight admission limits, and flash-crowd surge traffic.
+fn resilient_config() -> FleetConfig {
+    FleetConfig {
+        hosts: 16,
+        invocations: 16 * 500,
+        chaos: ChaosConfig {
+            host_mtbf_ms: 15_000.0,
+            crash_downtime_ms: 2_500.0,
+            degrade_mtbf_ms: 15_000.0,
+            degrade_duration_ms: 3_000.0,
+            degrade_slowdown: 5.0,
+        },
+        hedge: HedgeConfig {
+            enabled: true,
+            max_fraction: 0.1,
+        },
+        retry_budget: RetryBudget::new(10.0, 0.1).expect("budget knobs are valid"),
+        admission: AdmissionConfig {
+            enabled: true,
+            reserved_concurrency: 1,
+            burst_concurrency: 2,
+            host_concurrency: 24,
+            memory_pressure_instances: 40,
+        },
+        surge: SurgeConfig {
+            diurnal_amplitude: 0.3,
+            diurnal_period_ms: 60_000.0,
+            flash_multiplier: 6.0,
+            flash_start_ms: 10_000.0,
+            flash_duration_ms: 15_000.0,
+        },
+        ..sweep_config()
+    }
+}
+
+#[test]
+fn chaos_failover_and_admission_are_thread_count_neutral_for_every_policy() {
+    // Host crashes, breaker-driven failover, hedged dispatch pairs,
+    // down-host reconnect backoffs and the shedding ladder all engage,
+    // and none of them may depend on the worker schedule.
+    let m = model();
+    for policy in RoutingPolicy::ALL {
+        let base = FleetConfig {
+            policy,
+            ..resilient_config()
+        };
+        let one = run_fleet(&base, &m, false).expect("1-thread run");
+        let four = run_fleet(
+            &FleetConfig {
+                threads: 4,
+                ..base.clone()
+            },
+            &m,
+            false,
+        )
+        .expect("4-thread run");
+        assert!(one.host_crashes > 0, "{policy:?}: chaos must crash hosts");
+        assert!(one.failovers > 0, "{policy:?}: open breakers must divert");
+        assert_bit_identical(&one, &four);
+    }
+}
+
+#[test]
+fn ragged_and_oversubscribed_shards_stay_neutral_under_chaos() {
+    let m = model();
+    let one = run_fleet(&resilient_config(), &m, false).expect("1-thread run");
+    for threads in [3, 16, 200] {
+        let run = run_fleet(
+            &FleetConfig {
+                threads,
+                ..resilient_config()
+            },
+            &m,
+            false,
+        )
+        .expect("sharded run");
+        assert_bit_identical(&one, &run);
+    }
+}
+
+#[test]
+fn disabled_resilience_reproduces_the_plain_fleet_bit_for_bit() {
+    // Explicitly-disabled resilience knobs must be indistinguishable
+    // from a config predating the resilience layer: same routing, same
+    // RNG draws, same telemetry, no resilience series anywhere.
+    let m = model();
+    let plain = run_fleet(&sweep_config(), &m, false).expect("plain run");
+    let explicit = run_fleet(
+        &FleetConfig {
+            chaos: ChaosConfig::none(),
+            hedge: HedgeConfig::disabled(),
+            retry_budget: RetryBudget::unlimited(),
+            admission: AdmissionConfig::disabled(),
+            surge: SurgeConfig::none(),
+            ..sweep_config()
+        },
+        &m,
+        false,
+    )
+    .expect("explicitly-disabled run");
+    assert_bit_identical(&plain, &explicit);
+    let json = plain.snapshot.to_json();
+    for key in ["fleet.host_crashes", "fleet.failovers", "admission."] {
+        assert!(!json.contains(key), "{key} leaked into a plain run");
+    }
 }
 
 #[test]

@@ -234,6 +234,99 @@ fn pool_lifecycle_counters_all_reach_the_export() {
     );
 }
 
+#[test]
+fn resilience_counters_all_reach_the_export() {
+    // A fleet run with chaos, hedged failover, a retry budget and tight
+    // admission limits under a flash crowd must export the whole
+    // resilience counter family — and a default run must export none of
+    // it (bit-transparency of the disabled stack).
+    use lukewarm::fleet::{
+        run_fleet, AdmissionConfig, ChaosConfig, FleetConfig, HedgeConfig, RetryBudget,
+        ServiceModel, SurgeConfig,
+    };
+    use lukewarm::workloads::paper_suite;
+
+    let config = FleetConfig {
+        hosts: 6,
+        invocations: 9_000,
+        population: 60,
+        chaos: ChaosConfig {
+            host_mtbf_ms: 10_000.0,
+            crash_downtime_ms: 2_500.0,
+            degrade_mtbf_ms: 15_000.0,
+            degrade_duration_ms: 3_000.0,
+            degrade_slowdown: 5.0,
+        },
+        hedge: HedgeConfig {
+            enabled: true,
+            max_fraction: 0.1,
+        },
+        retry_budget: RetryBudget::new(10.0, 0.1).expect("budget knobs are valid"),
+        // Reserved-only limits: the 8x flash on the hot function must
+        // overrun a per-function concurrency of 1 and shed.
+        admission: AdmissionConfig {
+            enabled: true,
+            reserved_concurrency: 1,
+            burst_concurrency: 0,
+            host_concurrency: 24,
+            memory_pressure_instances: 40,
+        },
+        surge: SurgeConfig {
+            diurnal_amplitude: 0.3,
+            diurnal_period_ms: 60_000.0,
+            flash_multiplier: 8.0,
+            flash_start_ms: 15_000.0,
+            flash_duration_ms: 20_000.0,
+        },
+        ..FleetConfig::default()
+    };
+    let model = ServiceModel::analytic(&paper_suite()).expect("paper suite is valid");
+    let run = run_fleet(&config, &model, false).expect("valid config");
+
+    let v = parse(&run.snapshot.to_json()).expect("fleet snapshot JSON parses");
+    let counters = v.get("counters").expect("counters object");
+    for name in [
+        "fleet.host_crashes",
+        "fleet.failovers",
+        "fleet.hedges",
+        "fleet.retries",
+        "admission.shed",
+        "admission.admitted",
+    ] {
+        let value = counters
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{name} missing from export"));
+        assert!(value > 0.0, "{name} never incremented");
+    }
+    assert_eq!(run.snapshot.counter("fleet.host_crashes"), run.host_crashes);
+    assert_eq!(run.snapshot.counter("fleet.failovers"), run.failovers);
+    assert_eq!(run.snapshot.counter("admission.shed"), run.shed);
+
+    // And the exported datasets carry the dedicated resilience series.
+    let datasets = luke_obs::Export::datasets(&run);
+    assert!(
+        datasets.iter().any(|d| d.name == "fleet.resilience"),
+        "fleet.resilience dataset missing"
+    );
+
+    // Disabled stack: none of the resilience family may leak.
+    let plain = run_fleet(
+        &FleetConfig {
+            hosts: 4,
+            invocations: 2_000,
+            ..FleetConfig::default()
+        },
+        &model,
+        false,
+    )
+    .expect("valid config");
+    let json = plain.snapshot.to_json();
+    for key in ["fleet.host_crashes", "fleet.failovers", "fleet.hedges", "admission."] {
+        assert!(!json.contains(key), "{key} leaked into a default run");
+    }
+}
+
 // --- Statistics guards (satellites a and b) ---
 
 #[test]
