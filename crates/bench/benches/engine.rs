@@ -4,6 +4,7 @@
 //! verifies its JSON export byte-identical to the single-threaded run and
 //! reports cells simulated, cache hit rate and wall-clock speedup.
 
+use luke_bench::record::BenchRecord;
 use lukewarm_sim::engine::{find, Experiment};
 use lukewarm_sim::Engine;
 use std::fmt::Write as _;
@@ -34,6 +35,7 @@ fn main() {
             "threads", "elapsed", "speedup", "cells", "hit rate"
         )
         .unwrap();
+        let mut record = BenchRecord::new("engine");
         let mut reference: Option<(String, f64)> = None;
         for threads in [1usize, 2, 4, 8] {
             let engine = Engine::new(threads);
@@ -61,6 +63,11 @@ fn main() {
                 }
             };
             let planned = engine.cells_simulated() + engine.cache_hits();
+            record.scaling_point(threads, elapsed, planned as f64 / elapsed);
+            if threads == 1 {
+                record.metric("cells_per_s", engine.cells_simulated() as f64 / elapsed);
+                record.phase("single_thread_s", elapsed);
+            }
             writeln!(
                 out,
                 "  {:>7}  {:>8.3}s  {:>7.2}x  {:>6}  {:>8.1}%",
@@ -77,6 +84,12 @@ fn main() {
             "  (exports verified byte-identical across thread counts)"
         )
         .unwrap();
+        match record.write() {
+            Ok(path) => {
+                writeln!(out, "trajectory record: {}", path.display()).unwrap();
+            }
+            Err(e) => writeln!(out, "trajectory record not written: {e}").unwrap(),
+        }
         out
     });
 }

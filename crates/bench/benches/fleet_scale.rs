@@ -5,6 +5,7 @@
 //! 1/2/4/8 worker threads and the merged telemetry is checked
 //! bit-identical along the way.
 
+use luke_bench::record::BenchRecord;
 use luke_fleet::{run_fleet, FleetConfig, FleetHost, RoutedInvocation, Router, ServiceModel};
 use luke_fleet::Population;
 use luke_obs::Registry;
@@ -14,19 +15,34 @@ use std::time::Instant;
 use workloads::paper_suite;
 
 /// Hosts in the thread-scaling section (matches the determinism test's
-/// sweep scale).
+/// sweep scale). Override with `LUKEWARM_FLEET_HOSTS` (CI runs a quick
+/// scale).
 const SCALING_HOSTS: usize = 64;
 /// Invocations per host — large enough that the parallel host-processing
-/// phase is worth measuring.
+/// phase is worth measuring. Override with
+/// `LUKEWARM_FLEET_INVOCATIONS_PER_HOST`.
 const SCALING_INVOCATIONS_PER_HOST: usize = 20_000;
 
+fn env_scale(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 /// Times the three phases of a fleet run separately, sweeping the worker
-/// count over the parallel phase. Returns the report.
-fn thread_scaling_report() -> String {
+/// count over the parallel phase. Returns the report and fills the
+/// trajectory record.
+fn thread_scaling_report(record: &mut BenchRecord) -> String {
     let model = ServiceModel::analytic(&paper_suite()).expect("paper suite is valid");
+    let hosts = env_scale("LUKEWARM_FLEET_HOSTS", SCALING_HOSTS);
     let config = FleetConfig {
-        hosts: SCALING_HOSTS,
-        invocations: SCALING_HOSTS * SCALING_INVOCATIONS_PER_HOST,
+        hosts,
+        invocations: hosts * env_scale(
+            "LUKEWARM_FLEET_INVOCATIONS_PER_HOST",
+            SCALING_INVOCATIONS_PER_HOST,
+        ),
         ..FleetConfig::default()
     };
 
@@ -58,12 +74,9 @@ fn thread_scaling_report() -> String {
         queues[router.route(function, expected_ms)]
             .push(RoutedInvocation::new(event.at_ms, function));
     }
-    writeln!(
-        out,
-        "  route (sequential): {:.3}s",
-        route_start.elapsed().as_secs_f64()
-    )
-    .unwrap();
+    let route_s = route_start.elapsed().as_secs_f64();
+    record.phase("route_s", route_s);
+    writeln!(out, "  route (sequential): {route_s:.3}s").unwrap();
 
     // Phase 2 — process, swept over worker counts. Each sweep rebuilds the
     // hosts from scratch; phase 3's merged snapshot must never move.
@@ -108,6 +121,7 @@ fn thread_scaling_report() -> String {
                 *serial
             }
         };
+        record.scaling_point(threads, elapsed, config.invocations as f64 / elapsed);
         writeln!(
             out,
             "  {:>7}  {:>8.3}s  {:>7.2}x",
@@ -135,12 +149,16 @@ fn thread_scaling_report() -> String {
             false,
         )
         .expect("config is valid");
+        let elapsed = start.elapsed().as_secs_f64();
+        record.phase(&format!("end_to_end_{threads}t_s"), elapsed);
+        record.metric(
+            &format!("invocations_per_s_{threads}t"),
+            run.invocations as f64 / elapsed,
+        );
         writeln!(
             out,
             "  end-to-end run_fleet, {} thread(s): {:.3}s ({} invocations)",
-            threads,
-            start.elapsed().as_secs_f64(),
-            run.invocations
+            threads, elapsed, run.invocations
         )
         .unwrap();
     }
@@ -149,9 +167,16 @@ fn thread_scaling_report() -> String {
 
 fn main() {
     luke_bench::harness("Fleet scaling", |params| {
+        let mut record = BenchRecord::new("fleet_scale");
         let mut out = fleet_scale::run_experiment(params).to_string();
         out.push('\n');
-        out.push_str(&thread_scaling_report());
+        out.push_str(&thread_scaling_report(&mut record));
+        match record.write() {
+            Ok(path) => {
+                out.push_str(&format!("trajectory record: {}\n", path.display()));
+            }
+            Err(e) => out.push_str(&format!("trajectory record not written: {e}\n")),
+        }
         out
     });
 }

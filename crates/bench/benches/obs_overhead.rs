@@ -9,15 +9,22 @@
 //! cargo bench --bench obs_overhead --features obs_disabled  # compiled-out events
 //! ```
 //!
-//! The final `overhead` line prints the paired comparison directly (best
+//! The final `overhead` lines print the paired comparisons directly (best
 //! of interleaved rounds, so frequency drift hits both sides equally).
+//!
+//! The span path is covered the same way: a fleet run with tracing off
+//! (`trace_sample: 0`, the default) against every-8th-dispatch sampling.
+//! The untraced fleet number is the one the ≤1% disabled-overhead budget
+//! in docs/OBSERVABILITY.md speaks about — compare it across a default
+//! and an `--features obs_disabled` build.
 
 use criterion::{black_box, Criterion};
+use luke_fleet::{run_fleet, FleetConfig, ServiceModel};
 use lukewarm_sim::config::SystemConfig;
 use lukewarm_sim::runner::{run, run_observed, PrefetcherKind, RunSpec};
 use lukewarm_sim::ExperimentParams;
 use std::time::{Duration, Instant};
-use workloads::FunctionProfile;
+use workloads::{paper_suite, FunctionProfile};
 
 /// The Figure-10 measurement on one function, quick scale.
 struct Fig10Quick {
@@ -72,6 +79,41 @@ fn bench_runners(c: &mut Criterion) {
     c.bench_function("obs/fig10_quick_observed_traced", |b| {
         b.iter(|| black_box(f.observed(65_536)))
     });
+    let fleet = FleetQuick::new();
+    c.bench_function("obs/fleet_untraced", |b| b.iter(|| black_box(fleet.run(0))));
+    c.bench_function("obs/fleet_spans_1in8", |b| {
+        b.iter(|| black_box(fleet.run(8)))
+    });
+}
+
+/// The span-path workload: a small fleet run, with and without span
+/// sampling.
+struct FleetQuick {
+    config: FleetConfig,
+    model: ServiceModel,
+}
+
+impl FleetQuick {
+    fn new() -> Self {
+        FleetQuick {
+            config: FleetConfig {
+                hosts: 4,
+                invocations: 20_000,
+                ..FleetConfig::default()
+            },
+            model: ServiceModel::analytic(&paper_suite()).expect("paper suite is valid"),
+        }
+    }
+
+    fn run(&self, trace_sample: u64) -> u64 {
+        let config = FleetConfig {
+            trace_sample,
+            ..self.config.clone()
+        };
+        run_fleet(&config, &self.model, false)
+            .expect("config is valid")
+            .invocations
+    }
 }
 
 /// Best-of-N interleaved timing of one routine.
@@ -106,8 +148,29 @@ fn overhead_report() {
     );
 }
 
+/// Prints the paired untraced-vs-sampled span overhead on a fleet run.
+fn span_overhead_report() {
+    let fleet = FleetQuick::new();
+    black_box(fleet.run(0));
+    black_box(fleet.run(8));
+    let rounds = 7;
+    let untraced = best_of(rounds, || fleet.run(0));
+    let sampled = best_of(rounds, || fleet.run(8));
+    let pct = (sampled.as_secs_f64() / untraced.as_secs_f64() - 1.0) * 100.0;
+    let mode = if cfg!(feature = "obs_disabled") {
+        "obs_disabled"
+    } else {
+        "default"
+    };
+    println!(
+        "span overhead ({mode:>12}): untraced {:>10.3?}  1-in-8 sampled {:>10.3?}  => {pct:+.2}%",
+        untraced, sampled
+    );
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_runners(&mut c);
     overhead_report();
+    span_overhead_report();
 }

@@ -1,8 +1,24 @@
 //! **Surge (beyond the paper)** — fleet resilience under a flash crowd:
 //! routing policy x chaos level x admission control, reporting
 //! SLO-violation rate, shed arrivals, failovers, host crashes, retry
-//! amplification and the cold/lukewarm/warm mix.
+//! amplification, the cold/lukewarm/warm mix, and (since the windowed
+//! time-series landed) a per-window latency/shed/SLO-burn timeline.
+//!
+//! Also records a `BENCH_surge.json` perf-trajectory point: wall-clock
+//! for the whole policy x chaos grid, as a sweep-throughput metric.
+
+use luke_bench::record::BenchRecord;
+use std::time::Instant;
 
 fn main() {
+    let start = Instant::now();
     luke_bench::harness_experiment("surge");
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut record = BenchRecord::new("surge");
+    record.metric("sweeps_per_s", 1.0 / elapsed);
+    record.phase("total_s", elapsed);
+    match record.write() {
+        Ok(path) => println!("trajectory record: {}", path.display()),
+        Err(e) => println!("trajectory record not written: {e}"),
+    }
 }

@@ -10,9 +10,15 @@
 //! * `LUKEWARM_SCALE` — workload scale factor (default 1.0 = paper scale);
 //! * `LUKEWARM_INVOCATIONS` — measured invocations per configuration
 //!   (default 8).
+//!
+//! Benches that record a performance trajectory (`fleet_scale`, `engine`,
+//! `surge`) additionally honour `LUKEWARM_BENCH_DIR`, the directory their
+//! `BENCH_<name>.json` record lands in (see [`record`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod record;
 
 use lukewarm_sim::ExperimentParams;
 use std::time::Instant;

@@ -1,0 +1,339 @@
+//! Recorded performance trajectory: schema-versioned `BENCH_<name>.json`.
+//!
+//! A [`BenchRecord`] captures what a benchmark run actually achieved —
+//! throughput metrics (higher is better), a thread-scaling curve and a
+//! wall-clock phase breakdown — and serializes it to a small, stable JSON
+//! document so successive runs can be diffed. `lukewarm bench-compare
+//! OLD.json NEW.json` replays [`compare`] over two such files and exits
+//! non-zero when any metric regressed beyond the noise threshold.
+//!
+//! The schema is versioned ([`SCHEMA`]); readers reject documents whose
+//! `schema` field does not match, so a future layout change cannot be
+//! silently misread as a regression (or an improvement).
+//!
+//! ```json
+//! {"schema":"lukewarm-bench/1","name":"fleet_scale",
+//!  "metrics":{"invocations_per_s":81234.5},
+//!  "scaling":[{"threads":1,"elapsed_s":0.91,"throughput":44000.0},
+//!             {"threads":8,"elapsed_s":0.14,"throughput":285000.0}],
+//!  "phases":{"route_s":0.21,"process_s":0.58,"merge_s":0.12}}
+//! ```
+
+use luke_obs::json::{self, write_f64, write_str, JsonValue};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Schema tag every record carries; bump on any layout change.
+pub const SCHEMA: &str = "lukewarm-bench/1";
+
+/// Environment variable naming the directory `BENCH_<name>.json` files
+/// are written to (default: the current directory).
+pub const BENCH_DIR_ENV: &str = "LUKEWARM_BENCH_DIR";
+
+/// One point on the thread-scaling curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Wall-clock seconds for the run.
+    pub elapsed_s: f64,
+    /// Work items per second (invocations, cells, ...).
+    pub throughput: f64,
+}
+
+/// A recorded benchmark outcome.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name; names the output file (`BENCH_<name>.json`).
+    pub name: String,
+    /// Named throughput metrics, all higher-is-better.
+    pub metrics: BTreeMap<String, f64>,
+    /// Thread-scaling curve, ascending thread counts.
+    pub scaling: Vec<ScalingPoint>,
+    /// Wall-clock phase breakdown in seconds.
+    pub phases: BTreeMap<String, f64>,
+}
+
+impl BenchRecord {
+    /// An empty record for `name`.
+    pub fn new(name: &str) -> Self {
+        BenchRecord {
+            name: name.to_string(),
+            ..BenchRecord::default()
+        }
+    }
+
+    /// Records a higher-is-better metric.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Records a wall-clock phase duration in seconds.
+    pub fn phase(&mut self, name: &str, seconds: f64) {
+        self.phases.insert(name.to_string(), seconds);
+    }
+
+    /// Appends a scaling-curve point.
+    pub fn scaling_point(&mut self, threads: usize, elapsed_s: f64, throughput: f64) {
+        self.scaling.push(ScalingPoint {
+            threads,
+            elapsed_s,
+            throughput,
+        });
+    }
+
+    /// Serializes the record as a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":");
+        write_str(&mut out, SCHEMA);
+        out.push_str(",\"name\":");
+        write_str(&mut out, &self.name);
+        out.push_str(",\"metrics\":{");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, k);
+            out.push(':');
+            write_f64(&mut out, *v);
+        }
+        out.push_str("},\"scaling\":[");
+        for (i, p) in self.scaling.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"threads\":{},\"elapsed_s\":", p.threads));
+            write_f64(&mut out, p.elapsed_s);
+            out.push_str(",\"throughput\":");
+            write_f64(&mut out, p.throughput);
+            out.push('}');
+        }
+        out.push_str("],\"phases\":{");
+        for (i, (k, v)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, k);
+            out.push(':');
+            write_f64(&mut out, *v);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses and validates a `BENCH_<name>.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message when the document is not JSON, carries
+    /// the wrong `schema` tag, or is missing/mistyping a required field.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let v = json::parse(input)?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("missing schema field")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+        }
+        let name = v
+            .get("name")
+            .and_then(|s| s.as_str())
+            .ok_or("missing name field")?
+            .to_string();
+        if name.is_empty() {
+            return Err("empty benchmark name".to_string());
+        }
+        let metrics = finite_map(v.get("metrics").ok_or("missing metrics field")?, "metrics")?;
+        let phases = finite_map(v.get("phases").ok_or("missing phases field")?, "phases")?;
+        let mut scaling = Vec::new();
+        for (i, p) in v
+            .get("scaling")
+            .and_then(|s| s.as_arr())
+            .ok_or("missing scaling array")?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| {
+                p.get(key)
+                    .and_then(|x| x.as_f64())
+                    .filter(|x| x.is_finite())
+                    .ok_or(format!("scaling[{i}].{key} missing or not finite"))
+            };
+            let threads = field("threads")?;
+            if threads < 1.0 || threads.fract() != 0.0 {
+                return Err(format!("scaling[{i}].threads must be a positive integer"));
+            }
+            scaling.push(ScalingPoint {
+                threads: threads as usize,
+                elapsed_s: field("elapsed_s")?,
+                throughput: field("throughput")?,
+            });
+        }
+        Ok(BenchRecord {
+            name,
+            metrics,
+            scaling,
+            phases,
+        })
+    }
+
+    /// The path this record writes to: `BENCH_<name>.json` under
+    /// [`BENCH_DIR_ENV`] (or the current directory).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var(BENCH_DIR_ENV).unwrap_or_else(|_| ".".to_string());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes the record to [`Self::path`], returning the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the directory is not writable.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn finite_map(v: &JsonValue, what: &str) -> Result<BTreeMap<String, f64>, String> {
+    let JsonValue::Obj(map) = v else {
+        return Err(format!("{what} must be an object"));
+    };
+    let mut out = BTreeMap::new();
+    for (k, item) in map {
+        let n = item
+            .as_f64()
+            .filter(|n| n.is_finite())
+            .ok_or(format!("{what}.{k} is not a finite number"))?;
+        out.insert(k.clone(), n);
+    }
+    Ok(out)
+}
+
+/// The outcome of diffing two records with [`compare`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// Human-readable per-metric lines (`name old -> new  (+x%)`).
+    pub report: String,
+    /// Metrics that regressed beyond the threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Diffs two records metric-by-metric (and scaling point by thread
+/// count). A metric regresses when the new value drops below
+/// `old * (1 - threshold)` — all metrics are higher-is-better. Metrics
+/// present on only one side are reported but never count as regressions
+/// (a benchmark may grow or retire metrics between runs).
+pub fn compare(old: &BenchRecord, new: &BenchRecord, threshold: f64) -> Comparison {
+    let mut c = Comparison::default();
+    let line = |label: String, old: f64, new: f64, c: &mut Comparison| {
+        let delta = if old > 0.0 { new / old - 1.0 } else { 0.0 };
+        let regressed = new < old * (1.0 - threshold);
+        c.report.push_str(&format!(
+            "  {label:<28} {old:>12.1} -> {new:>12.1}  ({delta:+.1}%){}\n",
+            if regressed { "  REGRESSED" } else { "" },
+            delta = delta * 100.0,
+        ));
+        if regressed {
+            c.regressions.push(label);
+        }
+    };
+    for (name, &old_v) in &old.metrics {
+        match new.metrics.get(name) {
+            Some(&new_v) => line(name.clone(), old_v, new_v, &mut c),
+            None => c.report.push_str(&format!("  {name:<28} dropped\n")),
+        }
+    }
+    for (name, &new_v) in &new.metrics {
+        if !old.metrics.contains_key(name) {
+            c.report
+                .push_str(&format!("  {name:<28} new: {new_v:.1}\n"));
+        }
+    }
+    for p in &old.scaling {
+        if let Some(q) = new.scaling.iter().find(|q| q.threads == p.threads) {
+            line(
+                format!("throughput@{}t", p.threads),
+                p.throughput,
+                q.throughput,
+                &mut c,
+            );
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        let mut r = BenchRecord::new("fleet_scale");
+        r.metric("invocations_per_s", 80_000.0);
+        r.scaling_point(1, 1.0, 40_000.0);
+        r.scaling_point(8, 0.2, 200_000.0);
+        r.phase("route_s", 0.25);
+        r
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = sample();
+        let parsed = BenchRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn wrong_schema_and_malformed_documents_are_rejected() {
+        assert!(BenchRecord::from_json("not json").is_err());
+        let doc = sample().to_json().replace("lukewarm-bench/1", "bench/9");
+        let err = BenchRecord::from_json(&doc).unwrap_err();
+        assert!(err.contains("lukewarm-bench/1"), "{err}");
+        assert!(BenchRecord::from_json("{\"schema\":\"lukewarm-bench/1\"}").is_err());
+        // Non-finite metrics serialize as null and fail validation.
+        let mut bad = sample();
+        bad.metric("nan", f64::NAN);
+        assert!(BenchRecord::from_json(&bad.to_json())
+            .unwrap_err()
+            .contains("nan"));
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_threshold() {
+        let old = sample();
+        let mut noisy = sample();
+        noisy.metric("invocations_per_s", 80_000.0 * 0.9); // -10%: within 25%
+        let c = compare(&old, &noisy, 0.25);
+        assert!(c.regressions.is_empty(), "{}", c.report);
+
+        let mut slow = sample();
+        slow.metric("invocations_per_s", 80_000.0 * 0.5); // -50%: regression
+        slow.scaling[1].throughput = 10_000.0; // 8-thread point collapsed
+        let c = compare(&old, &slow, 0.25);
+        assert_eq!(
+            c.regressions,
+            vec!["invocations_per_s".to_string(), "throughput@8t".to_string()]
+        );
+        assert!(c.report.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn added_and_dropped_metrics_are_reported_but_not_regressions() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics.remove("invocations_per_s");
+        new.metric("cells_per_s", 5.0);
+        let c = compare(&old, &new, 0.25);
+        assert!(c.regressions.is_empty());
+        assert!(c.report.contains("dropped"));
+        assert!(c.report.contains("new: 5.0"));
+    }
+
+    #[test]
+    fn identical_records_never_regress_even_at_zero_threshold() {
+        let r = sample();
+        assert!(compare(&r, &r, 0.0).regressions.is_empty());
+    }
+}

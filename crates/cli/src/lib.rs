@@ -7,6 +7,8 @@
 //! lukewarm compare FUNCTION [OPTIONS]   # baseline vs jukebox vs perfect
 //! lukewarm figure NAME [OPTIONS]        # regenerate a paper figure/table
 //! lukewarm trace FUNCTION [OPTIONS]     # Chrome-trace invocation timeline
+//! lukewarm trace --fleet [OPTIONS]      # fleet span waterfall / Chrome trace
+//! lukewarm bench-compare OLD NEW        # diff two BENCH_*.json records
 //!
 //! OPTIONS:
 //!   --scale S           workload scale (default 0.25; 1.0 = paper)
@@ -109,8 +111,38 @@ pub enum Command {
         /// turns on the whole resilience stack (fault domains, failover,
         /// hedging, retry budgets, admission control, surge traffic).
         chaos: String,
+        /// Span sampling period: every Nth dispatch grows a causal span
+        /// tree (0 = tracing off, the default — output stays
+        /// byte-identical to untraced builds).
+        trace_sample: u64,
         /// Output format.
         emit: Emit,
+    },
+    /// `lukewarm trace --fleet [--hosts N] [--chaos P] [--out FILE] ...`
+    TraceFleet {
+        /// Fleet size.
+        hosts: usize,
+        /// Routing policy label.
+        policy: String,
+        /// Total invocations (defaults to 1000 per host).
+        invocations: Option<usize>,
+        /// Chaos preset (`off`, `light`, `heavy`).
+        chaos: String,
+        /// Span sampling period (default 100; must be >= 1 here).
+        trace_sample: u64,
+        /// Output file for the Chrome span trace; without it, a text
+        /// waterfall with critical-path attribution prints to stdout.
+        out: Option<String>,
+    },
+    /// `lukewarm bench-compare OLD.json NEW.json [--threshold T]`
+    BenchCompare {
+        /// Baseline `BENCH_*.json` path.
+        old: String,
+        /// Candidate `BENCH_*.json` path.
+        new: String,
+        /// Relative drop tolerated before a metric counts as a
+        /// regression (default 0.25 = 25%).
+        threshold: f64,
     },
     /// `lukewarm help` or empty invocation.
     Help,
@@ -324,6 +356,58 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 options: opts,
             })
         }
+        "trace" if rest.first().map(|s| s.as_str()) == Some("--fleet") => {
+            let mut hosts = 8usize;
+            let mut policy = "keep-alive-aware".to_string();
+            let mut invocations = None;
+            let mut chaos = "off".to_string();
+            let mut trace_sample = 100u64;
+            let mut out = None;
+            let mut it = rest.iter().skip(1);
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("option {key} needs a value")))?;
+                match key.as_str() {
+                    "--hosts" => {
+                        hosts = value
+                            .parse()
+                            .map_err(|_| CliError::usage(format!("bad --hosts {value:?}")))?;
+                    }
+                    "--policy" => policy = value.to_string(),
+                    "--invocations" => {
+                        invocations = Some(value.parse().map_err(|_| {
+                            CliError::usage(format!("bad --invocations {value:?}"))
+                        })?);
+                    }
+                    "--chaos" => chaos = value.to_string(),
+                    "--trace-sample" => {
+                        trace_sample = value.parse().map_err(|_| {
+                            CliError::usage(format!("bad --trace-sample {value:?}"))
+                        })?;
+                    }
+                    "--out" => out = Some(value.to_string()),
+                    other => {
+                        return Err(CliError::usage(format!("unknown option {other}")));
+                    }
+                }
+            }
+            if trace_sample == 0 {
+                return Err(CliError::usage(
+                    "trace --fleet needs --trace-sample >= 1 (it exists to record spans)",
+                ));
+            }
+            luke_fleet::RoutingPolicy::parse(&policy)?;
+            chaos_preset(&chaos)?;
+            Ok(Command::TraceFleet {
+                hosts,
+                policy,
+                invocations,
+                chaos,
+                trace_sample,
+                out,
+            })
+        }
         "trace" => {
             let (function, opts, extras) = parse_function_and_options(&rest)?;
             let mut prefetcher = "jukebox".to_string();
@@ -355,6 +439,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut policy = "keep-alive-aware".to_string();
             let mut invocations = None;
             let mut chaos = "off".to_string();
+            let mut trace_sample = 0u64;
             let mut emit = Emit::Table;
             let mut it = rest.iter();
             while let Some(key) = it.next() {
@@ -379,6 +464,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         })?);
                     }
                     "--chaos" => chaos = value.to_string(),
+                    "--trace-sample" => {
+                        trace_sample = value.parse().map_err(|_| {
+                            CliError::usage(format!("bad --trace-sample {value:?}"))
+                        })?;
+                    }
                     "--emit" => emit = parse_emit(value)?,
                     other => {
                         return Err(CliError::usage(format!("unknown option {other}")));
@@ -395,8 +485,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 policy,
                 invocations,
                 chaos,
+                trace_sample,
                 emit,
             })
+        }
+        "bench-compare" => {
+            let mut paths = Vec::new();
+            let mut threshold = 0.25f64;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                if arg.as_str() == "--threshold" {
+                    let value = it.next().ok_or_else(|| {
+                        CliError::usage("option --threshold needs a value")
+                    })?;
+                    threshold = value.parse().map_err(|_| {
+                        CliError::usage(format!("bad --threshold {value:?}"))
+                    })?;
+                    if !(0.0..1.0).contains(&threshold) {
+                        return Err(CliError::usage(format!(
+                            "--threshold {threshold} must be in [0, 1)"
+                        )));
+                    }
+                } else {
+                    paths.push(arg.to_string());
+                }
+            }
+            let [old, new] = <[String; 2]>::try_from(paths).map_err(|_| {
+                CliError::usage("bench-compare needs exactly OLD.json and NEW.json")
+            })?;
+            Ok(Command::BenchCompare { old, new, threshold })
         }
         other => Err(CliError::usage(format!(
             "unknown command {other:?}; try `lukewarm help`"
@@ -802,6 +919,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             policy,
             invocations,
             chaos,
+            trace_sample,
             emit,
         } => {
             let policy = luke_fleet::RoutingPolicy::parse(policy)?;
@@ -810,6 +928,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 threads: *threads,
                 invocations: invocations.unwrap_or(hosts * 1000),
                 policy,
+                trace_sample: *trace_sample,
                 ..luke_fleet::FleetConfig::default()
             };
             if let Some(resilience) = chaos_preset(chaos)? {
@@ -820,6 +939,65 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             let model = luke_fleet::ServiceModel::analytic(&paper_suite())?;
             let pair = luke_fleet::run_fleet_pair(&config, &model)?;
             Ok(render(&pair, *emit))
+        }
+        Command::TraceFleet {
+            hosts,
+            policy,
+            invocations,
+            chaos,
+            trace_sample,
+            out,
+        } => {
+            let policy = luke_fleet::RoutingPolicy::parse(policy)?;
+            let mut config = luke_fleet::FleetConfig {
+                hosts: *hosts,
+                invocations: invocations.unwrap_or(hosts * 1000),
+                policy,
+                trace_sample: *trace_sample,
+                ..luke_fleet::FleetConfig::default()
+            };
+            if let Some(resilience) = chaos_preset(chaos)? {
+                resilience.apply(&mut config);
+            }
+            let model = luke_fleet::ServiceModel::analytic(&paper_suite())?;
+            let run = luke_fleet::run_fleet(&config, &model, true)?;
+            if out.is_some() {
+                let name = format!("fleet ({} hosts, chaos {chaos})", config.hosts);
+                return Ok(luke_obs::trace::chrome_trace_spans(&name, &run.spans));
+            }
+            Ok(fleet_waterfall(&run, chaos))
+        }
+        Command::BenchCompare { old, new, threshold } => {
+            let load = |path: &str| -> Result<luke_bench::record::BenchRecord, CliError> {
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    CliError::usage(format!("cannot read {path:?}: {e}"))
+                })?;
+                luke_bench::record::BenchRecord::from_json(&text)
+                    .map_err(|e| CliError::usage(format!("{path}: {e}")))
+            };
+            let (old_rec, new_rec) = (load(old)?, load(new)?);
+            let c = luke_bench::record::compare(&old_rec, &new_rec, *threshold);
+            let header = format!(
+                "bench-compare {} (threshold {:.0}%)\n",
+                old_rec.name,
+                threshold * 100.0
+            );
+            if c.regressions.is_empty() {
+                Ok(format!("{header}{}no regressions", c.report))
+            } else {
+                // The regression verdict is the command's purpose:
+                // exit code 1 so CI trips on it.
+                Err(CliError {
+                    message: format!(
+                        "{header}{}{} metric(s) regressed beyond {:.0}%: {}",
+                        c.report,
+                        c.regressions.len(),
+                        threshold * 100.0,
+                        c.regressions.join(", ")
+                    ),
+                    code: 1,
+                })
+            }
         }
         Command::Trace {
             function,
@@ -841,6 +1019,115 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             ))
         }
     }
+}
+
+/// Renders a traced fleet run as a text waterfall: the slowest sampled
+/// lanes span by span, then critical-path attribution by span kind.
+/// Children of a root exactly partition its duration (the recorder's
+/// telescoping invariant), so the per-kind percentages sum to 100.
+fn fleet_waterfall(run: &luke_fleet::FleetRun, chaos: &str) -> String {
+    use luke_obs::span::{dispatch_of, is_hedge_lane, Span, SpanKind, SPAN_KINDS};
+    use std::collections::BTreeMap;
+
+    let mut lanes: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    for s in &run.spans {
+        lanes.entry(s.trace).or_default().push(s);
+    }
+    let mut out = format!(
+        "fleet span waterfall ({} sampled lanes, {} spans, chaos {chaos})\n",
+        lanes.len(),
+        run.spans.len()
+    );
+    if lanes.is_empty() {
+        out.push_str("  no spans recorded (build has obs_disabled?)\n");
+        return out;
+    }
+
+    // Slowest lanes first; ties break on lane id so output is stable.
+    let mut by_total: Vec<(&u64, &Vec<&Span>)> = lanes.iter().collect();
+    by_total.sort_by_key(|(trace, spans)| {
+        let root = spans.iter().find(|s| s.id == 0).map_or(0, |s| s.dur_us);
+        (std::cmp::Reverse(root), **trace)
+    });
+    const BAR: usize = 32;
+    out.push_str("\nslowest lanes:\n");
+    for (trace, spans) in by_total.iter().take(5) {
+        let Some(root) = spans.iter().find(|s| s.id == 0) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "  dispatch {}{} host {} arrival {:.3}ms total {:.3}ms\n",
+            dispatch_of(**trace),
+            if is_hedge_lane(**trace) { " (hedge copy)" } else { "" },
+            root.a,
+            root.b as f64 / 1000.0,
+            root.dur_us as f64 / 1000.0,
+        ));
+        for s in spans.iter().filter(|s| s.id != 0) {
+            let (from, len) = if root.dur_us == 0 {
+                (0, 0)
+            } else {
+                (
+                    (s.start_us as usize * BAR) / root.dur_us as usize,
+                    ((s.dur_us as usize * BAR) / root.dur_us as usize).max(1),
+                )
+            };
+            let mut bar = vec![b'.'; BAR];
+            for slot in bar.iter_mut().skip(from).take(len.min(BAR - from.min(BAR))) {
+                *slot = b'#';
+            }
+            let glyph = String::from_utf8(bar).expect("ascii");
+            if s.dur_us > 0 {
+                out.push_str(&format!(
+                    "    [{glyph}] {:<9} {:>9.3} - {:>9.3}ms\n",
+                    s.kind.label(),
+                    s.start_us as f64 / 1000.0,
+                    (s.start_us + s.dur_us) as f64 / 1000.0,
+                ));
+            } else {
+                out.push_str(&format!(
+                    "    [{glyph}] {:<9} @ {:>7.3}ms\n",
+                    s.kind.label(),
+                    s.start_us as f64 / 1000.0,
+                ));
+            }
+        }
+    }
+
+    let total_us: u64 = run
+        .spans
+        .iter()
+        .filter(|s| s.id == 0)
+        .map(|s| s.dur_us)
+        .sum();
+    out.push_str(&format!(
+        "\ncritical path by span kind ({:.3}ms sampled end-to-end):\n",
+        total_us as f64 / 1000.0
+    ));
+    for kind in SPAN_KINDS {
+        if kind == SpanKind::Invocation {
+            continue;
+        }
+        let (mut us, mut count) = (0u64, 0usize);
+        for s in run.spans.iter().filter(|s| s.id != 0 && s.kind == kind) {
+            us += s.dur_us;
+            count += 1;
+        }
+        if count == 0 {
+            continue;
+        }
+        if us > 0 {
+            out.push_str(&format!(
+                "  {:<9} {:>5.1}%  {:>10.3}ms over {count} spans\n",
+                kind.label(),
+                if total_us == 0 { 0.0 } else { us as f64 * 100.0 / total_us as f64 },
+                us as f64 / 1000.0,
+            ));
+        } else {
+            out.push_str(&format!("  {:<9} instant x{count}\n", kind.label()));
+        }
+    }
+    out
 }
 
 /// A resolved `--chaos` preset: a seeded fault timeline plus the rest of
@@ -873,6 +1160,12 @@ impl ResiliencePreset {
             flash_start_ms: 10_000.0,
             flash_duration_ms: 15_000.0,
         };
+        // Chaos runs get the windowed time-series along with the rest
+        // of the stack: a 5s window and the 50ms SLO the surge
+        // experiment uses, so the timeline dataset shows the flash
+        // crowd instead of end-of-run scalars.
+        config.series_window_ms = 5_000.0;
+        config.series_slo_ms = 50.0;
     }
 }
 
@@ -918,7 +1211,9 @@ const TRACE_CAPACITY: usize = 65_536;
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let command = parse(args)?;
     let output = execute(&command)?;
-    if let Command::Trace { out: Some(path), .. } = &command {
+    if let Command::Trace { out: Some(path), .. }
+    | Command::TraceFleet { out: Some(path), .. } = &command
+    {
         std::fs::write(path, &output).map_err(|e| CliError {
             message: format!("cannot write {path:?}: {e}"),
             code: 2,
@@ -942,11 +1237,17 @@ fn help_text() -> String {
      \x20 lukewarm figure --all [--scale S] [--invocations N] [--threads T]\n\
      \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\
      \x20 lukewarm trace FUNCTION [--prefetcher K] [--state ST] [--out FILE]\n\
+     \x20 lukewarm trace --fleet [--hosts N] [--chaos P] [--trace-sample N] [--out FILE]\n\
      \x20 lukewarm fleet [--hosts N] [--threads T] [--policy rr|ll|kaa]\n\
-     \x20                [--invocations N] [--chaos off|light|heavy]\n\n\
+     \x20                [--invocations N] [--chaos off|light|heavy] [--trace-sample N]\n\
+     \x20 lukewarm bench-compare OLD.json NEW.json [--threshold 0.25]\n\n\
      \x20 --chaos light|heavy crashes and degrades hosts on a seeded timeline and\n\
      \x20 enables failover, hedging, retry budgets, admission control and a flash\n\
-     \x20 crowd; output stays bit-identical across --threads (see docs/RESILIENCE.md).\n\n\
+     \x20 crowd; output stays bit-identical across --threads (see docs/RESILIENCE.md).\n\
+     \x20 --trace-sample N records a causal span tree for every Nth dispatch; the\n\
+     \x20 trees export as a fleet.spans dataset (fleet) or a Chrome trace / text\n\
+     \x20 waterfall (trace --fleet). bench-compare diffs two BENCH_*.json perf\n\
+     \x20 trajectory records and exits 1 on regression (see docs/OBSERVABILITY.md).\n\n\
      All run/compare/figure/workflow/trace/fleet commands accept --emit table|json|csv\n\
      (default table; trace always emits Chrome trace-event JSON).\n\
      See docs/OBSERVABILITY.md for the metric catalogue and export formats.\n\n\
@@ -1111,7 +1412,7 @@ mod tests {
     #[test]
     fn fleet_parses_flags_and_rejects_bad_ones() {
         let cmd = parse(&argv(
-            "fleet --hosts 4 --threads 2 --policy rr --chaos heavy --emit json",
+            "fleet --hosts 4 --threads 2 --policy rr --chaos heavy --trace-sample 16 --emit json",
         ))
         .unwrap();
         assert_eq!(
@@ -1122,10 +1423,12 @@ mod tests {
                 policy: "rr".to_string(),
                 invocations: None,
                 chaos: "heavy".to_string(),
+                trace_sample: 16,
                 emit: Emit::Json,
             }
         );
-        // Defaults.
+        // Defaults: tracing is off so output stays byte-identical to
+        // builds that predate spans.
         assert_eq!(
             parse(&argv("fleet")).unwrap(),
             Command::Fleet {
@@ -1134,6 +1437,7 @@ mod tests {
                 policy: "keep-alive-aware".to_string(),
                 invocations: None,
                 chaos: "off".to_string(),
+                trace_sample: 0,
                 emit: Emit::Table,
             }
         );
@@ -1142,6 +1446,143 @@ mod tests {
         assert_eq!(parse(&argv("fleet --policy random")).unwrap_err().code, 3);
         assert_eq!(parse(&argv("fleet --hosts x")).unwrap_err().code, 2);
         assert_eq!(parse(&argv("fleet --chaos earthquake")).unwrap_err().code, 2);
+        assert_eq!(parse(&argv("fleet --trace-sample x")).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn trace_fleet_parses_flags_and_rejects_bad_ones() {
+        assert_eq!(
+            parse(&argv(
+                "trace --fleet --hosts 2 --chaos light --trace-sample 8 --out w.json",
+            ))
+            .unwrap(),
+            Command::TraceFleet {
+                hosts: 2,
+                policy: "keep-alive-aware".to_string(),
+                invocations: None,
+                chaos: "light".to_string(),
+                trace_sample: 8,
+                out: Some("w.json".to_string()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace --fleet")).unwrap(),
+            Command::TraceFleet {
+                hosts: 8,
+                policy: "keep-alive-aware".to_string(),
+                invocations: None,
+                chaos: "off".to_string(),
+                trace_sample: 100,
+                out: None,
+            }
+        );
+        assert_eq!(parse(&argv("trace --fleet --bogus 1")).unwrap_err().code, 2);
+        assert_eq!(
+            parse(&argv("trace --fleet --trace-sample 0")).unwrap_err().code,
+            2
+        );
+    }
+
+    #[test]
+    fn trace_fleet_waterfall_attributes_the_critical_path() {
+        let out = run_cli(&argv(
+            "trace --fleet --hosts 2 --invocations 600 --chaos heavy --trace-sample 7",
+        ))
+        .unwrap();
+        assert!(out.contains("fleet span waterfall"), "{out}");
+        if cfg!(feature = "obs_disabled") {
+            assert!(out.contains("no spans recorded"), "{out}");
+            return;
+        }
+        assert!(out.contains("slowest lanes:"), "{out}");
+        assert!(out.contains("critical path by span kind"), "{out}");
+        assert!(out.contains("execute"), "{out}");
+    }
+
+    #[cfg(not(feature = "obs_disabled"))]
+    #[test]
+    fn trace_fleet_out_writes_a_chrome_span_trace() {
+        let dir = std::env::temp_dir().join("lukewarm-cli-tracefleet");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.json");
+        let out = run_cli(&argv(&format!(
+            "trace --fleet --hosts 2 --invocations 400 --chaos light --trace-sample 5 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote Chrome trace"));
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let v = luke_obs::json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.len() > 1, "only {} events", events.len());
+        assert!(doc.contains("\"invocation\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(not(feature = "obs_disabled"))]
+    #[test]
+    fn fleet_trace_sample_adds_span_and_timeline_free_of_default_output() {
+        // Tracing off: the exact historic dataset count (asserted
+        // elsewhere); tracing on: one extra fleet.spans per run. The
+        // timeline rides the chaos preset, with or without sampling.
+        let traced = run_cli(&argv(
+            "fleet --hosts 2 --invocations 1000 --chaos heavy --trace-sample 11 --emit json",
+        ))
+        .unwrap();
+        assert!(traced.contains("fleet.spans"), "{traced}");
+        assert!(traced.contains("fleet.timeline"), "{traced}");
+        let plain = run_cli(&argv(
+            "fleet --hosts 2 --invocations 1000 --chaos heavy --emit json",
+        ))
+        .unwrap();
+        assert!(!plain.contains("fleet.spans"));
+        assert!(plain.contains("fleet.timeline"));
+    }
+
+    #[test]
+    fn bench_compare_parses_and_exits_one_on_regression() {
+        assert_eq!(
+            parse(&argv("bench-compare a.json b.json --threshold 0.1")).unwrap(),
+            Command::BenchCompare {
+                old: "a.json".to_string(),
+                new: "b.json".to_string(),
+                threshold: 0.1,
+            }
+        );
+        assert_eq!(parse(&argv("bench-compare a.json")).unwrap_err().code, 2);
+        assert_eq!(
+            parse(&argv("bench-compare a b --threshold 2")).unwrap_err().code,
+            2
+        );
+
+        let dir = std::env::temp_dir().join("lukewarm-cli-benchcmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut old = luke_bench::record::BenchRecord::new("demo");
+        old.metric("invocations_per_s", 1000.0);
+        let mut new = old.clone();
+        std::fs::write(dir.join("old.json"), old.to_json()).unwrap();
+        std::fs::write(dir.join("new.json"), new.to_json()).unwrap();
+        let args = |n: &str| {
+            argv(&format!(
+                "bench-compare {} {}",
+                dir.join("old.json").display(),
+                dir.join(n).display()
+            ))
+        };
+        // Identical records: success, no regression.
+        let out = run_cli(&args("new.json")).unwrap();
+        assert!(out.contains("no regressions"), "{out}");
+        // A 60% drop beyond the 25% default threshold: exit code 1.
+        new.metric("invocations_per_s", 400.0);
+        std::fs::write(dir.join("slow.json"), new.to_json()).unwrap();
+        let err = run_cli(&args("slow.json")).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("invocations_per_s"), "{}", err.message);
+        // Unreadable and schema-invalid inputs are usage errors, not
+        // regressions.
+        assert_eq!(run_cli(&args("missing.json")).unwrap_err().code, 2);
+        std::fs::write(dir.join("bad.json"), "{}").unwrap();
+        assert_eq!(run_cli(&args("bad.json")).unwrap_err().code, 2);
     }
 
     #[test]
@@ -1175,9 +1616,12 @@ mod tests {
         assert_eq!(one, four);
         let v = luke_obs::json::parse(&one).unwrap();
         let datasets = v.get("datasets").unwrap().as_arr().unwrap();
-        // The 5 baseline datasets plus one fleet.resilience per run.
-        assert_eq!(datasets.len(), 7);
+        // The 5 baseline datasets plus one fleet.resilience and one
+        // fleet.timeline per run (the chaos preset turns the windowed
+        // series on).
+        assert_eq!(datasets.len(), 9);
         assert!(one.contains("fleet.resilience"));
+        assert!(one.contains("fleet.timeline"));
     }
 
     #[test]

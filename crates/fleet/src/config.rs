@@ -76,6 +76,18 @@ pub struct FleetConfig {
     /// Non-stationary traffic shape (diurnal ramp + flash crowd).
     /// [`SurgeConfig::none`] (the default) is bit-transparent.
     pub surge: SurgeConfig,
+    /// Causal span sampling: every `trace_sample`-th dispatch records a
+    /// full span tree (route → admission → restore → execute →
+    /// backoff). `0` (the default) disables tracing and is
+    /// bit-transparent.
+    pub trace_sample: u64,
+    /// Windowed time-series width in simulated milliseconds: per-window
+    /// latency percentiles, shed rate, SLO burn and cold/luke/warm mix.
+    /// `0` (the default) disables the series and is bit-transparent.
+    pub series_window_ms: f64,
+    /// Latency SLO for the series' burn rate, ms. `0` means no SLO —
+    /// the burn column stays all-zero.
+    pub series_slo_ms: f64,
 }
 
 impl Default for FleetConfig {
@@ -105,6 +117,9 @@ impl Default for FleetConfig {
             retry_budget: RetryBudget::unlimited(),
             admission: AdmissionConfig::disabled(),
             surge: SurgeConfig::none(),
+            trace_sample: 0,
+            series_window_ms: 0.0,
+            series_slo_ms: 0.0,
         }
     }
 }
@@ -148,6 +163,8 @@ impl FleetConfig {
         for (field, value) in [
             ("fleet.cold_start_ms", self.cold_start_ms),
             ("fleet.timeout_ms", self.timeout_ms),
+            ("fleet.series_window_ms", self.series_window_ms),
+            ("fleet.series_slo_ms", self.series_slo_ms),
         ] {
             if !(value >= 0.0 && value.is_finite()) {
                 return Err(SimError::invalid_config(
@@ -173,6 +190,22 @@ impl FleetConfig {
     /// Fleet-wide arrival rate in invocations per second.
     pub fn total_rate_per_sec(&self) -> f64 {
         self.hosts as f64 * self.per_host_rate_per_sec
+    }
+
+    /// Whether span tracing is on (some dispatches are sampled).
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_sample > 0
+    }
+
+    /// Whether dispatch `dispatch` records a span tree under this
+    /// config's sampling stride.
+    pub fn samples(&self, dispatch: u64) -> bool {
+        self.trace_sample > 0 && dispatch.is_multiple_of(self.trace_sample)
+    }
+
+    /// Whether the windowed time-series is on.
+    pub fn series_enabled(&self) -> bool {
+        self.series_window_ms > 0.0
     }
 
     /// Whether any resilience machinery is switched on. When false, the
@@ -240,6 +273,20 @@ mod tests {
                     ..FleetConfig::default()
                 },
                 "fleet.cold_start_ms",
+            ),
+            (
+                FleetConfig {
+                    series_window_ms: -1.0,
+                    ..FleetConfig::default()
+                },
+                "fleet.series_window_ms",
+            ),
+            (
+                FleetConfig {
+                    series_slo_ms: f64::NAN,
+                    ..FleetConfig::default()
+                },
+                "fleet.series_slo_ms",
             ),
             (
                 FleetConfig {

@@ -9,7 +9,8 @@
 //! order reproduces the sequential run bit for bit.
 
 use luke_common::rng::DetRng;
-use luke_obs::{Event, EventKind, EventRing, Histogram, Registry};
+use luke_obs::span::{tick_us, trace_id, SpanKind, SpanRing, SpanScope};
+use luke_obs::{Event, EventKind, EventRing, Histogram, Registry, StartClass, TimeWindows};
 use luke_snapshot::{ColdStartModel, SnapshotStore};
 use server::{
     fault_kind_index, AdmissionControl, AdmissionDecision, AttemptCosts, FaultKind, FaultPlan,
@@ -28,6 +29,9 @@ const DOWN_STREAM: u64 = 0x646F_776E; // "down"
 /// `FaultDraw` event tag for a whole-host chaos crash — one past the
 /// per-invocation fault kinds (which occupy 0..4).
 const HOST_CRASH_EVENT: u64 = 4;
+/// First span id the host side hands out: the root is id 0 and the
+/// route-phase spans own ids 1–3.
+const HOST_SPAN_FIRST_ID: u32 = 4;
 
 /// A routed invocation waiting on a host's queue.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -43,6 +47,10 @@ pub struct RoutedInvocation {
     /// real load but report through [`FleetHost::hedge_outcomes`] so the
     /// merge can keep only the faster completion.
     pub hedge: bool,
+    /// Whether this copy is the hedged *duplicate* (the second lane of
+    /// the pair). The primary copy of a hedged dispatch has `hedge ==
+    /// true, duplicate == false`; span trees use this to pick the lane.
+    pub duplicate: bool,
 }
 
 impl RoutedInvocation {
@@ -53,6 +61,7 @@ impl RoutedInvocation {
             function,
             dispatch: 0,
             hedge: false,
+            duplicate: false,
         }
     }
 }
@@ -62,10 +71,14 @@ impl RoutedInvocation {
 pub struct HedgeOutcome {
     /// The dispatch id both copies share.
     pub dispatch: u64,
+    /// The shared arrival time, ms (for time-series attribution).
+    pub at_ms: f64,
     /// This copy's end-to-end latency, ms.
     pub latency_ms: f64,
     /// Whether this copy completed.
     pub completed: bool,
+    /// How this copy's instance was found (cold/lukewarm/warm).
+    pub class: StartClass,
 }
 
 /// One host's complete simulation state.
@@ -114,6 +127,13 @@ pub struct FleetHost {
     pub retries: u64,
     /// Outcomes of hedged copies, joined fleet-wide at merge time.
     pub hedge_outcomes: Vec<HedgeOutcome>,
+    /// Span trees of this host's sampled invocations (empty ring when
+    /// tracing is off).
+    pub spans: SpanRing,
+    /// This host's windowed time-series (disabled when the window is 0).
+    pub series: TimeWindows,
+    /// SLO threshold the series' burn rate counts against, ms (0 = none).
+    series_slo_ms: f64,
     /// Admission controller (present only when enabled).
     admission: Option<AdmissionControl>,
     /// Per-function retry-budget token buckets (empty when unlimited).
@@ -123,6 +143,21 @@ pub struct FleetHost {
     /// Whether any resilience knob is on — gates the resilience series
     /// so disabled runs export byte-identical telemetry.
     resilient: bool,
+}
+
+/// Per-host span-ring capacity: generous enough that no sampled trace is
+/// ever overwritten, even if routing skews every sampled dispatch (and
+/// its hedge copy) onto one host. The ring allocates lazily, so the
+/// bound is free until spans actually record.
+fn span_capacity(config: &FleetConfig) -> usize {
+    if config.trace_sample == 0 {
+        return 0;
+    }
+    // Worst case per lane: a restore + execute + backoff per attempt,
+    // plus reconnects, the admission verdict and the root.
+    let per_lane = (3 * config.retry.max_attempts + 8) as usize;
+    let sampled = config.invocations / config.trace_sample as usize + 1;
+    sampled * 2 * per_lane
 }
 
 impl FleetHost {
@@ -198,6 +233,9 @@ impl FleetHost {
             down_failures: 0,
             retries: 0,
             hedge_outcomes: Vec::new(),
+            spans: SpanRing::with_capacity(span_capacity(config)),
+            series: TimeWindows::new(config.series_window_ms),
+            series_slo_ms: config.series_slo_ms,
             admission,
             retry_tokens,
             chaos_seed: DetRng::new(config.seed)
@@ -238,18 +276,26 @@ impl FleetHost {
         latency_ms: f64,
         attempts: u64,
         completed: bool,
+        class: StartClass,
     ) -> f64 {
         self.invocations += 1;
         self.fn_invocations[function] += 1;
         if routed.hedge {
+            // Hedge copies report through the side list; the merge joins
+            // the pair and records the winner (histogram and series).
             self.hedge_outcomes.push(HedgeOutcome {
                 dispatch: routed.dispatch,
+                at_ms: routed.at_ms,
                 latency_ms,
                 completed,
+                class,
             });
         } else {
             self.latency_sum_ms += latency_ms;
-            self.latency_us.record((latency_ms * 1000.0).round() as u64);
+            let latency_us = (latency_ms * 1000.0).round() as u64;
+            self.latency_us.record(latency_us);
+            self.series
+                .record_outcome(routed.at_ms, latency_us, class, self.over_slo(latency_ms));
         }
         self.events.record(Event {
             ts: ((routed.at_ms + latency_ms) * 1000.0) as u64,
@@ -261,6 +307,11 @@ impl FleetHost {
         latency_ms
     }
 
+    /// Whether `latency_ms` blew the series SLO (false when no SLO set).
+    fn over_slo(&self, latency_ms: f64) -> bool {
+        self.series_slo_ms > 0.0 && latency_ms > self.series_slo_ms
+    }
+
     /// Processes one routed invocation and returns its end-to-end
     /// latency in milliseconds.
     pub fn process(
@@ -270,12 +321,48 @@ impl FleetHost {
         jukebox: bool,
         routed: RoutedInvocation,
     ) -> f64 {
+        // The span ring leaves `self` for the duration so the recording
+        // scope can borrow it while the host mutates its own state.
+        let mut spans = std::mem::take(&mut self.spans);
+        let out = {
+            let mut off = SpanRing::disabled();
+            let ring = if config.samples(routed.dispatch) {
+                &mut spans
+            } else {
+                &mut off
+            };
+            let mut scope = SpanScope::new(
+                ring,
+                trace_id(routed.dispatch, routed.duplicate),
+                HOST_SPAN_FIRST_ID,
+            );
+            self.process_scoped(config, model, jukebox, routed, &mut scope)
+        };
+        self.spans = spans;
+        out
+    }
+
+    /// [`FleetHost::process`] with an explicit span-recording scope.
+    fn process_scoped(
+        &mut self,
+        config: &FleetConfig,
+        model: &ServiceModel,
+        jukebox: bool,
+        routed: RoutedInvocation,
+        scope: &mut SpanScope<'_>,
+    ) -> f64 {
         let at = routed.at_ms;
         let function = routed.function;
         let profile = function % model.functions();
         let invocation = self.invocations;
 
         self.apply_crash_boundaries(at);
+
+        // Hedge copies are duplicate load, not arrivals: the merge
+        // records the joined pair once, so only plain copies count here.
+        if !routed.hedge {
+            self.series.record_arrival(at);
+        }
 
         // The retry budget caps how many attempts this invocation may
         // spend in total — reconnects against a down host and fault-layer
@@ -296,13 +383,34 @@ impl FleetHost {
         let mut down_retries = 0u64;
         if !self.schedule.is_none() && self.schedule.state_at(at) == HostState::Down {
             let mut rng = DetRng::new(self.chaos_seed).split(invocation);
+            // Right edge of each reconnect wait, kept only while a span
+            // scope is live so the tiling can be emitted afterwards.
+            let mut edges: Vec<f64> = Vec::new();
             while down_retries + 1 < allowed_attempts
                 && self.schedule.state_at(at + down_wait_ms) == HostState::Down
             {
                 down_retries += 1;
                 down_wait_ms += config.retry.bounded_backoff_ms(down_retries, &mut rng);
+                if scope.is_enabled() {
+                    edges.push(down_wait_ms);
+                }
             }
-            if self.schedule.state_at(at + down_wait_ms) == HostState::Down {
+            let still_down = self.schedule.state_at(at + down_wait_ms) == HostState::Down;
+            // Reconnect spans tile [0, down_wait) exactly; the last one
+            // is flagged when the wait ended in abandonment.
+            let mut prev = 0.0;
+            for (i, &edge) in edges.iter().enumerate() {
+                let last = i + 1 == edges.len();
+                scope.child(
+                    SpanKind::Reconnect,
+                    prev,
+                    edge,
+                    (i + 1) as u64,
+                    u64::from(still_down && last),
+                );
+                prev = edge;
+            }
+            if still_down {
                 // Still down with nothing left to spend: abandoned
                 // without ever executing.
                 self.down_retries += down_retries;
@@ -313,7 +421,15 @@ impl FleetHost {
                     budget.settle(&mut t, down_retries, false);
                     self.retry_tokens[function] = t;
                 }
-                return self.retire(routed, function, down_wait_ms, down_retries, false);
+                scope.root(down_wait_ms, self.host_id as u64, tick_us(at));
+                return self.retire(
+                    routed,
+                    function,
+                    down_wait_ms,
+                    down_retries,
+                    false,
+                    StartClass::Cold,
+                );
             }
             self.down_retries += down_retries;
         }
@@ -329,10 +445,23 @@ impl FleetHost {
         // Admission ladder: shed before any pool state is touched.
         let mut degrade_restore = false;
         if let Some(ctl) = self.admission.as_mut() {
-            match ctl.decide(at, function, self.pool.warm_count()) {
-                AdmissionDecision::Admit => {}
-                AdmissionDecision::AdmitDegraded => degrade_restore = true,
-                AdmissionDecision::Shed => return 0.0,
+            let verdict = match ctl.decide(at, function, self.pool.warm_count()) {
+                AdmissionDecision::Admit => 0,
+                AdmissionDecision::AdmitDegraded => {
+                    degrade_restore = true;
+                    1
+                }
+                AdmissionDecision::Shed => 2,
+            };
+            scope.instant(SpanKind::Admission, down_wait_ms, verdict, 0);
+            if verdict == 2 {
+                if !routed.hedge {
+                    self.series.record_shed(at);
+                }
+                // A shed invocation never executes: its root covers only
+                // the reconnect wait it burned getting here.
+                scope.root(down_wait_ms, self.host_id as u64, tick_us(at));
+                return 0.0;
             }
         }
 
@@ -363,6 +492,7 @@ impl FleetHost {
         // restore cost of bringing the working set back (lazy faults or
         // a REAP prefetch of the recorded pages).
         let mut cold_start_ms = config.cold_start_ms;
+        let mut class = StartClass::Cold;
         let mut service_ms = if starts_cold {
             let (id, restore_ms) = if degrade_restore && self.pool.snapshots().is_some() {
                 // Memory-pressure rung: restore by lazy paging instead
@@ -398,8 +528,10 @@ impl FleetHost {
             let degree = model.degree(other_per_sec, gap_ms);
             if degree >= model.lukewarm_threshold {
                 self.lukewarm_hits += 1;
+                class = StartClass::Lukewarm;
             } else {
                 self.warm_hits += 1;
+                class = StartClass::Warm;
             }
             self.degree_sum += degree;
             model.service_ms(profile, degree, jukebox)
@@ -432,12 +564,14 @@ impl FleetHost {
             ..config.retry
         };
         let crashes_before = self.fault_stats.crashes;
-        let result = self.faults.run_invocation_traced(
+        let result = self.faults.run_invocation_spanned(
             &policy,
             invocation,
             &costs,
             &mut self.fault_stats,
             &mut self.events,
+            scope,
+            down_wait_ms,
         );
 
         // Crashes tear the instance down. If the retry layer recovered,
@@ -467,12 +601,17 @@ impl FleetHost {
         if let Some(ctl) = self.admission.as_mut() {
             ctl.commit(at, function, latency_ms);
         }
+        // The root's tick duration equals the histogram's recorded value
+        // exactly (same float, same rounding), and the children tiled
+        // every contributing window — exact critical-path attribution.
+        scope.root(latency_ms, self.host_id as u64, tick_us(at));
         self.retire(
             routed,
             function,
             latency_ms,
             down_retries + result.attempts,
             result.completed,
+            class,
         )
     }
 

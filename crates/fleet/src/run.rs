@@ -23,7 +23,10 @@
 use std::collections::BTreeMap;
 
 use luke_common::SimError;
-use luke_obs::{Dataset, EventRing, Export, Histogram, Registry, Snapshot, Value};
+use luke_obs::span::{sort_canonical, trace_id, Span, SpanKind, SpanRing};
+use luke_obs::{
+    Dataset, EventRing, Export, Histogram, Registry, Snapshot, TimeWindows, Value, WindowRow,
+};
 
 use crate::chaos::ChaosPlan;
 use crate::config::FleetConfig;
@@ -104,6 +107,16 @@ pub struct FleetRun {
     /// Whether any resilience knob was on (gates the resilience
     /// dataset so disabled runs export byte-identical output).
     pub resilient: bool,
+    /// Span trees of every sampled invocation, canonically ordered by
+    /// (trace lane, span id) — empty when `trace_sample` is 0.
+    pub spans: Vec<Span>,
+    /// Windowed time-series rows in time order — empty when
+    /// `series_window_ms` is 0.
+    pub timeline: Vec<WindowRow>,
+    /// Whether span tracing was on (gates the spans dataset).
+    pub traced: bool,
+    /// Whether the windowed series was on (gates the timeline dataset).
+    pub windowed: bool,
 }
 
 impl FleetRun {
@@ -178,16 +191,38 @@ pub fn run_fleet(
     let mut queues: Vec<Vec<RoutedInvocation>> = vec![Vec::new(); config.hosts];
     let chaos_plan = ChaosPlan::synthesize(config);
     let mut health = HealthView::new(config.hosts, config.health);
+    // Route-phase spans for sampled dispatches (ids 1–3 on each lane;
+    // the host side owns the root and ids from 4). Recorded here, in the
+    // one canonical arrival order, so they are thread-count-independent.
+    let mut route_spans = SpanRing::with_capacity(if config.trace_sample > 0 {
+        (config.invocations / config.trace_sample as usize + 1) * 4
+    } else {
+        0
+    });
+    let route_span = |dispatch: u64, hedge_lane: bool, host: u64, failed_over: bool| Span {
+        trace: trace_id(dispatch, hedge_lane),
+        id: 1,
+        parent: 0,
+        kind: SpanKind::Route,
+        start_us: 0,
+        dur_us: 0,
+        a: host,
+        b: u64::from(failed_over),
+    };
     for (dispatch, event) in (0_u64..).zip(stream.by_ref().take(config.invocations)) {
         let function = event.instance;
         let expected_ms = model.timing(function % model.functions()).warm_ms;
         if chaos_plan.is_none() {
             let host = router.route(function, expected_ms);
+            if config.samples(dispatch) {
+                route_spans.record(route_span(dispatch, false, host as u64, false));
+            }
             queues[host].push(RoutedInvocation {
                 at_ms: event.at_ms,
                 function,
                 dispatch,
                 hedge: false,
+                duplicate: false,
             });
         } else {
             health.advance_to(event.at_ms, &chaos_plan);
@@ -196,11 +231,33 @@ pub fn run_fleet(
             }
             let decision = router.route_resilient(function, expected_ms, &health, &config.hedge);
             let hedge = decision.hedge.is_some();
+            if config.samples(dispatch) {
+                route_spans.record(route_span(
+                    dispatch,
+                    false,
+                    decision.host as u64,
+                    decision.failed_over,
+                ));
+                if let Some(second) = decision.hedge {
+                    route_spans.record(Span {
+                        trace: trace_id(dispatch, false),
+                        id: 2,
+                        parent: 0,
+                        kind: SpanKind::Hedge,
+                        start_us: 0,
+                        dur_us: 0,
+                        a: decision.host as u64,
+                        b: second as u64,
+                    });
+                    route_spans.record(route_span(dispatch, true, second as u64, false));
+                }
+            }
             queues[decision.host].push(RoutedInvocation {
                 at_ms: event.at_ms,
                 function,
                 dispatch,
                 hedge,
+                duplicate: false,
             });
             if let Some(second) = decision.hedge {
                 queues[second].push(RoutedInvocation {
@@ -208,6 +265,7 @@ pub fn run_fleet(
                     function,
                     dispatch,
                     hedge: true,
+                    duplicate: true,
                 });
             }
         }
@@ -259,12 +317,20 @@ pub fn run_fleet(
         shed: 0,
         degraded_restores: 0,
         resilient: config.resilience_enabled(),
+        spans: Vec::new(),
+        timeline: Vec::new(),
+        traced: config.tracing_enabled(),
+        windowed: config.series_enabled(),
     };
+    let mut spans: Vec<Span> = route_spans.take_spans();
+    let mut series = TimeWindows::new(config.series_window_ms);
     let mut hedge_pairs: BTreeMap<u64, HedgeOutcome> = BTreeMap::new();
     for host in &hosts {
         host.fill_registry(&mut registry);
         latency_us.merge(&host.latency_us);
         events.extend_from(&host.events);
+        spans.extend(host.spans.spans());
+        series.merge(&host.series);
         run.invocations += host.invocations;
         run.cold_starts += host.cold_starts;
         run.warm_hits += host.warm_hits;
@@ -310,11 +376,25 @@ pub fn run_fleet(
     }
     // Each hedged dispatch lands in the fleet histogram exactly once,
     // as its joined (faster) outcome — in dispatch order, which is
-    // host-schedule-independent.
+    // host-schedule-independent. The time-series records the joined
+    // pair the same way: one arrival, one outcome.
     for outcome in hedge_pairs.values() {
-        latency_us.record((outcome.latency_ms * 1000.0).round() as u64);
+        let latency_us_value = (outcome.latency_ms * 1000.0).round() as u64;
+        latency_us.record(latency_us_value);
         run.latency_sum_ms += outcome.latency_ms;
+        series.record_arrival(outcome.at_ms);
+        series.record_outcome(
+            outcome.at_ms,
+            latency_us_value,
+            outcome.class,
+            config.series_slo_ms > 0.0 && outcome.latency_ms > config.series_slo_ms,
+        );
     }
+    // Canonical span order: (trace lane, span id), independent of which
+    // thread ran which shard.
+    sort_canonical(&mut spans);
+    run.spans = spans;
+    run.timeline = series.rows();
     registry.gauge_set("fleet.hosts", config.hosts as f64);
     if run.resilient {
         registry.counter_add("fleet.failovers", run.failovers);
@@ -384,6 +464,18 @@ impl std::fmt::Display for FleetRun {
             self.p50_ms(),
             self.p99_ms(),
         )?;
+        if self.traced {
+            let roots = self.spans.iter().filter(|s| s.id == 0).count();
+            writeln!(
+                f,
+                "  tracing: {} spans over {} sampled lanes",
+                self.spans.len(),
+                roots
+            )?;
+        }
+        if self.windowed {
+            writeln!(f, "  timeline: {} windows", self.timeline.len())?;
+        }
         if self.resilient {
             writeln!(
                 f,
@@ -509,6 +601,61 @@ impl Export for FleetRun {
                 Value::UInt(self.abandoned),
             ]);
             out.push(resilience);
+        }
+        // The causal span forest, only when sampling was on: default
+        // runs keep their exact export shape.
+        if self.traced {
+            let mut spans = Dataset::new(
+                "fleet.spans",
+                &[
+                    "trace", "span", "parent", "kind", "start_us", "dur_us", "a", "b",
+                ],
+            );
+            for s in &self.spans {
+                spans.push_row(vec![
+                    Value::UInt(s.trace),
+                    Value::UInt(u64::from(s.id)),
+                    Value::UInt(u64::from(s.parent)),
+                    Value::UInt(s.kind as u64),
+                    Value::UInt(s.start_us),
+                    Value::UInt(s.dur_us),
+                    Value::UInt(s.a),
+                    Value::UInt(s.b),
+                ]);
+            }
+            out.push(spans);
+        }
+        // The windowed timeline, only when a window width was set. Empty
+        // percentiles export as NaN, which the JSON writer renders null.
+        if self.windowed {
+            let mut timeline = Dataset::new(
+                "fleet.timeline",
+                &[
+                    "window_start_ms",
+                    "arrivals",
+                    "p50_ms",
+                    "p99_ms",
+                    "shed_rate",
+                    "slo_burn",
+                    "cold_frac",
+                    "luke_frac",
+                    "warm_frac",
+                ],
+            );
+            for r in &self.timeline {
+                timeline.push_row(vec![
+                    Value::Float(r.start_ms),
+                    Value::UInt(r.arrivals),
+                    Value::Float(r.p50_ms.unwrap_or(f64::NAN)),
+                    Value::Float(r.p99_ms.unwrap_or(f64::NAN)),
+                    Value::Float(r.shed_rate),
+                    Value::Float(r.slo_burn),
+                    Value::Float(r.cold_frac),
+                    Value::Float(r.luke_frac),
+                    Value::Float(r.warm_frac),
+                ]);
+            }
+            out.push(timeline);
         }
         out
     }
@@ -667,6 +814,10 @@ mod tests {
             ..quick_config()
         };
         let run = run_fleet(&config, &model(), false).unwrap();
+        if cfg!(feature = "obs_disabled") {
+            assert!(run.events.is_empty(), "recording is compiled out");
+            return;
+        }
         assert!(!run.events.is_empty(), "tracing was enabled");
         // Dispatch events carry the host id in `b`; host order must be
         // non-decreasing across the merged ring.
@@ -791,6 +942,41 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.exit_code(), 6, "{err}");
         assert!(format!("{err}").contains("all hosts down"), "{err}");
+    }
+
+    #[test]
+    fn sampled_run_emits_exact_critical_path_span_trees() {
+        let config = FleetConfig {
+            trace_sample: 4,
+            series_window_ms: 5_000.0,
+            series_slo_ms: 50.0,
+            ..chaotic_config()
+        };
+        let run = run_fleet(&config, &model(), false).unwrap();
+        assert!(run.traced && run.windowed);
+        let datasets = run.datasets();
+        let names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"fleet.spans"));
+        assert!(names.contains(&"fleet.timeline"));
+        if cfg!(feature = "obs_disabled") {
+            assert!(run.spans.is_empty(), "obs_disabled compiles recording out");
+            return;
+        }
+        assert!(!run.spans.is_empty());
+        assert!(!run.timeline.is_empty());
+        let mut by_trace: BTreeMap<u64, Vec<&luke_obs::Span>> = BTreeMap::new();
+        for s in &run.spans {
+            by_trace.entry(s.trace).or_default().push(s);
+        }
+        for (trace, spans) in &by_trace {
+            let roots: Vec<_> = spans.iter().filter(|s| s.id == 0).collect();
+            assert_eq!(roots.len(), 1, "trace {trace} must have exactly one root");
+            let children_us: u64 = spans.iter().filter(|s| s.id != 0).map(|s| s.dur_us).sum();
+            assert_eq!(
+                children_us, roots[0].dur_us,
+                "trace {trace}: children must telescope to the root"
+            );
+        }
     }
 
     #[test]

@@ -135,9 +135,21 @@ impl Histogram {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> u64 {
+        self.try_percentile(p).unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile like [`Histogram::percentile`], but an
+    /// empty histogram answers `None` instead of a fabricated 0 — the
+    /// form windowed time-series use, where an empty window must render
+    /// as missing data rather than a zero-latency claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn try_percentile(&self, p: f64) -> Option<u64> {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -145,10 +157,10 @@ impl Histogram {
             seen += c;
             if seen >= rank {
                 let (_, hi) = bucket_bounds(i);
-                return (hi - 1).min(self.max);
+                return Some((hi - 1).min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Median sample (see [`Histogram::percentile`]).
@@ -268,6 +280,9 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+        // The Option form distinguishes "empty" from "all zeros".
+        assert_eq!(h.try_percentile(50.0), None);
+        assert_eq!(h.try_percentile(99.0), None);
     }
 
     #[test]

@@ -18,8 +18,15 @@
 //! * [`json`] — a dependency-free JSON writer *and* minimal parser (the
 //!   build container has no `serde`), which doubles as the jq-free
 //!   well-formedness checker used by CI and the golden tests;
+//! * [`span`] — causal, hierarchical [`span::Span`] trees for sampled
+//!   fleet invocations (route → admission → restore → execute →
+//!   backoff), with exact tick-boundary critical paths;
+//! * [`series`] — fixed-window simulated-time series
+//!   ([`series::TimeWindows`]): per-window latency percentiles, shed
+//!   rate, SLO burn and cold/luke/warm mix with an associative merge;
 //! * [`trace`] — Chrome `trace_event` / Perfetto timeline output for a
-//!   single traced invocation.
+//!   single traced invocation, plus span-tree flows
+//!   ([`trace::chrome_trace_spans`]).
 //!
 //! The crate depends only on `luke-common`, so every simulator crate can
 //! thread a registry through without dependency cycles.
@@ -32,9 +39,13 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod series;
+pub mod span;
 pub mod trace;
 
 pub use events::{Event, EventKind, EventRing};
 pub use export::{Dataset, Export, Value};
 pub use hist::Histogram;
 pub use registry::{Registry, Snapshot};
+pub use series::{StartClass, TimeWindows, WindowRow, WindowStats};
+pub use span::{Span, SpanKind, SpanRing, SpanScope};

@@ -12,6 +12,7 @@
 
 use luke_common::rng::DetRng;
 use luke_common::SimError;
+use luke_obs::span::{SpanKind, SpanRing, SpanScope};
 use luke_obs::{Event, EventKind, EventRing, Registry};
 
 /// The kinds of fault the plan can inject.
@@ -211,6 +212,40 @@ impl FaultPlan {
         stats: &mut FaultStats,
         events: &mut EventRing,
     ) -> InvocationResult {
+        self.run_invocation_spanned(
+            policy,
+            invocation,
+            costs,
+            stats,
+            events,
+            &mut SpanScope::new(&mut SpanRing::disabled(), 0, 4),
+            0.0,
+        )
+    }
+
+    /// [`FaultPlan::run_invocation_traced`] with causal span emission:
+    /// each attempt's snapshot restore, execution and retry backoff is
+    /// recorded into `spans` as a child covering *exactly* the latency
+    /// window it contributed, offset by `base_ms` (the down-host wait the
+    /// caller already charged before the fault layer ran).
+    ///
+    /// Every boundary is computed as `base_ms + latency_ms` on the same
+    /// running float the result reports, so the children's tick durations
+    /// telescope to exactly the tick of the final end-to-end latency —
+    /// the invariant the span critical-path tests assert. Span recording
+    /// never draws randomness, so a disabled scope reproduces
+    /// [`FaultPlan::run_invocation`] bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_invocation_spanned(
+        &self,
+        policy: &RetryPolicy,
+        invocation: u64,
+        costs: &AttemptCosts,
+        stats: &mut FaultStats,
+        events: &mut EventRing,
+        spans: &mut SpanScope<'_>,
+        base_ms: f64,
+    ) -> InvocationResult {
         let mut latency_ms = 0.0;
         // A memory-pressure eviction during the idle gap forces a cold
         // start even if the caller expected a warm instance.
@@ -232,9 +267,13 @@ impl FaultPlan {
             match fault {
                 None => {
                     if needs_spawn {
+                        let from = base_ms + latency_ms;
                         latency_ms += costs.cold_start_ms;
+                        spans.child(SpanKind::Restore, from, base_ms + latency_ms, attempt, 0);
                     }
+                    let from = base_ms + latency_ms;
                     latency_ms += costs.service_ms;
+                    spans.child(SpanKind::Execute, from, base_ms + latency_ms, attempt, 0);
                     stats.completed += 1;
                     return InvocationResult {
                         latency_ms,
@@ -243,7 +282,32 @@ impl FaultPlan {
                     };
                 }
                 Some((kind, wasted_ms)) => {
+                    let from = base_ms + latency_ms;
+                    let spawn_ms = if needs_spawn { costs.cold_start_ms } else { 0.0 };
                     latency_ms += wasted_ms;
+                    let to = base_ms + latency_ms;
+                    match kind {
+                        // The spawn itself failed: the whole waste is the
+                        // restore attempt.
+                        FaultKind::ColdStartFailure => {
+                            spans.child(SpanKind::Restore, from, to, attempt, 1);
+                        }
+                        // Crash/timeout strike *after* any spawn: split
+                        // the waste at the spawn boundary.
+                        FaultKind::InstanceCrash => {
+                            if needs_spawn {
+                                spans.child(SpanKind::Restore, from, from + spawn_ms, attempt, 0);
+                            }
+                            spans.child(SpanKind::Execute, from + spawn_ms, to, attempt, 1);
+                        }
+                        FaultKind::InvocationTimeout => {
+                            if needs_spawn {
+                                spans.child(SpanKind::Restore, from, from + spawn_ms, attempt, 0);
+                            }
+                            spans.child(SpanKind::Execute, from + spawn_ms, to, attempt, 2);
+                        }
+                        FaultKind::MemoryPressureEviction => {}
+                    }
                     events.record(Event {
                         ts: (latency_ms * 1000.0) as u64,
                         dur: 0,
@@ -268,7 +332,9 @@ impl FaultPlan {
                         };
                     }
                     stats.retries += 1;
+                    let from = base_ms + latency_ms;
                     latency_ms += backoff;
+                    spans.child(SpanKind::Backoff, from, base_ms + latency_ms, attempt, 0);
                 }
             }
         }
@@ -906,6 +972,47 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(s1, s2);
+    }
+
+    #[cfg(not(feature = "obs_disabled"))]
+    #[test]
+    fn spanned_run_children_telescope_to_exact_latency() {
+        use luke_obs::span::tick_us;
+        let plan = FaultPlan::new(23, FaultRates::uniform(0.3)).unwrap();
+        let policy = RetryPolicy::default();
+        let costs = AttemptCosts {
+            service_ms: 2.0,
+            cold_start_ms: 120.0,
+            timeout_ms: 500.0,
+            starts_cold: true,
+        };
+        let base = 3.517;
+        for n in 0..300 {
+            let mut stats = FaultStats::default();
+            let mut ring = SpanRing::with_capacity(256);
+            let mut scope = SpanScope::new(&mut ring, n * 2, 4);
+            let r = plan.run_invocation_spanned(
+                &policy,
+                n,
+                &costs,
+                &mut stats,
+                &mut EventRing::disabled(),
+                &mut scope,
+                base,
+            );
+            // The children tile [base, base + latency) contiguously, so
+            // their tick durations telescope to exactly the tick window.
+            let sum: u64 = ring.spans().iter().map(|s| s.dur_us).sum();
+            assert_eq!(
+                sum,
+                tick_us(base + r.latency_ms) - tick_us(base),
+                "invocation {n}"
+            );
+            // And span emission never perturbs the simulated outcome.
+            let mut plain_stats = FaultStats::default();
+            let plain = plan.run_invocation(&policy, n, &costs, &mut plain_stats);
+            assert_eq!(plain, r);
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use luke_fleet::{
     RoutingPolicy, ServiceModel, SurgeConfig,
 };
 use luke_obs::hist::{bucket_index, BUCKETS};
+use luke_obs::WindowRow;
 use server::RetryPolicy;
 use std::fmt;
 
@@ -48,6 +49,9 @@ const INVOCATIONS_PER_HOST: usize = 2_000;
 /// Deployed functions — smaller than the fleet default so per-function
 /// admission limits bind during the flash crowd.
 const POPULATION: usize = 60;
+/// Timeline window width — 12+ windows over the run, enough to see the
+/// flash crowd enter and leave.
+const WINDOW_MS: f64 = 5_000.0;
 
 /// Chaos severity swept against every policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,6 +143,11 @@ fn fleet_config(policy: RoutingPolicy, level: ChaosLevel, admission: bool) -> Fl
             AdmissionConfig::disabled()
         },
         surge: surge(),
+        // Windowed time-series: the sweep reports per-window timelines
+        // (latency percentiles, shed rate, SLO burn) instead of only
+        // end-of-run scalars.
+        series_window_ms: WINDOW_MS,
+        series_slo_ms: SLO_MS,
         // Heavier backoff than the platform default so waiting out a
         // host outage is visible at the SLO (60ms doubling to 500ms).
         retry: RetryPolicy {
@@ -200,11 +209,28 @@ pub struct Row {
     pub p99_ms: f64,
 }
 
+/// One window of one sweep point's timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineRow {
+    /// Routing policy label.
+    pub policy: &'static str,
+    /// Chaos level label.
+    pub chaos: &'static str,
+    /// Whether admission control was enabled.
+    pub admission: bool,
+    /// The windowed statistics.
+    pub window: WindowRow,
+}
+
 /// The full sweep.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Data {
     /// One row per (policy, chaos level, admission) point.
     pub rows: Vec<Row>,
+    /// Per-window timelines ([`WINDOW_MS`]-wide), one run per point, in
+    /// sweep order. The series is plain aggregation, not cfg-gated, so
+    /// it is populated even in `obs_disabled` builds.
+    pub timelines: Vec<TimelineRow>,
 }
 
 /// Cell grid: the same calibration runs as the fleet sweep, so a shared
@@ -263,14 +289,22 @@ pub fn try_run_experiment_with(
 ) -> Result<Data, SimError> {
     let model = fleet_scale::calibrate_model_with(engine, params)?;
     let mut rows = Vec::new();
+    let mut timelines = Vec::new();
     for level in ChaosLevel::ALL {
         for admission in [false, true] {
             for policy in RoutingPolicy::ALL {
-                rows.push(run_point(&model, policy, level, admission)?);
+                let (row, timeline) = run_point(&model, policy, level, admission)?;
+                rows.push(row);
+                timelines.extend(timeline.into_iter().map(|window| TimelineRow {
+                    policy: policy.label(),
+                    chaos: level.label(),
+                    admission,
+                    window,
+                }));
             }
         }
     }
-    Ok(Data { rows })
+    Ok(Data { rows, timelines })
 }
 
 fn run_point(
@@ -278,10 +312,10 @@ fn run_point(
     policy: RoutingPolicy,
     level: ChaosLevel,
     admission: bool,
-) -> Result<Row, SimError> {
+) -> Result<(Row, Vec<WindowRow>), SimError> {
     let run = run_fleet(&fleet_config(policy, level, admission), model, false)?;
     let served = run.latency_us.count();
-    Ok(Row {
+    let row = Row {
         policy: policy.label(),
         chaos: level.label(),
         admission,
@@ -305,7 +339,8 @@ fn run_point(
         },
         mean_ms: run.mean_latency_ms(),
         p99_ms: run.p99_ms(),
-    })
+    };
+    Ok((row, run.timeline))
 }
 
 impl Data {
@@ -372,7 +407,45 @@ impl fmt::Display for Data {
             "Mean SLO violations: fault-free {:.2}% vs heavy chaos {:.2}%",
             self.mean_violation_rate(ChaosLevel::None) * 100.0,
             self.mean_violation_rate(ChaosLevel::Heavy) * 100.0,
-        )
+        )?;
+        // The headline point's timeline: heavy chaos with admission on,
+        // under the keep-alive-aware router. Empty windows print "-"
+        // (percentile of nothing is None, never a fake zero).
+        let headline: Vec<&TimelineRow> = self
+            .timelines
+            .iter()
+            .filter(|t| t.chaos == "heavy" && t.admission && t.policy == "keep-alive-aware")
+            .collect();
+        if headline.is_empty() {
+            return Ok(());
+        }
+        writeln!(
+            f,
+            "\nTimeline (keep-alive-aware, heavy chaos, admission on):"
+        )?;
+        let fmt_ms = |v: Option<f64>| match v {
+            Some(ms) => format!("{ms:.1}"),
+            None => "-".to_string(),
+        };
+        let mut t = TextTable::new(&[
+            "window s", "arrivals", "p50 ms", "p99 ms", "shed %", "burn %", "cold %", "luke %",
+            "warm %",
+        ]);
+        for row in headline {
+            let w = &row.window;
+            t.row(&[
+                format!("{:.0}", w.start_ms / 1000.0),
+                w.arrivals.to_string(),
+                fmt_ms(w.p50_ms),
+                fmt_ms(w.p99_ms),
+                format!("{:.1}", w.shed_rate * 100.0),
+                format!("{:.1}", w.slo_burn * 100.0),
+                format!("{:.1}", w.cold_frac * 100.0),
+                format!("{:.1}", w.luke_frac * 100.0),
+                format!("{:.1}", w.warm_frac * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
     }
 }
 
@@ -417,7 +490,43 @@ impl luke_obs::Export for Data {
                 r.p99_ms.into(),
             ]);
         }
-        vec![sweep]
+        let mut timeline = luke_obs::Dataset::new(
+            "surge.timeline",
+            &[
+                "policy",
+                "chaos",
+                "admission",
+                "window_start_ms",
+                "arrivals",
+                "p50_ms",
+                "p99_ms",
+                "shed_rate",
+                "slo_burn",
+                "cold_frac",
+                "luke_frac",
+                "warm_frac",
+            ],
+        );
+        for t in &self.timelines {
+            let w = &t.window;
+            timeline.push_row(vec![
+                t.policy.into(),
+                t.chaos.into(),
+                u64::from(t.admission).into(),
+                w.start_ms.into(),
+                w.arrivals.into(),
+                // Empty windows export as NaN, which the JSON writer
+                // renders as null (never a fake 0).
+                w.p50_ms.unwrap_or(f64::NAN).into(),
+                w.p99_ms.unwrap_or(f64::NAN).into(),
+                w.shed_rate.into(),
+                w.slo_burn.into(),
+                w.cold_frac.into(),
+                w.luke_frac.into(),
+                w.warm_frac.into(),
+            ]);
+        }
+        vec![sweep, timeline]
     }
 }
 
@@ -489,14 +598,70 @@ mod tests {
     }
 
     #[test]
-    fn render_reports_the_sweep_and_exports_one_dataset() {
+    fn render_reports_the_sweep_and_exports_two_datasets() {
         let d = data();
         let s = d.to_string();
         assert!(s.contains("Mean SLO violations"));
         assert!(s.contains("heavy"));
+        assert!(s.contains("Timeline (keep-alive-aware"));
         let datasets = luke_obs::Export::datasets(&d);
-        assert_eq!(datasets.len(), 1);
+        assert_eq!(datasets.len(), 2);
         assert_eq!(datasets[0].name, "surge.sweep");
         assert_eq!(datasets[0].rows.len(), d.rows.len());
+        assert_eq!(datasets[1].name, "surge.timeline");
+        assert_eq!(datasets[1].rows.len(), d.timelines.len());
+    }
+
+    #[test]
+    fn timelines_track_the_flash_crowd_per_window() {
+        let d = data();
+        // Every sweep point reports a multi-window timeline.
+        for r in &d.rows {
+            let windows: Vec<_> = d
+                .timelines
+                .iter()
+                .filter(|t| t.policy == r.policy && t.chaos == r.chaos && t.admission == r.admission)
+                .collect();
+            assert!(windows.len() >= 3, "{} {}: {} windows", r.policy, r.chaos, windows.len());
+            // Windowed arrivals cover every routed invocation.
+            let arrivals: u64 = windows.iter().map(|t| t.window.arrivals).sum();
+            assert!(arrivals > 0, "{} {}: empty timeline", r.policy, r.chaos);
+        }
+        // The flash window (15s–35s) concentrates arrivals: its busiest
+        // window beats the pre-flash baseline window.
+        let heavy_off: Vec<_> = d
+            .timelines
+            .iter()
+            .filter(|t| t.chaos == "none" && !t.admission && t.policy == "keep-alive-aware")
+            .collect();
+        let at = |ms: f64| {
+            heavy_off
+                .iter()
+                .find(|t| t.window.start_ms <= ms && ms < t.window.start_ms + WINDOW_MS)
+                .map(|t| t.window.arrivals)
+                .unwrap_or(0)
+        };
+        assert!(
+            at(20_000.0) > at(5_000.0),
+            "flash window {} vs baseline {}",
+            at(20_000.0),
+            at(5_000.0)
+        );
+        // Shedding shows up in the windowed shed rate exactly when the
+        // controller is on.
+        let shed_on: f64 = d
+            .timelines
+            .iter()
+            .filter(|t| t.admission)
+            .map(|t| t.window.shed_rate)
+            .sum();
+        let shed_off: f64 = d
+            .timelines
+            .iter()
+            .filter(|t| !t.admission)
+            .map(|t| t.window.shed_rate)
+            .sum();
+        assert!(shed_on > 0.0);
+        assert_eq!(shed_off, 0.0);
     }
 }

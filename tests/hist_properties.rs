@@ -1,8 +1,47 @@
-//! Property-based tests for the observability histogram: bucket-boundary
-//! geometry, percentile ordering, and summary-statistic consistency.
+//! Property-based tests for the observability histogram and windowed
+//! time-series: bucket-boundary geometry, percentile ordering,
+//! summary-statistic consistency, empty-window percentile semantics, and
+//! merge associativity for both structures.
 
 use luke_obs::hist::{bucket_bounds, bucket_index, Histogram, BUCKETS, LINEAR_CUTOFF};
+use luke_obs::{StartClass, TimeWindows};
 use proptest::prelude::*;
+
+/// One recorded fact for a [`TimeWindows`] series, as a generatable
+/// tuple `(op, at_ms, latency_us, class, over_slo)`: op 0 = arrival,
+/// 1 = shed, 2 = classified outcome (the trailing fields only matter
+/// for outcomes).
+type SeriesOp = (u8, f64, u64, u8, bool);
+
+fn series_ops() -> impl Strategy<Value = Vec<SeriesOp>> {
+    prop::collection::vec(
+        (
+            0u8..3,
+            0.0f64..100_000.0,
+            0u64..10_000_000,
+            0u8..3,
+            any::<bool>(),
+        ),
+        0..120,
+    )
+}
+
+fn apply(series: &mut TimeWindows, ops: &[SeriesOp]) {
+    for &(op, at_ms, latency_us, class, over_slo) in ops {
+        match op {
+            0 => series.record_arrival(at_ms),
+            1 => series.record_shed(at_ms),
+            _ => {
+                let class = match class {
+                    0 => StartClass::Cold,
+                    1 => StartClass::Lukewarm,
+                    _ => StartClass::Warm,
+                };
+                series.record_outcome(at_ms, latency_us, class, over_slo);
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -89,5 +128,91 @@ proptest! {
             let total: u64 = (0..BUCKETS).map(|i| h.bucket_count(i)).sum();
             prop_assert_eq!(total, h.count());
         }
+    }
+
+    // --- Percentile-of-nothing semantics ---
+
+    #[test]
+    fn try_percentile_is_none_exactly_when_empty(
+        samples in prop::collection::vec(any::<u64>(), 0..50),
+        p in 0u64..101,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        match h.try_percentile(p as f64) {
+            // An empty window has no percentile — never 0, never NaN.
+            None => prop_assert!(samples.is_empty()),
+            Some(v) => {
+                prop_assert!(!samples.is_empty());
+                prop_assert_eq!(v, h.percentile(p as f64));
+            }
+        }
+    }
+
+    // --- Merge associativity ---
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..60),
+        b in prop::collection::vec(any::<u64>(), 0..60),
+        c in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let h = |samples: &[u64]| {
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = h(&a);
+        left.merge(&h(&b));
+        left.merge(&h(&c));
+        let mut bc = h(&b);
+        bc.merge(&h(&c));
+        let mut right = h(&a);
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // a ∪ b == b ∪ a
+        let mut ab = h(&a);
+        ab.merge(&h(&b));
+        let mut ba = h(&b);
+        ba.merge(&h(&a));
+        prop_assert_eq!(ab, ba);
+        // Merging mirrors recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(left, h(&all));
+    }
+
+    #[test]
+    fn time_window_merge_is_associative(
+        a in series_ops(),
+        b in series_ops(),
+        c in series_ops(),
+    ) {
+        const WINDOW_MS: f64 = 1_000.0;
+        let build = |ops: &[SeriesOp]| {
+            let mut s = TimeWindows::new(WINDOW_MS);
+            apply(&mut s, ops);
+            s
+        };
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.rows(), right.rows());
+        // Merging per-host series matches one series fed everything —
+        // the property the fleet's merge phase relies on.
+        let mut all = a.clone();
+        all.extend(b.iter().cloned());
+        all.extend(c.iter().cloned());
+        prop_assert_eq!(right.rows(), build(&all).rows());
     }
 }

@@ -347,3 +347,182 @@ fn invalid_sample_counter_flags_zero_cycle_runs() {
     let empty = lukewarm::sim::runner::RunSummary::default();
     assert!(obs.summary.speedup_over(&empty).is_nan());
 }
+
+// --- Prometheus exposition hygiene ---
+
+#[test]
+fn prometheus_exposition_sanitizes_hostile_metric_and_label_text() {
+    use luke_obs::registry::escape_prometheus_label;
+    use luke_obs::Registry;
+
+    let mut registry = Registry::new();
+    // Metric names outside [a-zA-Z0-9_:] must be sanitized, leading
+    // digits prefixed, and quotes/newlines must never reach the
+    // exposition raw.
+    registry.counter_add("fleet.p99 ms\"x", 7);
+    registry.counter_add("9lives", 1);
+    registry.hist_record("weird.hist\nname", 42);
+    let out = registry.snapshot().to_prometheus();
+    for line in out.lines() {
+        assert!(!line.contains(' ') || line.starts_with("# ") || line.split(' ').count() == 2,
+            "unparseable exposition line: {line:?}");
+    }
+    assert!(out.contains("fleet_p99_ms_x 7"), "{out}");
+    assert!(out.contains("_9lives 1"), "{out}");
+    assert!(out.contains("weird_hist_name_count 1"), "{out}");
+    assert!(!out.contains('\"') || out.contains("quantile=\""), "{out}");
+
+    // Label values escape backslash, quote and newline per the text
+    // exposition format.
+    assert_eq!(escape_prometheus_label("p\"q\\r\ns"), "p\\\"q\\\\r\\ns");
+    let quantile_lines: Vec<&str> = out.lines().filter(|l| l.contains("quantile")).collect();
+    assert_eq!(quantile_lines.len(), 3, "{out}");
+    for line in quantile_lines {
+        assert!(line.contains("quantile=\"0."), "{line}");
+    }
+}
+
+// --- Fleet span exports ---
+
+fn traced_chaotic_config() -> lukewarm::fleet::FleetConfig {
+    use lukewarm::fleet::{ChaosConfig, FleetConfig, HedgeConfig, RetryBudget};
+    FleetConfig {
+        hosts: 4,
+        invocations: 4_000,
+        population: 60,
+        chaos: ChaosConfig {
+            host_mtbf_ms: 10_000.0,
+            crash_downtime_ms: 2_500.0,
+            degrade_mtbf_ms: 15_000.0,
+            degrade_duration_ms: 3_000.0,
+            degrade_slowdown: 5.0,
+        },
+        hedge: HedgeConfig {
+            enabled: true,
+            max_fraction: 0.1,
+        },
+        retry_budget: RetryBudget::new(10.0, 0.1).expect("budget knobs are valid"),
+        trace_sample: 3,
+        ..FleetConfig::default()
+    }
+}
+
+fn traced_run() -> lukewarm::fleet::FleetRun {
+    use lukewarm::fleet::{run_fleet, ServiceModel};
+    use lukewarm::workloads::paper_suite;
+    let model = ServiceModel::analytic(&paper_suite()).expect("paper suite is valid");
+    run_fleet(&traced_chaotic_config(), &model, false).expect("valid config")
+}
+
+#[test]
+fn chrome_span_trace_pairs_every_hedge_flow() {
+    use luke_obs::span::is_hedge_lane;
+
+    let run = traced_run();
+    assert!(!run.spans.is_empty(), "sampled chaotic run records spans");
+    let hedge_lanes = run
+        .spans
+        .iter()
+        .filter(|s| s.id == 0 && is_hedge_lane(s.trace))
+        .count();
+    assert!(hedge_lanes > 0, "chaos with hedging must sample a hedged pair");
+
+    let doc = luke_obs::trace::chrome_trace_spans("fleet", &run.spans);
+    let v = parse(&doc).expect("span trace parses");
+    let events = v.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+    let phase_ids = |phase: &str| -> Vec<u64> {
+        let mut ids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(phase))
+            .map(|e| e.get("id").and_then(JsonValue::as_f64).expect("flow id") as u64)
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    let starts = phase_ids("s");
+    let finishes = phase_ids("f");
+    // Every flow arrow has exactly one start and one finish, keyed by
+    // the dispatch index, one per sampled hedged pair.
+    assert_eq!(starts, finishes);
+    assert_eq!(starts.len(), hedge_lanes);
+    for w in starts.windows(2) {
+        assert!(w[0] < w[1], "duplicate flow id {}", w[0]);
+    }
+}
+
+#[test]
+fn fleet_spans_dataset_round_trips_through_the_parser() {
+    use luke_obs::span::{Span, SpanKind};
+
+    let run = traced_run();
+    let datasets = luke_obs::Export::datasets(&run);
+    let json = luke_obs::export::to_json(&datasets);
+    let v = parse(&json).expect("datasets JSON parses");
+    let spans_ds = v
+        .get("datasets")
+        .and_then(JsonValue::as_arr)
+        .unwrap()
+        .iter()
+        .find(|d| d.get("name").and_then(JsonValue::as_str) == Some("fleet.spans"))
+        .expect("fleet.spans dataset")
+        .clone();
+    let columns: Vec<&str> = spans_ds
+        .get("columns")
+        .and_then(JsonValue::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .collect();
+    assert_eq!(
+        columns,
+        ["trace", "span", "parent", "kind", "start_us", "dur_us", "a", "b"]
+    );
+    let rebuilt: Vec<Span> = spans_ds
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            let cells = row.as_arr().expect("row array");
+            let n = |i: usize| cells[i].as_f64().expect("numeric cell") as u64;
+            Span {
+                trace: n(0),
+                id: n(1) as u32,
+                parent: n(2) as u32,
+                kind: SpanKind::from_index(n(3)).expect("valid kind"),
+                start_us: n(4),
+                dur_us: n(5),
+                a: n(6),
+                b: n(7),
+            }
+        })
+        .collect();
+    assert_eq!(rebuilt, run.spans, "span export does not round-trip");
+}
+
+#[test]
+fn timeline_dataset_exports_empty_windows_as_null() {
+    use luke_obs::{Dataset, Value};
+
+    // A window with arrivals but no completions must export its
+    // percentiles as JSON null (NaN through the writer), never 0.
+    let mut ds = Dataset::new("t.timeline", &["window_start_ms", "p50_ms"]);
+    ds.push_row(vec![Value::Float(0.0), Value::Float(f64::NAN)]);
+    let json = luke_obs::export::to_json(&[ds]);
+    let v = parse(&json).expect("timeline JSON parses");
+    let row = v.get("datasets").and_then(JsonValue::as_arr).unwrap()[0]
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .unwrap()[0]
+        .as_arr()
+        .unwrap();
+    assert_eq!(row[1], JsonValue::Null, "{json}");
+
+    // And a real surge timeline produced by the fleet carries nulls for
+    // its empty windows while keeping filled windows numeric.
+    let out = run_cli(&argv(
+        "fleet --hosts 2 --invocations 1000 --chaos light --trace-sample 7 --emit json",
+    ))
+    .unwrap();
+    assert!(out.contains("fleet.spans"), "{out}");
+}
