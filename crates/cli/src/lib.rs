@@ -115,6 +115,10 @@ pub enum Command {
         /// tree (0 = tracing off, the default — output stays
         /// byte-identical to untraced builds).
         trace_sample: u64,
+        /// Predictive pre-warming / adaptive keep-alive (`--prewarm`).
+        /// Off by default — output stays byte-identical to
+        /// prediction-free builds.
+        prewarm: bool,
         /// Output format.
         emit: Emit,
     },
@@ -440,9 +444,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut invocations = None;
             let mut chaos = "off".to_string();
             let mut trace_sample = 0u64;
+            let mut prewarm = false;
             let mut emit = Emit::Table;
             let mut it = rest.iter();
             while let Some(key) = it.next() {
+                // Bare flag: no value to consume.
+                if key.as_str() == "--prewarm" {
+                    prewarm = true;
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::usage(format!("option {key} needs a value")))?;
@@ -486,6 +496,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 invocations,
                 chaos,
                 trace_sample,
+                prewarm,
                 emit,
             })
         }
@@ -920,6 +931,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             invocations,
             chaos,
             trace_sample,
+            prewarm,
             emit,
         } => {
             let policy = luke_fleet::RoutingPolicy::parse(policy)?;
@@ -931,6 +943,9 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
                 trace_sample: *trace_sample,
                 ..luke_fleet::FleetConfig::default()
             };
+            if *prewarm {
+                config.prewarm = luke_fleet::PrewarmConfig::default_enabled();
+            }
             if let Some(resilience) = chaos_preset(chaos)? {
                 resilience.apply(&mut config);
             }
@@ -1240,10 +1255,14 @@ fn help_text() -> String {
      \x20 lukewarm trace --fleet [--hosts N] [--chaos P] [--trace-sample N] [--out FILE]\n\
      \x20 lukewarm fleet [--hosts N] [--threads T] [--policy rr|ll|kaa]\n\
      \x20                [--invocations N] [--chaos off|light|heavy] [--trace-sample N]\n\
+     \x20                [--prewarm]\n\
      \x20 lukewarm bench-compare OLD.json NEW.json [--threshold 0.25]\n\n\
      \x20 --chaos light|heavy crashes and degrades hosts on a seeded timeline and\n\
      \x20 enables failover, hedging, retry budgets, admission control and a flash\n\
      \x20 crowd; output stays bit-identical across --threads (see docs/RESILIENCE.md).\n\
+     \x20 --prewarm turns on predictive pre-warming and per-function adaptive\n\
+     \x20 keep-alive (luke-predict), adding a fleet.prewarm dataset and predict.*\n\
+     \x20 counters; off, the output is byte-identical (see docs/PREDICT.md).\n\
      \x20 --trace-sample N records a causal span tree for every Nth dispatch; the\n\
      \x20 trees export as a fleet.spans dataset (fleet) or a Chrome trace / text\n\
      \x20 waterfall (trace --fleet). bench-compare diffs two BENCH_*.json perf\n\
@@ -1412,7 +1431,7 @@ mod tests {
     #[test]
     fn fleet_parses_flags_and_rejects_bad_ones() {
         let cmd = parse(&argv(
-            "fleet --hosts 4 --threads 2 --policy rr --chaos heavy --trace-sample 16 --emit json",
+            "fleet --hosts 4 --threads 2 --policy rr --chaos heavy --trace-sample 16 --prewarm --emit json",
         ))
         .unwrap();
         assert_eq!(
@@ -1424,11 +1443,12 @@ mod tests {
                 invocations: None,
                 chaos: "heavy".to_string(),
                 trace_sample: 16,
+                prewarm: true,
                 emit: Emit::Json,
             }
         );
-        // Defaults: tracing is off so output stays byte-identical to
-        // builds that predate spans.
+        // Defaults: tracing and pre-warming are off so output stays
+        // byte-identical to builds that predate spans and prediction.
         assert_eq!(
             parse(&argv("fleet")).unwrap(),
             Command::Fleet {
@@ -1438,6 +1458,7 @@ mod tests {
                 invocations: None,
                 chaos: "off".to_string(),
                 trace_sample: 0,
+                prewarm: false,
                 emit: Emit::Table,
             }
         );
@@ -1537,6 +1558,21 @@ mod tests {
         .unwrap();
         assert!(!plain.contains("fleet.spans"));
         assert!(plain.contains("fleet.timeline"));
+    }
+
+    #[test]
+    fn fleet_prewarm_adds_the_prewarm_dataset_free_of_default_output() {
+        // Prediction on: the fleet.prewarm dataset appears for both the
+        // base and jukebox runs. Off: the exact historic output.
+        let warmed = run_cli(&argv(
+            "fleet --hosts 2 --invocations 1000 --prewarm --emit json",
+        ))
+        .unwrap();
+        assert!(warmed.contains("fleet.prewarm.base"), "{warmed}");
+        assert!(warmed.contains("memory_instance_s"), "{warmed}");
+        let plain = run_cli(&argv("fleet --hosts 2 --invocations 1000 --emit json")).unwrap();
+        assert!(!plain.contains("fleet.prewarm"));
+        assert!(!plain.contains("memory_instance_s"));
     }
 
     #[test]

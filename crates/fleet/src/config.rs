@@ -5,6 +5,7 @@ use crate::health::HealthConfig;
 use crate::route::{HedgeConfig, RoutingPolicy};
 use crate::traffic::SurgeConfig;
 use luke_common::SimError;
+use luke_predict::PrewarmConfig;
 use luke_snapshot::{ColdStartModel, SnapshotTimings};
 use server::{AdmissionConfig, FaultRates, InstancePool, RetryBudget, RetryPolicy};
 
@@ -76,6 +77,9 @@ pub struct FleetConfig {
     /// Non-stationary traffic shape (diurnal ramp + flash crowd).
     /// [`SurgeConfig::none`] (the default) is bit-transparent.
     pub surge: SurgeConfig,
+    /// Predictive pre-warming and per-function adaptive keep-alive.
+    /// [`PrewarmConfig::disabled`] (the default) is bit-transparent.
+    pub prewarm: PrewarmConfig,
     /// Causal span sampling: every `trace_sample`-th dispatch records a
     /// full span tree (route → admission → restore → execute →
     /// backoff). `0` (the default) disables tracing and is
@@ -117,6 +121,7 @@ impl Default for FleetConfig {
             retry_budget: RetryBudget::unlimited(),
             admission: AdmissionConfig::disabled(),
             surge: SurgeConfig::none(),
+            prewarm: PrewarmConfig::disabled(),
             trace_sample: 0,
             series_window_ms: 0.0,
             series_slo_ms: 0.0,
@@ -184,7 +189,24 @@ impl FleetConfig {
         self.retry_budget.validate()?;
         self.admission.validate()?;
         self.surge.validate()?;
+        self.prewarm.validate()?;
+        if self.prewarm.enabled && self.prewarm.min_hold_ms > self.keep_alive_ms {
+            return Err(SimError::invalid_config(
+                "prewarm.min_hold_ms",
+                format!(
+                    "hold floor must not exceed the keep-alive window ({} ms)",
+                    self.keep_alive_ms
+                ),
+            ));
+        }
         Ok(())
+    }
+
+    /// Whether predictive pre-warming / adaptive keep-alive is on. When
+    /// false, hosts take the exact fixed-keep-alive code path and export
+    /// byte-identical output — the disabled feature doesn't exist.
+    pub fn prewarm_enabled(&self) -> bool {
+        self.prewarm.enabled
     }
 
     /// Fleet-wide arrival rate in invocations per second.
@@ -373,6 +395,24 @@ mod tests {
                 },
                 "surge.diurnal_amplitude",
             ),
+            (
+                FleetConfig {
+                    prewarm: PrewarmConfig {
+                        decay_quantile: 1.5,
+                        ..PrewarmConfig::default_enabled()
+                    },
+                    ..FleetConfig::default()
+                },
+                "prewarm.decay_quantile",
+            ),
+            (
+                FleetConfig {
+                    keep_alive_ms: 500.0,
+                    prewarm: PrewarmConfig::default_enabled(), // 1 s floor
+                    ..FleetConfig::default()
+                },
+                "prewarm.min_hold_ms",
+            ),
         ];
         for (config, field) in cases {
             let err = config.validate().unwrap_err();
@@ -428,6 +468,17 @@ mod tests {
             assert!(config.resilience_enabled());
             assert!(config.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn prewarm_is_off_by_default_and_validates_when_enabled() {
+        assert!(!FleetConfig::default().prewarm_enabled());
+        let on = FleetConfig {
+            prewarm: PrewarmConfig::default_enabled(),
+            ..FleetConfig::default()
+        };
+        assert!(on.prewarm_enabled());
+        assert!(on.validate().is_ok());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use luke_common::rng::DetRng;
 use luke_obs::span::{tick_us, trace_id, SpanKind, SpanRing, SpanScope};
+use luke_predict::PredictorBank;
 use luke_obs::{Event, EventKind, EventRing, Histogram, Registry, StartClass, TimeWindows};
 use luke_snapshot::{ColdStartModel, SnapshotStore};
 use server::{
@@ -143,6 +144,22 @@ pub struct FleetHost {
     /// Whether any resilience knob is on — gates the resilience series
     /// so disabled runs export byte-identical telemetry.
     resilient: bool,
+    /// Predictive pre-warm / adaptive keep-alive policy bank (present
+    /// only when prediction is enabled; `None` takes the exact
+    /// fixed-keep-alive code path).
+    prewarm: Option<PredictorBank>,
+    /// Per function: the simulated time a pending pre-restored instance
+    /// becomes ready, while one is waiting untouched for its predicted
+    /// arrival. Empty when prediction is disabled.
+    prewarm_ready: Vec<Option<f64>>,
+    /// Most recent observed restore (or boot) cost per function, ms —
+    /// the lead time pre-warms are back-dated by. Empty when prediction
+    /// is disabled.
+    last_restore_ms: Vec<f64>,
+    /// Pre-restores actually spawned ahead of a predicted arrival.
+    pub prewarm_spawns: u64,
+    /// Arrivals that landed on a pre-warmed instance.
+    pub prewarm_hits: u64,
 }
 
 /// Per-host span-ring capacity: generous enough that no sampled trace is
@@ -211,6 +228,19 @@ impl FleetHost {
         } else {
             Vec::new()
         };
+        let prewarm = config.prewarm.enabled.then(|| {
+            PredictorBank::new(config.prewarm, config.population, config.keep_alive_ms)
+        });
+        let (prewarm_ready, last_restore_ms) = if config.prewarm.enabled {
+            // Until a restore is observed, pre-warms are back-dated by
+            // the flat boot cost — the only estimate available cold.
+            (
+                vec![None; config.population],
+                vec![config.cold_start_ms; config.population],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         FleetHost {
             host_id,
             pool,
@@ -243,6 +273,11 @@ impl FleetHost {
                 .split(host_id as u64)
                 .seed(),
             resilient: config.resilience_enabled(),
+            prewarm,
+            prewarm_ready,
+            last_restore_ms,
+            prewarm_spawns: 0,
+            prewarm_hits: 0,
         }
     }
 
@@ -255,6 +290,7 @@ impl FleetHost {
         {
             let died = self.pool.evict_all();
             self.live.fill(None);
+            self.prewarm_ready.fill(None);
             self.host_crashes += 1;
             self.events.record(Event {
                 ts: (self.schedule.crash_start(self.next_crash) * 1000.0) as u64,
@@ -310,6 +346,48 @@ impl FleetHost {
     /// Whether `latency_ms` blew the series SLO (false when no SLO set).
     fn over_slo(&self, latency_ms: f64) -> bool {
         self.series_slo_ms > 0.0 && latency_ms > self.series_slo_ms
+    }
+
+    /// Takes (and clears) the pending-prewarm ready time for `function`.
+    /// Always `None` when prediction is disabled (the vector is empty).
+    fn take_prewarm_ready(&mut self, function: usize) -> Option<f64> {
+        self.prewarm_ready.get_mut(function).and_then(Option::take)
+    }
+
+    /// Spawns every pre-restore the policy bank scheduled at or before
+    /// `at`, in function-id order. Each spawn is back-dated to its
+    /// scheduled time (which lies between the previous arrival and
+    /// `at`), restores through the snapshot store when one is attached,
+    /// and leaves the ready time behind so an arrival that beats the
+    /// restore pays the residual wait.
+    fn apply_due_prewarms(&mut self, at: f64) {
+        let due = self
+            .prewarm
+            .as_mut()
+            .expect("prediction is enabled")
+            .due_prewarms(at);
+        for (function, t_pre) in due {
+            // The instance survived after all (e.g. the hold was raised
+            // by a later observation): nothing to pre-warm.
+            if self
+                .live[function]
+                .is_some_and(|id| self.pool.instance(id).is_some())
+            {
+                continue;
+            }
+            let (id, restore_ms) = self.pool.spawn_restored(function, t_pre);
+            // Without a snapshot store the pre-boot still takes the flat
+            // cold-start time before the instance is ready.
+            let cost_ms = if self.pool.snapshots().is_some() {
+                restore_ms
+            } else {
+                self.last_restore_ms[function]
+            };
+            self.live[function] = Some(id);
+            self.prewarm_ready[function] = Some(t_pre + cost_ms);
+            self.last_restore_ms[function] = cost_ms;
+            self.prewarm_spawns += 1;
+        }
     }
 
     /// Processes one routed invocation and returns its end-to-end
@@ -434,12 +512,33 @@ impl FleetHost {
             self.down_retries += down_retries;
         }
 
-        self.pool.sweep(at);
+        match &self.prewarm {
+            Some(bank) => {
+                self.pool.sweep_adaptive(at, bank.holds());
+            }
+            None => {
+                self.pool.sweep(at);
+            }
+        }
         // The pool may have expired this function's instance just now.
         if let Some(id) = self.live[function] {
             if self.pool.instance(id).is_none() {
                 self.live[function] = None;
+                self.take_prewarm_ready(function);
             }
+        }
+
+        // Fire every pre-restore whose scheduled time has passed, then
+        // feed the arrival to the model (in that order: a pre-warm
+        // scheduled before this arrival must exist before the model
+        // re-forecasts the function).
+        if self.prewarm.is_some() {
+            self.apply_due_prewarms(at);
+            let restore_est = self.last_restore_ms[function];
+            self.prewarm
+                .as_mut()
+                .expect("prediction is enabled")
+                .observe(function, at, restore_est);
         }
 
         // Admission ladder: shed before any pool state is touched.
@@ -475,6 +574,7 @@ impl FleetHost {
             if self.faults.evicted_before(invocation) {
                 self.pool.evict(id);
                 self.live[function] = None;
+                self.take_prewarm_ready(function);
                 self.fault_stats.evictions += 1;
                 self.events.record(Event {
                     ts: 0,
@@ -508,12 +608,32 @@ impl FleetHost {
             if self.pool.snapshots().is_some() {
                 cold_start_ms = restore_ms;
             }
+            if self.prewarm.is_some() {
+                // Keep the pre-warm lead-time estimate tracking the
+                // restore model's actual pricing.
+                self.last_restore_ms[function] = cold_start_ms;
+            }
             self.pool.invoke(id, at);
             self.live[function] = Some(id);
             self.cold_starts += 1;
             // A fresh container has nothing resident: full penalty, and
             // Jukebox has no prior invocation to replay.
             model.service_ms(profile, 1.0, false)
+        } else if let Some(ready_ms) = self.take_prewarm_ready(function) {
+            // The arrival landed on an instance pre-restored ahead of
+            // it. Memory is up (no boot, no restore burst on the
+            // critical path — only the residual wait if the arrival
+            // beat the restore), but nothing is cache-resident from a
+            // *prior invocation*: microarchitecturally this is the
+            // paper's lukewarm case at full interleaving penalty, and
+            // Jukebox replays the snapshot's recorded history.
+            let id = self.live[function].expect("prewarmed path has a live id");
+            self.pool.invoke(id, at).expect("live id is in the pool");
+            self.lukewarm_hits += 1;
+            self.prewarm_hits += 1;
+            class = StartClass::Lukewarm;
+            self.degree_sum += 1.0;
+            (ready_ms - at).max(0.0) + model.service_ms(profile, 1.0, jukebox)
         } else {
             let id = self.live[function].expect("warm path has a live id");
             let gap_ms = self.pool.invoke(id, at).expect("live id is in the pool");
@@ -634,6 +754,28 @@ impl FleetHost {
         self.pool.warm_count()
     }
 
+    /// Warm-pool occupancy in instance-milliseconds through `end_ms`,
+    /// priced under this host's holds in force (adaptive when
+    /// prediction is on, the global keep-alive otherwise). Read-only —
+    /// see [`server::InstancePool::residency_ms_through`].
+    pub fn memory_ms_through(&self, end_ms: f64) -> f64 {
+        self.pool
+            .residency_ms_through(end_ms, self.prewarm.as_ref().map(|b| b.holds()))
+    }
+
+    /// Pre-restores the policy bank scheduled (0 when prediction is
+    /// off; scheduled ≥ spawned, since a raised hold cancels a pending
+    /// pre-warm).
+    pub fn prewarms_scheduled(&self) -> u64 {
+        self.prewarm.as_ref().map_or(0, |b| b.prewarms_scheduled())
+    }
+
+    /// Arrivals processed while a tightened (below-cap) adaptive hold
+    /// was in force (0 when prediction is off).
+    pub fn early_decays(&self) -> u64 {
+        self.prewarm.as_ref().map_or(0, |b| b.early_decays())
+    }
+
     /// The admission controller, when admission control is enabled.
     pub fn admission(&self) -> Option<&AdmissionControl> {
         self.admission.as_ref()
@@ -662,6 +804,14 @@ impl FleetHost {
             registry.counter_add("admission.admitted", ctl.admitted());
             registry.counter_add("admission.degraded_restores", ctl.degraded_restores());
             registry.counter_add("admission.shed", ctl.shed());
+        }
+        // The prediction series only exist when the policy is on — a
+        // disabled run must export byte-identical telemetry.
+        if let Some(bank) = &self.prewarm {
+            registry.counter_add("predict.prewarms_scheduled", bank.prewarms_scheduled());
+            registry.counter_add("predict.prewarm_spawns", self.prewarm_spawns);
+            registry.counter_add("predict.prewarm_hits", self.prewarm_hits);
+            registry.counter_add("predict.early_decays", bank.early_decays());
         }
     }
 }
@@ -855,6 +1005,109 @@ mod tests {
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.counter("snapshot.restores"), host.cold_starts);
         assert!(snapshot.counter("snapshot.pages_recorded") > 0);
+    }
+
+    #[test]
+    fn prewarmed_periodic_function_skips_the_cold_start() {
+        use luke_predict::PrewarmConfig;
+        let (config, model) = setup();
+        let keep_alive_ms = 2_000.0;
+        let plain_config = FleetConfig {
+            keep_alive_ms,
+            ..config.clone()
+        };
+        let prewarm_config = FleetConfig {
+            keep_alive_ms,
+            prewarm: PrewarmConfig {
+                min_samples: 4,
+                ..PrewarmConfig::default_enabled()
+            },
+            ..config
+        };
+        let mut plain = FleetHost::new(&plain_config, 0);
+        let mut warm = FleetHost::new(&prewarm_config, 0);
+        // Strict 5 s period, far past the 2 s keep-alive: without
+        // prediction every arrival is a cold boot; with it, the
+        // periodicity head schedules a pre-restore before each one.
+        for i in 0..40 {
+            let routed = RoutedInvocation::new(i as f64 * 5_000.0, 0);
+            plain.process(&plain_config, &model, false, routed);
+            warm.process(&prewarm_config, &model, false, routed);
+        }
+        assert_eq!(plain.cold_starts, 40);
+        assert!(
+            warm.prewarm_hits > 30,
+            "prewarm hits {} of 40 arrivals",
+            warm.prewarm_hits
+        );
+        assert!(warm.cold_starts < 10, "cold starts {}", warm.cold_starts);
+        assert!(
+            warm.latency_sum_ms < plain.latency_sum_ms,
+            "prewarmed {} vs plain {}",
+            warm.latency_sum_ms,
+            plain.latency_sum_ms
+        );
+    }
+
+    #[test]
+    fn disabled_prewarm_keeps_the_exact_fixed_keep_alive_state() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..200 {
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 25.0, i % 10));
+        }
+        assert_eq!(host.prewarm_spawns, 0);
+        assert_eq!(host.prewarm_hits, 0);
+        assert_eq!(host.prewarms_scheduled(), 0);
+        assert_eq!(host.early_decays(), 0);
+        let mut registry = Registry::new();
+        host.fill_registry(&mut registry);
+        assert!(
+            !registry.snapshot().to_json().contains("predict."),
+            "disabled hosts must not grow predict.* series"
+        );
+    }
+
+    #[test]
+    fn prewarm_registry_series_appear_when_enabled() {
+        use luke_predict::PrewarmConfig;
+        let (config, model) = setup();
+        let config = FleetConfig {
+            keep_alive_ms: 2_000.0,
+            prewarm: PrewarmConfig {
+                min_samples: 4,
+                ..PrewarmConfig::default_enabled()
+            },
+            ..config
+        };
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..40 {
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 5_000.0, 0));
+        }
+        let mut registry = Registry::new();
+        host.fill_registry(&mut registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("predict.prewarm_spawns"), host.prewarm_spawns);
+        assert_eq!(snapshot.counter("predict.prewarm_hits"), host.prewarm_hits);
+        assert!(snapshot.counter("predict.early_decays") > 0);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_the_pool() {
+        let (config, model) = setup();
+        let mut host = FleetHost::new(&config, 0);
+        for i in 0..50 {
+            host.process(&config, &model, false, RoutedInvocation::new(i as f64 * 100.0, i % 10));
+        }
+        // 10 functions resident from their first touch through the
+        // horizon (all gaps far inside keep-alive).
+        let end_ms = 4_900.0;
+        let memory = host.memory_ms_through(end_ms);
+        assert!(memory > 0.0);
+        assert!(
+            memory <= 10.0 * end_ms,
+            "{memory} exceeds 10 instances × horizon"
+        );
     }
 
     #[test]

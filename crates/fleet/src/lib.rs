@@ -54,6 +54,7 @@ pub use chaos::{ChaosConfig, ChaosPlan, HostSchedule, HostState};
 pub use config::FleetConfig;
 pub use health::{HealthConfig, HealthStatus, HealthView};
 pub use host::{FleetHost, HedgeOutcome, RoutedInvocation};
+pub use luke_predict::PrewarmConfig;
 pub use luke_snapshot::{ColdStartModel, SnapshotTimings};
 pub use route::{HedgeConfig, RouteDecision, Router, RoutingPolicy};
 pub use run::{run_fleet, run_fleet_pair, FleetComparison, FleetRun, HostSummary};

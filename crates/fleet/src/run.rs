@@ -117,6 +117,21 @@ pub struct FleetRun {
     pub traced: bool,
     /// Whether the windowed series was on (gates the timeline dataset).
     pub windowed: bool,
+    /// Warm-pool occupancy in instance-milliseconds through the last
+    /// arrival — what a provider pays to run the keep-alive policy.
+    /// Always computed (fixed policies have a memory bill too); only
+    /// exported as a dataset when prediction was on.
+    pub memory_ms: f64,
+    /// Pre-restores the prediction policy scheduled (0 when off).
+    pub prewarms_scheduled: u64,
+    /// Pre-restores actually spawned ahead of a predicted arrival.
+    pub prewarm_spawns: u64,
+    /// Arrivals that landed on a pre-warmed instance.
+    pub prewarm_hits: u64,
+    /// Arrivals processed under a tightened (below-cap) adaptive hold.
+    pub early_decays: u64,
+    /// Whether prediction was on (gates the prewarm dataset).
+    pub prewarmed: bool,
 }
 
 impl FleetRun {
@@ -169,6 +184,12 @@ impl FleetRun {
             self.lukewarm_hits as f64 / self.invocations as f64
         }
     }
+
+    /// Warm-pool occupancy in instance-seconds — the frontier's x-axis
+    /// in its natural unit.
+    pub fn memory_instance_s(&self) -> f64 {
+        self.memory_ms / 1000.0
+    }
 }
 
 /// Runs the fleet once. `model` prices service times; `jukebox` selects
@@ -209,7 +230,11 @@ pub fn run_fleet(
         a: host,
         b: u64::from(failed_over),
     };
+    // Last arrival time — the memory-accounting horizon: residency is
+    // priced through the end of the run, not beyond it.
+    let mut end_ms = 0.0_f64;
     for (dispatch, event) in (0_u64..).zip(stream.by_ref().take(config.invocations)) {
+        end_ms = end_ms.max(event.at_ms);
         let function = event.instance;
         let expected_ms = model.timing(function % model.functions()).warm_ms;
         if chaos_plan.is_none() {
@@ -321,6 +346,12 @@ pub fn run_fleet(
         timeline: Vec::new(),
         traced: config.tracing_enabled(),
         windowed: config.series_enabled(),
+        memory_ms: 0.0,
+        prewarms_scheduled: 0,
+        prewarm_spawns: 0,
+        prewarm_hits: 0,
+        early_decays: 0,
+        prewarmed: config.prewarm_enabled(),
     };
     let mut spans: Vec<Span> = route_spans.take_spans();
     let mut series = TimeWindows::new(config.series_window_ms);
@@ -340,6 +371,11 @@ pub fn run_fleet(
         run.latency_sum_ms += host.latency_sum_ms;
         run.host_crashes += host.host_crashes;
         run.retries += host.retries + host.down_retries;
+        run.memory_ms += host.memory_ms_through(end_ms);
+        run.prewarms_scheduled += host.prewarms_scheduled();
+        run.prewarm_spawns += host.prewarm_spawns;
+        run.prewarm_hits += host.prewarm_hits;
+        run.early_decays += host.early_decays();
         if let Some(ctl) = host.admission() {
             run.shed += ctl.shed();
             run.degraded_restores += ctl.degraded_restores();
@@ -476,6 +512,17 @@ impl std::fmt::Display for FleetRun {
         if self.windowed {
             writeln!(f, "  timeline: {} windows", self.timeline.len())?;
         }
+        if self.prewarmed {
+            writeln!(
+                f,
+                "  prewarm: {:.0} instance-s memory | {} scheduled | {} spawned | {} hits | {} early decays",
+                self.memory_instance_s(),
+                self.prewarms_scheduled,
+                self.prewarm_spawns,
+                self.prewarm_hits,
+                self.early_decays,
+            )?;
+        }
         if self.resilient {
             writeln!(
                 f,
@@ -574,6 +621,30 @@ impl Export for FleetRun {
             ]);
         }
         let mut out = vec![summary, hosts];
+        // The prediction dataset only exists when the policy was on —
+        // disabled runs keep their exact pre-prediction export shape.
+        if self.prewarmed {
+            let mut prewarm = Dataset::new(
+                "fleet.prewarm",
+                &[
+                    "memory_instance_s",
+                    "prewarms_scheduled",
+                    "prewarm_spawns",
+                    "prewarm_hits",
+                    "early_decays",
+                    "cold_starts",
+                ],
+            );
+            prewarm.push_row(vec![
+                Value::Float(self.memory_instance_s()),
+                Value::UInt(self.prewarms_scheduled),
+                Value::UInt(self.prewarm_spawns),
+                Value::UInt(self.prewarm_hits),
+                Value::UInt(self.early_decays),
+                Value::UInt(self.cold_starts),
+            ]);
+            out.push(prewarm);
+        }
         // Resilience is a third dataset only when some knob was on —
         // default runs keep their exact pre-resilience export shape.
         if self.resilient {
@@ -769,6 +840,80 @@ mod tests {
         assert_eq!(pair.base.cold_starts, pair.jukebox.cold_starts);
         assert_eq!(pair.base.invocations, pair.jukebox.invocations);
         assert!(pair.speedup() > 1.0, "speedup {}", pair.speedup());
+    }
+
+    #[test]
+    fn default_run_computes_memory_but_exports_no_prewarm_dataset() {
+        let run = run_fleet(&quick_config(), &model(), false).unwrap();
+        assert!(!run.prewarmed);
+        assert!(run.memory_ms > 0.0, "fixed policies have a memory bill too");
+        assert_eq!(run.prewarm_spawns, 0);
+        assert!(!luke_obs::export::to_json(&run.datasets()).contains("fleet.prewarm"));
+    }
+
+    #[test]
+    fn prewarm_run_exports_the_prewarm_dataset() {
+        let config = FleetConfig {
+            keep_alive_ms: 30_000.0,
+            prewarm: luke_predict::PrewarmConfig::default_enabled(),
+            ..quick_config()
+        };
+        let run = run_fleet(&config, &model(), false).unwrap();
+        assert!(run.prewarmed);
+        assert!(run.early_decays > 0, "the adaptive policy never engaged");
+        let json = luke_obs::export::to_json(&run.datasets());
+        assert!(json.contains("fleet.prewarm"));
+        assert!(json.contains("memory_instance_s"));
+        assert!(run.snapshot.counter("predict.early_decays") > 0);
+    }
+
+    #[test]
+    fn prewarm_run_is_thread_count_invariant() {
+        let m = model();
+        let config = FleetConfig {
+            keep_alive_ms: 30_000.0,
+            prewarm: luke_predict::PrewarmConfig::default_enabled(),
+            ..quick_config()
+        };
+        let one = run_fleet(&config, &m, false).unwrap();
+        let four = run_fleet(
+            &FleetConfig {
+                threads: 4,
+                ..config
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        assert_eq!(one.snapshot.to_json(), four.snapshot.to_json());
+        assert_eq!(one.memory_ms, four.memory_ms);
+        assert_eq!(
+            luke_obs::export::to_json(&one.datasets()),
+            luke_obs::export::to_json(&four.datasets())
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_spends_less_memory_than_its_fixed_cap() {
+        let m = model();
+        let fixed = run_fleet(&quick_config(), &m, false).unwrap();
+        let adaptive = run_fleet(
+            &FleetConfig {
+                prewarm: luke_predict::PrewarmConfig::default_enabled(),
+                ..quick_config()
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        // Same traffic, same 10-minute cap: early decay can only shed
+        // residency the fixed window would have held.
+        assert!(
+            adaptive.memory_ms < fixed.memory_ms,
+            "adaptive {} vs fixed {}",
+            adaptive.memory_ms,
+            fixed.memory_ms
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! The per-host policy engine: one predictor per function, two
+//! decision streams out.
+
+use crate::config::PrewarmConfig;
+use crate::predictor::Predictor;
+
+/// A bank of per-function predictors plus the policy state derived from
+/// them: the current adaptive keep-alive per function and at most one
+/// pending pre-restore per function.
+///
+/// One bank lives inside each simulated host, fed only by that host's
+/// arrival stream — shard-local state, so the fleet's parallel phase
+/// needs no cross-thread coordination and merges stay deterministic.
+#[derive(Clone, Debug)]
+pub struct PredictorBank {
+    config: PrewarmConfig,
+    cap_ms: f64,
+    predictors: Vec<Predictor>,
+    holds: Vec<f64>,
+    pending: Vec<Option<f64>>,
+    prewarms_scheduled: u64,
+    early_decays: u64,
+}
+
+impl PredictorBank {
+    /// A bank covering `functions` function ids, with the pool's global
+    /// keep-alive `cap_ms` as every function's starting hold.
+    pub fn new(config: PrewarmConfig, functions: usize, cap_ms: f64) -> Self {
+        PredictorBank {
+            config,
+            cap_ms,
+            predictors: vec![Predictor::new(); functions],
+            holds: vec![cap_ms; functions],
+            pending: vec![None; functions],
+            prewarms_scheduled: 0,
+            early_decays: 0,
+        }
+    }
+
+    /// The policy knobs this bank runs under.
+    pub fn config(&self) -> &PrewarmConfig {
+        &self.config
+    }
+
+    /// Feeds one arrival of `function` at simulated time `now_ms` and
+    /// refreshes both decision streams. `restore_est_ms` is the current
+    /// estimate of a REAP pre-restore's cost for this function, used to
+    /// back-date the pre-warm to `predicted_arrival − restore_cost`.
+    ///
+    /// A pre-restore is scheduled only when the predicted arrival falls
+    /// *after* the adaptive keep-alive expires — while the instance
+    /// would still be resident, a pre-warm buys nothing.
+    pub fn observe(&mut self, function: usize, now_ms: f64, restore_est_ms: f64) {
+        let predictor = &mut self.predictors[function];
+        predictor.observe(now_ms);
+        let hold = predictor.hold_ms(&self.config, self.cap_ms);
+        if hold < self.cap_ms {
+            self.early_decays += 1;
+        }
+        self.holds[function] = hold;
+        self.pending[function] = match predictor.predicted_iat_ms(&self.config) {
+            Some(iat) => {
+                let t_pre = now_ms + iat - restore_est_ms.max(0.0);
+                if t_pre > now_ms + hold {
+                    self.prewarms_scheduled += 1;
+                    Some(t_pre)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+    }
+
+    /// The current adaptive keep-alive per function id, for the pool's
+    /// adaptive sweep. Functions the model has not yet justified a
+    /// deviation for sit at the global cap.
+    pub fn holds(&self) -> &[f64] {
+        &self.holds
+    }
+
+    /// Drains every pre-restore whose scheduled time has arrived, in
+    /// function-id order (deterministic). Each entry is
+    /// `(function, scheduled_ms)`; the caller spawns the restored
+    /// instance as of `scheduled_ms`, which by construction lies
+    /// between the previous and the current arrival.
+    pub fn due_prewarms(&mut self, now_ms: f64) -> Vec<(usize, f64)> {
+        let mut due = Vec::new();
+        for (function, slot) in self.pending.iter_mut().enumerate() {
+            if let Some(t_pre) = *slot {
+                if t_pre <= now_ms {
+                    due.push((function, t_pre));
+                    *slot = None;
+                }
+            }
+        }
+        due
+    }
+
+    /// Read-only view of one function's predictor.
+    pub fn predictor(&self, function: usize) -> &Predictor {
+        &self.predictors[function]
+    }
+
+    /// Pre-restores scheduled so far.
+    pub fn prewarms_scheduled(&self) -> u64 {
+        self.prewarms_scheduled
+    }
+
+    /// Arrivals processed while a tightened (below-cap) hold was in
+    /// force for their function.
+    pub fn early_decays(&self) -> u64 {
+        self.early_decays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_holds_every_function_at_the_cap() {
+        let bank = PredictorBank::new(PrewarmConfig::default_enabled(), 4, 600_000.0);
+        assert_eq!(bank.holds(), &[600_000.0; 4]);
+        assert_eq!(bank.prewarms_scheduled(), 0);
+    }
+
+    #[test]
+    fn periodic_function_schedules_a_prewarm_after_its_hold() {
+        let mut bank = PredictorBank::new(PrewarmConfig::default_enabled(), 1, 600_000.0);
+        for i in 0..8 {
+            bank.observe(0, i as f64 * 5_000.0, 100.0);
+        }
+        // Period 5 s, hold floor 1 s: the predicted arrival lands after
+        // expiry, so a pre-restore is pending at 35_000 + 5_000 − 100.
+        assert!(bank.prewarms_scheduled() > 0);
+        assert!(bank.due_prewarms(39_000.0).is_empty());
+        let due = bank.due_prewarms(40_000.0);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 0);
+        assert!((due[0].1 - 39_900.0).abs() < 1.0, "scheduled at {}", due[0].1);
+        // Draining is idempotent.
+        assert!(bank.due_prewarms(40_000.0).is_empty());
+    }
+
+    #[test]
+    fn no_prewarm_while_the_instance_would_still_be_resident() {
+        let config = PrewarmConfig {
+            min_hold_ms: 60_000.0,
+            ..PrewarmConfig::default_enabled()
+        };
+        let mut bank = PredictorBank::new(config, 1, 600_000.0);
+        for i in 0..8 {
+            bank.observe(0, i as f64 * 5_000.0, 100.0);
+        }
+        // Period 5 s but the hold floor is 60 s: every predicted
+        // arrival lands while the instance is still warm.
+        assert_eq!(bank.prewarms_scheduled(), 0);
+    }
+
+    #[test]
+    fn early_decays_count_tightened_holds() {
+        let mut bank = PredictorBank::new(PrewarmConfig::default_enabled(), 1, 600_000.0);
+        for i in 0..8 {
+            bank.observe(0, i as f64 * 5_000.0, 100.0);
+        }
+        assert!(bank.early_decays() > 0);
+        assert!(bank.holds()[0] < 600_000.0);
+    }
+}

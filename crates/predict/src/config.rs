@@ -1,0 +1,187 @@
+//! Policy knobs for prediction-driven pre-warming and early decay.
+
+use luke_common::SimError;
+
+/// Configuration for the predictive pre-warm / adaptive keep-alive
+/// policy.
+///
+/// The disabled sentinel ([`PrewarmConfig::disabled`], also the
+/// `Default`) follows the `ChaosConfig::none()` contract: a fleet run
+/// with prediction disabled is bit-identical to one that never heard of
+/// this crate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrewarmConfig {
+    /// Master switch. When `false` every other field is ignored and the
+    /// pool falls back to its single global `keep_alive_ms`.
+    pub enabled: bool,
+    /// IAT quantile used to predict the *next arrival* for pre-warm
+    /// scheduling, in `(0, 1)`. Lower fires pre-restores earlier
+    /// (more hits, more wasted restores); higher waits for certainty.
+    pub prewarm_quantile: f64,
+    /// IAT quantile used as the *adaptive keep-alive*, in `(0, 1)`:
+    /// an idle instance is released once this quantile of the
+    /// function's observed gaps has passed. The complement is the
+    /// per-arrival probability of a self-inflicted cold start.
+    pub decay_quantile: f64,
+    /// Floor on the adaptive keep-alive, in milliseconds. No instance
+    /// is ever released before `last_arrival + min_hold_ms`, however
+    /// aggressive the model's estimate.
+    pub min_hold_ms: f64,
+    /// Observed gaps required before the model may override the global
+    /// keep-alive. Under-sampled functions behave exactly as without
+    /// prediction.
+    pub min_samples: u64,
+    /// Coefficient-of-variation ceiling for the short-window
+    /// periodicity head: when the recent gaps are this regular, the
+    /// head predicts `mean(recent)` directly instead of the histogram
+    /// quantile.
+    pub periodic_cv: f64,
+}
+
+impl PrewarmConfig {
+    /// The bit-transparent sentinel: prediction off, pool behavior
+    /// byte-identical to a build without `luke-predict`.
+    pub fn disabled() -> Self {
+        PrewarmConfig {
+            enabled: false,
+            prewarm_quantile: 0.0,
+            decay_quantile: 0.0,
+            min_hold_ms: 0.0,
+            min_samples: 0,
+            periodic_cv: 0.0,
+        }
+    }
+
+    /// Reference policy: median-quantile pre-warm, conservative
+    /// 99th-quantile decay, one-second hold floor, and a model that
+    /// stays silent for its first 16 gaps.
+    pub fn default_enabled() -> Self {
+        PrewarmConfig {
+            enabled: true,
+            prewarm_quantile: 0.5,
+            decay_quantile: 0.99,
+            min_hold_ms: 1_000.0,
+            min_samples: 16,
+            periodic_cv: 0.10,
+        }
+    }
+
+    /// Whether this is the disabled sentinel.
+    pub fn is_disabled(&self) -> bool {
+        !self.enabled
+    }
+
+    /// Validates the knobs; the disabled sentinel is always valid.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if !(self.prewarm_quantile.is_finite()
+            && self.prewarm_quantile > 0.0
+            && self.prewarm_quantile < 1.0)
+        {
+            return Err(SimError::invalid_config(
+                "prewarm.prewarm_quantile",
+                "must be strictly between 0 and 1",
+            ));
+        }
+        if !(self.decay_quantile.is_finite()
+            && self.decay_quantile > 0.0
+            && self.decay_quantile < 1.0)
+        {
+            return Err(SimError::invalid_config(
+                "prewarm.decay_quantile",
+                "must be strictly between 0 and 1",
+            ));
+        }
+        if !(self.min_hold_ms.is_finite() && self.min_hold_ms > 0.0) {
+            return Err(SimError::invalid_config(
+                "prewarm.min_hold_ms",
+                "must be positive and finite",
+            ));
+        }
+        if self.min_samples == 0 {
+            return Err(SimError::invalid_config(
+                "prewarm.min_samples",
+                "must be at least 1",
+            ));
+        }
+        if !(self.periodic_cv.is_finite() && self.periodic_cv >= 0.0) {
+            return Err(SimError::invalid_config(
+                "prewarm.periodic_cv",
+                "must be non-negative and finite",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PrewarmConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sentinel_is_default_and_valid() {
+        assert_eq!(PrewarmConfig::default(), PrewarmConfig::disabled());
+        assert!(PrewarmConfig::disabled().is_disabled());
+        assert!(PrewarmConfig::disabled().validate().is_ok());
+    }
+
+    #[test]
+    fn reference_policy_is_valid_and_enabled() {
+        let c = PrewarmConfig::default_enabled();
+        assert!(!c.is_disabled());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fields_are_named() {
+        let cases = [
+            (
+                PrewarmConfig {
+                    prewarm_quantile: 1.0,
+                    ..PrewarmConfig::default_enabled()
+                },
+                "prewarm.prewarm_quantile",
+            ),
+            (
+                PrewarmConfig {
+                    decay_quantile: 0.0,
+                    ..PrewarmConfig::default_enabled()
+                },
+                "prewarm.decay_quantile",
+            ),
+            (
+                PrewarmConfig {
+                    min_hold_ms: f64::NAN,
+                    ..PrewarmConfig::default_enabled()
+                },
+                "prewarm.min_hold_ms",
+            ),
+            (
+                PrewarmConfig {
+                    min_samples: 0,
+                    ..PrewarmConfig::default_enabled()
+                },
+                "prewarm.min_samples",
+            ),
+            (
+                PrewarmConfig {
+                    periodic_cv: -0.1,
+                    ..PrewarmConfig::default_enabled()
+                },
+                "prewarm.periodic_cv",
+            ),
+        ];
+        for (config, field) in cases {
+            let err = config.validate().unwrap_err().to_string();
+            assert!(err.contains(field), "{err} should name {field}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Log-bucketed inter-arrival-time histogram.
+
+use luke_obs::hist::{bucket_bounds, bucket_index, BUCKETS};
+
+/// A log-bucketed histogram of one function's inter-arrival times, in
+/// milliseconds.
+///
+/// Reuses the observability crate's HDR-style bucket geometry (exact
+/// below 32 ms, ~25% relative error above), so a few hundred `u32`
+/// counters cover the full range from sub-millisecond bursts to
+/// multi-hour gaps. Quantiles report the holding bucket's inclusive
+/// upper bound, clamped to the recorded maximum — a deliberate
+/// *overestimate*: a predicted arrival errs late (the pre-warm never
+/// fires earlier than the model can justify) and a decay deadline errs
+/// long (an instance is never released before the quantile the policy
+/// asked for has truly passed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IatHistogram {
+    counts: Vec<u32>,
+    count: u64,
+    sum_ms: u64,
+    max_ms: u64,
+}
+
+impl Default for IatHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IatHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        IatHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_ms: 0,
+            max_ms: 0,
+        }
+    }
+
+    /// Records one inter-arrival gap. Non-finite or negative samples are
+    /// ignored (they cannot arise from a monotone simulated clock, but
+    /// the model must never poison itself on one).
+    pub fn record(&mut self, iat_ms: f64) {
+        if !iat_ms.is_finite() || iat_ms < 0.0 {
+            return;
+        }
+        let value = iat_ms.round() as u64;
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum_ms = self.sum_ms.saturating_add(value);
+        self.max_ms = self.max_ms.max(value);
+    }
+
+    /// Number of recorded gaps.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean gap (0 if empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded gap (0 if empty).
+    pub fn max_ms(&self) -> u64 {
+        self.max_ms
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`) as the inclusive upper
+    /// bound of the holding bucket, clamped to the recorded maximum.
+    /// `None` while empty: an unsampled model stays silent rather than
+    /// fabricating a prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += u64::from(c);
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return Some((hi - 1).min(self.max_ms) as f64);
+            }
+        }
+        Some(self.max_ms as f64)
+    }
+
+    /// Folds `other` into `self` bucket-wise. Merging histograms fed on
+    /// disjoint arrival streams is exactly equivalent to recording every
+    /// gap into one histogram, in any order — the property the fleet's
+    /// deterministic parallel merge relies on.
+    pub fn merge(&mut self, other: &IatHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum_ms = self.sum_ms.saturating_add(other.sum_ms);
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_stays_silent() {
+        let h = IatHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn quantile_overestimates_but_clamps_to_max() {
+        let mut h = IatHistogram::new();
+        for _ in 0..100 {
+            h.record(1000.0);
+        }
+        let q = h.quantile(0.5).unwrap();
+        assert!(q >= 1000.0, "quantile must not underestimate: {q}");
+        assert!(q <= h.max_ms() as f64, "quantile must clamp to max: {q}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = IatHistogram::new();
+        for i in 0..500u64 {
+            h.record((i * 7 % 3000) as f64);
+        }
+        let mut last = 0.0;
+        for step in 0..=20 {
+            let q = h.quantile(step as f64 / 20.0).unwrap();
+            assert!(q >= last, "quantile({step}/20) = {q} < {last}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn negative_and_non_finite_samples_are_ignored() {
+        let mut h = IatHistogram::new();
+        h.record(-1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = IatHistogram::new();
+        let mut b = IatHistogram::new();
+        let mut both = IatHistogram::new();
+        for i in 0..200u64 {
+            let v = (i * i % 5000) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

@@ -1,0 +1,36 @@
+//! `luke-predict` — predictive pre-warming and adaptive keep-alive.
+//!
+//! The paper's warm-pool characterization shows lukewarm invocations
+//! dominate precisely because a fixed keep-alive window is blind to
+//! per-function arrival patterns: it holds instances for rare functions
+//! far too long (memory burned for nothing) and still misses the next
+//! arrival of bursty ones (cold start anyway). This crate supplies the
+//! missing signal: a deterministic **online inter-arrival-time model**
+//! per function, and a **policy engine** that turns the model into two
+//! decision streams —
+//!
+//! * **pre-warm**: schedule a REAP pre-restore at
+//!   `predicted_arrival − restore_cost`, so the instance is
+//!   warm-or-lukewarm when the real arrival lands, and
+//! * **early-decay**: a per-function adaptive keep-alive that releases
+//!   an instance once the predicted-arrival quantile has passed,
+//!   replacing the pool's single global `keep_alive_ms`.
+//!
+//! Everything is driven by simulated time and deterministic state — no
+//! wall clock, no global RNG — so fleet runs with prediction enabled
+//! stay byte-identical across worker-thread counts, and the disabled
+//! sentinel ([`PrewarmConfig::disabled`]) is bit-transparent, following
+//! the `ChaosConfig::none()` contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod config;
+mod hist;
+mod predictor;
+
+pub use bank::PredictorBank;
+pub use config::PrewarmConfig;
+pub use hist::IatHistogram;
+pub use predictor::Predictor;

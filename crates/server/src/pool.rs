@@ -20,6 +20,9 @@ pub struct WarmInstance {
     pub function: usize,
     /// Wall-clock time of the most recent invocation, in milliseconds.
     pub last_invoked_ms: f64,
+    /// Wall-clock time this instance was spawned, in milliseconds — the
+    /// start of its memory residency.
+    pub spawned_ms: f64,
     /// Number of invocations served.
     pub invocations: u64,
 }
@@ -39,6 +42,10 @@ pub struct InstancePool {
     cold_starts: u64,
     expirations: u64,
     evictions: u64,
+    /// Instance-milliseconds of memory residency credited by retired
+    /// (expired or evicted) instances — see
+    /// [`InstancePool::residency_ms_through`].
+    retired_memory_ms: f64,
     /// Pluggable cold-start pricing ([`luke_snapshot::ColdStartModel`]):
     /// `None` keeps the pre-snapshot behavior where spawns are free.
     snapshots: Option<SnapshotStore>,
@@ -74,6 +81,7 @@ impl InstancePool {
             cold_starts: 0,
             expirations: 0,
             evictions: 0,
+            retired_memory_ms: 0.0,
             snapshots: None,
         })
     }
@@ -110,6 +118,7 @@ impl InstancePool {
                 id,
                 function,
                 last_invoked_ms: now_ms,
+                spawned_ms: now_ms,
                 invocations: 0,
             },
         );
@@ -172,15 +181,41 @@ impl InstancePool {
     /// ids in ascending order. Because the pool iterates in id order,
     /// two identical runs expire identical id sequences.
     pub fn sweep_expired_ids(&mut self, now_ms: f64) -> Vec<u64> {
+        self.sweep_by_hold(now_ms, None)
+    }
+
+    /// The adaptive-expiry hook: like
+    /// [`InstancePool::sweep_expired_ids`], but each instance is held
+    /// for its *function's* window — `holds[function]`, as maintained by
+    /// a `luke-predict` policy bank — instead of the pool's single
+    /// global `keep_alive_ms`. Functions beyond the slice (or a hold of
+    /// exactly the cap) behave as without prediction.
+    pub fn sweep_adaptive(&mut self, now_ms: f64, holds: &[f64]) -> Vec<u64> {
+        self.sweep_by_hold(now_ms, Some(holds))
+    }
+
+    /// The one shared `retain` behind every expiration path (so fixed
+    /// and adaptive sweeps cannot drift). A retired instance credits its
+    /// residency through its expiry *deadline* (`last_invoked + hold`),
+    /// not the sweep time — sweeps run lazily on arrivals, and crediting
+    /// the deadline makes memory accounting independent of when the next
+    /// arrival happened to land.
+    fn sweep_by_hold(&mut self, now_ms: f64, holds: Option<&[f64]>) -> Vec<u64> {
         let keep_alive = self.keep_alive_ms;
         let mut expired = Vec::new();
+        let mut retired_ms = 0.0;
         self.instances.retain(|&id, inst| {
-            let keep = now_ms - inst.last_invoked_ms <= keep_alive;
+            let hold = holds
+                .and_then(|h| h.get(inst.function).copied())
+                .unwrap_or(keep_alive);
+            let keep = now_ms - inst.last_invoked_ms <= hold;
             if !keep {
                 expired.push(id);
+                retired_ms += inst.last_invoked_ms + hold - inst.spawned_ms;
             }
             keep
         });
+        self.retired_memory_ms += retired_ms;
         self.expirations += expired.len() as u64;
         expired
     }
@@ -199,11 +234,17 @@ impl InstancePool {
     /// eviction, as opposed to a keep-alive expiry). Returns `true` if the
     /// instance existed.
     pub fn evict(&mut self, id: u64) -> bool {
-        let existed = self.instances.remove(&id).is_some();
-        if existed {
-            self.evictions += 1;
+        match self.instances.remove(&id) {
+            Some(inst) => {
+                self.evictions += 1;
+                // Forced teardown carries no expiry deadline; credit
+                // residency through the last invocation (a slight
+                // undercount of the idle tail before the crash).
+                self.retired_memory_ms += inst.last_invoked_ms - inst.spawned_ms;
+                true
+            }
+            None => false,
         }
-        existed
     }
 
     /// Evicts every warm instance at once — a host crash wipes the whole
@@ -211,6 +252,9 @@ impl InstancePool {
     /// instances died.
     pub fn evict_all(&mut self) -> usize {
         let died = self.instances.len();
+        for inst in self.instances.values() {
+            self.retired_memory_ms += inst.last_invoked_ms - inst.spawned_ms;
+        }
         self.instances.clear();
         self.evictions += died as u64;
         died
@@ -231,6 +275,33 @@ impl InstancePool {
         self.evictions
     }
 
+    /// Instance-milliseconds already credited by retired instances.
+    pub fn retired_memory_ms(&self) -> f64 {
+        self.retired_memory_ms
+    }
+
+    /// Total warm-pool occupancy in instance-milliseconds through
+    /// simulated time `end_ms`: everything retired instances credited,
+    /// plus each still-resident instance's stay from spawn through the
+    /// earlier of `end_ms` and its expiry deadline under `holds`
+    /// (`None` = the global keep-alive). Read-only — the pool is not
+    /// swept — so exporters can price memory without disturbing the
+    /// end-of-run warm population.
+    ///
+    /// This is the x-axis of the memory-seconds-vs-P99 frontier: what a
+    /// provider actually pays to run a keep-alive policy.
+    pub fn residency_ms_through(&self, end_ms: f64, holds: Option<&[f64]>) -> f64 {
+        let mut total = self.retired_memory_ms;
+        for inst in self.instances.values() {
+            let hold = holds
+                .and_then(|h| h.get(inst.function).copied())
+                .unwrap_or(self.keep_alive_ms);
+            let until = end_ms.min(inst.last_invoked_ms + hold);
+            total += (until - inst.spawned_ms).max(0.0);
+        }
+        total
+    }
+
     /// Contributes pool telemetry to `registry`: lifecycle counters under
     /// `pool.*`, the current warm population as a gauge, and — only when
     /// a snapshot store is attached — the `snapshot.*` restore series
@@ -239,6 +310,7 @@ impl InstancePool {
         registry.counter_add("pool.cold_starts", self.cold_starts);
         registry.counter_add("pool.expirations", self.expirations);
         registry.counter_add("pool.evictions", self.evictions);
+        registry.counter_add("pool.memory_ms", self.retired_memory_ms.round() as u64);
         registry.gauge_set("pool.warm_instances", self.instances.len() as f64);
         if let Some(snapshots) = &self.snapshots {
             snapshots.fill_registry(registry);
@@ -471,6 +543,95 @@ mod tests {
         let mut pool = InstancePool::new(60_000.0);
         let ids: Vec<u64> = (0..8).map(|_| pool.spawn(3, 500.0)).collect();
         assert_eq!(pool.find_warm(3).unwrap().id, *ids.last().unwrap());
+    }
+
+    #[test]
+    fn adaptive_sweep_honors_per_function_holds() {
+        let mut pool = InstancePool::new(60_000.0);
+        let a = pool.spawn(0, 0.0); // hold 5s
+        let b = pool.spawn(1, 0.0); // hold 60s (global)
+        let expired = pool.sweep_adaptive(10_000.0, &[5_000.0, 60_000.0]);
+        assert_eq!(expired, vec![a]);
+        assert!(pool.instance(b).is_some());
+        assert_eq!(pool.expirations(), 1);
+    }
+
+    #[test]
+    fn adaptive_sweep_with_global_holds_matches_the_fixed_sweep() {
+        let mut fixed = InstancePool::new(8_000.0);
+        let mut adaptive = InstancePool::new(8_000.0);
+        for f in 0..24 {
+            let at = (f % 5) as f64 * 700.0;
+            fixed.spawn(f, at);
+            adaptive.spawn(f, at);
+        }
+        let holds = vec![8_000.0; 24];
+        for round in 1..=4 {
+            let now = round as f64 * 3_500.0;
+            assert_eq!(
+                fixed.sweep_expired_ids(now),
+                adaptive.sweep_adaptive(now, &holds),
+                "round {round}"
+            );
+            assert_eq!(fixed.retired_memory_ms(), adaptive.retired_memory_ms());
+        }
+    }
+
+    #[test]
+    fn functions_beyond_the_holds_slice_use_the_global_window() {
+        let mut pool = InstancePool::new(60_000.0);
+        let a = pool.spawn(9, 0.0); // function 9, holds slice covers 0..1
+        assert!(pool.sweep_adaptive(10_000.0, &[5_000.0]).is_empty());
+        assert!(pool.instance(a).is_some());
+    }
+
+    #[test]
+    fn retired_memory_credits_the_expiry_deadline_not_the_sweep_time() {
+        let mut pool = InstancePool::new(10_000.0);
+        let id = pool.spawn(0, 1_000.0);
+        pool.invoke(id, 4_000.0);
+        // Swept late, at t=50s: residency ran 1s → 14s (deadline), not 50s.
+        assert_eq!(pool.sweep(50_000.0), 1);
+        assert_eq!(pool.retired_memory_ms(), 13_000.0);
+    }
+
+    #[test]
+    fn eviction_credits_residency_through_the_last_invocation() {
+        let mut pool = InstancePool::new(60_000.0);
+        let a = pool.spawn(0, 0.0);
+        pool.invoke(a, 2_500.0);
+        pool.evict(a);
+        let b = pool.spawn(1, 3_000.0);
+        pool.invoke(b, 4_000.0);
+        pool.evict_all();
+        assert_eq!(pool.retired_memory_ms(), 2_500.0 + 1_000.0);
+    }
+
+    #[test]
+    fn residency_through_is_read_only_and_caps_at_end() {
+        let mut pool = InstancePool::new(10_000.0);
+        let id = pool.spawn(0, 1_000.0);
+        // Live instance, deadline 11s: through t=5s counts 4s of stay;
+        // through t=60s counts only to the deadline.
+        assert_eq!(pool.residency_ms_through(5_000.0, None), 4_000.0);
+        assert_eq!(pool.residency_ms_through(60_000.0, None), 10_000.0);
+        assert!(pool.instance(id).is_some(), "no sweep happened");
+        assert_eq!(pool.retired_memory_ms(), 0.0);
+        // A tighter per-function hold shrinks the live credit.
+        assert_eq!(
+            pool.residency_ms_through(60_000.0, Some(&[2_000.0])),
+            2_000.0
+        );
+    }
+
+    #[test]
+    fn memory_ms_is_exported_as_a_pool_counter() {
+        let mut pool = InstancePool::new(10_000.0);
+        pool.spawn(0, 0.0);
+        pool.sweep(20_000.0);
+        let mut registry = luke_obs::Registry::new();
+        pool.fill_registry(&mut registry);
+        assert_eq!(registry.snapshot().counter("pool.memory_ms"), 10_000);
     }
 
     #[test]

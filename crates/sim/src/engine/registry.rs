@@ -54,7 +54,7 @@ use crate::experiments::*;
 
 /// Every experiment, in paper order: figures, Table 3, then the
 /// beyond-the-paper studies.
-static REGISTRY: [&dyn Experiment; 20] = [
+static REGISTRY: [&dyn Experiment; 21] = [
     &fig01_cpi_vs_iat::Entry,
     &fig02_topdown::Entry,
     &fig05_mpki::Entry,
@@ -75,6 +75,7 @@ static REGISTRY: [&dyn Experiment; 20] = [
     &fleet_scale::Entry,
     &cold_spectrum::Entry,
     &surge::Entry,
+    &prewarm_frontier::Entry,
 ];
 
 /// All registered experiments, in paper order.

@@ -185,7 +185,7 @@ fn run_cell(
     model: &ServiceModel,
     timings: SnapshotTimings,
 ) -> Result<Row, luke_common::SimError> {
-    let mut pool = InstancePool::new(minutes * 60_000.0);
+    let mut pool = InstancePool::try_new(minutes * 60_000.0)?;
     let mut traffic = TrafficGenerator::new(distributions, 7);
     let mut lazy_store =
         SnapshotStore::for_profiles(ColdStartModel::LazyPaging, timings, &workloads::paper_suite())?;

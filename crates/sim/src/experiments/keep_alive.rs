@@ -92,13 +92,27 @@ impl crate::engine::Experiment for Entry {
         _engine: &Engine,
         params: &ExperimentParams,
     ) -> Result<Box<dyn crate::engine::ExperimentData>, luke_common::SimError> {
-        Ok(Box::new(run_experiment(params)))
+        try_run_experiment(params).map(|d| Box::new(d) as Box<dyn crate::engine::ExperimentData>)
     }
 }
 
 /// Runs the sweep. `params.scale` scales the population size; the default
 /// population is 400 functions, 40_000 invocations per window.
+///
+/// # Panics
+///
+/// Panics on invalid configuration; see [`try_run_experiment`].
 pub fn run_experiment(params: &ExperimentParams) -> Data {
+    match try_run_experiment(params) {
+        Ok(data) => data,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_experiment`] for callers that map
+/// [`luke_common::SimError`] to exit codes (the CLI): invalid windows
+/// surface as `InvalidConfig` (exit 3), not a panic.
+pub fn try_run_experiment(params: &ExperimentParams) -> Result<Data, luke_common::SimError> {
     let functions = ((400.0 * params.scale) as usize).max(20);
     let invocations = ((40_000.0 * params.scale) as usize).max(2_000);
     let distributions = population(functions, 0xAC11);
@@ -107,7 +121,7 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
         .iter()
         .map(|&minutes| {
             let keep_alive_ms = minutes * 60_000.0;
-            let mut pool = InstancePool::new(keep_alive_ms);
+            let mut pool = InstancePool::try_new(keep_alive_ms)?;
             let mut traffic = TrafficGenerator::new(&distributions, 7);
             // function index -> live instance id
             let mut live: Vec<Option<u64>> = vec![None; functions];
@@ -143,21 +157,21 @@ pub fn run_experiment(params: &ExperimentParams) -> Data {
             }
 
             let mean_warm = warm_sum as f64 / invocations as f64;
-            Row {
+            Ok(Row {
                 keep_alive_min: minutes,
                 warm_hit_rate: warm_hits as f64 / invocations as f64,
                 mean_warm_instances: mean_warm,
                 warm_function_fraction: mean_warm / functions as f64,
                 subsecond_gap_rate: subsecond as f64 / invocations as f64,
-            }
+            })
         })
-        .collect();
+        .collect::<Result<Vec<Row>, luke_common::SimError>>()?;
 
-    Data {
+    Ok(Data {
         rows,
         functions,
         invocations,
-    }
+    })
 }
 
 impl fmt::Display for Data {

@@ -22,6 +22,7 @@ pub mod fig13_pif;
 pub mod fleet_scale;
 pub mod host_interleaving;
 pub mod keep_alive;
+pub mod prewarm_frontier;
 pub mod related_work;
 pub mod resilience;
 pub mod surge;

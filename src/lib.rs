@@ -23,6 +23,7 @@
 //! | [`workloads`] | `workloads` | the 20-function synthetic suite (Table 2) |
 //! | [`prefetchers`] | `prefetchers` | PIF, PIF-ideal, next-line baselines |
 //! | [`server`] | `server` | warm pools, IAT traffic, interleaving model |
+//! | [`predict`] | `luke-predict` | online IAT prediction, pre-warming, adaptive keep-alive |
 //! | [`snapshot`] | `luke-snapshot` | page-level snapshot/restore, REAP record-and-prefetch |
 //! | [`fleet`] | `luke-fleet` | cluster-scale fleet simulator with deterministic sharding |
 //! | [`sim`] | `lukewarm-sim` | full-system glue + every figure/table experiment |
@@ -56,6 +57,7 @@
 pub use jukebox;
 pub use luke_common as common;
 pub use luke_fleet as fleet;
+pub use luke_predict as predict;
 pub use luke_snapshot as snapshot;
 pub use lukewarm_sim as sim;
 pub use prefetchers;

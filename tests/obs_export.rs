@@ -220,7 +220,12 @@ fn pool_lifecycle_counters_all_reach_the_export() {
 
     let v = parse(&run.snapshot.to_json()).expect("fleet snapshot JSON parses");
     let counters = v.get("counters").expect("counters object");
-    for name in ["pool.cold_starts", "pool.expirations", "pool.evictions"] {
+    for name in [
+        "pool.cold_starts",
+        "pool.expirations",
+        "pool.evictions",
+        "pool.memory_ms",
+    ] {
         let value = counters
             .get(name)
             .and_then(JsonValue::as_f64)
@@ -231,6 +236,16 @@ fn pool_lifecycle_counters_all_reach_the_export() {
         run.snapshot.counter("pool.cold_starts"),
         run.cold_starts,
         "pool and fleet disagree on cold starts"
+    );
+    // The exported counter bills only *retired* residency (expired or
+    // evicted instances); the run's total adds instances still live at
+    // the end, so the counter can never exceed it (modulo the per-host
+    // rounding of the counter).
+    let retired = run.snapshot.counter("pool.memory_ms");
+    assert!(
+        retired as f64 <= run.memory_ms + config.hosts as f64,
+        "retired residency {retired} exceeds total {}",
+        run.memory_ms
     );
 }
 
