@@ -94,6 +94,11 @@ pub struct FleetConfig {
     pub series_slo_ms: f64,
 }
 
+/// Hard cap on the merged fleet-wide event-ring capacity
+/// (`events_capacity × hosts`). Beyond this the allocation itself is the
+/// bug: 16 Mi events is already ~0.5 GiB of ring.
+pub const MAX_MERGED_EVENTS: usize = 1 << 24;
+
 impl Default for FleetConfig {
     /// A 16-host fleet under keep-alive-aware routing: 20k invocations,
     /// 10-minute keep-alive, 200 deployed functions, 20 invocations per
@@ -178,6 +183,19 @@ impl FleetConfig {
                 ));
             }
         }
+        match self.events_capacity.checked_mul(self.hosts) {
+            Some(merged) if merged <= MAX_MERGED_EVENTS => {}
+            _ => {
+                return Err(SimError::invalid_config(
+                    "fleet.events_capacity",
+                    format!(
+                        "events_capacity × hosts must not exceed {MAX_MERGED_EVENTS} \
+                         ({} × {} overflows the merged ring)",
+                        self.events_capacity, self.hosts
+                    ),
+                ));
+            }
+        }
         // Reuse the pool's, fault layer's and snapshot layer's own
         // validation.
         InstancePool::try_new(self.keep_alive_ms)?;
@@ -212,6 +230,13 @@ impl FleetConfig {
     /// Fleet-wide arrival rate in invocations per second.
     pub fn total_rate_per_sec(&self) -> f64 {
         self.hosts as f64 * self.per_host_rate_per_sec
+    }
+
+    /// Capacity of the merged fleet-wide event ring. Guaranteed not to
+    /// overflow (and to sit under [`MAX_MERGED_EVENTS`]) by
+    /// [`FleetConfig::validate`].
+    pub fn merged_events_capacity(&self) -> usize {
+        self.events_capacity.saturating_mul(self.hosts)
     }
 
     /// Whether span tracing is on (some dispatches are sampled).
@@ -309,6 +334,21 @@ mod tests {
                     ..FleetConfig::default()
                 },
                 "fleet.series_slo_ms",
+            ),
+            (
+                FleetConfig {
+                    events_capacity: usize::MAX / 2,
+                    ..FleetConfig::default()
+                },
+                "fleet.events_capacity",
+            ),
+            (
+                FleetConfig {
+                    events_capacity: MAX_MERGED_EVENTS,
+                    hosts: 2,
+                    ..FleetConfig::default()
+                },
+                "fleet.events_capacity",
             ),
             (
                 FleetConfig {
@@ -479,6 +519,24 @@ mod tests {
         };
         assert!(on.prewarm_enabled());
         assert!(on.validate().is_ok());
+    }
+
+    #[test]
+    fn merged_events_capacity_is_validated_and_exact() {
+        let config = FleetConfig {
+            events_capacity: 256,
+            hosts: 64,
+            ..FleetConfig::default()
+        };
+        assert!(config.validate().is_ok());
+        assert_eq!(config.merged_events_capacity(), 256 * 64);
+        let at_cap = FleetConfig {
+            events_capacity: MAX_MERGED_EVENTS / 16,
+            hosts: 16,
+            ..FleetConfig::default()
+        };
+        assert!(at_cap.validate().is_ok());
+        assert_eq!(at_cap.merged_events_capacity(), MAX_MERGED_EVENTS);
     }
 
     #[test]

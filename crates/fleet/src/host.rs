@@ -2,8 +2,12 @@
 //! interleaving-degree estimate that prices every warm hit.
 //!
 //! A host is deliberately self-contained — it owns its pool, fault
-//! stream, counters, histogram, and event ring, and consumes its
-//! pre-routed arrival queue with no shared state. That is what makes the
+//! stream, counters, histogram, event ring, and a private
+//! [`CalendarQueue`] of timers (keep-alive expiries, adaptive-decay
+//! re-checks, pre-warm restores), and consumes its pre-routed arrival
+//! queue with no shared state. Timers drain at each arrival boundary in
+//! `(time, kind, seq)` order, so everything between two arrivals is a
+//! pure function of the host's own history. That is what makes the
 //! fleet *embarrassingly deterministic*: hosts can be processed in any
 //! order, on any number of threads, and merging their state in host-id
 //! order reproduces the sequential run bit for bit.
@@ -15,11 +19,12 @@ use luke_obs::{Event, EventKind, EventRing, Histogram, Registry, StartClass, Tim
 use luke_snapshot::{ColdStartModel, SnapshotStore};
 use server::{
     fault_kind_index, AdmissionControl, AdmissionDecision, AttemptCosts, FaultKind, FaultPlan,
-    FaultStats, InstancePool, RetryPolicy,
+    FaultStats, InstancePool, InvocationResult, RetryPolicy,
 };
 
 use crate::chaos::{HostSchedule, HostState};
 use crate::config::FleetConfig;
+use crate::event::{CalendarQueue, FleetEventKind};
 use crate::timing::ServiceModel;
 use crate::traffic::Population;
 
@@ -89,8 +94,12 @@ pub struct FleetHost {
     pub host_id: usize,
     pool: InstancePool,
     faults: FaultPlan,
-    /// Live instance id per logical function, if any.
-    live: Vec<Option<u64>>,
+    /// Live instance id per logical function, stored as `id + 1` with
+    /// `0` meaning none. The all-zero empty encoding lets the table
+    /// come from a lazily-faulted zero mapping: a host only ever
+    /// touches the slots of functions routed to it, so a 2,048-host
+    /// fleet doesn't memset O(hosts × population) at construction.
+    live: Vec<u64>,
     /// Invocations of each logical function seen by this host — the
     /// "own rate" term of the interleaving estimate.
     fn_invocations: Vec<u64>,
@@ -160,6 +169,23 @@ pub struct FleetHost {
     pub prewarm_spawns: u64,
     /// Arrivals that landed on a pre-warmed instance.
     pub prewarm_hits: u64,
+    /// The host's private calendar queue: keep-alive expiries,
+    /// adaptive-decay re-checks, and pre-warm timers, drained at each
+    /// arrival boundary (see [`crate::event`]).
+    timers: CalendarQueue,
+    /// Per function: the time of its expiry entry currently in the
+    /// queue — the lazy-invalidation key, `0.0` meaning none (real
+    /// deadlines are strictly positive). A popped entry whose time no
+    /// longer matches was superseded by a re-key and is dropped; a
+    /// matching entry re-checks the true idle predicate before acting,
+    /// so at most one expiry entry per function does work. Zero-encoded
+    /// for the same lazily-faulted construction as `live`.
+    expiry_queued: Vec<f64>,
+    /// Per function: the scheduled time of the valid pre-warm timer, if
+    /// any. Each model observation *replaces* the function's pending
+    /// pre-restore, so updating this key is what cancels a stale timer
+    /// still sitting in the queue. Empty when prediction is disabled.
+    prewarm_pending: Vec<Option<f64>>,
 }
 
 /// Per-host span-ring capacity: generous enough that no sampled trace is
@@ -245,7 +271,7 @@ impl FleetHost {
             host_id,
             pool,
             faults,
-            live: vec![None; config.population],
+            live: vec![0; config.population],
             fn_invocations: vec![0; config.population],
             invocations: 0,
             cold_starts: 0,
@@ -278,6 +304,13 @@ impl FleetHost {
             last_restore_ms,
             prewarm_spawns: 0,
             prewarm_hits: 0,
+            timers: CalendarQueue::new(),
+            expiry_queued: vec![0.0; config.population],
+            prewarm_pending: if config.prewarm.enabled {
+                vec![None; config.population]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -289,7 +322,7 @@ impl FleetHost {
             && self.schedule.crash_start(self.next_crash) <= at
         {
             let died = self.pool.evict_all();
-            self.live.fill(None);
+            self.live.fill(0);
             self.prewarm_ready.fill(None);
             self.host_crashes += 1;
             self.events.record(Event {
@@ -354,40 +387,170 @@ impl FleetHost {
         self.prewarm_ready.get_mut(function).and_then(Option::take)
     }
 
-    /// Spawns every pre-restore the policy bank scheduled at or before
-    /// `at`, in function-id order. Each spawn is back-dated to its
-    /// scheduled time (which lies between the previous arrival and
-    /// `at`), restores through the snapshot store when one is attached,
-    /// and leaves the ready time behind so an arrival that beats the
-    /// restore pays the residual wait.
-    fn apply_due_prewarms(&mut self, at: f64) {
-        let due = self
-            .prewarm
-            .as_mut()
-            .expect("prediction is enabled")
-            .due_prewarms(at);
-        for (function, t_pre) in due {
-            // The instance survived after all (e.g. the hold was raised
-            // by a later observation): nothing to pre-warm.
-            if self
-                .live[function]
-                .is_some_and(|id| self.pool.instance(id).is_some())
-            {
-                continue;
-            }
-            let (id, restore_ms) = self.pool.spawn_restored(function, t_pre);
-            // Without a snapshot store the pre-boot still takes the flat
-            // cold-start time before the instance is ready.
-            let cost_ms = if self.pool.snapshots().is_some() {
-                restore_ms
-            } else {
-                self.last_restore_ms[function]
-            };
-            self.live[function] = Some(id);
-            self.prewarm_ready[function] = Some(t_pre + cost_ms);
-            self.last_restore_ms[function] = cost_ms;
-            self.prewarm_spawns += 1;
+    /// The live instance id of `function`, decoding the `id + 1` table
+    /// encoding.
+    #[inline]
+    fn live_id(&self, function: usize) -> Option<u64> {
+        self.live[function].checked_sub(1)
+    }
+
+    /// Sets (or clears, with `None`) `function`'s live instance id.
+    #[inline]
+    fn set_live(&mut self, function: usize, id: Option<u64>) {
+        self.live[function] = id.map_or(0, |id| id + 1);
+    }
+
+    /// The keep-alive hold in force for `function`: its adaptive hold
+    /// under prediction, the pool's global window otherwise.
+    fn hold_for(&self, function: usize) -> f64 {
+        match &self.prewarm {
+            Some(bank) => bank.holds()[function],
+            None => self.pool.keep_alive_ms(),
         }
+    }
+
+    /// Registers `deadline_ms` as `function`'s expiry deadline. If an
+    /// entry that fires no later is already queued, only the deadline
+    /// moves — the queued entry re-checks the idle predicate when it
+    /// fires and re-arms itself at the true deadline, so a hot function
+    /// keeps a single long-lived entry instead of one per invocation.
+    fn schedule_expiry(&mut self, function: usize, deadline_ms: f64) {
+        let queued = self.expiry_queued[function];
+        if queued == 0.0 || queued > deadline_ms {
+            self.expiry_queued[function] = deadline_ms;
+            self.timers.push(
+                deadline_ms,
+                self.host_id as u32,
+                FleetEventKind::KeepAliveExpiry,
+                function as u32,
+            );
+        }
+    }
+
+    /// Re-keys `function`'s expiry after a model observation moved its
+    /// hold without an invocation (the shed path): a tightened hold
+    /// needs an adaptive-decay re-check at the earlier deadline, while
+    /// a raised hold rides on the outstanding entry (which revalidates
+    /// when it fires).
+    fn resync_expiry(&mut self, function: usize) {
+        let Some(id) = self.live_id(function) else { return };
+        let Some(last) = self.pool.last_invoked_ms(id) else { return };
+        let deadline = last + self.hold_for(function);
+        let queued = self.expiry_queued[function];
+        if queued == 0.0 || queued > deadline {
+            self.expiry_queued[function] = deadline;
+            self.timers.push(
+                deadline,
+                self.host_id as u32,
+                FleetEventKind::AdaptiveDecay,
+                function as u32,
+            );
+        }
+    }
+
+    /// Pops and fires every timer due at the arrival boundary `at`: all
+    /// events strictly before it, plus pre-warm timers scheduled
+    /// exactly at it. (Pre-warm firing was inclusive in the polled
+    /// implementation; expiry stays strict because the keep-alive
+    /// predicate is `idle > hold`. The [`FleetEventKind::rank`] order
+    /// makes the pre-warm reachable at the heap head when both share an
+    /// instant.)
+    fn drain_timers(&mut self, at: f64) {
+        while let Some(next) = self.timers.peek() {
+            let due = next.time_ms < at
+                || (next.time_ms == at && next.kind == FleetEventKind::PrewarmTimer);
+            if !due {
+                break;
+            }
+            let event = self.timers.pop().expect("peeked event is still queued");
+            let function = event.function as usize;
+            match event.kind {
+                FleetEventKind::PrewarmTimer => self.fire_prewarm(function, event.time_ms, at),
+                FleetEventKind::KeepAliveExpiry | FleetEventKind::AdaptiveDecay => {
+                    self.fire_expiry(function, event.time_ms, at);
+                }
+                // Arrivals, chaos boundaries and hedge joins never enter
+                // the per-host queue — they live in the run loop.
+                FleetEventKind::Arrival
+                | FleetEventKind::ChaosTransition
+                | FleetEventKind::HedgeJoin => {}
+            }
+        }
+    }
+
+    /// A keep-alive expiry (or adaptive-decay re-check) popped at
+    /// `fired_ms` while processing the arrival at `at`. Lazy
+    /// invalidation: the entry only acts if it still carries the
+    /// function's queued-entry key, and the true predicate is re-checked
+    /// against the hold in force — an entry that fired ahead of the real
+    /// deadline (the instance was re-invoked, or its hold grew) re-arms
+    /// itself there instead of expiring. A genuine expiry credits
+    /// residency through the deadline, exactly what the lazy sweep used
+    /// to charge.
+    fn fire_expiry(&mut self, function: usize, fired_ms: f64, at: f64) {
+        if self.expiry_queued[function] != fired_ms {
+            return;
+        }
+        self.expiry_queued[function] = 0.0;
+        let Some(id) = self.live_id(function) else { return };
+        let Some(last) = self.pool.last_invoked_ms(id) else {
+            self.set_live(function, None);
+            return;
+        };
+        let hold = self.hold_for(function);
+        if at - last > hold {
+            self.pool.expire_with_deadline(id, last + hold);
+            self.set_live(function, None);
+            self.take_prewarm_ready(function);
+        } else {
+            self.schedule_expiry(function, last + hold);
+        }
+    }
+
+    /// A pre-warm timer popped at its scheduled time `t_pre` while
+    /// processing the arrival at `at`. If the function's instance will
+    /// have lapsed by `at`, it is retired first (the polled
+    /// implementation swept before firing pre-warms); if it genuinely
+    /// survives this arrival, the pre-restore buys nothing and is
+    /// dropped. Otherwise a restored instance spawns back-dated to
+    /// `t_pre`, leaving its ready time behind so an arrival that beats
+    /// the restore pays the residual wait.
+    fn fire_prewarm(&mut self, function: usize, t_pre: f64, at: f64) {
+        if self.prewarm_pending.get(function).copied().flatten() != Some(t_pre) {
+            return;
+        }
+        self.prewarm_pending[function] = None;
+        if let Some(id) = self.live_id(function) {
+            match self.pool.last_invoked_ms(id) {
+                Some(last) => {
+                    let hold = self.hold_for(function);
+                    if at - last > hold {
+                        self.pool.expire_with_deadline(id, last + hold);
+                        self.set_live(function, None);
+                        self.take_prewarm_ready(function);
+                    } else {
+                        // The instance survived after all (e.g. the hold
+                        // was raised by a later observation): nothing to
+                        // pre-warm.
+                        return;
+                    }
+                }
+                None => self.set_live(function, None),
+            }
+        }
+        let (id, restore_ms) = self.pool.spawn_restored(function, t_pre);
+        // Without a snapshot store the pre-boot still takes the flat
+        // cold-start time before the instance is ready.
+        let cost_ms = if self.pool.snapshots().is_some() {
+            restore_ms
+        } else {
+            self.last_restore_ms[function]
+        };
+        self.set_live(function, Some(id));
+        self.prewarm_ready[function] = Some(t_pre + cost_ms);
+        self.last_restore_ms[function] = cost_ms;
+        self.prewarm_spawns += 1;
+        self.schedule_expiry(function, t_pre + self.hold_for(function));
     }
 
     /// Processes one routed invocation and returns its end-to-end
@@ -512,33 +675,30 @@ impl FleetHost {
             self.down_retries += down_retries;
         }
 
-        match &self.prewarm {
-            Some(bank) => {
-                self.pool.sweep_adaptive(at, bank.holds());
-            }
-            None => {
-                self.pool.sweep(at);
-            }
-        }
-        // The pool may have expired this function's instance just now.
-        if let Some(id) = self.live[function] {
-            if self.pool.instance(id).is_none() {
-                self.live[function] = None;
-                self.take_prewarm_ready(function);
-            }
-        }
+        // Fire every timer due at this arrival boundary — keep-alive
+        // expiries retire idle instances with the same deadline credit
+        // the lazy sweep used to charge, and pre-restores spawn
+        // back-dated instances — all in calendar order. Every live
+        // instance keeps a queued expiry entry at or before its true
+        // deadline, so the drain alone reproduces the old per-arrival
+        // sweep's strict `at − last > hold` predicate exactly.
+        self.drain_timers(at);
 
-        // Fire every pre-restore whose scheduled time has passed, then
-        // feed the arrival to the model (in that order: a pre-warm
-        // scheduled before this arrival must exist before the model
-        // re-forecasts the function).
-        if self.prewarm.is_some() {
-            self.apply_due_prewarms(at);
+        if let Some(bank) = self.prewarm.as_mut() {
             let restore_est = self.last_restore_ms[function];
-            self.prewarm
-                .as_mut()
-                .expect("prediction is enabled")
-                .observe(function, at, restore_est);
+            let scheduled = bank.observe(function, at, restore_est);
+            // Each observation replaces the function's pending
+            // pre-restore; moving the key cancels any stale timer still
+            // in the queue.
+            self.prewarm_pending[function] = scheduled;
+            if let Some(t_pre) = scheduled {
+                self.timers.push(
+                    t_pre,
+                    self.host_id as u32,
+                    FleetEventKind::PrewarmTimer,
+                    function as u32,
+                );
+            }
         }
 
         // Admission ladder: shed before any pool state is touched.
@@ -557,6 +717,9 @@ impl FleetHost {
                 if !routed.hedge {
                     self.series.record_shed(at);
                 }
+                // The observation above may have tightened this
+                // function's hold without an invocation to re-key it.
+                self.resync_expiry(function);
                 // A shed invocation never executes: its root covers only
                 // the reconnect wait it burned getting here.
                 scope.root(down_wait_ms, self.host_id as u64, tick_us(at));
@@ -569,11 +732,11 @@ impl FleetHost {
         // draws (and counts) this on warm starts, so when we act on it
         // here — evicting from the pool and flipping to a cold start —
         // we take over the bookkeeping it would have done.
-        let mut starts_cold = self.live[function].is_none();
-        if let Some(id) = self.live[function] {
+        let mut starts_cold = self.live[function] == 0;
+        if let Some(id) = self.live_id(function) {
             if self.faults.evicted_before(invocation) {
                 self.pool.evict(id);
-                self.live[function] = None;
+                self.set_live(function, None);
                 self.take_prewarm_ready(function);
                 self.fault_stats.evictions += 1;
                 self.events.record(Event {
@@ -614,7 +777,7 @@ impl FleetHost {
                 self.last_restore_ms[function] = cold_start_ms;
             }
             self.pool.invoke(id, at);
-            self.live[function] = Some(id);
+            self.set_live(function, Some(id));
             self.cold_starts += 1;
             // A fresh container has nothing resident: full penalty, and
             // Jukebox has no prior invocation to replay.
@@ -627,7 +790,7 @@ impl FleetHost {
             // *prior invocation*: microarchitecturally this is the
             // paper's lukewarm case at full interleaving penalty, and
             // Jukebox replays the snapshot's recorded history.
-            let id = self.live[function].expect("prewarmed path has a live id");
+            let id = self.live_id(function).expect("prewarmed path has a live id");
             self.pool.invoke(id, at).expect("live id is in the pool");
             self.lukewarm_hits += 1;
             self.prewarm_hits += 1;
@@ -635,7 +798,7 @@ impl FleetHost {
             self.degree_sum += 1.0;
             (ready_ms - at).max(0.0) + model.service_ms(profile, 1.0, jukebox)
         } else {
-            let id = self.live[function].expect("warm path has a live id");
+            let id = self.live_id(function).expect("warm path has a live id");
             let gap_ms = self.pool.invoke(id, at).expect("live id is in the pool");
             let elapsed_sec = at / 1000.0;
             let other_per_sec = if elapsed_sec > 0.0 {
@@ -684,30 +847,52 @@ impl FleetHost {
             ..config.retry
         };
         let crashes_before = self.fault_stats.crashes;
-        let result = self.faults.run_invocation_spanned(
-            &policy,
-            invocation,
-            &costs,
-            &mut self.fault_stats,
-            &mut self.events,
-            scope,
-            down_wait_ms,
-        );
+        // Fast path: with the fault plan disabled nothing can strike (no
+        // eviction, crash, timeout, or retry — none of their streams are
+        // even drawn), and with the span scope disabled no child spans
+        // are recorded. The fault layer would then charge exactly one
+        // clean attempt; replicate it here without the attempt loop.
+        // `0.0 + x == x` bit-exactly for the non-negative costs involved,
+        // so the summed latency matches the layer's running accumulator.
+        let result = if !self.faults.is_enabled() && !scope.is_enabled() {
+            self.fault_stats.completed += 1;
+            InvocationResult {
+                latency_ms: (if starts_cold { costs.cold_start_ms } else { 0.0 })
+                    + costs.service_ms,
+                attempts: 1,
+                completed: true,
+            }
+        } else {
+            self.faults.run_invocation_spanned(
+                &policy,
+                invocation,
+                &costs,
+                &mut self.fault_stats,
+                &mut self.events,
+                scope,
+                down_wait_ms,
+            )
+        };
 
         // Crashes tear the instance down. If the retry layer recovered,
         // its final attempt ran on a fresh spawn; reflect that in the
         // pool. If it gave up, the function has no live instance left.
         let crashed = self.fault_stats.crashes > crashes_before;
-        if let Some(id) = self.live[function] {
+        if let Some(id) = self.live_id(function) {
             if crashed || !result.completed {
                 self.pool.evict(id);
-                self.live[function] = None;
+                self.set_live(function, None);
             }
             if crashed && result.completed {
                 let fresh = self.pool.spawn(function, at);
                 self.pool.invoke(fresh, at);
-                self.live[function] = Some(fresh);
+                self.set_live(function, Some(fresh));
             }
+        }
+        // Whatever instance is live now was just invoked at `at`: re-key
+        // its keep-alive deadline under the hold in force.
+        if self.live[function] != 0 {
+            self.schedule_expiry(function, at + self.hold_for(function));
         }
 
         let fault_retries = result.attempts.saturating_sub(1);
@@ -934,10 +1119,10 @@ mod tests {
             500
         );
         // Every live entry must point at a real pool instance.
-        for (function, id) in host.live.iter().enumerate() {
-            if let Some(id) = id {
+        for function in 0..host.live.len() {
+            if let Some(id) = host.live_id(function) {
                 assert!(
-                    host.pool.instance(*id).is_some(),
+                    host.pool.instance(id).is_some(),
                     "function {function} maps to dead instance {id}"
                 );
             }

@@ -43,6 +43,7 @@
 
 pub mod chaos;
 pub mod config;
+pub mod event;
 pub mod health;
 pub mod host;
 pub mod route;
@@ -52,6 +53,7 @@ pub mod traffic;
 
 pub use chaos::{ChaosConfig, ChaosPlan, HostSchedule, HostState};
 pub use config::FleetConfig;
+pub use event::{CalendarQueue, FleetEvent, FleetEventKind};
 pub use health::{HealthConfig, HealthStatus, HealthView};
 pub use host::{FleetHost, HedgeOutcome, RoutedInvocation};
 pub use luke_predict::PrewarmConfig;

@@ -153,6 +153,11 @@ pub struct Router {
     /// eagerly for every policy (it is tiny) so switching policies
     /// never changes struct layout.
     ring: Vec<(u64, usize)>,
+    /// Memoized ring lookups per function id. The ring is immutable for
+    /// the router's lifetime, so `function → host` is a pure function;
+    /// caching it turns the hot keep-alive-aware path from a hash +
+    /// binary search into one indexed load. Grows on demand.
+    kaa_cache: Vec<Option<usize>>,
     /// Dispatches routed so far (hedge copies not included).
     dispatches: u64,
     /// Dispatches that skipped an unhealthy preferred host.
@@ -184,6 +189,7 @@ impl Router {
             rr_next: 0,
             assigned_ms: vec![0.0; hosts],
             ring,
+            kaa_cache: Vec::new(),
             dispatches: 0,
             failovers: 0,
             hedges: 0,
@@ -210,10 +216,21 @@ impl Router {
                     .unwrap_or(0)
             }
             RoutingPolicy::KeepAliveAware => {
-                let key = DetRng::new(KEY_STREAM).split(function as u64).seed();
-                // First vnode clockwise from the key; wrap to ring[0].
-                let at = self.ring.partition_point(|&(hash, _)| hash < key);
-                self.ring[at % self.ring.len()].1
+                if function >= self.kaa_cache.len() {
+                    self.kaa_cache.resize(function + 1, None);
+                }
+                match self.kaa_cache[function] {
+                    Some(host) => host,
+                    None => {
+                        let key = DetRng::new(KEY_STREAM).split(function as u64).seed();
+                        // First vnode clockwise from the key; wrap to
+                        // ring[0].
+                        let at = self.ring.partition_point(|&(hash, _)| hash < key);
+                        let host = self.ring[at % self.ring.len()].1;
+                        self.kaa_cache[function] = Some(host);
+                        host
+                    }
+                }
             }
         }
     }

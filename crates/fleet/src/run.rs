@@ -1,26 +1,39 @@
-//! Fleet orchestration: sequential routing, deterministically parallel
-//! host processing, ordered merge.
+//! Fleet orchestration: a streaming route producer, work-stealing
+//! deterministic shards, ordered merge.
 //!
-//! The run has three phases with a sharp determinism argument each:
+//! The run is one event-driven pipeline with a sharp determinism
+//! argument at each stage:
 //!
-//! 1. **Route** (sequential): the arrival stream is drawn lane-by-lane
+//! 1. **Route** (one producer): the arrival stream is drawn lane-by-lane
 //!    from the traffic generator and pushed through the router in
-//!    arrival order, filling one queue per host. Router state
-//!    (round-robin cursor, load ledger) only ever sees this one
-//!    canonical order.
-//! 2. **Process** (parallel): hosts are split into contiguous shards
-//!    over `std::thread::scope` workers. Hosts share nothing — each owns
-//!    its pool, fault stream, counters, and event ring — so the schedule
-//!    cannot influence any host's state.
+//!    arrival order. Router state (round-robin cursor, load ledger,
+//!    health view) only ever sees this one canonical order. Routed
+//!    copies stream into *bounded* per-shard batch queues — peak routed
+//!    work in flight is O(shards × batches), independent of the
+//!    invocation count — and the producer blocks when a shard's queue is
+//!    full (backpressure), overlapping routing with processing.
+//! 2. **Process** (work-stealing workers): hosts are grouped into
+//!    contiguous shards, several per worker. A shard becomes *runnable*
+//!    when its queue holds work and exactly one worker owns it at a
+//!    time (the `scheduled` flag), so each host still consumes its
+//!    arrivals in canonical route order while idle workers steal
+//!    whichever shard has work instead of waiting on the hottest static
+//!    chunk. Hosts share nothing — each owns its pool, fault stream,
+//!    calendar queue of timers, counters, and event ring — so the
+//!    stealing schedule cannot influence any host's state.
 //! 3. **Merge** (sequential): per-host state is folded into fleet
 //!    totals, one registry, one histogram, and one event ring *in host-id
 //!    order*, which is independent of which thread ran which shard.
 //!
-//! Consequence: `threads` never appears in any result, and
-//! `tests/fleet_determinism.rs` asserts a 1-thread and a 4-thread run
+//! With `threads == 1` the pipeline degenerates to a fully sequential
+//! loop that routes each arrival and processes it on its host
+//! immediately — the reference semantics, with peak memory O(hosts).
+//! Either way `threads` never appears in any result, and
+//! `tests/fleet_determinism.rs` asserts a 1-thread and an N-thread run
 //! export byte-identical JSON.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 
 use luke_common::SimError;
 use luke_obs::span::{sort_canonical, trace_id, Span, SpanKind, SpanRing};
@@ -156,14 +169,19 @@ impl FleetRun {
         }
     }
 
-    /// Median end-to-end latency, ms.
+    /// Median end-to-end latency, ms (0.0 when nothing completed — an
+    /// all-shed run has no tail to report).
     pub fn p50_ms(&self) -> f64 {
-        self.latency_us.percentile(50.0) as f64 / 1000.0
+        self.latency_us
+            .try_percentile(50.0)
+            .map_or(0.0, |us| us as f64 / 1000.0)
     }
 
-    /// Tail end-to-end latency, ms.
+    /// Tail end-to-end latency, ms (0.0 when nothing completed).
     pub fn p99_ms(&self) -> f64 {
-        self.latency_us.percentile(99.0) as f64 / 1000.0
+        self.latency_us
+            .try_percentile(99.0)
+            .map_or(0.0, |us| us as f64 / 1000.0)
     }
 
     /// Fraction of invocations that found no warm instance.
@@ -192,34 +210,159 @@ impl FleetRun {
     }
 }
 
-/// Runs the fleet once. `model` prices service times; `jukebox` selects
-/// which lukewarm factor warm hits pay.
-pub fn run_fleet(
+/// Items per routed batch handed from the producer to a shard queue.
+/// Large enough that queue lock/wake traffic amortizes to noise even
+/// when the workers time-slice a single core.
+const BATCH_ITEMS: usize = 1024;
+/// Bound on undrained batches per shard before the producer blocks —
+/// the streaming pipeline's backpressure window. Peak routed work in
+/// flight is O(shards × `MAX_QUEUED_BATCHES` × [`BATCH_ITEMS`]),
+/// independent of the invocation count.
+const MAX_QUEUED_BATCHES: usize = 8;
+/// Work-stealing shards per worker thread: several small shards per
+/// worker let an idle worker steal the tail of a skewed routing
+/// distribution instead of waiting on the hottest static chunk.
+const SHARDS_PER_WORKER: usize = 4;
+
+/// One routed copy addressed to a host *within* its shard.
+type ShardItem = (usize, RoutedInvocation);
+
+/// One shard's bounded batch queue — the producer side of the pipeline.
+struct ShardQueue {
+    state: Mutex<ShardQueueState>,
+    /// Signals the backpressured producer when a full queue drains.
+    drained: Condvar,
+}
+
+struct ShardQueueState {
+    batches: VecDeque<Vec<ShardItem>>,
+    /// Whether the shard is runnable-or-running. Set by the producer
+    /// when it enqueues into an idle shard, cleared by the owning
+    /// worker in the same critical section that observes the queue
+    /// empty — so exactly one worker ever owns a shard, and each host
+    /// consumes its arrivals in canonical route order regardless of
+    /// which worker stole the shard.
+    scheduled: bool,
+}
+
+/// The work-stealing scheduler: shards with undrained work, plus the
+/// producer-finished flag that lets workers exit.
+struct Scheduler {
+    state: Mutex<SchedulerState>,
+    runnable: Condvar,
+}
+
+struct SchedulerState {
+    queue: VecDeque<usize>,
+    finished: bool,
+}
+
+/// Enqueues one batch for `shard`, blocking while the shard's queue is
+/// at the backpressure bound, and marks the shard runnable if no worker
+/// currently owns it.
+fn push_batch(
+    queues: &[ShardQueue],
+    scheduler: &Scheduler,
+    shard: usize,
+    batch: Vec<ShardItem>,
+) {
+    let make_runnable = {
+        let mut q = queues[shard].state.lock().expect("shard queue mutex");
+        while q.batches.len() >= MAX_QUEUED_BATCHES {
+            q = queues[shard].drained.wait(q).expect("shard queue mutex");
+        }
+        q.batches.push_back(batch);
+        let first = !q.scheduled;
+        q.scheduled = true;
+        first
+    };
+    if make_runnable {
+        let mut sched = scheduler.state.lock().expect("scheduler mutex");
+        sched.queue.push_back(shard);
+        scheduler.runnable.notify_one();
+    }
+}
+
+/// One worker: claim a runnable shard, drain its queue to empty, hand
+/// the shard back, repeat until the producer has finished and nothing is
+/// runnable. Every enqueue that makes a shard runnable happens-before
+/// the producer's `finished` store (both go through the scheduler
+/// mutex), so a worker that sees `finished` with an empty runnable list
+/// knows every batch is either drained or owned by a worker that will
+/// drain it.
+fn worker_loop(
+    queues: &[ShardQueue],
+    scheduler: &Scheduler,
+    shards: &[Mutex<Vec<FleetHost>>],
     config: &FleetConfig,
     model: &ServiceModel,
     jukebox: bool,
-) -> Result<FleetRun, SimError> {
-    config.validate()?;
+) {
+    loop {
+        let shard = {
+            let mut sched = scheduler.state.lock().expect("scheduler mutex");
+            loop {
+                if let Some(shard) = sched.queue.pop_front() {
+                    break shard;
+                }
+                if sched.finished {
+                    return;
+                }
+                sched = scheduler.runnable.wait(sched).expect("scheduler mutex");
+            }
+        };
+        // The `scheduled` flag guarantees exclusive ownership, so this
+        // lock is uncontended; it exists to carry `&mut` across threads.
+        let mut hosts = shards[shard].lock().expect("shard hosts mutex");
+        loop {
+            let batch = {
+                let mut q = queues[shard].state.lock().expect("shard queue mutex");
+                match q.batches.pop_front() {
+                    Some(batch) => {
+                        queues[shard].drained.notify_one();
+                        Some(batch)
+                    }
+                    None => {
+                        q.scheduled = false;
+                        None
+                    }
+                }
+            };
+            let Some(batch) = batch else { break };
+            for (local, routed) in batch {
+                hosts[local].process(config, model, jukebox, routed);
+            }
+        }
+    }
+}
 
-    // Phase 1 — route (sequential). Under chaos the router consults a
-    // health view advanced to each arrival — probe rounds, breaker
-    // transitions, failover walks, and hedge decisions all happen here,
-    // in the one canonical arrival order, which is what keeps them
-    // thread-count-independent.
+/// Drives the traffic generator through the router in the one canonical
+/// arrival order, handing every routed copy to `emit`, and returns the
+/// last arrival time — the memory-accounting horizon. Both execution
+/// modes share this exact code path (the sequential loop `emit`s
+/// straight into a host, the streaming producer into bounded shard
+/// queues), so routing state never sees anything but the canonical
+/// order. Under chaos the router consults a health view advanced to
+/// each arrival — probe rounds, breaker transitions, failover walks,
+/// and hedge decisions all happen here, which is what keeps them
+/// thread-count-independent.
+fn route_stream(
+    config: &FleetConfig,
+    model: &ServiceModel,
+    router: &mut Router,
+    route_spans: &mut SpanRing,
+    mut emit: impl FnMut(usize, RoutedInvocation),
+) -> Result<f64, SimError> {
     let population = Population::synthesize(config);
     let mut stream = ArrivalStream::synthesize(config, &population)?;
-    let mut router = Router::new(config.policy, config.hosts);
-    let mut queues: Vec<Vec<RoutedInvocation>> = vec![Vec::new(); config.hosts];
     let chaos_plan = ChaosPlan::synthesize(config);
     let mut health = HealthView::new(config.hosts, config.health);
-    // Route-phase spans for sampled dispatches (ids 1–3 on each lane;
-    // the host side owns the root and ids from 4). Recorded here, in the
-    // one canonical arrival order, so they are thread-count-independent.
-    let mut route_spans = SpanRing::with_capacity(if config.trace_sample > 0 {
-        (config.invocations / config.trace_sample as usize + 1) * 4
-    } else {
-        0
-    });
+    // Warm-service estimates per suite profile, hoisted off the
+    // per-arrival path (the router charges this estimate to its load
+    // ledger on every dispatch).
+    let warm_ms: Vec<f64> = (0..model.functions())
+        .map(|profile| model.timing(profile).warm_ms)
+        .collect();
     let route_span = |dispatch: u64, hedge_lane: bool, host: u64, failed_over: bool| Span {
         trace: trace_id(dispatch, hedge_lane),
         id: 1,
@@ -230,25 +373,26 @@ pub fn run_fleet(
         a: host,
         b: u64::from(failed_over),
     };
-    // Last arrival time — the memory-accounting horizon: residency is
-    // priced through the end of the run, not beyond it.
     let mut end_ms = 0.0_f64;
     for (dispatch, event) in (0_u64..).zip(stream.by_ref().take(config.invocations)) {
         end_ms = end_ms.max(event.at_ms);
         let function = event.instance;
-        let expected_ms = model.timing(function % model.functions()).warm_ms;
+        let expected_ms = warm_ms[function % warm_ms.len()];
         if chaos_plan.is_none() {
             let host = router.route(function, expected_ms);
             if config.samples(dispatch) {
                 route_spans.record(route_span(dispatch, false, host as u64, false));
             }
-            queues[host].push(RoutedInvocation {
-                at_ms: event.at_ms,
-                function,
-                dispatch,
-                hedge: false,
-                duplicate: false,
-            });
+            emit(
+                host,
+                RoutedInvocation {
+                    at_ms: event.at_ms,
+                    function,
+                    dispatch,
+                    hedge: false,
+                    duplicate: false,
+                },
+            );
         } else {
             health.advance_to(event.at_ms, &chaos_plan);
             if chaos_plan.all_down_at(event.at_ms) {
@@ -277,49 +421,153 @@ pub fn run_fleet(
                     route_spans.record(route_span(dispatch, true, second as u64, false));
                 }
             }
-            queues[decision.host].push(RoutedInvocation {
-                at_ms: event.at_ms,
-                function,
-                dispatch,
-                hedge,
-                duplicate: false,
-            });
-            if let Some(second) = decision.hedge {
-                queues[second].push(RoutedInvocation {
+            emit(
+                decision.host,
+                RoutedInvocation {
                     at_ms: event.at_ms,
                     function,
                     dispatch,
-                    hedge: true,
-                    duplicate: true,
-                });
+                    hedge,
+                    duplicate: false,
+                },
+            );
+            if let Some(second) = decision.hedge {
+                emit(
+                    second,
+                    RoutedInvocation {
+                        at_ms: event.at_ms,
+                        function,
+                        dispatch,
+                        hedge: true,
+                        duplicate: true,
+                    },
+                );
             }
         }
     }
+    Ok(end_ms)
+}
 
-    // Phase 2 — process (parallel over contiguous host shards). Worker
-    // count is capped by the host count; a shard is a chunk of
-    // consecutive hosts, so shard boundaries depend only on the config.
+/// The span-ring capacity for route-phase spans of sampled dispatches
+/// (ids 1–3 on each lane; the host side owns the root and ids from 4).
+fn route_span_capacity(config: &FleetConfig) -> usize {
+    if config.trace_sample > 0 {
+        (config.invocations / config.trace_sample as usize + 1) * 4
+    } else {
+        0
+    }
+}
+
+/// Runs the fleet once. `model` prices service times; `jukebox` selects
+/// which lukewarm factor warm hits pay.
+pub fn run_fleet(
+    config: &FleetConfig,
+    model: &ServiceModel,
+    jukebox: bool,
+) -> Result<FleetRun, SimError> {
+    config.validate()?;
+
+    let threads = config.threads.min(config.hosts);
     let mut hosts: Vec<FleetHost> = (0..config.hosts)
         .map(|id| FleetHost::new(config, id))
         .collect();
-    let threads = config.threads.min(config.hosts);
-    let shard_len = config.hosts.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (shard, shard_queues) in hosts.chunks_mut(shard_len).zip(queues.chunks(shard_len)) {
-            scope.spawn(move || {
-                for (host, queue) in shard.iter_mut().zip(shard_queues) {
-                    for &routed in queue {
-                        host.process(config, model, jukebox, routed);
+    let mut router = Router::new(config.policy, config.hosts);
+    let mut route_spans = SpanRing::with_capacity(route_span_capacity(config));
+
+    let end_ms = if threads <= 1 {
+        // Sequential reference path: route each arrival and process it
+        // on its host immediately. Per-host arrival order equals the
+        // canonical route order by construction, and peak memory is
+        // O(hosts) — no routed queue is ever materialized.
+        route_stream(config, model, &mut router, &mut route_spans, |host, routed| {
+            hosts[host].process(config, model, jukebox, routed);
+        })?
+    } else {
+        // Streaming pipeline: one producer routes in canonical order
+        // and feeds bounded per-shard queues; workers steal runnable
+        // shards. Shard boundaries are contiguous host chunks, so
+        // reassembling the shards in order restores host-id order no
+        // matter which worker ran what.
+        let shard_count = (threads * SHARDS_PER_WORKER).min(config.hosts);
+        let shard_len = config.hosts.div_ceil(shard_count);
+        let mut shards: Vec<Mutex<Vec<FleetHost>>> = Vec::new();
+        {
+            let mut it = hosts.drain(..);
+            loop {
+                let chunk: Vec<FleetHost> = it.by_ref().take(shard_len).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                shards.push(Mutex::new(chunk));
+            }
+        }
+        let queues: Vec<ShardQueue> = (0..shards.len())
+            .map(|_| ShardQueue {
+                state: Mutex::new(ShardQueueState {
+                    batches: VecDeque::new(),
+                    scheduled: false,
+                }),
+                drained: Condvar::new(),
+            })
+            .collect();
+        let scheduler = Scheduler {
+            state: Mutex::new(SchedulerState {
+                queue: VecDeque::new(),
+                finished: false,
+            }),
+            runnable: Condvar::new(),
+        };
+
+        let routed: Result<f64, SimError> = std::thread::scope(|scope| {
+            let queues = &queues;
+            let scheduler = &scheduler;
+            let shards_ref = &shards;
+            for _ in 0..threads {
+                scope.spawn(move || {
+                    worker_loop(queues, scheduler, shards_ref, config, model, jukebox);
+                });
+            }
+            // The producer runs on this thread; its open batches flush
+            // either at BATCH_ITEMS or when the stream ends.
+            let mut open: Vec<Vec<ShardItem>> = vec![Vec::new(); queues.len()];
+            let result = route_stream(
+                config,
+                model,
+                &mut router,
+                &mut route_spans,
+                |host, routed| {
+                    let shard = host / shard_len;
+                    let batch = &mut open[shard];
+                    batch.push((host % shard_len, routed));
+                    if batch.len() >= BATCH_ITEMS {
+                        push_batch(queues, scheduler, shard, std::mem::take(batch));
+                    }
+                },
+            );
+            if result.is_ok() {
+                for (shard, batch) in open.iter_mut().enumerate() {
+                    if !batch.is_empty() {
+                        push_batch(queues, scheduler, shard, std::mem::take(batch));
                     }
                 }
-            });
+            }
+            let mut sched = scheduler.state.lock().expect("scheduler mutex");
+            sched.finished = true;
+            scheduler.runnable.notify_all();
+            drop(sched);
+            result
+        });
+        let end_ms = routed?;
+        for shard in shards {
+            hosts.extend(shard.into_inner().expect("shard hosts mutex"));
         }
-    });
+        end_ms
+    };
 
-    // Phase 3 — merge (sequential, host-id order).
+    // Merge (sequential, host-id order).
     let mut registry = Registry::new();
     let mut latency_us = Histogram::new();
-    let mut events = EventRing::with_capacity(config.events_capacity * config.hosts);
+    let mut events = EventRing::with_capacity(config.merged_events_capacity());
     let mut run = FleetRun {
         policy: config.policy,
         hosts: config.hosts,
@@ -793,6 +1041,18 @@ mod tests {
         assert_eq!(by_host, run.invocations);
         assert_eq!(run.snapshot.counter("fleet.invocations"), run.invocations);
         assert_eq!(run.snapshot.gauge("fleet.hosts"), Some(4.0));
+    }
+
+    #[test]
+    fn empty_latency_histogram_reports_zero_percentiles() {
+        let mut run = run_fleet(&quick_config(), &model(), false).unwrap();
+        assert!(run.p50_ms() > 0.0);
+        assert!(run.p99_ms() >= run.p50_ms());
+        // A run whose histogram tracked nothing (every arrival shed)
+        // must report 0, not panic inside the percentile lookup.
+        run.latency_us = Histogram::new();
+        assert_eq!(run.p50_ms(), 0.0);
+        assert_eq!(run.p99_ms(), 0.0);
     }
 
     #[test]

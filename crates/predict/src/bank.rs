@@ -50,7 +50,13 @@ impl PredictorBank {
     /// A pre-restore is scheduled only when the predicted arrival falls
     /// *after* the adaptive keep-alive expires — while the instance
     /// would still be resident, a pre-warm buys nothing.
-    pub fn observe(&mut self, function: usize, now_ms: f64, restore_est_ms: f64) {
+    ///
+    /// Returns the newly scheduled pre-restore time, if any, so an
+    /// event-driven caller can push a timer instead of polling
+    /// [`PredictorBank::due_prewarms`]. Each observe *replaces* the
+    /// function's pending pre-restore (at most one outstanding), so a
+    /// `Some` return also invalidates any timer from a prior observe.
+    pub fn observe(&mut self, function: usize, now_ms: f64, restore_est_ms: f64) -> Option<f64> {
         let predictor = &mut self.predictors[function];
         predictor.observe(now_ms);
         let hold = predictor.hold_ms(&self.config, self.cap_ms);
@@ -70,6 +76,7 @@ impl PredictorBank {
             }
             None => None,
         };
+        self.pending[function]
     }
 
     /// The current adaptive keep-alive per function id, for the pool's

@@ -33,8 +33,8 @@ pub mod traffic;
 
 pub use admission::{AdmissionConfig, AdmissionControl, AdmissionDecision};
 pub use fault::{
-    fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultRates, FaultStats, RetryBudget,
-    RetryPolicy,
+    fault_kind_index, AttemptCosts, FaultKind, FaultPlan, FaultRates, FaultStats,
+    InvocationResult, RetryBudget, RetryPolicy,
 };
 pub use iat::IatDistribution;
 pub use interleave::InterleaveModel;

@@ -4,14 +4,28 @@
 //! in anticipation of further invocations; with hundreds of gigabytes of
 //! host memory, a thousand or more warm instances may be resident (§2.2).
 //! The pool tracks per-instance idle times and applies the keep-alive
-//! policy on a sweep.
+//! policy either on a sweep ([`InstancePool::sweep`]) or one instance at
+//! a time when an event-driven caller already knows which deadline fired
+//! ([`InstancePool::expire_with_deadline`]).
+//!
+//! # Layout: struct of arrays
+//!
+//! Instance state lives in parallel columns (`ids`, `functions`,
+//! `last_invoked_ms`, `spawned_ms`, `invocations`) kept sorted by id.
+//! Ids are handed out monotonically, so a spawn is an ordered push, a
+//! lookup is a binary search, and the expiry/decay sweep is a linear
+//! pass over two dense `f64` columns — the cache-friendly shape the
+//! fleet's hot loop wants. Sorted-by-id iteration also preserves the
+//! old `BTreeMap` semantics exactly: sweeps expire in ascending id
+//! order and equally idle instances tie-break to the highest id, so the
+//! pool stays bit-reproducible run to run.
 
 use luke_common::SimError;
 use luke_snapshot::SnapshotStore;
-use std::collections::BTreeMap;
 
-/// One warm (memory-resident) function instance.
-#[derive(Clone, Debug, PartialEq)]
+/// One warm (memory-resident) function instance, materialized from the
+/// pool's columns on lookup.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WarmInstance {
     /// Unique instance id (process id on the host).
     pub id: u64,
@@ -28,16 +42,19 @@ pub struct WarmInstance {
 }
 
 /// The pool of warm instances (see module docs).
-///
-/// Instances live in a `BTreeMap` keyed by id so every iteration —
-/// sweeps, warm lookups, telemetry — happens in id order. With a hashed
-/// container the tie-break among equally idle instances depended on
-/// `RandomState`, so two identical runs could expire instances in
-/// different orders; id order makes the pool bit-reproducible.
 #[derive(Clone, Debug)]
 pub struct InstancePool {
     keep_alive_ms: f64,
-    instances: BTreeMap<u64, WarmInstance>,
+    /// Instance ids, ascending (ids are allocated monotonically).
+    ids: Vec<u64>,
+    /// Function run by each instance, parallel to `ids`.
+    functions: Vec<usize>,
+    /// Most recent invocation time per instance, parallel to `ids`.
+    last_invoked_ms: Vec<f64>,
+    /// Spawn (residency-start) time per instance, parallel to `ids`.
+    spawned_ms: Vec<f64>,
+    /// Invocations served per instance, parallel to `ids`.
+    invocations: Vec<u64>,
     next_id: u64,
     cold_starts: u64,
     expirations: u64,
@@ -76,7 +93,11 @@ impl InstancePool {
         }
         Ok(InstancePool {
             keep_alive_ms,
-            instances: BTreeMap::new(),
+            ids: Vec::new(),
+            functions: Vec::new(),
+            last_invoked_ms: Vec::new(),
+            spawned_ms: Vec::new(),
+            invocations: Vec::new(),
             next_id: 1,
             cold_starts: 0,
             expirations: 0,
@@ -106,22 +127,33 @@ impl InstancePool {
         self.keep_alive_ms
     }
 
+    /// The column index of instance `id`, by binary search over the
+    /// ascending id column.
+    fn slot(&self, id: u64) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Drops the instance in `slot` out of every column.
+    fn remove_slot(&mut self, slot: usize) {
+        self.ids.remove(slot);
+        self.functions.remove(slot);
+        self.last_invoked_ms.remove(slot);
+        self.spawned_ms.remove(slot);
+        self.invocations.remove(slot);
+    }
+
     /// Spawns a new warm instance for `function` at time `now_ms` (a cold
     /// start). Returns its id.
     pub fn spawn(&mut self, function: usize, now_ms: f64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.cold_starts += 1;
-        self.instances.insert(
-            id,
-            WarmInstance {
-                id,
-                function,
-                last_invoked_ms: now_ms,
-                spawned_ms: now_ms,
-                invocations: 0,
-            },
-        );
+        // Ids are monotonic, so pushing keeps every column id-sorted.
+        self.ids.push(id);
+        self.functions.push(function);
+        self.last_invoked_ms.push(now_ms);
+        self.spawned_ms.push(now_ms);
+        self.invocations.push(0);
         id
     }
 
@@ -152,34 +184,52 @@ impl InstancePool {
     /// idle gap since the previous invocation, or `None` if the instance
     /// is unknown (expired).
     pub fn invoke(&mut self, id: u64, now_ms: f64) -> Option<f64> {
-        let inst = self.instances.get_mut(&id)?;
-        let gap = (now_ms - inst.last_invoked_ms).max(0.0);
-        inst.last_invoked_ms = now_ms;
-        inst.invocations += 1;
+        let slot = self.slot(id)?;
+        let gap = (now_ms - self.last_invoked_ms[slot]).max(0.0);
+        self.last_invoked_ms[slot] = now_ms;
+        self.invocations[slot] += 1;
         Some(gap)
     }
 
     /// Finds an existing warm instance of `function`, preferring the most
-    /// recently invoked one.
-    pub fn find_warm(&self, function: usize) -> Option<&WarmInstance> {
-        self.instances
-            .values()
-            .filter(|i| i.function == function)
-            .max_by(|a, b| a.last_invoked_ms.total_cmp(&b.last_invoked_ms))
+    /// recently invoked one (ties go to the highest id, matching the old
+    /// id-ordered map's `max_by`).
+    pub fn find_warm(&self, function: usize) -> Option<WarmInstance> {
+        let mut best: Option<usize> = None;
+        for slot in 0..self.ids.len() {
+            if self.functions[slot] != function {
+                continue;
+            }
+            if best.is_none_or(|b| self.last_invoked_ms[slot] >= self.last_invoked_ms[b]) {
+                best = Some(slot);
+            }
+        }
+        best.map(|slot| self.materialize(slot))
+    }
+
+    /// Builds the row view of one column slot.
+    fn materialize(&self, slot: usize) -> WarmInstance {
+        WarmInstance {
+            id: self.ids[slot],
+            function: self.functions[slot],
+            last_invoked_ms: self.last_invoked_ms[slot],
+            spawned_ms: self.spawned_ms[slot],
+            invocations: self.invocations[slot],
+        }
     }
 
     /// Applies the keep-alive policy at time `now_ms`: tears down
     /// instances idle longer than the window. Returns how many expired.
     ///
     /// Delegates to [`InstancePool::sweep_expired_ids`] — both
-    /// expiration paths share one `retain` so they cannot drift.
+    /// expiration paths share one compaction so they cannot drift.
     pub fn sweep(&mut self, now_ms: f64) -> usize {
         self.sweep_expired_ids(now_ms).len()
     }
 
     /// Like [`InstancePool::sweep`], but returns the expired instance
-    /// ids in ascending order. Because the pool iterates in id order,
-    /// two identical runs expire identical id sequences.
+    /// ids in ascending order. Because the columns are id-sorted, two
+    /// identical runs expire identical id sequences.
     pub fn sweep_expired_ids(&mut self, now_ms: f64) -> Vec<u64> {
         self.sweep_by_hold(now_ms, None)
     }
@@ -194,53 +244,103 @@ impl InstancePool {
         self.sweep_by_hold(now_ms, Some(holds))
     }
 
-    /// The one shared `retain` behind every expiration path (so fixed
-    /// and adaptive sweeps cannot drift). A retired instance credits its
-    /// residency through its expiry *deadline* (`last_invoked + hold`),
-    /// not the sweep time — sweeps run lazily on arrivals, and crediting
-    /// the deadline makes memory accounting independent of when the next
+    /// The one shared compaction behind every sweep path (so fixed and
+    /// adaptive sweeps cannot drift): a single order-preserving pass
+    /// over the columns. A retired instance credits its residency
+    /// through its expiry *deadline* (`last_invoked + hold`), not the
+    /// sweep time — sweeps run lazily on arrivals, and crediting the
+    /// deadline makes memory accounting independent of when the next
     /// arrival happened to land.
     fn sweep_by_hold(&mut self, now_ms: f64, holds: Option<&[f64]>) -> Vec<u64> {
         let keep_alive = self.keep_alive_ms;
         let mut expired = Vec::new();
         let mut retired_ms = 0.0;
-        self.instances.retain(|&id, inst| {
+        let mut write = 0;
+        for read in 0..self.ids.len() {
             let hold = holds
-                .and_then(|h| h.get(inst.function).copied())
+                .and_then(|h| h.get(self.functions[read]).copied())
                 .unwrap_or(keep_alive);
-            let keep = now_ms - inst.last_invoked_ms <= hold;
-            if !keep {
-                expired.push(id);
-                retired_ms += inst.last_invoked_ms + hold - inst.spawned_ms;
+            if now_ms - self.last_invoked_ms[read] <= hold {
+                if write != read {
+                    self.ids[write] = self.ids[read];
+                    self.functions[write] = self.functions[read];
+                    self.last_invoked_ms[write] = self.last_invoked_ms[read];
+                    self.spawned_ms[write] = self.spawned_ms[read];
+                    self.invocations[write] = self.invocations[read];
+                }
+                write += 1;
+            } else {
+                expired.push(self.ids[read]);
+                retired_ms += self.last_invoked_ms[read] + hold - self.spawned_ms[read];
             }
-            keep
-        });
+        }
+        self.truncate(write);
         self.retired_memory_ms += retired_ms;
         self.expirations += expired.len() as u64;
         expired
     }
 
+    /// Shrinks every column to `len` survivors.
+    fn truncate(&mut self, len: usize) {
+        self.ids.truncate(len);
+        self.functions.truncate(len);
+        self.last_invoked_ms.truncate(len);
+        self.spawned_ms.truncate(len);
+        self.invocations.truncate(len);
+    }
+
+    /// Retires one instance through its keep-alive *deadline* — the
+    /// event-driven twin of [`InstancePool::sweep`]: an expiry event
+    /// fired for `id`, whose deadline (`last_invoked + hold`) the caller
+    /// already knows. Counts as an expiration and credits residency
+    /// through `deadline_ms`, exactly as the sweep would have. Returns
+    /// `false` if the instance is unknown.
+    pub fn expire_with_deadline(&mut self, id: u64, deadline_ms: f64) -> bool {
+        match self.slot(id) {
+            Some(slot) => {
+                self.retired_memory_ms += deadline_ms - self.spawned_ms[slot];
+                self.remove_slot(slot);
+                self.expirations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of warm instances.
     pub fn warm_count(&self) -> usize {
-        self.instances.len()
+        self.ids.len()
+    }
+
+    /// The resident instance ids, ascending.
+    pub fn live_ids(&self) -> &[u64] {
+        &self.ids
     }
 
     /// Instance lookup.
-    pub fn instance(&self, id: u64) -> Option<&WarmInstance> {
-        self.instances.get(&id)
+    pub fn instance(&self, id: u64) -> Option<WarmInstance> {
+        self.slot(id).map(|slot| self.materialize(slot))
+    }
+
+    /// The most recent invocation time of instance `id` — the hot-path
+    /// read the event-driven expiry check needs, without materializing
+    /// the whole row.
+    pub fn last_invoked_ms(&self, id: u64) -> Option<f64> {
+        self.slot(id).map(|slot| self.last_invoked_ms[slot])
     }
 
     /// Forcibly tears down one instance (a crash or a memory-pressure
     /// eviction, as opposed to a keep-alive expiry). Returns `true` if the
     /// instance existed.
     pub fn evict(&mut self, id: u64) -> bool {
-        match self.instances.remove(&id) {
-            Some(inst) => {
+        match self.slot(id) {
+            Some(slot) => {
                 self.evictions += 1;
                 // Forced teardown carries no expiry deadline; credit
                 // residency through the last invocation (a slight
                 // undercount of the idle tail before the crash).
-                self.retired_memory_ms += inst.last_invoked_ms - inst.spawned_ms;
+                self.retired_memory_ms += self.last_invoked_ms[slot] - self.spawned_ms[slot];
+                self.remove_slot(slot);
                 true
             }
             None => false,
@@ -251,11 +351,11 @@ impl InstancePool {
     /// pool. Each loss counts as a forced eviction. Returns how many
     /// instances died.
     pub fn evict_all(&mut self) -> usize {
-        let died = self.instances.len();
-        for inst in self.instances.values() {
-            self.retired_memory_ms += inst.last_invoked_ms - inst.spawned_ms;
+        let died = self.ids.len();
+        for slot in 0..died {
+            self.retired_memory_ms += self.last_invoked_ms[slot] - self.spawned_ms[slot];
         }
-        self.instances.clear();
+        self.truncate(0);
         self.evictions += died as u64;
         died
     }
@@ -292,12 +392,12 @@ impl InstancePool {
     /// provider actually pays to run a keep-alive policy.
     pub fn residency_ms_through(&self, end_ms: f64, holds: Option<&[f64]>) -> f64 {
         let mut total = self.retired_memory_ms;
-        for inst in self.instances.values() {
+        for slot in 0..self.ids.len() {
             let hold = holds
-                .and_then(|h| h.get(inst.function).copied())
+                .and_then(|h| h.get(self.functions[slot]).copied())
                 .unwrap_or(self.keep_alive_ms);
-            let until = end_ms.min(inst.last_invoked_ms + hold);
-            total += (until - inst.spawned_ms).max(0.0);
+            let until = end_ms.min(self.last_invoked_ms[slot] + hold);
+            total += (until - self.spawned_ms[slot]).max(0.0);
         }
         total
     }
@@ -311,7 +411,7 @@ impl InstancePool {
         registry.counter_add("pool.expirations", self.expirations);
         registry.counter_add("pool.evictions", self.evictions);
         registry.counter_add("pool.memory_ms", self.retired_memory_ms.round() as u64);
-        registry.gauge_set("pool.warm_instances", self.instances.len() as f64);
+        registry.gauge_set("pool.warm_instances", self.ids.len() as f64);
         if let Some(snapshots) = &self.snapshots {
             snapshots.fill_registry(registry);
         }
@@ -435,8 +535,8 @@ mod tests {
     fn identical_sweeps_evict_identical_instance_ids() {
         // Regression: with a `HashMap<u64, _, RandomState>` the sweep
         // visited instances in a per-process random order, so the
-        // eviction sequence differed run to run. The BTreeMap container
-        // makes it a pure function of the invocation history.
+        // eviction sequence differed run to run. The id-sorted columns
+        // make it a pure function of the invocation history.
         let first = eviction_sequence();
         let second = eviction_sequence();
         assert_eq!(first, second);
@@ -448,7 +548,7 @@ mod tests {
 
     #[test]
     fn sweep_delegates_so_the_two_expiration_paths_cannot_drift() {
-        // Regression for the formerly duplicated `retain` bodies: run
+        // Regression for the formerly duplicated sweep bodies: run
         // the same schedule through both entry points and pin that the
         // eviction order (and therefore the surviving state) is
         // identical round after round.
@@ -468,14 +568,41 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(ids, sorted, "round {round}: id-order eviction");
             assert_eq!(by_ids.expirations(), by_count.expirations());
-            let left_a: Vec<u64> = by_ids.instances.keys().copied().collect();
-            let left_b: Vec<u64> = by_count.instances.keys().copied().collect();
-            assert_eq!(left_a, left_b, "round {round}: survivors diverged");
+            assert_eq!(
+                by_ids.live_ids(),
+                by_count.live_ids(),
+                "round {round}: survivors diverged"
+            );
             // Refill a little so later rounds have work to do.
             let f = 100 + round;
             by_ids.spawn(f, now);
             by_count.spawn(f, now);
         }
+    }
+
+    #[test]
+    fn expire_with_deadline_matches_the_sweep_exactly() {
+        // The event-driven path must leave the same counters, credit,
+        // and survivors as a lazy sweep that fires the same deadline.
+        let mut swept = InstancePool::new(10_000.0);
+        let mut evented = InstancePool::new(10_000.0);
+        let a1 = swept.spawn(0, 1_000.0);
+        let a2 = evented.spawn(0, 1_000.0);
+        swept.spawn(1, 2_000.0);
+        evented.spawn(1, 2_000.0);
+        swept.invoke(a1, 4_000.0);
+        evented.invoke(a2, 4_000.0);
+        // Sweep at t=50s expires only function 0's instance (deadline
+        // 14s); function 1's last touch was its spawn at 2s... also past
+        // due, so expire that one by event too.
+        let expired = swept.sweep(50_000.0);
+        assert_eq!(expired, 2);
+        assert!(evented.expire_with_deadline(a2, 4_000.0 + 10_000.0));
+        assert!(evented.expire_with_deadline(2, 2_000.0 + 10_000.0));
+        assert!(!evented.expire_with_deadline(99, 0.0), "unknown id is a no-op");
+        assert_eq!(evented.expirations(), swept.expirations());
+        assert_eq!(evented.retired_memory_ms(), swept.retired_memory_ms());
+        assert_eq!(evented.warm_count(), swept.warm_count());
     }
 
     #[test]

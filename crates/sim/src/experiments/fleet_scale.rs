@@ -18,6 +18,13 @@
 //! size, so *almost every* warm hit turns lukewarm, while
 //! keep-alive-aware routing keeps functions pinned and caches warm —
 //! and Jukebox's benefit is largest exactly where routing is worst.
+//!
+//! Every sweep point runs through the fleet's calendar-queue event core
+//! (see `docs/FLEET.md`): a streaming producer routes arrivals into
+//! bounded per-shard queues while work-stealing workers drain
+//! deterministic host shards, so each cell's result is byte-identical
+//! at any worker-thread count and peak routed memory stays
+//! O(hosts + in-flight) even at the largest fleet sizes swept here.
 
 use crate::config::SystemConfig;
 use crate::engine::{Cell, Engine};

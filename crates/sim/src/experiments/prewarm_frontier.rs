@@ -19,6 +19,12 @@
 //! once). The headline check: the adaptive policy lands strictly below
 //! at least one fixed window on memory-seconds without giving up P99 —
 //! it decays the Zipf tail early while predictions keep the head warm.
+//!
+//! The predictive policy's decisions execute as `PrewarmTimer` /
+//! `AdaptiveDecay` entries in each host's calendar queue (see
+//! `docs/PREDICT.md`), so the adaptive rows share the fixed windows'
+//! event order exactly — the frontier differences are pure policy, not
+//! scheduling artifacts.
 
 use crate::engine::{Cell, Engine};
 use crate::experiments::fleet_scale;

@@ -19,6 +19,11 @@
 //! once). Reported per point: SLO-violation rate at [`SLO_MS`], shed
 //! arrivals, degraded restores, failovers, host crashes, retry
 //! amplification, and the cold/lukewarm/warm mix.
+//!
+//! Chaos transitions, hedge joins, and retry reconnects all ride the
+//! fleet's calendar-queue event order (`crates/fleet/src/event.rs`), so
+//! even the heavy-chaos points are byte-identical across worker-thread
+//! counts — the surge rows here are reproducible artifacts, not samples.
 
 use crate::engine::{Cell, Engine};
 use crate::experiments::fleet_scale;

@@ -6,13 +6,15 @@
 //! policy.
 
 use lukewarm::fleet::{
-    run_fleet, run_fleet_pair, AdmissionConfig, ChaosConfig, ColdStartModel, FleetConfig,
-    HedgeConfig, RetryBudget, RoutingPolicy, ServiceModel, SurgeConfig,
+    run_fleet, run_fleet_pair, AdmissionConfig, CalendarQueue, ChaosConfig, ColdStartModel,
+    FleetConfig, FleetEventKind, HedgeConfig, PrewarmConfig, RetryBudget, RoutingPolicy,
+    ServiceModel, SurgeConfig,
 };
 use lukewarm::server::FaultRates;
 use lukewarm::workloads::paper_suite;
 use luke_obs::export::{to_csv, to_json};
 use luke_obs::Export;
+use proptest::prelude::*;
 
 /// A 64-host sweep config — the same scale the `fleet_scale` bench uses
 /// to demonstrate the parallel speedup.
@@ -282,6 +284,122 @@ fn disabled_resilience_reproduces_the_plain_fleet_bit_for_bit() {
     for key in ["fleet.host_crashes", "fleet.failovers", "admission."] {
         assert!(!json.contains(key), "{key} leaked into a plain run");
     }
+}
+
+/// A quick 2,048-host fleet with every event source live: seeded chaos
+/// crashes and degradation, hedged failover, predictive pre-warming with
+/// adaptive keep-alive, and lifecycle tracing — the worst case for the
+/// streaming producer + work-stealing pipeline, since keep-alive expiry,
+/// pre-restore, and chaos timers all flow through each host's calendar
+/// queue while workers steal shards out of order.
+fn quick_scale_config() -> FleetConfig {
+    FleetConfig {
+        hosts: 2_048,
+        invocations: 2_048 * 8,
+        population: 4_096,
+        events_capacity: 8,
+        keep_alive_ms: 30_000.0,
+        chaos: ChaosConfig {
+            host_mtbf_ms: 20_000.0,
+            crash_downtime_ms: 2_500.0,
+            degrade_mtbf_ms: 20_000.0,
+            degrade_duration_ms: 3_000.0,
+            degrade_slowdown: 5.0,
+        },
+        hedge: HedgeConfig {
+            enabled: true,
+            max_fraction: 0.1,
+        },
+        prewarm: PrewarmConfig::default_enabled(),
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn work_stealing_at_2048_hosts_is_bit_identical_to_one_thread() {
+    let m = model();
+    let one = run_fleet(&quick_scale_config(), &m, false).expect("1-thread run");
+    assert!(one.host_crashes > 0, "chaos must engage at this scale");
+    assert!(one.prewarm_spawns > 0 || one.early_decays > 0, "prediction must engage");
+    for threads in [4, 8] {
+        let stolen = run_fleet(
+            &FleetConfig {
+                threads,
+                ..quick_scale_config()
+            },
+            &m,
+            false,
+        )
+        .expect("work-stealing run");
+        assert_bit_identical(&one, &stolen);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar queue's total order: events pop sorted by time, with
+    /// ties broken by (host_id, kind rank, seq) — never by push order
+    /// across hosts, which is what makes per-host timer streams
+    /// independent of producer interleaving.
+    #[test]
+    fn calendar_queue_breaks_ties_by_host_then_seq(
+        events in prop::collection::vec(
+            (0.0f64..16.0, 0u32..8, 0u32..4),
+            1..200,
+        ),
+    ) {
+        let mut queue = CalendarQueue::new();
+        for &(time_ms, host_id, function) in &events {
+            // Quantize times so ties actually occur.
+            queue.push(
+                time_ms.floor(),
+                host_id,
+                FleetEventKind::KeepAliveExpiry,
+                function,
+            );
+        }
+        let mut popped = Vec::new();
+        while let Some(event) = queue.pop() {
+            popped.push((event.time_ms, event.host_id, event.seq));
+        }
+        prop_assert_eq!(popped.len(), events.len());
+        for pair in popped.windows(2) {
+            let (t0, h0, s0) = pair[0];
+            let (t1, h1, s1) = pair[1];
+            prop_assert!(
+                t0 < t1 || (t0 == t1 && (h0 < h1 || (h0 == h1 && s0 < s1))),
+                "order violated: ({}, {}, {}) before ({}, {}, {})",
+                t0, h0, s0, t1, h1, s1
+            );
+        }
+    }
+
+}
+
+/// Same-instant events of different kinds fire in lifecycle order
+/// (chaos < pre-restore < keep-alive expiry), regardless of the order
+/// they were scheduled in.
+#[test]
+fn calendar_queue_ranks_kinds_at_equal_time() {
+    let kinds = [
+        FleetEventKind::KeepAliveExpiry,
+        FleetEventKind::ChaosTransition,
+        FleetEventKind::PrewarmTimer,
+    ];
+    let mut queue = CalendarQueue::new();
+    for kind in kinds {
+        queue.push(5.0, 0, kind, 0);
+    }
+    let order: Vec<FleetEventKind> = std::iter::from_fn(|| queue.pop().map(|e| e.kind)).collect();
+    assert_eq!(
+        order,
+        vec![
+            FleetEventKind::ChaosTransition,
+            FleetEventKind::PrewarmTimer,
+            FleetEventKind::KeepAliveExpiry,
+        ]
+    );
 }
 
 #[test]
