@@ -119,6 +119,16 @@ pub enum Command {
         /// Off by default — output stays byte-identical to
         /// prediction-free builds.
         prewarm: bool,
+        /// Content-addressed page sharing (`--dedup`): co-resident
+        /// same-language instances share runtime/library pages, REAP
+        /// restores skip resident pages, and the memory bill charges
+        /// deduped footprints. Off by default — output stays
+        /// byte-identical to tenancy-free builds.
+        dedup: bool,
+        /// Multi-tenant memory contention (`--contention`): co-resident
+        /// working-set pressure slows service and page-fault costs by a
+        /// continuous curve. Off by default.
+        contention: bool,
         /// Output format.
         emit: Emit,
     },
@@ -445,12 +455,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut chaos = "off".to_string();
             let mut trace_sample = 0u64;
             let mut prewarm = false;
+            let mut dedup = false;
+            let mut contention = false;
             let mut emit = Emit::Table;
             let mut it = rest.iter();
             while let Some(key) = it.next() {
-                // Bare flag: no value to consume.
+                // Bare flags: no value to consume.
                 if key.as_str() == "--prewarm" {
                     prewarm = true;
+                    continue;
+                }
+                if key.as_str() == "--dedup" {
+                    dedup = true;
+                    continue;
+                }
+                if key.as_str() == "--contention" {
+                    contention = true;
                     continue;
                 }
                 let value = it
@@ -497,6 +517,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 chaos,
                 trace_sample,
                 prewarm,
+                dedup,
+                contention,
                 emit,
             })
         }
@@ -932,6 +954,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             chaos,
             trace_sample,
             prewarm,
+            dedup,
+            contention,
             emit,
         } => {
             let policy = luke_fleet::RoutingPolicy::parse(policy)?;
@@ -945,6 +969,16 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             };
             if *prewarm {
                 config.prewarm = luke_fleet::PrewarmConfig::default_enabled();
+            }
+            if *dedup {
+                // Shared-page dedup needs restore pricing to discount, so
+                // cold starts switch to the REAP prefetch model.
+                config.tenancy.dedup = true;
+                config.cold_start_model = luke_fleet::ColdStartModel::ReapPrefetch;
+            }
+            if *contention {
+                config.tenancy.contention =
+                    luke_fleet::ContentionConfig::default_enabled();
             }
             if let Some(resilience) = chaos_preset(chaos)? {
                 resilience.apply(&mut config);
@@ -1253,9 +1287,9 @@ fn help_text() -> String {
      \x20 lukewarm workflow NAME [--scale S] [--invocations N]\n\
      \x20 lukewarm trace FUNCTION [--prefetcher K] [--state ST] [--out FILE]\n\
      \x20 lukewarm trace --fleet [--hosts N] [--chaos P] [--trace-sample N] [--out FILE]\n\
-     \x20 lukewarm fleet [--hosts N] [--threads T] [--policy rr|ll|kaa]\n\
+     \x20 lukewarm fleet [--hosts N] [--threads T] [--policy rr|ll|kaa|pa]\n\
      \x20                [--invocations N] [--chaos off|light|heavy] [--trace-sample N]\n\
-     \x20                [--prewarm]\n\
+     \x20                [--prewarm] [--dedup] [--contention]\n\
      \x20 lukewarm bench-compare OLD.json NEW.json [--threshold 0.25]\n\n\
      \x20 --chaos light|heavy crashes and degrades hosts on a seeded timeline and\n\
      \x20 enables failover, hedging, retry budgets, admission control and a flash\n\
@@ -1263,6 +1297,12 @@ fn help_text() -> String {
      \x20 --prewarm turns on predictive pre-warming and per-function adaptive\n\
      \x20 keep-alive (luke-predict), adding a fleet.prewarm dataset and predict.*\n\
      \x20 counters; off, the output is byte-identical (see docs/PREDICT.md).\n\
+     \x20 --dedup shares pages content-addressed across co-resident same-language\n\
+     \x20 instances (REAP restores skip resident pages, memory charges deduped\n\
+     \x20 footprints); --contention slows crowded hosts by a continuous pressure\n\
+     \x20 curve; --policy pa (placement-aware) routes by shared-page affinity.\n\
+     \x20 Each adds a fleet.tenancy dataset and tenancy.* counters; off, the\n\
+     \x20 output is byte-identical (see docs/TENANCY.md).\n\
      \x20 --trace-sample N records a causal span tree for every Nth dispatch; the\n\
      \x20 trees export as a fleet.spans dataset (fleet) or a Chrome trace / text\n\
      \x20 waterfall (trace --fleet). bench-compare diffs two BENCH_*.json perf\n\
@@ -1444,11 +1484,30 @@ mod tests {
                 chaos: "heavy".to_string(),
                 trace_sample: 16,
                 prewarm: true,
+                dedup: false,
+                contention: false,
                 emit: Emit::Json,
             }
         );
-        // Defaults: tracing and pre-warming are off so output stays
-        // byte-identical to builds that predate spans and prediction.
+        // The tenancy flags are bare and compose with the
+        // placement-aware policy alias.
+        assert_eq!(
+            parse(&argv("fleet --policy pa --dedup --contention")).unwrap(),
+            Command::Fleet {
+                hosts: 8,
+                threads: 1,
+                policy: "pa".to_string(),
+                invocations: None,
+                chaos: "off".to_string(),
+                trace_sample: 0,
+                prewarm: false,
+                dedup: true,
+                contention: true,
+                emit: Emit::Table,
+            }
+        );
+        // Defaults: tracing, pre-warming and tenancy are off so output
+        // stays byte-identical to builds that predate those subsystems.
         assert_eq!(
             parse(&argv("fleet")).unwrap(),
             Command::Fleet {
@@ -1459,6 +1518,8 @@ mod tests {
                 chaos: "off".to_string(),
                 trace_sample: 0,
                 prewarm: false,
+                dedup: false,
+                contention: false,
                 emit: Emit::Table,
             }
         );
@@ -1573,6 +1634,24 @@ mod tests {
         let plain = run_cli(&argv("fleet --hosts 2 --invocations 1000 --emit json")).unwrap();
         assert!(!plain.contains("fleet.prewarm"));
         assert!(!plain.contains("memory_instance_s"));
+    }
+
+    #[test]
+    fn fleet_tenancy_flags_add_the_tenancy_dataset_free_of_default_output() {
+        // Dedup on: the fleet.tenancy dataset appears for both the base
+        // and jukebox runs, with live dedup counters. Off: the exact
+        // historic output.
+        let shared = run_cli(&argv(
+            "fleet --hosts 2 --invocations 1000 --policy pa --dedup --contention --emit json",
+        ))
+        .unwrap();
+        assert!(shared.contains("fleet.tenancy.base"), "{shared}");
+        assert!(shared.contains("dedup_bytes_saved"), "{shared}");
+        assert!(shared.contains("placement_routed"), "{shared}");
+        let plain = run_cli(&argv("fleet --hosts 2 --invocations 1000 --emit json")).unwrap();
+        assert!(!plain.contains("fleet.tenancy"));
+        assert!(!plain.contains("dedup_bytes_saved"));
+        assert!(!plain.contains("tenancy."));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::traffic::SurgeConfig;
 use luke_common::SimError;
 use luke_predict::PrewarmConfig;
 use luke_snapshot::{ColdStartModel, SnapshotTimings};
+use luke_tenancy::TenancyConfig;
 use server::{AdmissionConfig, FaultRates, InstancePool, RetryBudget, RetryPolicy};
 
 /// Configuration of one fleet run.
@@ -80,6 +81,9 @@ pub struct FleetConfig {
     /// Predictive pre-warming and per-function adaptive keep-alive.
     /// [`PrewarmConfig::disabled`] (the default) is bit-transparent.
     pub prewarm: PrewarmConfig,
+    /// Cross-function page sharing and multi-tenant contention.
+    /// [`TenancyConfig::disabled`] (the default) is bit-transparent.
+    pub tenancy: TenancyConfig,
     /// Causal span sampling: every `trace_sample`-th dispatch records a
     /// full span tree (route → admission → restore → execute →
     /// backoff). `0` (the default) disables tracing and is
@@ -127,6 +131,7 @@ impl Default for FleetConfig {
             admission: AdmissionConfig::disabled(),
             surge: SurgeConfig::none(),
             prewarm: PrewarmConfig::disabled(),
+            tenancy: TenancyConfig::disabled(),
             trace_sample: 0,
             series_window_ms: 0.0,
             series_slo_ms: 0.0,
@@ -208,6 +213,7 @@ impl FleetConfig {
         self.admission.validate()?;
         self.surge.validate()?;
         self.prewarm.validate()?;
+        self.tenancy.validate()?;
         if self.prewarm.enabled && self.prewarm.min_hold_ms > self.keep_alive_ms {
             return Err(SimError::invalid_config(
                 "prewarm.min_hold_ms",
@@ -225,6 +231,14 @@ impl FleetConfig {
     /// byte-identical output — the disabled feature doesn't exist.
     pub fn prewarm_enabled(&self) -> bool {
         self.prewarm.enabled
+    }
+
+    /// Whether any tenancy modeling (page-sharing dedup or contention)
+    /// is on. When false, hosts take the exact pre-tenancy code path
+    /// and export byte-identical output — the disabled feature doesn't
+    /// exist.
+    pub fn tenancy_enabled(&self) -> bool {
+        self.tenancy.enabled()
     }
 
     /// Fleet-wide arrival rate in invocations per second.
@@ -270,6 +284,7 @@ impl FleetConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use luke_tenancy::ContentionConfig;
 
     #[test]
     fn default_config_is_valid() {
@@ -453,6 +468,29 @@ mod tests {
                 },
                 "prewarm.min_hold_ms",
             ),
+            (
+                FleetConfig {
+                    tenancy: TenancyConfig {
+                        cow_dirty_fraction: 1.5,
+                        ..TenancyConfig::default_enabled()
+                    },
+                    ..FleetConfig::default()
+                },
+                "tenancy.cow_dirty_fraction",
+            ),
+            (
+                FleetConfig {
+                    tenancy: TenancyConfig {
+                        contention: ContentionConfig {
+                            knee: 1.0,
+                            ..ContentionConfig::default_enabled()
+                        },
+                        ..TenancyConfig::default_enabled()
+                    },
+                    ..FleetConfig::default()
+                },
+                "tenancy.knee",
+            ),
         ];
         for (config, field) in cases {
             let err = config.validate().unwrap_err();
@@ -519,6 +557,23 @@ mod tests {
         };
         assert!(on.prewarm_enabled());
         assert!(on.validate().is_ok());
+    }
+
+    #[test]
+    fn tenancy_is_off_by_default_and_either_knob_flips_it() {
+        assert!(!FleetConfig::default().tenancy_enabled());
+        let dedup_only = FleetConfig {
+            tenancy: TenancyConfig::dedup_enabled(),
+            ..FleetConfig::default()
+        };
+        assert!(dedup_only.tenancy_enabled());
+        assert!(dedup_only.validate().is_ok());
+        let both = FleetConfig {
+            tenancy: TenancyConfig::default_enabled(),
+            ..FleetConfig::default()
+        };
+        assert!(both.tenancy_enabled());
+        assert!(both.validate().is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use server::{
 use crate::chaos::{HostSchedule, HostState};
 use crate::config::FleetConfig;
 use crate::event::{CalendarQueue, FleetEventKind};
+use crate::tenant::HostTenancy;
 use crate::timing::ServiceModel;
 use crate::traffic::Population;
 
@@ -186,6 +187,10 @@ pub struct FleetHost {
     /// pre-restore, so updating this key is what cancels a stale timer
     /// still sitting in the queue. Empty when prediction is disabled.
     prewarm_pending: Vec<Option<f64>>,
+    /// Cross-function page sharing and contention state (present only
+    /// when some tenancy knob is on; `None` takes the exact pre-tenancy
+    /// code path).
+    tenancy: Option<HostTenancy>,
 }
 
 /// Per-host span-ring capacity: generous enough that no sampled trace is
@@ -311,6 +316,7 @@ impl FleetHost {
             } else {
                 Vec::new()
             },
+            tenancy: HostTenancy::new(config),
         }
     }
 
@@ -324,6 +330,9 @@ impl FleetHost {
             let died = self.pool.evict_all();
             self.live.fill(0);
             self.prewarm_ready.fill(None);
+            if let Some(tenancy) = self.tenancy.as_mut() {
+                tenancy.clear_resident();
+            }
             self.host_crashes += 1;
             self.events.record(Event {
                 ts: (self.schedule.crash_start(self.next_crash) * 1000.0) as u64,
@@ -385,6 +394,33 @@ impl FleetHost {
     /// Always `None` when prediction is disabled (the vector is empty).
     fn take_prewarm_ready(&mut self, function: usize) -> Option<f64> {
         self.prewarm_ready.get_mut(function).and_then(Option::take)
+    }
+
+    /// Shareable pages of `function` already resident on this host —
+    /// the restore discount. Always 0 with tenancy off (or dedup off),
+    /// which prices the restore identically to the pre-tenancy path.
+    fn tenancy_resident(&self, function: usize) -> usize {
+        self.tenancy
+            .as_ref()
+            .map_or(0, |tenancy| tenancy.resident_pages(function))
+    }
+
+    /// Registers a freshly-spawned instance's pages and weights its
+    /// pool memory accounting by the deduped fraction. No-op with
+    /// tenancy off (weight stays at the spawn default 1.0).
+    fn tenancy_register(&mut self, function: usize, id: u64) {
+        if let Some(tenancy) = self.tenancy.as_mut() {
+            let weight = tenancy.register(function);
+            self.pool.set_weight(id, weight);
+        }
+    }
+
+    /// Releases a torn-down instance's page registration. No-op with
+    /// tenancy off (and guarded against double-release inside).
+    fn tenancy_release(&mut self, function: usize) {
+        if let Some(tenancy) = self.tenancy.as_mut() {
+            tenancy.release(function);
+        }
     }
 
     /// The live instance id of `function`, decoding the `id + 1` table
@@ -502,6 +538,7 @@ impl FleetHost {
             self.pool.expire_with_deadline(id, last + hold);
             self.set_live(function, None);
             self.take_prewarm_ready(function);
+            self.tenancy_release(function);
         } else {
             self.schedule_expiry(function, last + hold);
         }
@@ -528,6 +565,7 @@ impl FleetHost {
                         self.pool.expire_with_deadline(id, last + hold);
                         self.set_live(function, None);
                         self.take_prewarm_ready(function);
+                        self.tenancy_release(function);
                     } else {
                         // The instance survived after all (e.g. the hold
                         // was raised by a later observation): nothing to
@@ -538,7 +576,9 @@ impl FleetHost {
                 None => self.set_live(function, None),
             }
         }
-        let (id, restore_ms) = self.pool.spawn_restored(function, t_pre);
+        let resident = self.tenancy_resident(function);
+        let (id, restore_ms) = self.pool.spawn_restored_shared(function, t_pre, resident);
+        self.tenancy_register(function, id);
         // Without a snapshot store the pre-boot still takes the flat
         // cold-start time before the instance is ready.
         let cost_ms = if self.pool.snapshots().is_some() {
@@ -738,6 +778,7 @@ impl FleetHost {
                 self.pool.evict(id);
                 self.set_live(function, None);
                 self.take_prewarm_ready(function);
+                self.tenancy_release(function);
                 self.fault_stats.evictions += 1;
                 self.events.record(Event {
                     ts: 0,
@@ -760,14 +801,21 @@ impl FleetHost {
             let (id, restore_ms) = if degrade_restore && self.pool.snapshots().is_some() {
                 // Memory-pressure rung: restore by lazy paging instead
                 // of a prefetch burst the pressured host can't afford.
+                // Pays the full page count — a pressured host can't
+                // count on co-resident sharing either.
                 let spawned = self.pool.spawn_restored_degraded(function, at);
                 if let Some(ctl) = self.admission.as_mut() {
                     ctl.note_degraded_restore();
                 }
                 spawned
             } else {
-                self.pool.spawn_restored(function, at)
+                // Pages already resident from co-located same-language
+                // instances come off the restore bill (0 resident — the
+                // disabled path — prices identically to pre-tenancy).
+                let resident = self.tenancy_resident(function);
+                self.pool.spawn_restored_shared(function, at, resident)
             };
+            self.tenancy_register(function, id);
             if self.pool.snapshots().is_some() {
                 cold_start_ms = restore_ms;
             }
@@ -826,6 +874,21 @@ impl FleetHost {
             service_ms *= config.chaos.degrade_slowdown;
         }
 
+        // Co-residency pressure: when the registered working sets crowd
+        // the host's memory capacity, every page access — execution and
+        // restore faults alike — slows by the contention curve's factor.
+        // A continuous penalty, not a binary cliff.
+        if let Some(tenancy) = self.tenancy.as_mut() {
+            let slowdown = tenancy.slowdown();
+            if slowdown > 1.0 {
+                let before = service_ms + if starts_cold { cold_start_ms } else { 0.0 };
+                service_ms *= slowdown;
+                cold_start_ms *= slowdown;
+                let after = service_ms + if starts_cold { cold_start_ms } else { 0.0 };
+                tenancy.note_slowed(after - before);
+            }
+        }
+
         self.events.record(Event {
             ts: (at * 1000.0) as u64,
             dur: 0,
@@ -882,11 +945,13 @@ impl FleetHost {
             if crashed || !result.completed {
                 self.pool.evict(id);
                 self.set_live(function, None);
+                self.tenancy_release(function);
             }
             if crashed && result.completed {
                 let fresh = self.pool.spawn(function, at);
                 self.pool.invoke(fresh, at);
                 self.set_live(function, Some(fresh));
+                self.tenancy_register(function, fresh);
             }
         }
         // Whatever instance is live now was just invoked at `at`: re-key
@@ -966,6 +1031,11 @@ impl FleetHost {
         self.admission.as_ref()
     }
 
+    /// The host's tenancy state, when some tenancy knob is enabled.
+    pub fn tenancy(&self) -> Option<&HostTenancy> {
+        self.tenancy.as_ref()
+    }
+
     /// Contributes this host's telemetry: pool and fault counters,
     /// `fleet.*` lifecycle counters, and the latency histogram. Safe to
     /// call on per-shard registries that are later merged — everything
@@ -997,6 +1067,17 @@ impl FleetHost {
             registry.counter_add("predict.prewarm_spawns", self.prewarm_spawns);
             registry.counter_add("predict.prewarm_hits", self.prewarm_hits);
             registry.counter_add("predict.early_decays", bank.early_decays());
+        }
+        // The tenancy series only exist when some tenancy knob is on —
+        // a disabled run must export byte-identical telemetry.
+        if let Some(tenancy) = &self.tenancy {
+            registry.counter_add("tenancy.shared_pages", tenancy.shared_pages());
+            registry.counter_add("tenancy.dedup_hits", tenancy.dedup_hits());
+            registry.counter_add("tenancy.dedup_bytes_saved", tenancy.dedup_bytes_saved());
+            registry.counter_add("tenancy.slowed_invocations", tenancy.slowed());
+            // Total contention-added latency, rounded to whole ms — the
+            // registry speaks integers.
+            registry.counter_add("tenancy.contention_slowdown", tenancy.extra_ms().round() as u64);
         }
     }
 }

@@ -48,6 +48,7 @@ pub mod health;
 pub mod host;
 pub mod route;
 pub mod run;
+pub mod tenant;
 pub mod timing;
 pub mod traffic;
 
@@ -58,8 +59,10 @@ pub use health::{HealthConfig, HealthStatus, HealthView};
 pub use host::{FleetHost, HedgeOutcome, RoutedInvocation};
 pub use luke_predict::PrewarmConfig;
 pub use luke_snapshot::{ColdStartModel, SnapshotTimings};
+pub use luke_tenancy::{ContentionConfig, TenancyConfig};
 pub use route::{HedgeConfig, RouteDecision, Router, RoutingPolicy};
 pub use run::{run_fleet, run_fleet_pair, FleetComparison, FleetRun, HostSummary};
 pub use server::{AdmissionConfig, RetryBudget};
+pub use tenant::HostTenancy;
 pub use timing::{FunctionTiming, ServiceModel, FREQ_GHZ};
 pub use traffic::{ArrivalStream, Population, SurgeConfig, SurgeTraffic};

@@ -30,6 +30,13 @@ const RING_STREAM: u64 = 0x7269_6E67; // "ring"
 const KEY_STREAM: u64 = 0x6B_65_79; // "key"
 /// Virtual nodes per host on the consistent-hash ring.
 const VNODES_PER_HOST: usize = 16;
+/// How much of a host's *same-language* assigned work the
+/// placement-aware score credits back as shared-page affinity: the
+/// score is `assigned − AFFINITY_CREDIT × same_language_assigned`, so
+/// same-language work counts half (its runtime and library pages are
+/// already resident) while foreign work counts full (pure contention
+/// pressure).
+const AFFINITY_CREDIT: f64 = 0.5;
 
 /// Front-end routing policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,14 +52,22 @@ pub enum RoutingPolicy {
     /// invocations find their warm instance: the keep-alive-friendly
     /// policy the paper's characterization argues for.
     KeepAliveAware,
+    /// Tenancy-aware placement: score hosts by shared-page affinity
+    /// (same-language work already assigned there dedupes runtime and
+    /// library pages) minus contention pressure (total assigned work),
+    /// and send the invocation to the best score. Consolidates each
+    /// language onto few hosts while still spreading aggregate load —
+    /// see the `luke-tenancy` crate for the sharing model.
+    PlacementAware,
 }
 
 impl RoutingPolicy {
     /// Every policy, in sweep order.
-    pub const ALL: [RoutingPolicy; 3] = [
+    pub const ALL: [RoutingPolicy; 4] = [
         RoutingPolicy::RoundRobin,
         RoutingPolicy::LeastLoaded,
         RoutingPolicy::KeepAliveAware,
+        RoutingPolicy::PlacementAware,
     ];
 
     /// Stable CLI/display label.
@@ -61,20 +76,22 @@ impl RoutingPolicy {
             RoutingPolicy::RoundRobin => "round-robin",
             RoutingPolicy::LeastLoaded => "least-loaded",
             RoutingPolicy::KeepAliveAware => "keep-alive-aware",
+            RoutingPolicy::PlacementAware => "placement-aware",
         }
     }
 
     /// Parses a CLI label (accepts the canonical labels plus short
-    /// aliases `rr`, `ll`, `kaa`).
+    /// aliases `rr`, `ll`, `kaa`, `pa`).
     pub fn parse(text: &str) -> Result<Self, SimError> {
         match text {
             "round-robin" | "rr" => Ok(RoutingPolicy::RoundRobin),
             "least-loaded" | "ll" => Ok(RoutingPolicy::LeastLoaded),
             "keep-alive-aware" | "kaa" => Ok(RoutingPolicy::KeepAliveAware),
+            "placement-aware" | "pa" => Ok(RoutingPolicy::PlacementAware),
             other => Err(SimError::invalid_config(
                 "fleet.policy",
                 format!(
-                    "unknown routing policy '{other}' (expected round-robin, least-loaded, or keep-alive-aware)"
+                    "unknown routing policy '{other}' (expected round-robin, least-loaded, keep-alive-aware, or placement-aware)"
                 ),
             )),
         }
@@ -158,12 +175,23 @@ pub struct Router {
     /// caching it turns the hot keep-alive-aware path from a hash +
     /// binary search into one indexed load. Grows on demand.
     kaa_cache: Vec<Option<usize>>,
+    /// Language slot per function profile (`function % lang_of.len()`),
+    /// for placement-aware affinity scoring. Empty means "one
+    /// language": every function scores as the same tenant.
+    lang_of: Vec<u8>,
+    /// Number of distinct language slots.
+    lang_count: usize,
+    /// Expected milliseconds assigned per `host × language`, flattened
+    /// `host * lang_count + lang` — the shared-page affinity ledger.
+    lang_assigned: Vec<f64>,
     /// Dispatches routed so far (hedge copies not included).
     dispatches: u64,
     /// Dispatches that skipped an unhealthy preferred host.
     failovers: u64,
     /// Hedge copies issued.
     hedges: u64,
+    /// Dispatches scored by the placement-aware policy.
+    placement_routed: u64,
 }
 
 impl Router {
@@ -174,6 +202,20 @@ impl Router {
     /// Panics if `hosts` is zero (validated upstream by
     /// `FleetConfig::validate`).
     pub fn new(policy: RoutingPolicy, hosts: usize) -> Self {
+        Self::with_languages(policy, hosts, Vec::new())
+    }
+
+    /// Builds a router that also knows each function profile's language
+    /// slot (`function % lang_of.len()` maps functions onto profiles,
+    /// the fleet-wide convention), so the placement-aware policy can
+    /// score shared-page affinity. An empty table degenerates to a
+    /// single language.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero (validated upstream by
+    /// `FleetConfig::validate`).
+    pub fn with_languages(policy: RoutingPolicy, hosts: usize, lang_of: Vec<u8>) -> Self {
         assert!(hosts > 0, "router needs at least one host");
         let mut ring = Vec::with_capacity(hosts * VNODES_PER_HOST);
         for host in 0..hosts {
@@ -183,6 +225,7 @@ impl Router {
             }
         }
         ring.sort_unstable();
+        let lang_count = lang_of.iter().map(|&l| l as usize + 1).max().unwrap_or(1);
         Router {
             policy,
             hosts,
@@ -190,9 +233,22 @@ impl Router {
             assigned_ms: vec![0.0; hosts],
             ring,
             kaa_cache: Vec::new(),
+            lang_of,
+            lang_count,
+            lang_assigned: vec![0.0; hosts * lang_count],
             dispatches: 0,
             failovers: 0,
             hedges: 0,
+            placement_routed: 0,
+        }
+    }
+
+    /// The language slot of `function` under the profile mapping.
+    fn language_of(&self, function: usize) -> usize {
+        if self.lang_of.is_empty() {
+            0
+        } else {
+            self.lang_of[function % self.lang_of.len()] as usize
         }
     }
 
@@ -232,6 +288,38 @@ impl Router {
                     }
                 }
             }
+            RoutingPolicy::PlacementAware => {
+                // Shared-page affinity minus contention pressure: a
+                // host's total assigned work is its pressure, and
+                // same-language work earns affinity credit because its
+                // runtime and library pages are already resident there.
+                // min_by with total_cmp resolves ties to the lowest
+                // host index, like least-loaded.
+                let lang = self.language_of(function);
+                let lang_count = self.lang_count;
+                let lang_assigned = &self.lang_assigned;
+                self.assigned_ms
+                    .iter()
+                    .enumerate()
+                    .map(|(host, &assigned)| {
+                        (host, assigned - AFFINITY_CREDIT * lang_assigned[host * lang_count + lang])
+                    })
+                    .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                    .map(|(host, _)| host)
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Charges `expected_ms` of work on `host` to the load ledgers —
+    /// the total ledger always, the per-language affinity ledger only
+    /// under the placement-aware policy (so every other policy leaves
+    /// it untouched and bit-cold).
+    fn charge(&mut self, host: usize, function: usize, expected_ms: f64) {
+        self.assigned_ms[host] += expected_ms;
+        if self.policy == RoutingPolicy::PlacementAware {
+            let lang = self.language_of(function);
+            self.lang_assigned[host * self.lang_count + lang] += expected_ms;
         }
     }
 
@@ -241,8 +329,11 @@ impl Router {
     /// observability is policy-independent).
     pub fn route(&mut self, function: usize, expected_ms: f64) -> usize {
         let host = self.preferred(function);
-        self.assigned_ms[host] += expected_ms;
+        self.charge(host, function, expected_ms);
         self.dispatches += 1;
+        if self.policy == RoutingPolicy::PlacementAware {
+            self.placement_routed += 1;
+        }
         host
     }
 
@@ -277,8 +368,11 @@ impl Router {
                 }
             }
         }
-        self.assigned_ms[host] += expected_ms;
+        self.charge(host, function, expected_ms);
         self.dispatches += 1;
+        if self.policy == RoutingPolicy::PlacementAware {
+            self.placement_routed += 1;
+        }
         if failed_over {
             self.failovers += 1;
         }
@@ -296,7 +390,7 @@ impl Router {
                 }
             }
             if let Some(h) = hedge_target {
-                self.assigned_ms[h] += expected_ms;
+                self.charge(h, function, expected_ms);
                 self.hedges += 1;
             }
         }
@@ -320,6 +414,12 @@ impl Router {
     /// Hedge copies issued so far.
     pub fn hedges(&self) -> u64 {
         self.hedges
+    }
+
+    /// Dispatches scored by the placement-aware policy (0 under every
+    /// other policy).
+    pub fn placement_routed(&self) -> u64 {
+        self.placement_routed
     }
 }
 
@@ -397,6 +497,62 @@ mod tests {
         // Plain modulo hashing would move ~8/9 of keys; consistent
         // hashing should move roughly 1/9. Allow generous slack.
         assert!(moved < 350, "{moved} of 1000 keys moved");
+    }
+
+    #[test]
+    fn placement_aware_consolidates_languages_under_even_load() {
+        // Two languages, four hosts, uniform work: the affinity credit
+        // should pull each language onto its own host subset instead of
+        // scattering both everywhere.
+        let lang_of = vec![0u8, 1u8];
+        let mut router = Router::with_languages(RoutingPolicy::PlacementAware, 4, lang_of);
+        let mut per_host_lang = vec![std::collections::BTreeSet::new(); 4];
+        for f in 0..400 {
+            let host = router.route(f, 1.0);
+            per_host_lang[host].insert(f % 2);
+        }
+        let mixed = per_host_lang.iter().filter(|langs| langs.len() > 1).count();
+        assert!(
+            mixed <= 1,
+            "placement-aware should keep languages apart: {per_host_lang:?}"
+        );
+        // Aggregate load still spreads: no host is idle.
+        assert!(router.assigned_ms().iter().all(|&ms| ms > 0.0));
+        assert_eq!(router.placement_routed(), 400);
+    }
+
+    #[test]
+    fn placement_aware_prefers_the_same_language_host_over_an_equally_loaded_one() {
+        let mut router =
+            Router::with_languages(RoutingPolicy::PlacementAware, 2, vec![0u8, 1u8]);
+        // Function 0 (lang 0) lands on host 0 (tie → lowest index).
+        assert_eq!(router.route(0, 1.0), 0);
+        // Another lang-0 function: host 0 carries 1ms total but earns
+        // 0.5ms affinity credit (score 0.5) vs host 1's 0 — still the
+        // pressure-optimal pick is host 1, and with credit the choice
+        // depends on magnitudes. Charge host 1 with foreign work first
+        // so the affinity decision is isolated:
+        assert_eq!(router.route(1, 1.0), 1); // lang 1 → host 1 (least loaded)
+        // Now both hosts carry 1.0ms. A lang-0 invocation scores
+        // host 0 at 1.0 − 0.5×1.0 = 0.5 and host 1 at 1.0 → host 0.
+        assert_eq!(router.route(2, 1.0), 0);
+        // And a lang-1 invocation symmetrically sticks to host 1.
+        assert_eq!(router.route(3, 1.0), 1);
+    }
+
+    #[test]
+    fn placement_aware_without_languages_degenerates_to_load_spreading() {
+        // An empty language table means every function shares one
+        // language: the score is (1 − credit) × assigned, which orders
+        // hosts exactly like least-loaded.
+        let mut placement = Router::new(RoutingPolicy::PlacementAware, 3);
+        let mut least = Router::new(RoutingPolicy::LeastLoaded, 3);
+        for f in 0..60 {
+            let cost = 1.0 + (f % 5) as f64;
+            assert_eq!(placement.route(f, cost), least.route(f, cost));
+        }
+        assert_eq!(placement.placement_routed(), 60);
+        assert_eq!(least.placement_routed(), 0, "only placement-aware counts");
     }
 
     #[test]

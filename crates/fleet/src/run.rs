@@ -145,6 +145,20 @@ pub struct FleetRun {
     pub early_decays: u64,
     /// Whether prediction was on (gates the prewarm dataset).
     pub prewarmed: bool,
+    /// Dispatches scored by the placement-aware policy (0 otherwise).
+    pub placement_routed: u64,
+    /// Distinct shared pages registered across all hosts.
+    pub shared_pages: u64,
+    /// Shared-page registrations that found the page already resident.
+    pub dedup_hits: u64,
+    /// Bytes dedup avoided materializing fleet-wide.
+    pub dedup_bytes_saved: u64,
+    /// Total latency contention pressure added across the fleet, ms.
+    pub contention_extra_ms: f64,
+    /// Invocations that ran with a contention slowdown above 1.
+    pub slowed_invocations: u64,
+    /// Whether any tenancy knob was on (gates the tenancy dataset).
+    pub tenant: bool,
 }
 
 impl FleetRun {
@@ -166,6 +180,18 @@ impl FleetRun {
             1.0
         } else {
             1.0 + self.retries as f64 / self.invocations as f64
+        }
+    }
+
+    /// Fleet-wide shared-page hit rate: the share of shareable page
+    /// registrations that found the page already resident on the host
+    /// (0.0 when nothing registered — dedup off or tenancy disabled).
+    pub fn shared_page_hit_rate(&self) -> f64 {
+        let touched = self.shared_pages + self.dedup_hits;
+        if touched == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / touched as f64
         }
     }
 
@@ -471,7 +497,19 @@ pub fn run_fleet(
     let mut hosts: Vec<FleetHost> = (0..config.hosts)
         .map(|id| FleetHost::new(config, id))
         .collect();
-    let mut router = Router::new(config.policy, config.hosts);
+    // The placement-aware policy scores hosts by same-language affinity,
+    // so it routes with the suite's language table; every other policy
+    // keeps the language-blind constructor (identical state, bit for
+    // bit).
+    let mut router = if config.policy == RoutingPolicy::PlacementAware {
+        let lang_of: Vec<u8> = workloads::paper_suite()
+            .iter()
+            .map(|profile| luke_tenancy::language_slot(profile.language))
+            .collect();
+        Router::with_languages(config.policy, config.hosts, lang_of)
+    } else {
+        Router::new(config.policy, config.hosts)
+    };
     let mut route_spans = SpanRing::with_capacity(route_span_capacity(config));
 
     let end_ms = if threads <= 1 {
@@ -600,6 +638,13 @@ pub fn run_fleet(
         prewarm_hits: 0,
         early_decays: 0,
         prewarmed: config.prewarm_enabled(),
+        placement_routed: router.placement_routed(),
+        shared_pages: 0,
+        dedup_hits: 0,
+        dedup_bytes_saved: 0,
+        contention_extra_ms: 0.0,
+        slowed_invocations: 0,
+        tenant: config.tenancy_enabled(),
     };
     let mut spans: Vec<Span> = route_spans.take_spans();
     let mut series = TimeWindows::new(config.series_window_ms);
@@ -627,6 +672,13 @@ pub fn run_fleet(
         if let Some(ctl) = host.admission() {
             run.shed += ctl.shed();
             run.degraded_restores += ctl.degraded_restores();
+        }
+        if let Some(tenancy) = host.tenancy() {
+            run.shared_pages += tenancy.shared_pages();
+            run.dedup_hits += tenancy.dedup_hits();
+            run.dedup_bytes_saved += tenancy.dedup_bytes_saved();
+            run.contention_extra_ms += tenancy.extra_ms();
+            run.slowed_invocations += tenancy.slowed();
         }
         // Hedge copies share a dispatch id: keep the better fate (a
         // completion beats a failure, then the faster latency wins).
@@ -683,6 +735,11 @@ pub fn run_fleet(
     if run.resilient {
         registry.counter_add("fleet.failovers", run.failovers);
         registry.counter_add("fleet.hedges", run.hedges);
+    }
+    // Route-phase placement counter, only under the policy that scores
+    // placements — every other policy keeps its exact export shape.
+    if config.policy == RoutingPolicy::PlacementAware {
+        registry.counter_add("fleet.placement_routed", run.placement_routed);
     }
     run.snapshot = registry.snapshot();
     run.latency_us = latency_us;
@@ -769,6 +826,18 @@ impl std::fmt::Display for FleetRun {
                 self.prewarm_spawns,
                 self.prewarm_hits,
                 self.early_decays,
+            )?;
+        }
+        if self.tenant {
+            writeln!(
+                f,
+                "  tenancy: {} shared pages | {:.1}% hit rate | {:.2} MiB deduped | {} placement-routed | {} slowed | {:.1}ms contention",
+                self.shared_pages,
+                100.0 * self.shared_page_hit_rate(),
+                self.dedup_bytes_saved as f64 / (1024.0 * 1024.0),
+                self.placement_routed,
+                self.slowed_invocations,
+                self.contention_extra_ms,
             )?;
         }
         if self.resilient {
@@ -892,6 +961,36 @@ impl Export for FleetRun {
                 Value::UInt(self.cold_starts),
             ]);
             out.push(prewarm);
+        }
+        // The tenancy dataset only exists when some tenancy knob was on
+        // — disabled runs keep their exact pre-tenancy export shape.
+        if self.tenant {
+            let mut tenancy = Dataset::new(
+                "fleet.tenancy",
+                &[
+                    "memory_instance_s",
+                    "shared_pages",
+                    "dedup_hits",
+                    "dedup_bytes_saved",
+                    "hit_rate",
+                    "placement_routed",
+                    "slowed_invocations",
+                    "contention_extra_ms",
+                    "cold_starts",
+                ],
+            );
+            tenancy.push_row(vec![
+                Value::Float(self.memory_instance_s()),
+                Value::UInt(self.shared_pages),
+                Value::UInt(self.dedup_hits),
+                Value::UInt(self.dedup_bytes_saved),
+                Value::Float(self.shared_page_hit_rate()),
+                Value::UInt(self.placement_routed),
+                Value::UInt(self.slowed_invocations),
+                Value::Float(self.contention_extra_ms),
+                Value::UInt(self.cold_starts),
+            ]);
+            out.push(tenancy);
         }
         // Resilience is a third dataset only when some knob was on —
         // default runs keep their exact pre-resilience export shape.
@@ -1147,6 +1246,149 @@ mod tests {
         .unwrap();
         assert_eq!(one.snapshot.to_json(), four.snapshot.to_json());
         assert_eq!(one.memory_ms, four.memory_ms);
+        assert_eq!(
+            luke_obs::export::to_json(&one.datasets()),
+            luke_obs::export::to_json(&four.datasets())
+        );
+    }
+
+    #[test]
+    fn tenancy_run_exports_the_tenancy_dataset_and_dedup_pays_off() {
+        let m = model();
+        let base = run_fleet(&quick_config(), &m, false).unwrap();
+        assert!(!base.tenant);
+        assert!(!luke_obs::export::to_json(&base.datasets()).contains("fleet.tenancy"));
+        let config = FleetConfig {
+            cold_start_model: luke_snapshot::ColdStartModel::ReapPrefetch,
+            tenancy: luke_tenancy::TenancyConfig::dedup_enabled(),
+            ..quick_config()
+        };
+        let run = run_fleet(&config, &m, false).unwrap();
+        assert!(run.tenant);
+        assert!(run.shared_pages > 0, "suite functions share runtime pages");
+        assert!(run.dedup_hits > 0, "co-resident instances must dedup");
+        assert!(run.shared_page_hit_rate() > 0.0);
+        let json = luke_obs::export::to_json(&run.datasets());
+        assert!(json.contains("fleet.tenancy"));
+        assert!(json.contains("dedup_bytes_saved"));
+        assert!(run.snapshot.counter("tenancy.dedup_hits") == run.dedup_hits);
+        // Deduped restores skip resident pages and deduped footprints
+        // weigh less: the memory bill must shrink against the same
+        // traffic without tenancy.
+        let full = run_fleet(
+            &FleetConfig {
+                cold_start_model: luke_snapshot::ColdStartModel::ReapPrefetch,
+                ..quick_config()
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        assert!(
+            run.memory_ms < full.memory_ms,
+            "dedup {} vs full {}",
+            run.memory_ms,
+            full.memory_ms
+        );
+        assert!(
+            run.mean_latency_ms() <= full.mean_latency_ms(),
+            "shared restores must not cost extra: {} vs {}",
+            run.mean_latency_ms(),
+            full.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn contention_pressure_slows_crowded_hosts() {
+        let m = model();
+        let config = FleetConfig {
+            tenancy: luke_tenancy::TenancyConfig {
+                contention: luke_tenancy::ContentionConfig {
+                    // Tight capacity so a 40-function population on 4
+                    // hosts crosses the knee.
+                    capacity_bytes: 4 << 20,
+                    ..luke_tenancy::ContentionConfig::default_enabled()
+                },
+                ..luke_tenancy::TenancyConfig::default_enabled()
+            },
+            ..quick_config()
+        };
+        let run = run_fleet(&config, &m, false).unwrap();
+        assert!(run.slowed_invocations > 0, "pressure never crossed the knee");
+        assert!(run.contention_extra_ms > 0.0);
+        let base = run_fleet(&quick_config(), &m, false).unwrap();
+        assert!(
+            run.mean_latency_ms() > base.mean_latency_ms(),
+            "contention {} vs base {}",
+            run.mean_latency_ms(),
+            base.mean_latency_ms()
+        );
+        assert_eq!(
+            run.snapshot.counter("tenancy.slowed_invocations"),
+            run.slowed_invocations
+        );
+    }
+
+    #[test]
+    fn placement_aware_consolidates_languages_and_counts_routes() {
+        let m = model();
+        let config = FleetConfig {
+            policy: RoutingPolicy::PlacementAware,
+            cold_start_model: luke_snapshot::ColdStartModel::ReapPrefetch,
+            tenancy: luke_tenancy::TenancyConfig::dedup_enabled(),
+            ..quick_config()
+        };
+        let run = run_fleet(&config, &m, false).unwrap();
+        assert_eq!(run.placement_routed, run.invocations);
+        assert_eq!(
+            run.snapshot.counter("fleet.placement_routed"),
+            run.placement_routed
+        );
+        assert!(run.shared_page_hit_rate() > 0.0);
+        // The affinity credit makes a host that already carries a
+        // language *more* attractive, so functions stop wandering to
+        // whichever host is momentarily lightest — fewer first-touch
+        // cold starts than pure least-loaded.
+        let ll = run_fleet(
+            &FleetConfig {
+                policy: RoutingPolicy::LeastLoaded,
+                ..config
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        assert_eq!(ll.placement_routed, 0);
+        assert!(
+            run.cold_starts < ll.cold_starts,
+            "placement-aware {} vs least-loaded {}",
+            run.cold_starts,
+            ll.cold_starts
+        );
+    }
+
+    #[test]
+    fn tenancy_run_is_thread_count_invariant() {
+        let m = model();
+        let config = FleetConfig {
+            policy: RoutingPolicy::PlacementAware,
+            cold_start_model: luke_snapshot::ColdStartModel::ReapPrefetch,
+            tenancy: luke_tenancy::TenancyConfig::default_enabled(),
+            ..quick_config()
+        };
+        let one = run_fleet(&config, &m, false).unwrap();
+        let four = run_fleet(
+            &FleetConfig {
+                threads: 4,
+                ..config
+            },
+            &m,
+            false,
+        )
+        .unwrap();
+        assert_eq!(one.snapshot.to_json(), four.snapshot.to_json());
+        assert_eq!(one.memory_ms, four.memory_ms);
+        assert_eq!(one.contention_extra_ms, four.contention_extra_ms);
         assert_eq!(
             luke_obs::export::to_json(&one.datasets()),
             luke_obs::export::to_json(&four.datasets())

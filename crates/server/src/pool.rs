@@ -55,6 +55,13 @@ pub struct InstancePool {
     spawned_ms: Vec<f64>,
     /// Invocations served per instance, parallel to `ids`.
     invocations: Vec<u64>,
+    /// Memory-accounting weight per instance, parallel to `ids`: the
+    /// fraction of the instance's footprint the host actually
+    /// materialized. 1.0 unless a tenancy layer dedupes shared pages
+    /// ([`InstancePool::set_weight`]); residency credits multiply by it,
+    /// and `× 1.0` is IEEE-exact so weightless pools account bit-for-bit
+    /// as before the column existed.
+    weights: Vec<f64>,
     next_id: u64,
     cold_starts: u64,
     expirations: u64,
@@ -98,6 +105,7 @@ impl InstancePool {
             last_invoked_ms: Vec::new(),
             spawned_ms: Vec::new(),
             invocations: Vec::new(),
+            weights: Vec::new(),
             next_id: 1,
             cold_starts: 0,
             expirations: 0,
@@ -140,6 +148,7 @@ impl InstancePool {
         self.last_invoked_ms.remove(slot);
         self.spawned_ms.remove(slot);
         self.invocations.remove(slot);
+        self.weights.remove(slot);
     }
 
     /// Spawns a new warm instance for `function` at time `now_ms` (a cold
@@ -154,6 +163,7 @@ impl InstancePool {
         self.last_invoked_ms.push(now_ms);
         self.spawned_ms.push(now_ms);
         self.invocations.push(0);
+        self.weights.push(1.0);
         id
     }
 
@@ -178,6 +188,40 @@ impl InstancePool {
             .as_mut()
             .map_or(0.0, |s| s.restore_ms_degraded(function));
         (self.spawn(function, now_ms), restore_ms)
+    }
+
+    /// Like [`InstancePool::spawn_restored`], but `resident_pages` of
+    /// the function's working set are already resident on the host —
+    /// shared pages a co-resident same-language instance brought in
+    /// (the `luke-tenancy` dedup path). The restore skips them:
+    /// smaller REAP prefetch batch, fewer demand faults. With
+    /// `resident_pages = 0` this is exactly `spawn_restored`.
+    pub fn spawn_restored_shared(
+        &mut self,
+        function: usize,
+        now_ms: f64,
+        resident_pages: usize,
+    ) -> (u64, f64) {
+        let restore_ms = self
+            .snapshots
+            .as_mut()
+            .map_or(0.0, |s| s.restore_ms_with_resident(function, resident_pages));
+        (self.spawn(function, now_ms), restore_ms)
+    }
+
+    /// Sets the memory-accounting weight of instance `id`: the fraction
+    /// of its footprint the host materialized after shared-page dedup.
+    /// Every residency credit (retirement, sweep, live accounting)
+    /// multiplies by it. Instances spawn at weight 1.0. Returns `false`
+    /// if the instance is unknown.
+    pub fn set_weight(&mut self, id: u64, weight: f64) -> bool {
+        match self.slot(id) {
+            Some(slot) => {
+                self.weights[slot] = weight;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Records an invocation dispatched to `id` at `now_ms`. Returns the
@@ -267,11 +311,13 @@ impl InstancePool {
                     self.last_invoked_ms[write] = self.last_invoked_ms[read];
                     self.spawned_ms[write] = self.spawned_ms[read];
                     self.invocations[write] = self.invocations[read];
+                    self.weights[write] = self.weights[read];
                 }
                 write += 1;
             } else {
                 expired.push(self.ids[read]);
-                retired_ms += self.last_invoked_ms[read] + hold - self.spawned_ms[read];
+                retired_ms += (self.last_invoked_ms[read] + hold - self.spawned_ms[read])
+                    * self.weights[read];
             }
         }
         self.truncate(write);
@@ -287,6 +333,7 @@ impl InstancePool {
         self.last_invoked_ms.truncate(len);
         self.spawned_ms.truncate(len);
         self.invocations.truncate(len);
+        self.weights.truncate(len);
     }
 
     /// Retires one instance through its keep-alive *deadline* — the
@@ -298,7 +345,8 @@ impl InstancePool {
     pub fn expire_with_deadline(&mut self, id: u64, deadline_ms: f64) -> bool {
         match self.slot(id) {
             Some(slot) => {
-                self.retired_memory_ms += deadline_ms - self.spawned_ms[slot];
+                self.retired_memory_ms +=
+                    (deadline_ms - self.spawned_ms[slot]) * self.weights[slot];
                 self.remove_slot(slot);
                 self.expirations += 1;
                 true
@@ -339,7 +387,8 @@ impl InstancePool {
                 // Forced teardown carries no expiry deadline; credit
                 // residency through the last invocation (a slight
                 // undercount of the idle tail before the crash).
-                self.retired_memory_ms += self.last_invoked_ms[slot] - self.spawned_ms[slot];
+                self.retired_memory_ms +=
+                    (self.last_invoked_ms[slot] - self.spawned_ms[slot]) * self.weights[slot];
                 self.remove_slot(slot);
                 true
             }
@@ -353,7 +402,8 @@ impl InstancePool {
     pub fn evict_all(&mut self) -> usize {
         let died = self.ids.len();
         for slot in 0..died {
-            self.retired_memory_ms += self.last_invoked_ms[slot] - self.spawned_ms[slot];
+            self.retired_memory_ms +=
+                (self.last_invoked_ms[slot] - self.spawned_ms[slot]) * self.weights[slot];
         }
         self.truncate(0);
         self.evictions += died as u64;
@@ -397,7 +447,7 @@ impl InstancePool {
                 .and_then(|h| h.get(self.functions[slot]).copied())
                 .unwrap_or(self.keep_alive_ms);
             let until = end_ms.min(self.last_invoked_ms[slot] + hold);
-            total += (until - self.spawned_ms[slot]).max(0.0);
+            total += (until - self.spawned_ms[slot]).max(0.0) * self.weights[slot];
         }
         total
     }
@@ -759,6 +809,70 @@ mod tests {
         let mut registry = luke_obs::Registry::new();
         pool.fill_registry(&mut registry);
         assert_eq!(registry.snapshot().counter("pool.memory_ms"), 10_000);
+    }
+
+    #[test]
+    fn weighted_instances_charge_deduped_residency() {
+        let mut pool = InstancePool::new(10_000.0);
+        let a = pool.spawn(0, 0.0);
+        assert!(pool.set_weight(a, 0.25));
+        assert!(!pool.set_weight(99, 0.5), "unknown id");
+        // Live accounting scales by the weight...
+        assert_eq!(pool.residency_ms_through(4_000.0, None), 1_000.0);
+        // ...and so does the retirement credit (deadline 10s).
+        assert_eq!(pool.sweep(30_000.0), 1);
+        assert_eq!(pool.retired_memory_ms(), 2_500.0);
+        // Eviction of a weighted instance credits through the last
+        // invocation, scaled.
+        let b = pool.spawn(1, 0.0);
+        pool.set_weight(b, 0.5);
+        pool.invoke(b, 2_000.0);
+        pool.evict(b);
+        assert_eq!(pool.retired_memory_ms(), 2_500.0 + 1_000.0);
+    }
+
+    #[test]
+    fn default_weight_accounts_bit_identically() {
+        // The weight column must be invisible until someone sets it:
+        // identical schedules with and without weight writes of 1.0
+        // produce bitwise-equal memory credits.
+        let mut plain = InstancePool::new(8_000.0);
+        let mut weighted = InstancePool::new(8_000.0);
+        for f in 0..16 {
+            let at = (f % 5) as f64 * 700.0;
+            plain.spawn(f, at);
+            let id = weighted.spawn(f, at);
+            weighted.set_weight(id, 1.0);
+        }
+        for round in 1..=4 {
+            let now = round as f64 * 3_500.0;
+            assert_eq!(plain.sweep_expired_ids(now), weighted.sweep_expired_ids(now));
+            assert_eq!(plain.retired_memory_ms(), weighted.retired_memory_ms());
+            assert_eq!(
+                plain.residency_ms_through(now, None),
+                weighted.residency_ms_through(now, None)
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_restored_shared_discounts_resident_pages() {
+        use luke_snapshot::{ColdStartModel, SnapshotStore, SnapshotTimings};
+        let store = SnapshotStore::for_profiles(
+            ColdStartModel::ReapPrefetch,
+            SnapshotTimings::default(),
+            &workloads::paper_suite(),
+        )
+        .unwrap();
+        let mut pool = InstancePool::new(60_000.0).with_snapshots(store);
+        pool.spawn_restored(0, 0.0); // record pass
+        let (_, full) = pool.spawn_restored_shared(0, 1.0, 0);
+        let (_, discounted) = pool.spawn_restored_shared(0, 2.0, 50);
+        assert!(discounted < full, "{discounted} vs {full}");
+        // Without a store the shared path stays free.
+        let mut bare = InstancePool::new(60_000.0);
+        let (_, ms) = bare.spawn_restored_shared(0, 0.0, 10);
+        assert_eq!(ms, 0.0);
     }
 
     #[test]

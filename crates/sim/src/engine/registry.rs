@@ -54,7 +54,7 @@ use crate::experiments::*;
 
 /// Every experiment, in paper order: figures, Table 3, then the
 /// beyond-the-paper studies.
-static REGISTRY: [&dyn Experiment; 21] = [
+static REGISTRY: [&dyn Experiment; 22] = [
     &fig01_cpi_vs_iat::Entry,
     &fig02_topdown::Entry,
     &fig05_mpki::Entry,
@@ -76,6 +76,7 @@ static REGISTRY: [&dyn Experiment; 21] = [
     &cold_spectrum::Entry,
     &surge::Entry,
     &prewarm_frontier::Entry,
+    &tenancy::Entry,
 ];
 
 /// All registered experiments, in paper order.

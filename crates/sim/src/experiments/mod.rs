@@ -27,6 +27,7 @@ pub mod related_work;
 pub mod resilience;
 pub mod surge;
 pub mod table3_broadwell;
+pub mod tenancy;
 pub mod workflow_slo;
 
 pub use fig01_cpi_vs_iat as fig01;

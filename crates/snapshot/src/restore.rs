@@ -274,6 +274,17 @@ impl SnapshotStore {
     ///   cost; later restores validate the record and prefetch it, or
     ///   degrade to lazy paging (re-recording) when validation fails.
     pub fn restore_ms(&mut self, function: usize) -> f64 {
+        self.restore_ms_with_resident(function, 0)
+    }
+
+    /// Like [`SnapshotStore::restore_ms`], but `resident_pages` of the
+    /// working set are already resident on the host — shared runtime or
+    /// library pages a co-resident same-language instance brought in
+    /// (see the `luke-tenancy` crate). Resident pages are skipped:
+    /// they shrink the REAP prefetch batch under `ReapPrefetch` and
+    /// drop demand faults under `LazyPaging`. With `resident_pages = 0`
+    /// this is exactly [`SnapshotStore::restore_ms`], bit for bit.
+    pub fn restore_ms_with_resident(&mut self, function: usize, resident_pages: usize) -> f64 {
         if self.model == ColdStartModel::Instant {
             return 0.0;
         }
@@ -281,30 +292,37 @@ impl SnapshotStore {
         let us = match self.model {
             ColdStartModel::Instant => unreachable!("handled above"),
             ColdStartModel::LazyPaging => {
-                self.stats.pages_faulted += ws.len() as u64;
-                self.timings.lazy_restore_us(ws.len())
+                let faulted = ws.len().saturating_sub(resident_pages);
+                self.stats.pages_faulted += faulted as u64;
+                self.timings.lazy_restore_us(faulted)
             }
             ColdStartModel::ReapPrefetch => match self.metadata.get(&function) {
                 Some(md) if md.is_consistent() && md.covered_by(ws) => {
                     // Pages the record misses still fault on demand
-                    // (partial records stay valid, just less effective).
+                    // (partial records stay valid, just less effective);
+                    // already-resident shared pages leave the prefetch
+                    // batch entirely.
                     let recorded: BTreeSet<u64> =
                         md.pages().iter().map(|p| p.page).collect();
                     let faulted = ws.len() - recorded.len();
-                    self.stats.pages_prefetched += md.len() as u64;
+                    let prefetched = md.len().saturating_sub(resident_pages);
+                    self.stats.pages_prefetched += prefetched as u64;
                     self.stats.pages_faulted += faulted as u64;
-                    self.timings.prefetch_restore_us(md.len(), faulted)
+                    self.timings.prefetch_restore_us(prefetched, faulted)
                 }
                 existing => {
                     // First restore records; a failed validation
-                    // degrades to the same path and re-records.
+                    // degrades to the same path and re-records. The
+                    // record still covers the full set — residency only
+                    // spares the faults.
                     if existing.is_some() {
                         self.stats.replay_aborts += 1;
                     }
                     let md = SnapshotMetadata::record(ws, self.stats.restores);
                     self.stats.pages_recorded += md.len() as u64;
-                    self.stats.pages_faulted += ws.len() as u64;
-                    let us = self.timings.lazy_restore_us(ws.len());
+                    let faulted = ws.len().saturating_sub(resident_pages);
+                    self.stats.pages_faulted += faulted as u64;
+                    let us = self.timings.lazy_restore_us(faulted);
                     self.metadata.insert(function, md);
                     us
                 }
@@ -403,6 +421,43 @@ mod tests {
                 "function {f}: reap {r}ms vs lazy {l}ms recovers <50%"
             );
         }
+    }
+
+    #[test]
+    fn resident_shared_pages_shrink_the_prefetch_batch() {
+        let mut s = store(ColdStartModel::ReapPrefetch);
+        s.restore_ms(6); // record pass
+        let full = s.restore_ms(6);
+        let zero = s.restore_ms_with_resident(6, 0);
+        assert_eq!(full, zero, "resident 0 is restore_ms, bit for bit");
+        let resident = 40;
+        let discounted = s.restore_ms_with_resident(6, resident);
+        let md_len = s.metadata(6).unwrap().len();
+        let expected =
+            SnapshotTimings::default().prefetch_restore_us(md_len - resident, 0) / 1000.0;
+        assert!((discounted - expected).abs() < 1e-12);
+        assert!(discounted < full);
+        // A fully-resident working set degenerates to the batch issue
+        // cost, never underflows.
+        let floor = s.restore_ms_with_resident(6, md_len + 1000);
+        let base = SnapshotTimings::default().prefetch_restore_us(0, 0) / 1000.0;
+        assert!((floor - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resident_shared_pages_spare_lazy_faults_too() {
+        let mut s = store(ColdStartModel::LazyPaging);
+        let pages = s.working_set(0).len();
+        let full = s.restore_ms(0);
+        let discounted = s.restore_ms_with_resident(0, pages / 2);
+        let expected =
+            SnapshotTimings::default().lazy_restore_us(pages - pages / 2) / 1000.0;
+        assert!((discounted - expected).abs() < 1e-12);
+        assert!(discounted < full);
+        // Instant stays bit-transparent through the resident path.
+        let mut instant = store(ColdStartModel::Instant);
+        assert_eq!(instant.restore_ms_with_resident(0, 10), 0.0);
+        assert_eq!(instant.stats().restores, 0);
     }
 
     #[test]

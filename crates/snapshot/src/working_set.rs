@@ -11,6 +11,7 @@
 //! deterministic seed-dependent first-touch interleaving.
 
 use luke_common::rng::DetRng;
+use luke_common::SimError;
 use std::collections::BTreeSet;
 use workloads::FunctionProfile;
 
@@ -90,6 +91,33 @@ impl PageWorkingSet {
             }
         }
         PageWorkingSet { pages, index }
+    }
+
+    /// Strict constructor: builds a working set from explicit pages in
+    /// first-touch order, *rejecting* duplicate page indices instead of
+    /// silently dropping them. A duplicate means the caller's notion of
+    /// the set and the dedup index would diverge — first-touch replay
+    /// would prefetch a page the caller counted twice — so it is a
+    /// configuration error, named after the offending page.
+    pub fn try_new(pages: impl IntoIterator<Item = SnapshotPage>) -> Result<Self, SimError> {
+        let mut ordered = Vec::new();
+        let mut index = BTreeSet::new();
+        for page in pages {
+            if !index.insert(page.page) {
+                return Err(SimError::invalid_config(
+                    "snapshot.working_set",
+                    format!(
+                        "duplicate page index {} ({:?}) in first-touch order",
+                        page.page, page.kind
+                    ),
+                ));
+            }
+            ordered.push(page);
+        }
+        Ok(PageWorkingSet {
+            pages: ordered,
+            index,
+        })
     }
 
     /// Bridges from the §2.5 footprint methodology: the unique
@@ -268,6 +296,38 @@ mod tests {
         assert_eq!(ws.code_pages(), 3);
         assert_eq!(ws.data_pages(), 1);
         assert!(PageWorkingSet::from_pages([], []).is_empty());
+    }
+
+    #[test]
+    fn try_new_rejects_duplicate_page_indices() {
+        // Regression: `from_pages` silently drops duplicates (first
+        // touch wins), which is right for recorded traces but wrong for
+        // explicitly-specified sets — there the Vec and the BTreeSet
+        // index would diverge. `try_new` names the duplicate instead.
+        let dup = [
+            SnapshotPage { page: 5, kind: PageKind::Code },
+            SnapshotPage { page: 9, kind: PageKind::Code },
+            SnapshotPage { page: 5, kind: PageKind::Data },
+        ];
+        let err = PageWorkingSet::try_new(dup).unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("snapshot.working_set"), "{text}");
+        assert!(text.contains('5'), "{text}");
+        // The happy path keeps order and stays consistent with the
+        // lenient constructor.
+        let unique = [
+            SnapshotPage { page: 5, kind: PageKind::Code },
+            SnapshotPage { page: 9, kind: PageKind::Code },
+            SnapshotPage { page: 100, kind: PageKind::Data },
+        ];
+        let ws = PageWorkingSet::try_new(unique).unwrap();
+        assert_eq!(ws.pages(), &unique);
+        assert_eq!(ws.len(), 3);
+        for page in ws.pages() {
+            assert!(ws.contains(page.page));
+        }
+        assert_eq!(ws, PageWorkingSet::from_pages([5, 9], [100]));
+        assert!(PageWorkingSet::try_new([]).unwrap().is_empty());
     }
 
     #[test]

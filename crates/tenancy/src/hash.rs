@@ -1,0 +1,136 @@
+//! Content addressing: deterministic page keys and page classes.
+//!
+//! Two pages are *the same content* exactly when they come from the
+//! same language runtime, the same sharing region, and the same index
+//! within that region — a Python interpreter core page is identical in
+//! every Python function's snapshot, whatever the function. The key is
+//! a SplitMix64 fold over `(language, region, index)`, the same
+//! order-sensitive integrity-tag machinery
+//! `luke-snapshot::metadata` uses for REAP records, seeded with this
+//! crate's own tag so tenancy keys can never collide with snapshot
+//! integrity tags by construction style.
+
+use workloads::Language;
+
+/// Initial value of the content-key fold (distinct from the snapshot
+/// metadata tag seed, so the two key spaces are unrelated).
+const TENANCY_TAG_SEED: u64 = 0x6c75_6b65_2174_6e74; // "luke!tnt"
+
+/// How a page is shared across co-resident instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PageClass {
+    /// Language runtime core (interpreter loop, JIT engine, GC):
+    /// identical for every function of the language.
+    SharedRuntime,
+    /// Language standard library / common dependency code: shared
+    /// across same-language functions.
+    SharedLibrary,
+    /// Heap, stack, and copy-on-write-broken pages: private to one
+    /// instance.
+    PrivateData,
+}
+
+impl PageClass {
+    /// Stable region discriminant used by the content-key fold.
+    pub fn region(self) -> u64 {
+        match self {
+            PageClass::SharedRuntime => 0,
+            PageClass::SharedLibrary => 1,
+            PageClass::PrivateData => 2,
+        }
+    }
+
+    /// Stable label for tables and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PageClass::SharedRuntime => "shared-runtime",
+            PageClass::SharedLibrary => "shared-library",
+            PageClass::PrivateData => "private-data",
+        }
+    }
+}
+
+/// Stable slot of a language in [`Language::ALL`] — the content key's
+/// language discriminant.
+pub fn language_slot(language: Language) -> u8 {
+    match language {
+        Language::Python => 0,
+        Language::NodeJs => 1,
+        Language::Go => 2,
+    }
+}
+
+/// The deterministic content hash of one shared page: a SplitMix64 fold
+/// over `(language, region, index)`. Same triple ⇒ same key, on every
+/// host, every shard, every run.
+pub fn content_key(language: u8, region: u64, index: u64) -> u64 {
+    let mut h = splitmix(TENANCY_TAG_SEED ^ u64::from(language));
+    h = splitmix(h ^ region);
+    splitmix(h ^ index)
+}
+
+/// SplitMix64 finalizer (the same permutation `luke_common::rng` uses
+/// for stream splitting and `luke-snapshot` for integrity tags).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_triple_same_key() {
+        assert_eq!(content_key(0, 1, 42), content_key(0, 1, 42));
+        assert_eq!(content_key(2, 0, 0), content_key(2, 0, 0));
+    }
+
+    #[test]
+    fn any_coordinate_change_moves_the_key() {
+        let base = content_key(0, 1, 42);
+        assert_ne!(base, content_key(1, 1, 42), "language");
+        assert_ne!(base, content_key(0, 0, 42), "region");
+        assert_ne!(base, content_key(0, 1, 43), "index");
+    }
+
+    #[test]
+    fn keys_do_not_collide_across_the_suite_scale_space() {
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
+        for lang in 0..3u8 {
+            for region in 0..2u64 {
+                for index in 0..512u64 {
+                    assert!(
+                        seen.insert(content_key(lang, region, index)),
+                        "collision at ({lang}, {region}, {index})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn language_slots_follow_all_order() {
+        for (i, lang) in Language::ALL.iter().enumerate() {
+            assert_eq!(language_slot(*lang) as usize, i);
+        }
+    }
+
+    #[test]
+    fn region_discriminants_are_distinct() {
+        let classes = [
+            PageClass::SharedRuntime,
+            PageClass::SharedLibrary,
+            PageClass::PrivateData,
+        ];
+        for a in classes {
+            for b in classes {
+                assert_eq!(a.region() == b.region(), a == b);
+            }
+            assert!(!a.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! luke-tenancy: cross-function page sharing and multi-tenant
+//! contention modeling.
+//!
+//! The paper's central finding is that lukewarm invocations pay for
+//! re-fetching runtime and library code that co-resident functions in
+//! the same language already have resident. This crate turns the
+//! workload generator's per-language code layout into a data-plane
+//! sharing model with two coupled subsystems:
+//!
+//! * **Content-addressed page sharing** — [`SharedPageStore`] keys every
+//!   shared page by a deterministic SplitMix64 content hash over
+//!   `(language, region, page index)` (the same integrity-fold
+//!   machinery `luke-snapshot` uses for REAP metadata), classifies
+//!   pages as shared-runtime / shared-library / private-data
+//!   ([`PageClass`]), and does per-host copy-on-write resident-set
+//!   accounting. Co-resident instances of same-language functions
+//!   dedupe their shared pages, so snapshot restore pricing skips
+//!   already-resident pages and pool memory accounting charges the
+//!   deduped footprint.
+//! * **Contention modeling** — [`ContentionModel`] converts a host's
+//!   co-resident working-set pressure into a continuous slowdown factor
+//!   on service time and page-fault cost: a pressure *curve* with a
+//!   knee, not a binary flush.
+//!
+//! Both knobs follow the workspace contracts: [`TenancyConfig::disabled`]
+//! is bit-transparent (a disabled fleet run is byte-identical to one
+//! built before this crate existed), and every store operation is a
+//! pure function of host-local state, so enabled fleet runs stay
+//! thread-count invariant through the work-stealing shards.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contention;
+pub mod hash;
+pub mod layout;
+pub mod store;
+
+pub use config::{ContentionConfig, TenancyConfig};
+pub use contention::ContentionModel;
+pub use hash::{content_key, language_slot, PageClass};
+pub use layout::FunctionLayout;
+pub use store::{Registration, SharedPageStore};

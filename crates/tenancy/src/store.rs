@@ -1,0 +1,398 @@
+//! The per-host content-addressed shared-page store.
+//!
+//! One [`SharedPageStore`] tracks a host's resident pages by content
+//! key with refcounts: registering an instance whose language runtime
+//! is already resident increments refcounts instead of duplicating
+//! pages (a *dedup hit*), and releasing an instance decrements them,
+//! dropping a page only when its last sharer leaves. Private data pages
+//! — and shared-library pages the instance privatizes through
+//! copy-on-write breaks — are charged to a plain byte ledger.
+//!
+//! Registration returns the instance's *charged weight*: the fraction
+//! of its footprint the host actually had to materialize. The fleet
+//! feeds that weight into pool memory accounting (`pool.memory_ms`
+//! charges deduped footprint) and uses the resident-page count to
+//! shrink REAP prefetch batches. Everything here is a pure function of
+//! host-local state, so the store never threatens thread-count
+//! determinism.
+
+use crate::hash::content_key;
+use crate::layout::FunctionLayout;
+use luke_snapshot::PAGE_BYTES;
+use std::collections::BTreeMap;
+
+/// Sharing regions, as content-key discriminants.
+const RUNTIME_REGION: u64 = 0;
+const LIBRARY_REGION: u64 = 1;
+
+/// What registering one instance did to the host's resident set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Registration {
+    /// Shared pages this instance brought in (first sharer).
+    pub new_shared_pages: u64,
+    /// Shared pages already resident that this instance now also maps.
+    pub dedup_hits: u64,
+    /// Pages charged privately (data + copy-on-write breaks).
+    pub private_pages: u64,
+    /// Fraction of the instance's footprint the host materialized:
+    /// `(new shared + private) / total`. `1.0` without dedup.
+    pub weight: f64,
+}
+
+/// The per-host shared-page store (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct SharedPageStore {
+    /// Refcount per resident shared page, keyed by content hash.
+    refs: BTreeMap<u64, u32>,
+    /// Bytes of distinct shared pages currently resident.
+    shared_bytes: u64,
+    /// Bytes of private (data + COW-broken) pages currently resident.
+    private_bytes: u64,
+    /// Cumulative distinct shared-page insertions.
+    shared_pages: u64,
+    /// Cumulative refcount increments on already-resident pages.
+    dedup_hits: u64,
+    /// Cumulative copy-on-write breaks.
+    cow_breaks: u64,
+}
+
+impl SharedPageStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Calls `f` with every shared content key of `layout` that
+    /// survives its copy-on-write breaks: the full runtime core plus
+    /// the library pages past the first `cow` privatized ones.
+    fn for_shared_keys(layout: &FunctionLayout, cow: u64, mut f: impl FnMut(u64)) {
+        for index in 0..layout.runtime_pages {
+            f(content_key(layout.language, RUNTIME_REGION, index));
+        }
+        for index in cow..layout.library_pages {
+            f(content_key(layout.language, LIBRARY_REGION, index));
+        }
+    }
+
+    /// Registers one instance of `layout` on this host. With `dedup`
+    /// off every page is charged privately (weight 1.0, bit-identical
+    /// memory accounting to a store-free host); with it on, shared
+    /// pages already resident become dedup hits and the returned weight
+    /// shrinks accordingly.
+    pub fn register(
+        &mut self,
+        layout: &FunctionLayout,
+        dedup: bool,
+        cow_dirty_fraction: f64,
+    ) -> Registration {
+        let total = layout.total_pages();
+        if !dedup {
+            self.private_bytes += total * PAGE_BYTES;
+            return Registration {
+                new_shared_pages: 0,
+                dedup_hits: 0,
+                private_pages: total,
+                weight: 1.0,
+            };
+        }
+        let cow = layout.cow_pages(cow_dirty_fraction);
+        let mut new_shared = 0u64;
+        let mut hits = 0u64;
+        Self::for_shared_keys(layout, cow, |key| {
+            let count = self.refs.entry(key).or_insert(0);
+            if *count == 0 {
+                new_shared += 1;
+            } else {
+                hits += 1;
+            }
+            *count += 1;
+        });
+        self.shared_bytes += new_shared * PAGE_BYTES;
+        self.shared_pages += new_shared;
+        self.dedup_hits += hits;
+        self.cow_breaks += cow;
+        let private = layout.data_pages + cow;
+        self.private_bytes += private * PAGE_BYTES;
+        let weight = if total == 0 {
+            1.0
+        } else {
+            (new_shared + private) as f64 / total as f64
+        };
+        Registration {
+            new_shared_pages: new_shared,
+            dedup_hits: hits,
+            private_pages: private,
+            weight,
+        }
+    }
+
+    /// Releases one instance of `layout`, mirroring
+    /// [`SharedPageStore::register`] exactly: same key set, same
+    /// copy-on-write split, refcounts decremented and pages dropped
+    /// when their last sharer leaves.
+    pub fn release(&mut self, layout: &FunctionLayout, dedup: bool, cow_dirty_fraction: f64) {
+        let total = layout.total_pages();
+        if !dedup {
+            self.private_bytes = self.private_bytes.saturating_sub(total * PAGE_BYTES);
+            return;
+        }
+        let cow = layout.cow_pages(cow_dirty_fraction);
+        let mut dropped = 0u64;
+        Self::for_shared_keys(layout, cow, |key| {
+            if let Some(count) = self.refs.get_mut(&key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.refs.remove(&key);
+                    dropped += 1;
+                }
+            }
+        });
+        self.shared_bytes = self.shared_bytes.saturating_sub(dropped * PAGE_BYTES);
+        let private = (layout.data_pages + cow) * PAGE_BYTES;
+        self.private_bytes = self.private_bytes.saturating_sub(private);
+    }
+
+    /// How many of `layout`'s shared pages are already resident —
+    /// pages a restore can skip because a co-resident sharer brought
+    /// them in. Counts the full shared region (a resident page spares
+    /// the read even when the instance will then privatize it).
+    pub fn resident_shared(&self, layout: &FunctionLayout) -> u64 {
+        let mut resident = 0u64;
+        Self::for_shared_keys(layout, 0, |key| {
+            if self.refs.contains_key(&key) {
+                resident += 1;
+            }
+        });
+        resident
+    }
+
+    /// Breaks copy-on-write on one shared page: the writer unmaps its
+    /// shared reference (dropping the entry only when it was the last
+    /// sharer) and owns a private copy instead. The shared entry other
+    /// instances map is never mutated. Returns `false` if the page was
+    /// not resident.
+    pub fn write_shared(&mut self, key: u64) -> bool {
+        match self.refs.get_mut(&key) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    self.refs.remove(&key);
+                    self.shared_bytes = self.shared_bytes.saturating_sub(PAGE_BYTES);
+                }
+                self.private_bytes += PAGE_BYTES;
+                self.cow_breaks += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Refcount of a resident shared page, 0 if absent.
+    pub fn ref_count(&self, key: u64) -> u32 {
+        self.refs.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Distinct shared pages currently resident.
+    pub fn resident_shared_pages(&self) -> u64 {
+        self.refs.len() as u64
+    }
+
+    /// Bytes currently resident: distinct shared pages plus every
+    /// private page — the working-set pressure the contention model
+    /// prices.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shared_bytes + self.private_bytes
+    }
+
+    /// Cumulative distinct shared-page insertions (`tenancy.shared_pages`).
+    pub fn shared_pages(&self) -> u64 {
+        self.shared_pages
+    }
+
+    /// Cumulative dedup hits.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Bytes a host never materialized thanks to sharing
+    /// (`tenancy.dedup_bytes_saved`).
+    pub fn dedup_bytes_saved(&self) -> u64 {
+        self.dedup_hits * PAGE_BYTES
+    }
+
+    /// Cumulative copy-on-write breaks.
+    pub fn cow_breaks(&self) -> u64 {
+        self.cow_breaks
+    }
+
+    /// Share of shared-page registrations that were dedup hits, in
+    /// `[0, 1]` — the shared-page hit rate headline.
+    pub fn hit_rate(&self) -> f64 {
+        let touched = self.shared_pages + self.dedup_hits;
+        if touched == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / touched as f64
+        }
+    }
+
+    /// Wipes the resident set (a host crash tears down every
+    /// instance). Cumulative counters survive; residency does not.
+    pub fn clear_resident(&mut self) {
+        self.refs.clear();
+        self.shared_bytes = 0;
+        self.private_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::content_key;
+    use workloads::paper_suite;
+
+    fn layout() -> FunctionLayout {
+        FunctionLayout {
+            language: 0,
+            runtime_pages: 10,
+            library_pages: 40,
+            data_pages: 20,
+        }
+    }
+
+    #[test]
+    fn first_instance_pays_full_second_dedupes_shared() {
+        let mut store = SharedPageStore::new();
+        let l = layout();
+        let first = store.register(&l, true, 0.0);
+        assert_eq!(first.new_shared_pages, 50);
+        assert_eq!(first.dedup_hits, 0);
+        assert_eq!(first.private_pages, 20);
+        assert_eq!(first.weight, 1.0);
+        let second = store.register(&l, true, 0.0);
+        assert_eq!(second.new_shared_pages, 0);
+        assert_eq!(second.dedup_hits, 50);
+        assert_eq!(second.private_pages, 20);
+        assert!((second.weight - 20.0 / 70.0).abs() < 1e-12);
+        assert_eq!(store.dedup_bytes_saved(), 50 * PAGE_BYTES);
+        assert_eq!(store.resident_bytes(), (50 + 40) * PAGE_BYTES);
+    }
+
+    #[test]
+    fn dedup_off_charges_everything_privately() {
+        let mut store = SharedPageStore::new();
+        let l = layout();
+        let reg = store.register(&l, false, 0.5);
+        assert_eq!(reg.weight, 1.0);
+        assert_eq!(reg.dedup_hits, 0);
+        assert_eq!(store.resident_shared_pages(), 0);
+        assert_eq!(store.resident_bytes(), l.total_bytes());
+        store.release(&l, false, 0.5);
+        assert_eq!(store.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn release_mirrors_register_to_an_empty_store() {
+        let mut store = SharedPageStore::new();
+        let l = layout();
+        store.register(&l, true, 0.1);
+        store.register(&l, true, 0.1);
+        store.release(&l, true, 0.1);
+        assert!(store.resident_bytes() > 0, "one sharer still resident");
+        store.release(&l, true, 0.1);
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.resident_shared_pages(), 0);
+    }
+
+    #[test]
+    fn cow_breaks_privatize_the_dirty_library_prefix() {
+        let mut store = SharedPageStore::new();
+        let l = layout();
+        // 10% of 40 library pages = 4 COW breaks.
+        let reg = store.register(&l, true, 0.1);
+        assert_eq!(reg.new_shared_pages, 10 + 36);
+        assert_eq!(reg.private_pages, 20 + 4);
+        assert_eq!(store.cow_breaks(), 4);
+        // The privatized pages were never inserted as shared entries.
+        assert_eq!(store.ref_count(content_key(0, 1, 0)), 0);
+        assert_eq!(store.ref_count(content_key(0, 1, 4)), 1);
+    }
+
+    #[test]
+    fn write_shared_never_mutates_other_sharers_entries() {
+        let mut store = SharedPageStore::new();
+        let l = layout();
+        store.register(&l, true, 0.0);
+        store.register(&l, true, 0.0);
+        let key = content_key(0, 0, 3);
+        assert_eq!(store.ref_count(key), 2);
+        let before_resident = store.resident_bytes();
+        assert!(store.write_shared(key));
+        // The shared entry survives for the other sharer; the writer
+        // owns a private copy.
+        assert_eq!(store.ref_count(key), 1);
+        assert_eq!(store.resident_bytes(), before_resident + PAGE_BYTES);
+        assert!(!store.write_shared(0xDEAD_BEEF), "absent page");
+    }
+
+    #[test]
+    fn resident_shared_counts_skippable_restore_pages() {
+        let mut store = SharedPageStore::new();
+        let l = layout();
+        assert_eq!(store.resident_shared(&l), 0);
+        store.register(&l, true, 0.0);
+        assert_eq!(store.resident_shared(&l), 50);
+        let other_language = FunctionLayout {
+            language: 1,
+            ..layout()
+        };
+        assert_eq!(store.resident_shared(&other_language), 0);
+    }
+
+    #[test]
+    fn same_language_suite_profiles_share_their_common_prefix() {
+        let suite = paper_suite();
+        let python: Vec<FunctionLayout> = suite
+            .iter()
+            .filter(|p| p.language == workloads::Language::Python)
+            .map(FunctionLayout::for_profile)
+            .collect();
+        let mut store = SharedPageStore::new();
+        store.register(&python[0], true, 0.0);
+        let reg = store.register(&python[1], true, 0.0);
+        // The whole runtime core and the common library prefix dedupe.
+        let expected = python[0].runtime_pages
+            + python[0].library_pages.min(python[1].library_pages);
+        assert_eq!(reg.dedup_hits, expected);
+        assert!(reg.weight < 1.0);
+    }
+
+    #[test]
+    fn clear_resident_keeps_cumulative_counters() {
+        let mut store = SharedPageStore::new();
+        let l = layout();
+        store.register(&l, true, 0.0);
+        store.register(&l, true, 0.0);
+        let hits = store.dedup_hits();
+        store.clear_resident();
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.dedup_hits(), hits);
+        assert_eq!(store.shared_pages(), 50);
+        // A fresh registration starts from scratch.
+        let reg = store.register(&l, true, 0.0);
+        assert_eq!(reg.dedup_hits, 0);
+    }
+
+    #[test]
+    fn hit_rate_is_bounded_and_monotone_in_coresidency() {
+        let mut store = SharedPageStore::new();
+        assert_eq!(store.hit_rate(), 0.0);
+        let l = layout();
+        store.register(&l, true, 0.0);
+        let lone = store.hit_rate();
+        store.register(&l, true, 0.0);
+        store.register(&l, true, 0.0);
+        let shared = store.hit_rate();
+        assert!(lone < shared && shared < 1.0, "{lone} vs {shared}");
+    }
+}

@@ -342,6 +342,108 @@ fn resilience_counters_all_reach_the_export() {
     }
 }
 
+#[test]
+fn tenancy_counters_all_reach_the_export() {
+    // A placement-aware fleet run with dedup and a deliberately tight
+    // contention capacity exercises the whole tenancy counter family:
+    // shared-page registrations, dedup hits and bytes saved, slowed
+    // invocations and the rounded contention-slowdown total, plus the
+    // router's placement counter. All must reach the exported registry
+    // snapshot — and a default run must export none of them
+    // (bit-transparency of the disabled stack).
+    use lukewarm::fleet::{
+        run_fleet, ColdStartModel, ContentionConfig, FleetConfig, RoutingPolicy, ServiceModel,
+        TenancyConfig,
+    };
+    use lukewarm::workloads::paper_suite;
+
+    let config = FleetConfig {
+        hosts: 4,
+        invocations: 4_000,
+        population: 40,
+        policy: RoutingPolicy::PlacementAware,
+        cold_start_model: ColdStartModel::ReapPrefetch,
+        tenancy: TenancyConfig {
+            contention: ContentionConfig {
+                capacity_bytes: 4 << 20,
+                ..ContentionConfig::default_enabled()
+            },
+            ..TenancyConfig::default_enabled()
+        },
+        ..FleetConfig::default()
+    };
+    let model = ServiceModel::analytic(&paper_suite()).expect("paper suite is valid");
+    let run = run_fleet(&config, &model, false).expect("valid config");
+
+    let v = parse(&run.snapshot.to_json()).expect("fleet snapshot JSON parses");
+    let counters = v.get("counters").expect("counters object");
+    for name in [
+        "tenancy.shared_pages",
+        "tenancy.dedup_hits",
+        "tenancy.dedup_bytes_saved",
+        "tenancy.slowed_invocations",
+        "tenancy.contention_slowdown",
+        "fleet.placement_routed",
+    ] {
+        let value = counters
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{name} missing from export"));
+        assert!(value > 0.0, "{name} never incremented");
+    }
+    assert_eq!(run.snapshot.counter("tenancy.shared_pages"), run.shared_pages);
+    assert_eq!(run.snapshot.counter("tenancy.dedup_hits"), run.dedup_hits);
+    assert_eq!(
+        run.snapshot.counter("tenancy.dedup_bytes_saved"),
+        run.dedup_bytes_saved
+    );
+    assert_eq!(
+        run.snapshot.counter("tenancy.slowed_invocations"),
+        run.slowed_invocations
+    );
+    assert_eq!(
+        run.snapshot.counter("fleet.placement_routed"),
+        run.placement_routed
+    );
+
+    // The dotted names survive the Prometheus name-escaping path as
+    // underscore forms, each on a parseable `name value` line.
+    let prom = run.snapshot.to_prometheus();
+    for name in ["tenancy_shared_pages", "tenancy_dedup_bytes_saved", "fleet_placement_routed"] {
+        assert!(
+            prom.lines().any(|l| l.starts_with(&format!("{name} "))),
+            "{name} missing from Prometheus exposition:\n{prom}"
+        );
+    }
+
+    // And the exported datasets carry the dedicated tenancy series.
+    let datasets = luke_obs::Export::datasets(&run);
+    assert!(
+        datasets.iter().any(|d| d.name == "fleet.tenancy"),
+        "fleet.tenancy dataset missing"
+    );
+
+    // Disabled stack: nothing tenancy-flavoured may leak.
+    let plain = run_fleet(
+        &FleetConfig {
+            hosts: 4,
+            invocations: 2_000,
+            ..FleetConfig::default()
+        },
+        &model,
+        false,
+    )
+    .expect("valid config");
+    let json = plain.snapshot.to_json();
+    for key in ["tenancy.", "fleet.placement_routed"] {
+        assert!(!json.contains(key), "{key} leaked into a default run");
+    }
+    assert!(
+        !luke_obs::Export::datasets(&plain).iter().any(|d| d.name == "fleet.tenancy"),
+        "fleet.tenancy dataset leaked into a default run"
+    );
+}
+
 // --- Statistics guards (satellites a and b) ---
 
 #[test]
